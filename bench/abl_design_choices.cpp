@@ -1,0 +1,129 @@
+// Ablation benches for the four design choices DESIGN.md §6 calls out:
+//
+//   1. urgency metric       — diagonal-distance (paper) vs elimination-step
+//                              vs arrival order
+//   2. Collector capacity   — CUDA-block+shmem dual constraint vs count-only
+//   3. Container discipline — priority heap vs FIFO
+//   4. atomic SSSSM batching — allow write-conflicting Schur updates in one
+//                              batch vs serialising them across batches
+//
+// Each ablation replays the same task graphs under the modified option so
+// differences are attributable to that option alone.
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "support/stats.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+namespace {
+
+// Ablations run on 4 ranks of the H100 cluster: scheduling-order choices
+// only matter when other ranks wait on the results.
+ScheduleOptions th_options() {
+  ScheduleOptions o;
+  o.policy = Policy::kTrojanHorse;
+  o.cluster = cluster_h100();
+  o.n_ranks = 4;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablations", "Design-choice ablations of the Trojan Horse.");
+
+  std::vector<MatrixBench> benches;
+  for (const PaperMatrix* m : scale_up_matrices()) {
+    if (fast_mode() && benches.size() >= 2) break;
+    benches.emplace_back(m->name, m->make());
+  }
+
+  // --- 1. urgency metric --------------------------------------------------
+  {
+    Table t("Ablation 1: priority metric (numeric ms, both cores)");
+    t.set_header({"Matrix", "SLU distance (paper)", "SLU step", "SLU arrival",
+                  "PLU distance (paper)", "PLU step", "PLU arrival"});
+    for (auto& mb : benches) {
+      std::vector<std::string> row{mb.name()};
+      for (SolverCore core : {SolverCore::kSlu, SolverCore::kPlu}) {
+        for (auto metric : {PrioritizerOptions::Metric::kDiagDistance,
+                            PrioritizerOptions::Metric::kStep,
+                            PrioritizerOptions::Metric::kArrival}) {
+          ScheduleOptions o = th_options();
+          o.prioritizer.metric = metric;
+          row.push_back(
+              fmt_fixed(mb.run_custom(core, o).makespan_s * 1e3, 3));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    emit(t, "abl1_priority_policy");
+  }
+
+  // --- 2. Collector capacity ----------------------------------------------
+  {
+    Table t("Ablation 2: Collector capacity rule (numeric ms, PLU core)");
+    t.set_header({"Matrix", "blocks+shmem (paper)", "count<=8", "count<=64",
+                  "count<=4096"});
+    for (auto& mb : benches) {
+      std::vector<std::string> row{mb.name()};
+      {
+        ScheduleOptions o = th_options();
+        row.push_back(fmt_fixed(
+            mb.run_custom(SolverCore::kPlu, o).makespan_s * 1e3, 3));
+      }
+      for (index_t cap : {8, 64, 4096}) {
+        ScheduleOptions o = th_options();
+        o.collector.capacity = CollectorOptions::Capacity::kCountOnly;
+        o.collector.max_task_count = cap;
+        row.push_back(fmt_fixed(
+            mb.run_custom(SolverCore::kPlu, o).makespan_s * 1e3, 3));
+      }
+      t.add_row(std::move(row));
+    }
+    emit(t, "abl2_collector_capacity");
+  }
+
+  // --- 3. Container discipline --------------------------------------------
+  {
+    Table t("Ablation 3: Container discipline (numeric ms, both cores)");
+    t.set_header({"Matrix", "SLU heap (paper)", "SLU fifo", "PLU heap (paper)",
+                  "PLU fifo"});
+    for (auto& mb : benches) {
+      std::vector<std::string> row{mb.name()};
+      for (SolverCore core : {SolverCore::kSlu, SolverCore::kPlu}) {
+        for (Container::Discipline d :
+             {Container::Discipline::kHeap, Container::Discipline::kFifo}) {
+          ScheduleOptions o = th_options();
+          o.container = d;
+          row.push_back(
+              fmt_fixed(mb.run_custom(core, o).makespan_s * 1e3, 3));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    emit(t, "abl3_container_fifo");
+  }
+
+  // --- 4. atomic SSSSM batching --------------------------------------------
+  {
+    Table t("Ablation 4: atomic SSSSM batching (PLU core)");
+    t.set_header({"Matrix", "atomic ms (paper)", "serialised ms",
+                  "conflicting tasks batched", "tasks deferred",
+                  "atomic kernels", "serialised kernels"});
+    for (auto& mb : benches) {
+      ScheduleOptions on = th_options();
+      ScheduleOptions off = th_options();
+      off.allow_atomic_batching = false;
+      const ScheduleResult ra = mb.run_custom(SolverCore::kPlu, on);
+      const ScheduleResult rs = mb.run_custom(SolverCore::kPlu, off);
+      t.add_row({mb.name(), fmt_fixed(ra.makespan_s * 1e3, 3),
+                 fmt_fixed(rs.makespan_s * 1e3, 3), fmt_count(ra.atomic_tasks),
+                 fmt_count(rs.deferred_tasks), fmt_count(ra.kernel_count),
+                 fmt_count(rs.kernel_count)});
+    }
+    emit(t, "abl4_atomic_batching");
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "common/bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "order/reorder.hpp"
+#include "support/error.hpp"
+
+namespace th::bench {
+
+bool fast_mode() {
+  const char* v = std::getenv("TH_FAST");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+const std::vector<Variant>& all_variants() {
+  static const std::vector<Variant> v{
+      {"PaStiX(dmdas)", SolverCore::kSlu, Policy::kDmdas},
+      {"SuperLU", SolverCore::kSlu, Policy::kLevelPerTask},
+      {"SuperLU+TH", SolverCore::kSlu, Policy::kTrojanHorse},
+      {"PanguLU", SolverCore::kPlu, Policy::kPriorityPerTask},
+      {"PanguLU+stream", SolverCore::kPlu, Policy::kMultiStream},
+      {"PanguLU+TH", SolverCore::kPlu, Policy::kTrojanHorse},
+  };
+  return v;
+}
+
+const std::vector<Variant>& four_variants() {
+  static const std::vector<Variant> v{
+      {"SuperLU", SolverCore::kSlu, Policy::kLevelPerTask},
+      {"SuperLU+TH", SolverCore::kSlu, Policy::kTrojanHorse},
+      {"PanguLU", SolverCore::kPlu, Policy::kPriorityPerTask},
+      {"PanguLU+TH", SolverCore::kPlu, Policy::kTrojanHorse},
+  };
+  return v;
+}
+
+MatrixBench::MatrixBench(std::string name, const Csr& a, index_t slu_block,
+                         index_t plu_block)
+    : name_(std::move(name)), a_(a) {
+  // One fill-reducing ordering shared by both solver cores.
+  const Permutation perm = min_degree_order(a_);
+  InstanceOptions io;
+  io.preordered = perm;
+  io.core = SolverCore::kSlu;
+  io.block = slu_block;
+  slu_ = std::make_unique<SolverInstance>(a_, io);
+  io.core = SolverCore::kPlu;
+  io.block = plu_block;
+  plu_ = std::make_unique<SolverInstance>(a_, io);
+}
+
+SolverInstance& MatrixBench::instance(SolverCore core) {
+  return core == SolverCore::kSlu ? *slu_ : *plu_;
+}
+
+const SolverInstance& MatrixBench::instance(SolverCore core) const {
+  return core == SolverCore::kSlu ? *slu_ : *plu_;
+}
+
+ScheduleResult MatrixBench::run_opts(const Variant& v, ScheduleOptions opt) {
+  SolverInstance& inst = instance(v.core);
+  inst.set_grid(make_process_grid(opt.n_ranks));
+  opt.policy = v.policy;
+  return inst.run_timing(opt);
+}
+
+ScheduleResult MatrixBench::run(const Variant& v, const DeviceSpec& device) {
+  ScheduleOptions opt;
+  opt.cluster = single_gpu(device);
+  opt.n_ranks = 1;
+  return run_opts(v, opt);
+}
+
+ScheduleResult MatrixBench::run(const Variant& v, const ClusterSpec& cluster,
+                                int ranks) {
+  ScheduleOptions opt;
+  opt.cluster = cluster;
+  opt.n_ranks = ranks;
+  return run_opts(v, opt);
+}
+
+ScheduleResult MatrixBench::run_cpu(SolverCore core, const CpuSpec& cpu) {
+  ScheduleOptions opt;
+  opt.cpu_mode = true;
+  opt.cpu = cpu;
+  opt.n_ranks = 1;
+  opt.policy = Policy::kLevelPerTask;
+  SolverInstance& inst = instance(core);
+  inst.set_grid(make_process_grid(1));
+  return inst.run_timing(opt);
+}
+
+ScheduleResult MatrixBench::run_custom(SolverCore core,
+                                       const ScheduleOptions& opt) {
+  SolverInstance& inst = instance(core);
+  inst.set_grid(make_process_grid(opt.n_ranks));
+  return inst.run_timing(opt);
+}
+
+FactorFootprint factor_footprint(const TaskGraph& g, int n_ranks) {
+  std::vector<offset_t> bytes(static_cast<std::size_t>(n_ranks), 0);
+  for (const Task& t : g.tasks()) {
+    if (t.type == TaskType::kSsssm) continue;  // Schur tasks are transient
+    bytes[static_cast<std::size_t>(t.owner_rank)] += t.out_bytes;
+  }
+  FactorFootprint f;
+  offset_t total = 0;
+  for (offset_t b : bytes) {
+    f.max_rank_bytes = std::max(f.max_rank_bytes, b);
+    total += b;
+  }
+  if (total > 0) {
+    f.imbalance = static_cast<real_t>(f.max_rank_bytes) * n_ranks /
+                  static_cast<real_t>(total);
+  }
+  return f;
+}
+
+void emit(const Table& table, const std::string& stem) {
+  std::fputs(table.to_string().c_str(), stdout);
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + stem + ".csv";
+  std::ofstream out(path);
+  if (out.good()) {
+    out << table.to_csv();
+    std::printf("[csv written to %s]\n\n", path.c_str());
+  } else {
+    std::printf("[warning: could not write %s]\n\n", path.c_str());
+  }
+}
+
+void banner(const std::string& what, const std::string& detail) {
+  std::printf("================================================================\n");
+  std::printf("Reproducing %s\n", what.c_str());
+  std::printf("%s\n", detail.c_str());
+  if (fast_mode()) std::printf("Fast AE mode is enabled (TH_FAST=1).\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace th::bench

@@ -1,0 +1,64 @@
+// Extension experiment: batch anatomy — measure the heterogeneity claim of
+// paper §2.3. For each scale-up matrix and both solver cores, dissect every
+// Trojan Horse batch: how many mix kernel types, sparse and dense members,
+// disparate task sizes, or write-conflicting Schur updates. A homogeneous
+// batched-BLAS interface could only express the complement of these
+// fractions.
+#include "common/bench_common.hpp"
+#include "core/batch_stats.hpp"
+#include "gen/registry.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Extension: batch anatomy",
+         "What the Collector actually batches (A100 model).");
+
+  Table t("Batch anatomy under the Trojan Horse");
+  t.set_header({"Matrix", "Core", "batches", "mean size", "max size",
+                "mixed types", "mixed sparsity", "mixed sizes (>2x)",
+                "with conflicts"});
+  for (const PaperMatrix* m : scale_up_matrices()) {
+    if (fast_mode() && t.rows() >= 4) break;
+    MatrixBench mb(m->name, m->make());
+    for (SolverCore core : {SolverCore::kSlu, SolverCore::kPlu}) {
+      ScheduleOptions o;
+      o.policy = Policy::kTrojanHorse;
+      o.cluster = single_gpu(device_a100());
+      o.collect_batches = true;
+      const ScheduleResult r = mb.run_custom(core, o);
+      const BatchAnatomy a = analyze_batches(mb.instance(core).graph(), r);
+      t.add_row({m->name, solver_core_name(core), fmt_count(a.batches),
+                 fmt_fixed(a.mean_batch_size, 1), fmt_count(a.max_batch_size),
+                 fmt_percent(a.mixed_type_fraction(), 1),
+                 fmt_percent(static_cast<real_t>(a.mixed_sparsity_batches) /
+                                 static_cast<real_t>(a.batches),
+                             1),
+                 fmt_percent(static_cast<real_t>(a.mixed_size_batches) /
+                                 static_cast<real_t>(a.batches),
+                             1),
+                 fmt_percent(static_cast<real_t>(a.conflict_batches) /
+                                 static_cast<real_t>(a.batches),
+                             1)});
+    }
+  }
+  emit(t, "ext_batch_anatomy");
+
+  Table s("Task mix per kernel type (PLU core, c-71 stand-in)");
+  s.set_header({"GETRF", "TSTRF", "GEESM", "SSSSM"});
+  {
+    MatrixBench mb("c-71", paper_matrix("c-71").make());
+    ScheduleOptions o;
+    o.policy = Policy::kTrojanHorse;
+    o.cluster = single_gpu(device_a100());
+    o.collect_batches = true;
+    const ScheduleResult r = mb.run_custom(SolverCore::kPlu, o);
+    const BatchAnatomy a =
+        analyze_batches(mb.instance(SolverCore::kPlu).graph(), r);
+    s.add_row({fmt_count(a.tasks_by_type[0]), fmt_count(a.tasks_by_type[1]),
+               fmt_count(a.tasks_by_type[2]), fmt_count(a.tasks_by_type[3])});
+  }
+  emit(s, "ext_batch_anatomy_types");
+  return 0;
+}

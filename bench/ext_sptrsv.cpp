@@ -1,0 +1,65 @@
+// Extension experiment (beyond the paper's evaluated scope): apply the
+// aggregate-and-batch strategy to the *solve* phase (SpTRSV) as well. The
+// paper's related work singles sparse triangular solve out as an essential
+// component; its task structure is even more launch-bound than the
+// factorisation's (one tiny kernel per tile), so the Trojan Horse helps it
+// at least as much. Reports per-task vs batched kernel counts and modelled
+// times for forward+backward solves with 1 and 8 right-hand sides.
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "solvers/trisolve.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Extension: SpTRSV",
+         "Aggregate-and-batch applied to the triangular-solve phase "
+         "(A100 model).");
+
+  Table t("SpTRSV: forward+backward solve, per-task vs Trojan Horse");
+  t.set_header({"Matrix", "nrhs", "tasks", "kernels per-task", "kernels TH",
+                "time per-task ms", "time TH ms", "speedup"});
+
+  for (const PaperMatrix* m : scale_up_matrices()) {
+    if (fast_mode() && t.rows() >= 4) break;
+    const Csr a = m->make();
+    InstanceOptions io;
+    io.core = SolverCore::kPlu;
+    io.block = 64;
+    SolverInstance inst(a, io);
+    ScheduleOptions numeric_opts;
+    numeric_opts.policy = Policy::kTrojanHorse;
+    numeric_opts.cluster = single_gpu(device_a100());
+    inst.run_numeric(numeric_opts);
+    PluFactorization* fact = inst.plu_factorization();
+
+    for (index_t nrhs : {1, 8}) {
+      std::vector<real_t> b(
+          static_cast<std::size_t>(a.n_rows) * static_cast<std::size_t>(nrhs),
+          1.0);
+      ScheduleOptions th_opts = numeric_opts;
+      ScheduleOptions base_opts = numeric_opts;
+      base_opts.policy = Policy::kPriorityPerTask;
+
+      PluTriangularSolver s1(*fact, nrhs);
+      const TriSolveResult rt = s1.solve(b, th_opts);
+      PluTriangularSolver s2(*fact, nrhs);
+      const TriSolveResult rb = s2.solve(b, base_opts);
+
+      const offset_t tasks =
+          s1.forward_graph().size() + s1.backward_graph().size();
+      const offset_t k_base =
+          rb.forward.kernel_count + rb.backward.kernel_count;
+      const offset_t k_th = rt.forward.kernel_count + rt.backward.kernel_count;
+      const real_t t_base = rb.forward.makespan_s + rb.backward.makespan_s;
+      const real_t t_th = rt.forward.makespan_s + rt.backward.makespan_s;
+      t.add_row({m->name, std::to_string(nrhs), fmt_count(tasks),
+                 fmt_count(k_base), fmt_count(k_th),
+                 fmt_fixed(t_base * 1e3, 3), fmt_fixed(t_th * 1e3, 3),
+                 fmt_speedup(t_base / t_th)});
+    }
+  }
+  emit(t, "ext_sptrsv");
+  return 0;
+}

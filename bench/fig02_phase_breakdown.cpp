@@ -1,0 +1,48 @@
+// Figure 2: time breakdown of the three phases (reordering, symbolic,
+// numeric) for the ten evaluation matrices, all measured as host wall time
+// on one CPU core — the same setting as the paper's Xeon measurement. The
+// numeric phase must dominate (the paper reports 97% on average).
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Figure 2",
+         "Host single-core time breakdown: reorder / symbolic / numeric.");
+
+  Table t("Figure 2: phase time breakdown (SLU core, host wall time)");
+  t.set_header({"Matrix", "reorder s", "symbolic s", "numeric s",
+                "numeric share"});
+  std::vector<real_t> shares;
+  for (const PaperMatrix& m : paper_matrices()) {
+    if (fast_mode() && m.role == MatrixRole::kScaleOut) continue;
+    const Csr a = m.make();
+    DriverOptions opt;
+    opt.instance.core = SolverCore::kSlu;
+    opt.instance.block = 32;
+    opt.sched.policy = Policy::kTrojanHorse;
+    opt.sched.cluster = single_gpu(device_a100());
+    opt.check_residual = false;
+
+    // Numeric = host wall time of the actual factorisation kernels.
+    SolverInstance inst(a, opt.instance);
+    Stopwatch sw;
+    inst.run_numeric(opt.sched);
+    const double numeric_s = sw.seconds();
+
+    const double total =
+        inst.reorder_seconds() + inst.symbolic_seconds() + numeric_s;
+    const real_t share = numeric_s / total;
+    shares.push_back(share);
+    t.add_row({m.name, fmt_fixed(inst.reorder_seconds(), 3),
+               fmt_fixed(inst.symbolic_seconds(), 3), fmt_fixed(numeric_s, 3),
+               fmt_percent(share, 1)});
+  }
+  t.add_row({"(mean)", "", "", "", fmt_percent(mean(shares), 1)});
+  emit(t, "fig02_phase_breakdown");
+  return 0;
+}

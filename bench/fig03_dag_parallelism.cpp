@@ -1,0 +1,49 @@
+// Figure 3: static analysis of parallelisable task counts. For each of the
+// ten evaluation matrices and both solver cores, peel the task DAG level by
+// level (nodes of in-degree zero removed each step) and summarise the
+// distribution of per-level task counts — the console analogue of the
+// paper's violin plots, including a sparkline sketch of the distribution.
+#include <cmath>
+
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "support/stats.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Figure 3",
+         "Distribution of parallelisable tasks per DAG level (violin "
+         "summary + sparkline histogram).");
+
+  for (const SolverCore core : {SolverCore::kSlu, SolverCore::kPlu}) {
+    Table t(std::string("Figure 3: ") + solver_core_name(core) +
+            " DAG level widths");
+    t.set_header({"Matrix", "tasks", "levels", "max width", "median", "q75",
+                  "mean", "width histogram (log bins)"});
+    for (const PaperMatrix& m : paper_matrices()) {
+      if (fast_mode() && m.role == MatrixRole::kScaleOut) continue;
+      const Csr a = m.make();
+      MatrixBench mb(m.name, a);
+      const TaskGraph& g = mb.instance(core).graph();
+      const std::vector<offset_t> widths = g.level_widths();
+      std::vector<real_t> w(widths.begin(), widths.end());
+      const Summary s = summarize(w);
+      // Log-scale histogram of widths across levels, like the violin axis.
+      std::vector<real_t> logw;
+      logw.reserve(w.size());
+      for (real_t x : w) logw.push_back(std::log10(x));
+      const auto hist =
+          histogram(logw, 0.0, std::max<real_t>(std::log10(s.max), 1.0), 24);
+      t.add_row({m.name, fmt_count(g.size()),
+                 fmt_count(static_cast<long long>(widths.size())),
+                 fmt_count(static_cast<long long>(s.max)),
+                 fmt_fixed(s.median, 0), fmt_fixed(s.q75, 0),
+                 fmt_fixed(s.mean, 1), sparkline(hist)});
+    }
+    emit(t, std::string("fig03_dag_parallelism_") +
+                (core == SolverCore::kSlu ? "slu" : "plu"));
+  }
+  return 0;
+}

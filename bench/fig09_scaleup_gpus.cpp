@@ -1,0 +1,52 @@
+// Figure 9: numeric factorisation performance of all six solver variants on
+// the four scale-up matrices, on the modelled RTX 5060Ti and RTX 5090. The
+// paper's headline shape: the 5090/5060Ti speedup is modest without the
+// Trojan Horse (launch-bound execution cannot use the bigger GPU) and
+// approaches the hardware ratio with it.
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "support/stats.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Figure 9",
+         "Solver variants on RTX 5060Ti vs RTX 5090 (modelled): per-matrix "
+         "time and cross-GPU scaling.");
+
+  const DeviceSpec slow = device_rtx5060ti();
+  const DeviceSpec fast = device_rtx5090();
+
+  Table t("Figure 9: numeric time (ms) per variant and GPU");
+  t.set_header({"Matrix", "Variant", "5060Ti ms", "5090 ms",
+                "5090/5060Ti speedup"});
+  // Cross-GPU scaling aggregated per variant (the paper's 1.09x->1.26x and
+  // 1.56x->3.22x story).
+  std::vector<std::vector<real_t>> ratios(all_variants().size());
+
+  for (const PaperMatrix* m : scale_up_matrices()) {
+    MatrixBench mb(m->name, m->make());
+    for (std::size_t vi = 0; vi < all_variants().size(); ++vi) {
+      const Variant& v = all_variants()[vi];
+      const ScheduleResult rs = mb.run(v, slow);
+      const ScheduleResult rf = mb.run(v, fast);
+      const real_t ratio = rs.makespan_s / rf.makespan_s;
+      ratios[vi].push_back(ratio);
+      t.add_row({m->name, v.label, fmt_fixed(rs.makespan_s * 1e3, 3),
+                 fmt_fixed(rf.makespan_s * 1e3, 3), fmt_speedup(ratio)});
+    }
+  }
+  emit(t, "fig09_scaleup");
+
+  Table s("Figure 9: mean 5090-over-5060Ti scaling per variant");
+  s.set_header({"Variant", "mean speedup", "max speedup"});
+  for (std::size_t vi = 0; vi < all_variants().size(); ++vi) {
+    real_t mx = 0;
+    for (real_t r : ratios[vi]) mx = std::max(mx, r);
+    s.add_row({all_variants()[vi].label, fmt_speedup(geomean(ratios[vi])),
+               fmt_speedup(mx)});
+  }
+  emit(s, "fig09_scaling_summary");
+  return 0;
+}

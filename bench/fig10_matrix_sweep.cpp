@@ -1,0 +1,85 @@
+// Figure 10: the 200-matrix scale-up sweep on the modelled A100. Every
+// suite matrix is factorised symbolically, then each of the four ±Trojan-
+// Horse variants is replayed through the timing simulator. Reports the
+// per-variant geomean and max speedups (the paper: 5.47x avg / 418.79x max
+// for SuperLU, 2.84x avg / 5.59x max for PanguLU) plus a performance-sorted
+// sample of matrices.
+#include <algorithm>
+
+#include "common/bench_common.hpp"
+#include "gen/suite.hpp"
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Figure 10",
+         "200-matrix sweep on the modelled A100 (TH_FAST=1 subsamples to "
+         "every 4th matrix).");
+
+  const DeviceSpec dev = device_a100();
+  const auto& suite = matrix_suite();
+  const std::size_t stride = fast_mode() ? 4 : 1;
+
+  struct Row {
+    std::string name;
+    std::string kind;
+    real_t slu_base_ms, slu_th_ms, plu_base_ms, plu_th_ms;
+    real_t th_gflops;
+  };
+  std::vector<Row> rows;
+  std::vector<real_t> slu_speedups, plu_speedups;
+
+  Stopwatch total;
+  for (std::size_t i = 0; i < suite.size(); i += stride) {
+    const SuiteEntry& e = suite[i];
+    MatrixBench mb(e.name, make_suite_matrix(e), /*slu_block=*/40,
+                   /*plu_block=*/128);
+    const ScheduleResult slu_b = mb.run(four_variants()[0], dev);
+    const ScheduleResult slu_t = mb.run(four_variants()[1], dev);
+    const ScheduleResult plu_b = mb.run(four_variants()[2], dev);
+    const ScheduleResult plu_t = mb.run(four_variants()[3], dev);
+    slu_speedups.push_back(slu_b.makespan_s / slu_t.makespan_s);
+    plu_speedups.push_back(plu_b.makespan_s / plu_t.makespan_s);
+    rows.push_back({e.name, e.kind, slu_b.makespan_s * 1e3,
+                    slu_t.makespan_s * 1e3, plu_b.makespan_s * 1e3,
+                    plu_t.makespan_s * 1e3, plu_t.achieved_gflops()});
+  }
+  std::printf("swept %zu matrices in %.1f s\n\n", rows.size(),
+              total.seconds());
+
+  Table s("Figure 10: Trojan Horse speedup over baselines (A100 model)");
+  s.set_header({"Solver", "matrices", "geomean speedup", "max speedup",
+                "min speedup"});
+  auto minmax = [](const std::vector<real_t>& v) {
+    return std::pair(*std::min_element(v.begin(), v.end()),
+                     *std::max_element(v.begin(), v.end()));
+  };
+  const auto [slu_min, slu_max] = minmax(slu_speedups);
+  const auto [plu_min, plu_max] = minmax(plu_speedups);
+  s.add_row({"SuperLU", std::to_string(slu_speedups.size()),
+             fmt_speedup(geomean(slu_speedups)), fmt_speedup(slu_max),
+             fmt_speedup(slu_min)});
+  s.add_row({"PanguLU", std::to_string(plu_speedups.size()),
+             fmt_speedup(geomean(plu_speedups)), fmt_speedup(plu_max),
+             fmt_speedup(plu_min)});
+  emit(s, "fig10_summary");
+
+  // Per-matrix detail, sorted by with-TH performance as in the figure.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.th_gflops < b.th_gflops; });
+  Table t("Figure 10: per-matrix detail (sorted by PanguLU+TH GFLOPS)");
+  t.set_header({"Matrix", "kind", "SLU ms", "SLU+TH ms", "PLU ms",
+                "PLU+TH ms", "PLU+TH GFLOPS"});
+  const std::size_t step = std::max<std::size_t>(1, rows.size() / 40);
+  for (std::size_t i = 0; i < rows.size(); i += step) {
+    const Row& r = rows[i];
+    t.add_row({r.name, r.kind, fmt_fixed(r.slu_base_ms, 2),
+               fmt_fixed(r.slu_th_ms, 2), fmt_fixed(r.plu_base_ms, 2),
+               fmt_fixed(r.plu_th_ms, 2), fmt_fixed(r.th_gflops, 1)});
+  }
+  emit(t, "fig10_detail");
+  return 0;
+}

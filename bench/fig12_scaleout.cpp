@@ -1,0 +1,79 @@
+// Figure 12: strong scaling of the six solver variants over 1..16 GPUs on
+// the two modelled clusters (H100 x16 over 400 Gbps IB; MI50 x16 over
+// 200 Gbps IB), using the six scale-out matrices. Expected shapes: the
+// Trojan Horse variants are consistently fastest, PaStiX(dmdas) and the
+// CUDA-stream variant sit between the baselines and TH, and speedups hold
+// as GPU count grows.
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "support/stats.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Figure 12",
+         "Strong scaling on modelled H100 and MI50 clusters (1..16 GPUs).");
+
+  const int counts[] = {1, 2, 4, 8, 16};
+  std::vector<real_t> slu_gain, plu_gain;  // TH speedup at 16 GPUs
+
+  for (const ClusterSpec& cluster : {cluster_h100(), cluster_mi50()}) {
+    Table t("Figure 12: " + cluster.name + " — numeric time (ms)");
+    t.set_header({"Matrix", "Variant", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs",
+                  "16 GPUs"});
+    for (const PaperMatrix* m : scale_out_matrices()) {
+      if (fast_mode() && std::string(m->name) != "cage13" &&
+          std::string(m->name) != "Serena") {
+        continue;
+      }
+      // Scale-out matrices in the paper are ~100x larger than ours; finer
+      // blocking restores the paper's blocks-per-device ratio (see
+      // EXPERIMENTS.md).
+      MatrixBench mb(m->name, m->make(), /*slu_block=*/24, /*plu_block=*/48);
+      // Project the paper-scale per-GPU memory footprint: the paper's
+      // nnz(L+U) x 8 bytes x ~1.8 workspace overhead, distributed with the
+      // block-cyclic imbalance our runs measure. Configurations exceeding
+      // the GPU's memory print OOM — reproducing the paper's footnote that
+      // some small MI50 counts cannot complete.
+      const offset_t paper_factor_bytes = m->paper_nnz_lu_pangu * 8;
+      std::vector<std::vector<real_t>> times(all_variants().size());
+      for (std::size_t vi = 0; vi < all_variants().size(); ++vi) {
+        std::vector<std::string> row{m->name, all_variants()[vi].label};
+        for (int ranks : counts) {
+          const ScheduleResult r = mb.run(all_variants()[vi], cluster, ranks);
+          times[vi].push_back(r.makespan_s);
+          const FactorFootprint fp = factor_footprint(
+              mb.instance(all_variants()[vi].core).graph(), ranks);
+          const real_t projected =
+              1.8 * static_cast<real_t>(paper_factor_bytes) / ranks *
+              fp.imbalance;
+          const bool oom =
+              projected > cluster.gpu.memory_gib * 1024.0 * 1024.0 * 1024.0;
+          row.push_back(oom ? "OOM" : fmt_fixed(r.makespan_s * 1e3, 3));
+        }
+        t.add_row(std::move(row));
+      }
+      // TH gain at 16 GPUs vs the matching baseline (indices per
+      // all_variants(): 1=SuperLU, 2=SuperLU+TH, 3=PanguLU, 5=PanguLU+TH).
+      slu_gain.push_back(times[1].back() / times[2].back());
+      plu_gain.push_back(times[3].back() / times[5].back());
+    }
+    emit(t, std::string("fig12_scaleout_") +
+                (cluster.gpu.name == "H100 SXM" ? "h100" : "mi50"));
+  }
+
+  Table s("Figure 12: Trojan Horse speedup at 16 GPUs (both clusters)");
+  s.set_header({"Solver", "geomean", "max"});
+  auto mx = [](const std::vector<real_t>& v) {
+    real_t m = 0;
+    for (real_t x : v) m = std::max(m, x);
+    return m;
+  };
+  s.add_row({"SuperLU+TH vs SuperLU", fmt_speedup(geomean(slu_gain)),
+             fmt_speedup(mx(slu_gain))});
+  s.add_row({"PanguLU+TH vs PanguLU", fmt_speedup(geomean(plu_gain)),
+             fmt_speedup(mx(plu_gain))});
+  emit(s, "fig12_summary");
+  return 0;
+}

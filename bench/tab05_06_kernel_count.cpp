@@ -1,0 +1,53 @@
+// Tables 5 and 6: kernel-launch count reduction from the Aggregate stage,
+// for SuperLU (Table 5) and PanguLU (Table 6) on the four scale-up
+// matrices. The paper reports geomean reductions to 1.10% (SuperLU) and
+// 1.48% (PanguLU) with total flops unchanged — both properties are checked
+// here.
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "support/stats.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+int main() {
+  banner("Tables 5 and 6",
+         "Kernel count without vs with the Trojan Horse (flops invariant).");
+
+  const DeviceSpec dev = device_a100();
+  const struct {
+    const char* title;
+    const char* stem;
+    Variant base;
+    Variant th;
+  } groups[2] = {
+      {"Table 5: kernel count, SuperLU_DIST", "tab05_kernel_count_slu",
+       {"SuperLU", SolverCore::kSlu, Policy::kLevelPerTask},
+       {"SuperLU+TH", SolverCore::kSlu, Policy::kTrojanHorse}},
+      {"Table 6: kernel count, PanguLU", "tab06_kernel_count_plu",
+       {"PanguLU", SolverCore::kPlu, Policy::kPriorityPerTask},
+       {"PanguLU+TH", SolverCore::kPlu, Policy::kTrojanHorse}},
+  };
+
+  for (const auto& grp : groups) {
+    Table t(grp.title);
+    t.set_header({"Matrix", "w/o Trojan Horse", "w/ Trojan Horse", "Rate",
+                  "flops unchanged"});
+    std::vector<real_t> rates;
+    for (const PaperMatrix* m : scale_up_matrices()) {
+      MatrixBench mb(m->name, m->make());
+      const ScheduleResult base = mb.run(grp.base, dev);
+      const ScheduleResult th = mb.run(grp.th, dev);
+      const real_t rate = static_cast<real_t>(th.kernel_count) /
+                          static_cast<real_t>(base.kernel_count);
+      rates.push_back(rate);
+      t.add_row({m->name, fmt_count(base.kernel_count),
+                 fmt_count(th.kernel_count), fmt_percent(rate, 2),
+                 base.trace.total_flops() == th.trace.total_flops() ? "yes"
+                                                                    : "NO"});
+    }
+    t.add_row({"Geomean", "", "", fmt_percent(geomean(rates), 2), ""});
+    emit(t, grp.stem);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table 7: GPU solvers (H100 model) vs CPU solvers (32-core Xeon model) on
+// the six scale-out matrices. The paper's headline: without the Trojan
+// Horse the GPU solvers lose to the CPU packages; with it they match or
+// beat them. The MUMPS stand-in is the supernodal core with wide
+// (multifrontal-style) supernodes priced on the CPU model.
+#include "common/bench_common.hpp"
+#include "gen/registry.hpp"
+#include "order/reorder.hpp"
+
+using namespace th;
+using namespace th::bench;
+
+namespace {
+
+std::string cell(const ScheduleResult& r) {
+  return fmt_fixed(r.makespan_s * 1e3, 2) + " ms / " +
+         fmt_fixed(r.achieved_gflops(), 0) + " GF";
+}
+
+}  // namespace
+
+int main() {
+  banner("Table 7",
+         "CPU packages vs GPU solvers without/with Trojan Horse "
+         "(H100 + Xeon 6462C models).");
+
+  const DeviceSpec gpu = device_h100();
+  const CpuSpec cpu = cpu_xeon6462c();
+
+  Table t("Table 7: time / perf per solver (modelled)");
+  t.set_header({"Matrix", "SuperLU GPU w/o TH", "PanguLU GPU w/o TH",
+                "SuperLU CPU", "MUMPS CPU", "SuperLU GPU w/ TH",
+                "PanguLU GPU w/ TH", "fastest"});
+
+  int gpu_noth_wins = 0, cpu_wins = 0, gpu_th_wins = 0;
+  for (const PaperMatrix* m : scale_out_matrices()) {
+    const Csr a = m->make();
+    // Scale-out matrices in the paper are ~100x larger than ours; finer
+    // blocking restores the paper's blocks-per-device ratio (see
+    // EXPERIMENTS.md).
+    MatrixBench mb(m->name, a, /*slu_block=*/24, /*plu_block=*/48);
+    const ScheduleResult slu_gpu =
+        mb.run({"SuperLU", SolverCore::kSlu, Policy::kLevelPerTask}, gpu);
+    const ScheduleResult plu_gpu =
+        mb.run({"PanguLU", SolverCore::kPlu, Policy::kPriorityPerTask}, gpu);
+    const ScheduleResult slu_cpu = mb.run_cpu(SolverCore::kSlu, cpu);
+    const ScheduleResult slu_th =
+        mb.run({"SuperLU+TH", SolverCore::kSlu, Policy::kTrojanHorse}, gpu);
+    const ScheduleResult plu_th =
+        mb.run({"PanguLU+TH", SolverCore::kPlu, Policy::kTrojanHorse}, gpu);
+
+    // MUMPS stand-in: the supernodal core with multifrontal-style wide
+    // fronts (large max supernode) on the CPU model.
+    InstanceOptions io;
+    io.core = SolverCore::kSlu;
+    io.block = 96;
+    io.preordered = mb.instance(SolverCore::kSlu).permutation();
+    SolverInstance mumps(a, io);
+    ScheduleOptions mo;
+    mo.cpu_mode = true;
+    mo.cpu = cpu;
+    mo.cpu.efficiency = 0.65;  // fatter fronts run closer to BLAS-3 peak
+    mo.policy = Policy::kLevelPerTask;
+    const ScheduleResult mumps_r = mumps.run_timing(mo);
+
+    const struct {
+      const char* who;
+      real_t t;
+      int group;  // 0 = GPU w/o TH, 1 = CPU, 2 = GPU w/ TH
+    } entries[6] = {{"SuperLU-GPU", slu_gpu.makespan_s, 0},
+                    {"PanguLU-GPU", plu_gpu.makespan_s, 0},
+                    {"SuperLU-CPU", slu_cpu.makespan_s, 1},
+                    {"MUMPS-CPU", mumps_r.makespan_s, 1},
+                    {"SuperLU+TH", slu_th.makespan_s, 2},
+                    {"PanguLU+TH", plu_th.makespan_s, 2}};
+    const auto* best = &entries[0];
+    for (const auto& e : entries) {
+      if (e.t < best->t) best = &e;
+    }
+    (best->group == 0 ? gpu_noth_wins
+                      : (best->group == 1 ? cpu_wins : gpu_th_wins))++;
+
+    t.add_row({m->name, cell(slu_gpu), cell(plu_gpu), cell(slu_cpu),
+               cell(mumps_r), cell(slu_th), cell(plu_th), best->who});
+  }
+  emit(t, "tab07_cpu_vs_gpu");
+
+  Table s("Table 7: who is fastest (count over 6 matrices)");
+  s.set_header({"GPU w/o TH", "CPU packages", "GPU w/ TH"});
+  s.add_row({std::to_string(gpu_noth_wins), std::to_string(cpu_wins),
+             std::to_string(gpu_th_wins)});
+  emit(s, "tab07_summary");
+  return 0;
+}

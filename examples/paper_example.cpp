@@ -1,0 +1,97 @@
+// The paper's worked example (§2.3, Figure 4): a 6x6 sparse matrix
+// organised as 3x3 blocks of size 2, producing exactly 14 numeric tasks —
+// three diagonal LU factorisations, six triangular solves and five Schur
+// updates — whose dependencies form the DAG of Figure 4. This example
+// builds that matrix, prints the generated task list grouped by type, runs
+// it under the no-batching baseline and the Trojan Horse, and shows how
+// heterogeneous batching compresses the schedule (the paper executes the
+// example in five batches).
+#include <cstdio>
+#include <map>
+
+#include "sim/cluster.hpp"
+#include "solvers/plu.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+
+int main() {
+  using namespace th;
+
+  // Figure 4's block structure on a 6x6 matrix with 2x2 tiles:
+  // tiles (I,J) present: (0,0) (1,0) (0,2) (1,1) dense-ish, (2,1), (2,2),
+  // (1,2); Schur fill completes the trailing blocks.
+  Coo coo;
+  coo.n_rows = coo.n_cols = 6;
+  auto block = [&](index_t bi, index_t bj, real_t scale) {
+    for (index_t r = 0; r < 2; ++r) {
+      for (index_t c = 0; c < 2; ++c) {
+        coo.add(bi * 2 + r, bj * 2 + c,
+                scale * (1.0 + static_cast<real_t>(r * 2 + c)) *
+                    (bi == bj && r == c ? 20.0 : 0.5));
+      }
+    }
+  };
+  // All nine blocks are structurally present, exactly reproducing the 14
+  // tasks of Figure 4: 3 GETRF + 6 triangular solves + 5 Schur updates
+  // (4 updates triggered by diagonal block 1, one more by block 5).
+  for (index_t bi = 0; bi < 3; ++bi) {
+    for (index_t bj = 0; bj < 3; ++bj) {
+      block(bi, bj, bi == bj ? 1.0 : 0.5 + 0.1 * (bi + bj));
+    }
+  }
+  const Csr a = make_diag_dominant(coo_to_csr(coo));
+
+  PluOptions opts;
+  opts.tile_size = 2;
+  PluFactorization fact(a, opts);
+
+  // Count tasks by type; the paper's example yields 3 GETRF (diagonal
+  // factorisations), 6 triangular solves, 5 Schur updates.
+  std::map<TaskType, int> counts;
+  for (const Task& t : fact.graph().tasks()) ++counts[t.type];
+  std::printf("task inventory of the Figure-4 example:\n");
+  std::printf("  GETRF (diagonal LU)        : %d\n",
+              counts[TaskType::kGetrf]);
+  std::printf("  TSTRF+GEESM (tri. solves)  : %d\n",
+              counts[TaskType::kTstrf] + counts[TaskType::kGeesm]);
+  std::printf("  SSSSM (Schur updates)      : %d\n",
+              counts[TaskType::kSsssm]);
+  std::printf("  total                      : %d (paper: 14)\n",
+              static_cast<int>(fact.graph().size()));
+
+  // Print the DAG, paper-style.
+  std::printf("\ndependencies:\n");
+  for (const Task& t : fact.graph().tasks()) {
+    auto [pb, pe] = fact.graph().predecessors(t.id);
+    std::printf("  %-5s(%d,%d)@step%d <- {", task_type_name(t.type), t.row,
+                t.col, t.k);
+    for (const index_t* p = pb; p != pe; ++p) {
+      const Task& pt = fact.graph().task(*p);
+      std::printf(" %s(%d,%d)", task_type_name(pt.type), pt.row, pt.col);
+    }
+    std::printf(" }\n");
+  }
+
+  // Schedule it both ways on a deliberately tiny device so batching is
+  // capacity-constrained, as in the paper's walkthrough.
+  ScheduleOptions base;
+  base.policy = Policy::kPriorityPerTask;
+  base.cluster = single_gpu(device_a100());
+  ScheduleOptions th = base;
+  th.policy = Policy::kTrojanHorse;
+
+  const ScheduleResult rb = simulate(fact.graph(), base, &fact.backend());
+  const ScheduleResult rt = simulate(fact.graph(), th, nullptr);
+  std::printf("\nbaseline : %lld kernels (one per task)\n",
+              static_cast<long long>(rb.kernel_count));
+  std::printf("Trojan H.: %lld batches", static_cast<long long>(rt.kernel_count));
+  std::printf(" — batch sizes:");
+  for (const auto& rec : rt.trace.records()) std::printf(" %d", rec.tasks);
+  std::printf("  (paper schedules the example in 5 batches)\n");
+
+  // And the factorisation is genuinely correct.
+  std::vector<real_t> b(6, 1.0);
+  const std::vector<real_t> x = fact.solve(b);
+  std::printf("residual: %.2e\n", scaled_residual(a, x, b));
+  return 0;
+}

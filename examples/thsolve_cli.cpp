@@ -1,0 +1,193 @@
+// thsolve — command-line driver for the Trojan Horse solver library.
+//
+// A downstream-user-shaped tool: pick a matrix (file or generator), a
+// solver core, a scheduling policy, a modelled device and a rank count;
+// get the full pipeline report, optional iterative refinement, and an
+// optional Chrome trace of the schedule.
+//
+//   thsolve_cli [options]
+//     --matrix <path.mtx>        Matrix Market input (made diag-dominant)
+//     --gen <grid2d|grid3d|cage|circuit|banded|kkt>   generator (default grid2d)
+//     --n <int>                  target dimension for generators (default 1600)
+//     --core <plu|slu>           solver core (default plu)
+//     --policy <th|pangu|superlu|stream|dmdas>        (default th)
+//     --device <a100|h100|5090|5060ti|mi50>           (default a100)
+//     --ranks <int>              GPUs in the modelled cluster (default 1)
+//     --block <int>              tile size / max supernode (default core's)
+//     --ordering <mindeg|rcm|nd|natural>              (default mindeg)
+//     --refine <iters>           iterative-refinement steps (default 0)
+//     --trace <out.json>         write a Chrome trace of the schedule
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gen/generators.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace_export.hpp"
+#include "solvers/driver.hpp"
+#include "solvers/refine.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/io.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace th;
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: thsolve_cli [--matrix f.mtx | --gen KIND --n N] "
+               "[--core plu|slu] [--policy th|pangu|superlu|stream|dmdas] "
+               "[--device a100|h100|5090|5060ti|mi50] [--ranks R] "
+               "[--block B] [--ordering mindeg|rcm|nd|natural] "
+               "[--refine I] [--trace out.json]\n");
+  std::exit(2);
+}
+
+Csr make_generated(const std::string& kind, index_t n) {
+  const std::uint64_t seed = 20260131;
+  if (kind == "grid2d") {
+    const auto k = static_cast<index_t>(std::sqrt(static_cast<double>(n)));
+    return finalize_system(grid2d_laplacian(k, k), seed);
+  }
+  if (kind == "grid3d") {
+    const auto k = static_cast<index_t>(std::cbrt(static_cast<double>(n)));
+    return finalize_system(grid3d_laplacian(k, k, k), seed);
+  }
+  if (kind == "cage") return finalize_system(cage_like(n, 8, 0.06, seed), seed);
+  if (kind == "circuit") {
+    return finalize_system(circuit_like(n, 2.5, 3, seed), seed);
+  }
+  if (kind == "banded") {
+    return finalize_system(banded_random(n, 40, 0.3, seed), seed);
+  }
+  if (kind == "kkt") {
+    return finalize_system(kkt_like(2 * n / 3, n / 3, 3, seed), seed);
+  }
+  usage(("unknown generator: " + kind).c_str());
+}
+
+Policy parse_policy(const std::string& p) {
+  if (p == "th") return Policy::kTrojanHorse;
+  if (p == "pangu") return Policy::kPriorityPerTask;
+  if (p == "superlu") return Policy::kLevelPerTask;
+  if (p == "stream") return Policy::kMultiStream;
+  if (p == "dmdas") return Policy::kDmdas;
+  usage(("unknown policy: " + p).c_str());
+}
+
+Ordering parse_ordering(const std::string& o) {
+  if (o == "mindeg") return Ordering::kMinDegree;
+  if (o == "rcm") return Ordering::kRcm;
+  if (o == "nd") return Ordering::kNestedDissection;
+  if (o == "natural") return Ordering::kNatural;
+  usage(("unknown ordering: " + o).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace th;
+
+  std::string matrix_path, gen_kind = "grid2d", trace_path;
+  std::string core = "plu", policy = "th", device = "a100";
+  std::string ordering = "mindeg";
+  index_t n = 1600, block = 0;
+  int ranks = 1, refine_iters = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--matrix")) {
+      matrix_path = need("--matrix");
+    } else if (!std::strcmp(argv[i], "--gen")) {
+      gen_kind = need("--gen");
+    } else if (!std::strcmp(argv[i], "--n")) {
+      n = static_cast<index_t>(std::atoi(need("--n")));
+    } else if (!std::strcmp(argv[i], "--core")) {
+      core = need("--core");
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      policy = need("--policy");
+    } else if (!std::strcmp(argv[i], "--device")) {
+      device = need("--device");
+    } else if (!std::strcmp(argv[i], "--ranks")) {
+      ranks = std::atoi(need("--ranks"));
+    } else if (!std::strcmp(argv[i], "--block")) {
+      block = static_cast<index_t>(std::atoi(need("--block")));
+    } else if (!std::strcmp(argv[i], "--ordering")) {
+      ordering = need("--ordering");
+    } else if (!std::strcmp(argv[i], "--refine")) {
+      refine_iters = std::atoi(need("--refine"));
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = need("--trace");
+    } else {
+      usage((std::string("unknown flag: ") + argv[i]).c_str());
+    }
+  }
+
+  try {
+    Csr a;
+    if (!matrix_path.empty()) {
+      a = make_diag_dominant(coo_to_csr(read_matrix_market_file(matrix_path)));
+    } else {
+      a = make_generated(gen_kind, n);
+    }
+    std::printf("matrix: n=%d nnz=%lld\n", a.n_rows,
+                static_cast<long long>(a.nnz()));
+
+    InstanceOptions io;
+    io.core = core == "slu" ? SolverCore::kSlu : SolverCore::kPlu;
+    io.ordering = parse_ordering(ordering);
+    io.block = block;
+    io.grid = make_process_grid(ranks);
+    SolverInstance inst(a, io);
+
+    ScheduleOptions so;
+    so.policy = parse_policy(policy);
+    so.n_ranks = ranks;
+    so.cluster = ranks > 1 && device == "mi50"  ? cluster_mi50()
+                 : ranks > 1                    ? cluster_h100()
+                                                : single_gpu(device_by_name(device));
+    if (ranks > 1) so.cluster.gpu = device_by_name(device);
+
+    const ScheduleResult r = inst.run_numeric(so);
+    std::printf("reorder %.1f ms, symbolic %.1f ms (host)\n",
+                inst.reorder_seconds() * 1e3, inst.symbolic_seconds() * 1e3);
+    std::printf("numeric on %d x %s (%s policy): %.3f ms, %lld kernels, "
+                "mean batch %.1f, %.1f GFLOPS, nnz(L+U)=%lld\n",
+                ranks, so.cluster.gpu.name.c_str(), policy.c_str(),
+                r.makespan_s * 1e3, static_cast<long long>(r.kernel_count),
+                r.mean_batch_size, r.achieved_gflops(),
+                static_cast<long long>(inst.nnz_lu()));
+
+    Rng rng(4242);
+    std::vector<real_t> x_true(static_cast<std::size_t>(a.n_rows));
+    for (real_t& v : x_true) v = rng.uniform(-1, 1);
+    const std::vector<real_t> b = spmv(a, x_true);
+    RefineOptions ro;
+    ro.max_iterations = refine_iters;
+    const RefineReport rep = iterative_refinement(inst, b, ro);
+    std::printf("solve: scaled residual %.2e", rep.residual_history.front());
+    if (rep.iterations() > 0) {
+      std::printf(" -> %.2e after %d refinement step(s)",
+                  rep.final_residual(), rep.iterations());
+    }
+    std::printf("\n");
+
+    if (!trace_path.empty()) {
+      write_chrome_trace_file(trace_path, r.trace, "thsolve " + policy);
+      std::printf("schedule trace written to %s (open in chrome://tracing)\n",
+                  trace_path.c_str());
+    }
+    return rep.final_residual() < 1e-9 ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "thsolve: %s\n", e.what());
+    return 1;
+  }
+}

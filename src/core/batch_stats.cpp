@@ -1,0 +1,55 @@
+#include "core/batch_stats.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace th {
+
+BatchAnatomy analyze_batches(const TaskGraph& graph,
+                             const ScheduleResult& result) {
+  TH_CHECK_MSG(!result.batch_members.empty() ||
+                   result.trace.kernel_count() == 0,
+               "analyze_batches needs ScheduleOptions::collect_batches");
+  TH_CHECK(result.batch_had_conflict.size() == result.batch_members.size());
+
+  BatchAnatomy a;
+  a.batches = static_cast<offset_t>(result.batch_members.size());
+  for (std::size_t b = 0; b < result.batch_members.size(); ++b) {
+    const std::vector<index_t>& members = result.batch_members[b];
+    TH_CHECK(!members.empty());
+    a.tasks += static_cast<offset_t>(members.size());
+    a.max_batch_size = std::max<offset_t>(
+        a.max_batch_size, static_cast<offset_t>(members.size()));
+
+    bool types[4] = {false, false, false, false};
+    bool any_sparse = false, any_dense = false;
+    index_t min_blocks = 0, max_blocks = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const Task& t = graph.task(members[i]);
+      types[static_cast<int>(t.type)] = true;
+      ++a.tasks_by_type[static_cast<std::size_t>(t.type)];
+      (t.cost.sparse ? any_sparse : any_dense) = true;
+      if (i == 0) {
+        min_blocks = max_blocks = t.cost.cuda_blocks;
+      } else {
+        min_blocks = std::min(min_blocks, t.cost.cuda_blocks);
+        max_blocks = std::max(max_blocks, t.cost.cuda_blocks);
+      }
+    }
+    const int n_types = types[0] + types[1] + types[2] + types[3];
+    if (n_types >= 2) ++a.mixed_type_batches;
+    if (any_sparse && any_dense) ++a.mixed_sparsity_batches;
+    if (max_blocks > 2 * std::max<index_t>(min_blocks, 1)) {
+      ++a.mixed_size_batches;
+    }
+    if (result.batch_had_conflict[b]) ++a.conflict_batches;
+  }
+  if (a.batches > 0) {
+    a.mean_batch_size =
+        static_cast<real_t>(a.tasks) / static_cast<real_t>(a.batches);
+  }
+  return a;
+}
+
+}  // namespace th

@@ -1,0 +1,49 @@
+// Batch-anatomy statistics: quantify *what* the Collector actually batches.
+//
+// The paper's core claim (§2.3) is that useful batches are heterogeneous —
+// mixing kernel types, sizes and sparsity, and tolerating write conflicts —
+// which is exactly what homogeneous batched-BLAS interfaces cannot express.
+// This module dissects a simulated schedule into those dimensions so the
+// claim can be measured rather than asserted (bench/ext_batch_anatomy).
+#pragma once
+
+#include <array>
+
+#include "core/scheduler.hpp"
+
+namespace th {
+
+struct BatchAnatomy {
+  offset_t batches = 0;          // kernels launched
+  offset_t tasks = 0;            // tasks executed
+  real_t mean_batch_size = 0;
+  offset_t max_batch_size = 0;
+
+  /// Batches containing >= 2 distinct kernel types (the heterogeneity the
+  /// Executor's single-kernel design enables).
+  offset_t mixed_type_batches = 0;
+  /// Batches mixing sparse and dense tasks.
+  offset_t mixed_sparsity_batches = 0;
+  /// Batches whose member block sizes differ by more than 2x.
+  offset_t mixed_size_batches = 0;
+  /// Batches containing at least one atomically-batched (write-conflicting)
+  /// SSSSM pair.
+  offset_t conflict_batches = 0;
+  /// Tasks per kernel type across the whole schedule.
+  std::array<offset_t, 4> tasks_by_type{};
+
+  real_t mixed_type_fraction() const {
+    return batches > 0
+               ? static_cast<real_t>(mixed_type_batches) /
+                     static_cast<real_t>(batches)
+               : 0;
+  }
+};
+
+/// Replay the schedule's trace against the task graph and dissect every
+/// batch. The schedule must have been produced by `simulate` on `graph`
+/// with `collect_batches` enabled in the options (see ScheduleOptions).
+BatchAnatomy analyze_batches(const TaskGraph& graph,
+                             const ScheduleResult& result);
+
+}  // namespace th

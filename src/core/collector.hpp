@@ -1,0 +1,83 @@
+// Collector — Batch-stage module 1 (paper §3.4).
+//
+// Assembles one batch: urgent tasks first (from the Prioritizer), then
+// top-up from the Container, bounded by the GPU's resident CUDA-block count
+// and aggregate shared-memory capacity. When either resource would be
+// exceeded the Collector reports full and the batch ships to the Executor.
+#pragma once
+
+#include <vector>
+
+#include "core/task.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+struct CollectorOptions {
+  /// Capacity rule. kBlocksAndShmem is the paper's dual constraint;
+  /// kCountOnly caps batches at a fixed task count (ablation baseline).
+  enum class Capacity { kBlocksAndShmem, kCountOnly };
+  Capacity capacity = Capacity::kBlocksAndShmem;
+  index_t max_task_count = 512;  // used by kCountOnly
+};
+
+class Collector {
+ public:
+  Collector(const DeviceSpec& device, CollectorOptions opts = {})
+      : device_(device), opts_(opts) {}
+
+  /// Try to add a task to the open batch; returns false (without adding)
+  /// if the batch cannot accommodate the task's resources. A batch always
+  /// accepts at least one task, however large (a kernel bigger than the
+  /// device simply runs in waves).
+  bool try_add(const Task& t) {
+    const offset_t blocks = t.cost.cuda_blocks;
+    const offset_t shmem =
+        t.cost.shmem_per_block * static_cast<offset_t>(t.cost.cuda_blocks);
+    if (!batch_.empty()) {
+      if (opts_.capacity == CollectorOptions::Capacity::kCountOnly) {
+        if (static_cast<index_t>(batch_.size()) >= opts_.max_task_count) {
+          return false;
+        }
+      } else {
+        if (used_blocks_ + blocks > device_.resident_blocks() ||
+            used_shmem_ + shmem > device_.total_shmem_bytes()) {
+          return false;
+        }
+      }
+    }
+    batch_.push_back(t.id);
+    used_blocks_ += blocks;
+    used_shmem_ += shmem;
+    return true;
+  }
+
+  bool full() const {
+    if (opts_.capacity == CollectorOptions::Capacity::kCountOnly) {
+      return static_cast<index_t>(batch_.size()) >= opts_.max_task_count;
+    }
+    return used_blocks_ >= device_.resident_blocks() ||
+           used_shmem_ >= device_.total_shmem_bytes();
+  }
+
+  bool empty() const { return batch_.empty(); }
+  std::size_t size() const { return batch_.size(); }
+
+  /// Close the batch and reset for the next one.
+  std::vector<index_t> take() {
+    std::vector<index_t> out = std::move(batch_);
+    batch_ = {};
+    used_blocks_ = 0;
+    used_shmem_ = 0;
+    return out;
+  }
+
+ private:
+  DeviceSpec device_;
+  CollectorOptions opts_;
+  std::vector<index_t> batch_;
+  offset_t used_blocks_ = 0;
+  offset_t used_shmem_ = 0;
+};
+
+}  // namespace th

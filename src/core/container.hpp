@@ -1,0 +1,62 @@
+// Container — Aggregate-stage module 2 (paper §3.3).
+//
+// A priority heap buffering deferrable tasks. pop() always returns the
+// highest-priority (lowest key) stored task so low-priority work can never
+// overtake urgent work when the Collector tops up a batch. The ablation
+// bench swaps this for a FIFO to quantify the heap's contribution.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "core/prioritizer.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+class Container {
+ public:
+  enum class Discipline { kHeap, kFifo };
+
+  explicit Container(Discipline d = Discipline::kHeap) : discipline_(d) {}
+
+  /// Store a task under an explicit priority key (see Prioritizer::key).
+  void push(std::uint64_t key, index_t id) {
+    if (discipline_ == Discipline::kHeap) {
+      heap_.push({key, id});
+    } else {
+      fifo_.push_back(id);
+    }
+  }
+
+  /// Convenience: store under the paper's default priority key.
+  void push(const Task& t) { push(Prioritizer::priority_key(t), t.id); }
+
+  /// Remove and return the id of the best stored task.
+  index_t pop() {
+    TH_CHECK_MSG(!empty(), "pop from empty Container");
+    if (discipline_ == Discipline::kHeap) {
+      const index_t id = heap_.top().second;
+      heap_.pop();
+      return id;
+    }
+    const index_t id = fifo_.front();
+    fifo_.erase(fifo_.begin());
+    return id;
+  }
+
+  bool empty() const {
+    return discipline_ == Discipline::kHeap ? heap_.empty() : fifo_.empty();
+  }
+  std::size_t size() const {
+    return discipline_ == Discipline::kHeap ? heap_.size() : fifo_.size();
+  }
+
+ private:
+  using Entry = std::pair<std::uint64_t, index_t>;  // (key, task id)
+  Discipline discipline_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<index_t> fifo_;
+};
+
+}  // namespace th

@@ -1,0 +1,80 @@
+// Executor — Batch-stage module 2 (paper §3.4).
+//
+// Runs one heterogeneous batch as a single simulated kernel launch:
+// * the numeric bodies execute on the host via a solver-provided
+//   NumericBackend (optionally on a worker pool, with atomic accumulation
+//   for write-conflicting SSSSM tasks — the host analogue of atomicAdd);
+// * the simulated duration comes from the KernelCostModel;
+// * the CUDA-block -> task mapping array with binary search (Figure 7) is
+//   materialised per batch exactly as the paper describes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "sim/device.hpp"
+
+namespace th {
+
+/// Solver-side numeric execution of a single task. Implementations must be
+/// safe to call concurrently for tasks within one batch (the scheduler
+/// guarantees batched tasks are mutually independent except for SSSSM
+/// write conflicts, which are flagged `atomic`).
+class NumericBackend {
+ public:
+  virtual ~NumericBackend() = default;
+  virtual void run_task(const Task& t, bool atomic) = 0;
+};
+
+/// The paper's CUDA-block -> task dispatch structure: an array of starting
+/// block indices per task; a block finds its task by binary search.
+class BlockTaskMap {
+ public:
+  explicit BlockTaskMap(const std::vector<const Task*>& batch);
+
+  index_t total_blocks() const { return total_blocks_; }
+  /// Which position in the batch owns this block (0-based CUDA block id).
+  index_t task_of_block(index_t block) const;
+  /// Starting block of a batch position.
+  index_t start_of(index_t pos) const { return starts_[pos]; }
+
+ private:
+  std::vector<index_t> starts_;  // size batch+1, starts_[0] = 0
+  index_t total_blocks_ = 0;
+};
+
+struct BatchResult {
+  real_t seconds = 0;   // simulated total duration (host + device)
+  real_t host_s = 0;    // host-side share (launch + per-task preparation)
+  offset_t flops = 0;   // flops executed by the batch
+  int tasks = 0;        // batch size
+};
+
+class Executor {
+ public:
+  /// `backend` may be null for timing-only replays (the numeric results
+  /// were already validated in an earlier run). `n_workers > 1` executes
+  /// batch members on a persistent thread pool.
+  Executor(KernelCostModel model, NumericBackend* backend, int n_workers = 1);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Execute one batch. `atomic_flags[i]` marks batch member i as needing
+  /// atomic accumulation (write conflict with another member).
+  BatchResult execute(const TaskGraph& graph,
+                      const std::vector<index_t>& batch,
+                      const std::vector<char>& atomic_flags);
+
+  const KernelCostModel& model() const { return model_; }
+
+ private:
+  struct Pool;
+  KernelCostModel model_;
+  NumericBackend* backend_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace th

@@ -1,0 +1,70 @@
+// Prioritizer — Aggregate-stage module 1 (paper §3.3).
+//
+// Classifies ready tasks as urgent (forwarded straight to the Collector) or
+// deferrable (parked in the Container). Urgency follows the paper's rule:
+// tasks of the same block share a priority, and blocks closer to the main
+// diagonal are more urgent because they unblock the next diagonal
+// factorisation. GETRF tasks are always on the critical path.
+#pragma once
+
+#include "core/task.hpp"
+
+namespace th {
+
+struct PrioritizerOptions {
+  /// A ready task is urgent iff its diagonal distance is <= this window
+  /// (GETRF is always urgent).
+  index_t urgent_window = 1;
+  /// Ordering metric for ready tasks: the paper's diagonal distance, or
+  /// one of the alternatives the ablation/extension benches compare —
+  /// elimination-step order, plain arrival/id order, or HEFT-style upward
+  /// rank (critical-path length; the "more advanced scheduling" direction
+  /// the paper's conclusion points to). kCriticalPath keys are computed by
+  /// the scheduler from the task graph.
+  enum class Metric { kDiagDistance, kStep, kArrival, kCriticalPath };
+  Metric metric = Metric::kDiagDistance;
+};
+
+class Prioritizer {
+ public:
+  explicit Prioritizer(PrioritizerOptions opts = {}) : opts_(opts) {}
+
+  /// True iff the task should bypass the Container.
+  bool is_urgent(const Task& t) const {
+    if (t.type == TaskType::kGetrf) return true;
+    return t.diag_distance() <= opts_.urgent_window;
+  }
+
+  /// Instance priority key under the configured metric; strictly smaller =
+  /// scheduled earlier, always deterministic (id tie-break).
+  std::uint64_t key(const Task& t) const {
+    switch (opts_.metric) {
+      case PrioritizerOptions::Metric::kDiagDistance:
+        return priority_key(t);
+      case PrioritizerOptions::Metric::kStep:
+        return (static_cast<std::uint64_t>(t.k) << 22) |
+               static_cast<std::uint64_t>(t.id & 0x3FFFFF);
+      case PrioritizerOptions::Metric::kArrival:
+        return static_cast<std::uint64_t>(t.id);
+      case PrioritizerOptions::Metric::kCriticalPath:
+        // Graph-dependent; the scheduler substitutes upward-rank keys.
+        return static_cast<std::uint64_t>(t.id);
+    }
+    return static_cast<std::uint64_t>(t.id);
+  }
+
+  /// The paper's priority key: strictly smaller = scheduled earlier. Orders
+  /// by diagonal distance, then elimination step, then id (deterministic).
+  static std::uint64_t priority_key(const Task& t) {
+    return (static_cast<std::uint64_t>(t.diag_distance()) << 44) |
+           (static_cast<std::uint64_t>(t.k) << 22) |
+           static_cast<std::uint64_t>(t.id & 0x3FFFFF);
+  }
+
+  const PrioritizerOptions& options() const { return opts_; }
+
+ private:
+  PrioritizerOptions opts_;
+};
+
+}  // namespace th

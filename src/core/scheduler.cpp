@@ -1,0 +1,415 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace th {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kLevelPerTask:
+      return "level-per-task";
+    case Policy::kPriorityPerTask:
+      return "priority-per-task";
+    case Policy::kMultiStream:
+      return "multi-stream";
+    case Policy::kDmdas:
+      return "dmdas";
+    case Policy::kTrojanHorse:
+      return "trojan-horse";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr real_t kNever = 1e300;
+
+using KeyedEntry = std::pair<std::uint64_t, index_t>;  // (sort key, task id)
+using MinHeap =
+    std::priority_queue<KeyedEntry, std::vector<KeyedEntry>, std::greater<>>;
+
+// Arrival queue entry: task becomes launchable on its rank at this time.
+struct Arrival {
+  real_t time;
+  index_t id;
+  bool operator>(const Arrival& o) const {
+    if (time != o.time) return time > o.time;
+    return id > o.id;
+  }
+};
+using ArrivalHeap =
+    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>>;
+
+// Per-rank scheduling state.
+struct RankState {
+  ArrivalHeap arrivals;
+  // Non-TH policies: one ordered pool. TH: urgent pool + Container.
+  MinHeap pool;
+  MinHeap urgent;
+  Container container{Container::Discipline::kHeap};
+  std::size_t container_size = 0;  // mirrors container (it has size(), kept
+                                   // for clarity of pending_count)
+  real_t rank_free = 0;            // device (or host, for multi-stream) time
+  std::vector<real_t> stream_free; // kMultiStream lanes
+
+  std::size_t pending_count(Policy p) const {
+    if (p == Policy::kTrojanHorse) {
+      return urgent.size() + container.size();
+    }
+    return pool.size();
+  }
+};
+
+std::uint64_t order_key(Policy policy, const TaskGraph& g, const Task& t) {
+  switch (policy) {
+    case Policy::kLevelPerTask: {
+      // (DAG level, kernel type, id): SuperLU issues level by level,
+      // grouping kernel types within a level.
+      const std::uint64_t level = g.levels()[t.id];
+      return (level << 34) |
+             (static_cast<std::uint64_t>(t.type) << 30) |
+             static_cast<std::uint64_t>(t.id);
+    }
+    case Policy::kDmdas: {
+      // Locality first (more local producers = earlier), then urgency.
+      index_t local = 0, remote = 0;
+      auto [pb, pe] = g.predecessors(t.id);
+      for (const index_t* p = pb; p != pe; ++p) {
+        if (g.task(*p).owner_rank == t.owner_rank) {
+          ++local;
+        } else {
+          ++remote;
+        }
+      }
+      const std::uint64_t nonlocal =
+          static_cast<std::uint64_t>(remote) * 64 /
+          std::max<index_t>(1, local + remote);
+      return (nonlocal << 50) |
+             (static_cast<std::uint64_t>(t.diag_distance()) << 28) |
+             static_cast<std::uint64_t>(t.id);
+    }
+    default:
+      // Priority (diagonal-distance) order.
+      return Prioritizer::priority_key(t);
+  }
+}
+
+}  // namespace
+
+ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
+                        NumericBackend* backend) {
+  TH_CHECK_MSG(graph.finalized(), "simulate() requires a finalized graph");
+  TH_CHECK(opt.n_ranks >= 1);
+  const index_t n = graph.size();
+
+  const Prioritizer prioritizer(opt.prioritizer);
+  KernelCostModel model(opt.cluster.gpu);
+  Executor executor(model, backend, opt.exec_workers);
+
+  std::vector<RankState> ranks(static_cast<std::size_t>(opt.n_ranks));
+  for (auto& r : ranks) {
+    r.container = Container(opt.container);
+    r.stream_free.assign(
+        static_cast<std::size_t>(std::max(1, opt.n_streams)), 0.0);
+  }
+
+  std::vector<index_t> deps_left(static_cast<std::size_t>(n), 0);
+  std::vector<real_t> finish_time(static_cast<std::size_t>(n), kNever);
+
+  // HEFT-style extension: priority = remaining critical-path length.
+  // Normalise upward ranks into the top bits of the key (larger rank =>
+  // smaller key => scheduled earlier), keeping the task id as a
+  // deterministic tie-break.
+  std::vector<std::uint64_t> cp_key;
+  if (opt.prioritizer.metric == PrioritizerOptions::Metric::kCriticalPath) {
+    const std::vector<offset_t>& rank = graph.upward_rank();
+    const offset_t max_rank = std::max<offset_t>(
+        graph.critical_path_flops(), 1);
+    cp_key.resize(static_cast<std::size_t>(n));
+    for (index_t t = 0; t < n; ++t) {
+      const std::uint64_t scaled = static_cast<std::uint64_t>(
+          (static_cast<__int128>(max_rank - rank[t]) * ((1ULL << 42) - 1)) /
+          max_rank);
+      cp_key[t] = (scaled << 22) | static_cast<std::uint64_t>(t & 0x3FFFFF);
+    }
+  }
+  auto th_key = [&](const Task& t) {
+    return cp_key.empty() ? prioritizer.key(t) : cp_key[t.id];
+  };
+
+  ScheduleResult result;
+  result.ranks.assign(static_cast<std::size_t>(opt.n_ranks), RankStats{});
+  std::unordered_set<std::uint64_t> comm_pairs;  // (producer, dest rank)
+
+  // Route a now-ready task to its owner's queues.
+  auto enqueue_ready = [&](index_t id, real_t when) {
+    const Task& t = graph.task(id);
+    TH_CHECK_MSG(t.owner_rank >= 0 && t.owner_rank < opt.n_ranks,
+                 "task " << id << " owner " << t.owner_rank
+                         << " out of range");
+    ranks[t.owner_rank].arrivals.push({when, id});
+  };
+
+  for (index_t id = 0; id < n; ++id) {
+    deps_left[id] = graph.in_degree(id);
+    if (deps_left[id] == 0) enqueue_ready(id, 0.0);
+  }
+
+  // Move every arrival with time <= t into the policy pools of rank r.
+  auto drain_arrivals = [&](RankState& st, int rank, real_t t) {
+    (void)rank;
+    while (!st.arrivals.empty() && st.arrivals.top().time <= t) {
+      const index_t id = st.arrivals.top().id;
+      st.arrivals.pop();
+      const Task& task = graph.task(id);
+      if (opt.policy == Policy::kTrojanHorse) {
+        if (prioritizer.is_urgent(task)) {
+          st.urgent.push({th_key(task), id});
+        } else {
+          st.container.push(th_key(task), id);
+        }
+      } else {
+        st.pool.push({order_key(opt.policy, graph, task), id});
+      }
+    }
+  };
+
+  // Earliest time rank r could launch its next kernel; kNever if idle with
+  // nothing pending.
+  auto next_launch_time = [&](const RankState& st) -> real_t {
+    const bool pool_nonempty =
+        opt.policy == Policy::kTrojanHorse
+            ? (!st.urgent.empty() || !st.container.empty())
+            : !st.pool.empty();
+    const real_t base =
+        opt.policy == Policy::kMultiStream
+            ? st.rank_free  // host thread availability
+            : st.rank_free;
+    if (pool_nonempty) return base;
+    if (!st.arrivals.empty()) {
+      return std::max(base, st.arrivals.top().time);
+    }
+    return kNever;
+  };
+
+  // ---- Batch formation -----------------------------------------------
+  // Returns task ids + per-task atomic flags.
+  auto form_batch = [&](RankState& st)
+      -> std::pair<std::vector<index_t>, std::vector<char>> {
+    std::vector<index_t> batch;
+    std::vector<char> atomic;
+
+    if (opt.cpu_mode) {
+      // CPU solvers keep all cores busy with whatever is ready: consume the
+      // whole pool in one task-parallel step (conflicting SSSSM updates are
+      // reduced per-core, so no atomics are needed in the model).
+      auto take_all = [&](auto& q) {
+        while (!q.empty()) {
+          batch.push_back(q.top().second);
+          atomic.push_back(0);
+          q.pop();
+        }
+      };
+      if (opt.policy == Policy::kTrojanHorse) {
+        take_all(st.urgent);
+        while (!st.container.empty()) {
+          batch.push_back(st.container.pop());
+          atomic.push_back(0);
+        }
+      } else {
+        take_all(st.pool);
+      }
+      // Conflicting SSSSM members still need atomic accumulation when the
+      // numeric backend runs them on a worker pool.
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> tgt;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Task& t = graph.task(batch[i]);
+        if (t.type != TaskType::kSsssm) continue;
+        auto& v = tgt[(static_cast<std::uint64_t>(t.row) << 32) |
+                      static_cast<std::uint32_t>(t.col)];
+        v.push_back(i);
+        if (v.size() > 1) {
+          for (std::size_t s : v) atomic[s] = 1;
+        }
+      }
+      return {std::move(batch), std::move(atomic)};
+    }
+
+    if (opt.policy == Policy::kTrojanHorse) {
+      Collector collector(opt.cluster.gpu, opt.collector);
+      // Track SSSSM write targets within the batch for conflict handling.
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> targets;
+      std::vector<index_t> deferred;
+
+      auto target_key = [&](const Task& t) {
+        return (static_cast<std::uint64_t>(t.row) << 32) |
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.col));
+      };
+      auto admit = [&](index_t id) -> bool {
+        const Task& t = graph.task(id);
+        const bool conflicts =
+            t.type == TaskType::kSsssm &&
+            targets.count(target_key(t)) > 0;
+        if (conflicts && !opt.allow_atomic_batching) {
+          deferred.push_back(id);
+          ++result.deferred_tasks;
+          return true;  // skipped but not "full"
+        }
+        if (!collector.try_add(t)) return false;
+        batch.push_back(id);
+        atomic.push_back(0);
+        if (t.type == TaskType::kSsssm) {
+          auto& slots = targets[target_key(t)];
+          slots.push_back(batch.size() - 1);
+          if (slots.size() > 1) {
+            // Conflict: every member updating this block becomes atomic.
+            for (std::size_t s : slots) atomic[s] = 1;
+          }
+        }
+        return true;
+      };
+
+      // Phase 1: urgent tasks straight from the Prioritizer.
+      while (!st.urgent.empty()) {
+        const index_t id = st.urgent.top().second;
+        if (!admit(id)) break;  // Collector full; id stays urgent
+        st.urgent.pop();
+      }
+      // Phase 2: top up from the Container.
+      while (!collector.full() && !st.container.empty()) {
+        const index_t id = st.container.pop();
+        if (!admit(id)) {
+          st.container.push(th_key(graph.task(id)), id);
+          break;
+        }
+      }
+      for (index_t id : deferred) {
+        st.container.push(th_key(graph.task(id)), id);
+      }
+      collector.take();  // reset (ids already copied)
+    } else {
+      // All per-task policies launch exactly one kernel per task.
+      TH_ASSERT(!st.pool.empty());
+      batch.push_back(st.pool.top().second);
+      atomic.push_back(0);
+      st.pool.pop();
+    }
+    return {std::move(batch), std::move(atomic)};
+  };
+
+  // ---- Main event loop --------------------------------------------------
+  index_t completed = 0;
+  while (completed < n) {
+    // Pick the rank able to launch earliest.
+    int best_rank = -1;
+    real_t best_time = kNever;
+    for (int r = 0; r < opt.n_ranks; ++r) {
+      const real_t t = next_launch_time(ranks[r]);
+      if (t < best_time) {
+        best_time = t;
+        best_rank = r;
+      }
+    }
+    TH_CHECK_MSG(best_rank >= 0,
+                 "deadlock: " << n - completed << " tasks unreachable");
+    RankState& st = ranks[best_rank];
+    const real_t t0 = best_time;
+    drain_arrivals(st, best_rank, t0);
+
+    auto [batch, atomic] = form_batch(st);
+    TH_ASSERT(!batch.empty());
+    bool any_conflict = false;
+    for (char a : atomic) {
+      result.atomic_tasks += (a != 0);
+      any_conflict |= (a != 0);
+    }
+    if (opt.collect_batches) {
+      result.batch_members.push_back(batch);
+      result.batch_had_conflict.push_back(any_conflict ? 1 : 0);
+    }
+
+    // Execute numerics (host) and price the launch (model).
+    const BatchResult br = executor.execute(graph, batch, atomic);
+
+    real_t start = t0, end = t0;
+    real_t host_share = br.host_s;
+    if (opt.cpu_mode) {
+      std::vector<TaskCost> costs;
+      costs.reserve(batch.size());
+      for (index_t id : batch) costs.push_back(graph.task(id).cost);
+      const real_t dur = cpu_batch_seconds(opt.cpu, costs);
+      end = start + dur;
+      host_share = 0;  // CPU model folds dispatch into the step itself
+      st.rank_free = end;
+    } else if (opt.policy == Policy::kMultiStream) {
+      // Host serialises launches; kernels overlap across streams.
+      const real_t launch_s = opt.cluster.gpu.launch_latency_us * 1e-6;
+      const real_t host_done = t0 + launch_s;
+      auto it = std::min_element(st.stream_free.begin(),
+                                 st.stream_free.end());
+      start = std::max(host_done, *it);
+      end = start + std::max<real_t>(br.seconds - launch_s, 0);
+      host_share = std::max<real_t>(br.host_s - launch_s, 0);
+      *it = end;
+      st.rank_free = host_done;  // host is free to launch the next kernel
+    } else {
+      end = start + br.seconds;
+      st.rank_free = end;
+    }
+
+    result.trace.record({best_rank, start, end, host_share, br.flops,
+                         static_cast<int>(batch.size())});
+    auto& rs = result.ranks[best_rank];
+    ++rs.kernels;
+    rs.busy_s += end - start;
+    rs.flops += br.flops;
+
+    // Completion: wake successors.
+    for (index_t id : batch) {
+      finish_time[id] = end;
+      ++completed;
+    }
+    for (index_t id : batch) {
+      auto [sb, se] = graph.successors(id);
+      for (const index_t* sp = sb; sp != se; ++sp) {
+        const index_t c = *sp;
+        if (--deps_left[c] > 0) continue;
+        // All producers done: arrival = max(finish + comm).
+        const Task& ct = graph.task(c);
+        real_t ready = 0;
+        auto [pb, pe] = graph.predecessors(c);
+        for (const index_t* pp = pb; pp != pe; ++pp) {
+          const Task& pt = graph.task(*pp);
+          real_t f = finish_time[*pp];
+          TH_ASSERT(f < kNever);
+          if (pt.owner_rank != ct.owner_rank) {
+            f += opt.cluster.comm_seconds(pt.owner_rank, ct.owner_rank,
+                                          pt.out_bytes);
+            const std::uint64_t pair_key =
+                static_cast<std::uint64_t>(*pp) *
+                    static_cast<std::uint64_t>(opt.n_ranks) +
+                static_cast<std::uint64_t>(ct.owner_rank);
+            if (comm_pairs.insert(pair_key).second) {
+              result.comm_bytes += pt.out_bytes;
+              ++result.comm_messages;
+            }
+          }
+          ready = std::max(ready, f);
+        }
+        enqueue_ready(c, ready);
+      }
+    }
+  }
+
+  result.makespan_s = result.trace.makespan_seconds();
+  result.kernel_count = result.trace.kernel_count();
+  result.mean_batch_size = result.trace.mean_batch_size();
+  return result;
+}
+
+}  // namespace th

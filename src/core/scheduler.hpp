@@ -1,0 +1,102 @@
+// Distributed schedule simulation.
+//
+// Replays a finalized TaskGraph over P virtual ranks (one GPU per rank, as
+// in the paper's MPI setup) under one of five scheduling policies:
+//
+//   kLevelPerTask    — SuperLU_DIST baseline: one kernel per task, tasks
+//                      issued in (etree/DAG level, kernel type) order.
+//   kPriorityPerTask — PanguLU baseline: one kernel per task, priority
+//                      (diagonal-distance) order, no batching.
+//   kMultiStream     — the paper's "PanguLU + 4 CUDA streams" variant:
+//                      per-task kernels whose execution overlaps across
+//                      streams while launches serialise on the host.
+//   kDmdas           — PaStiX + StarPU 'dmdas' stand-in: per-task kernels,
+//                      list scheduling with a data-locality bonus.
+//   kTrojanHorse     — the paper's aggregate-and-batch strategy
+//                      (Prioritizer + Container + Collector + Executor).
+//
+// Numerics (if a NumericBackend is supplied) execute on the host in the
+// simulated order, so a single simulate() call both validates correctness
+// and produces the modelled timeline. Passing a null backend replays
+// timing only — used by the parameter sweeps after one validated run.
+#pragma once
+
+#include "core/collector.hpp"
+#include "core/container.hpp"
+#include "core/executor.hpp"
+#include "core/prioritizer.hpp"
+#include "core/task_graph.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace th {
+
+enum class Policy {
+  kLevelPerTask,
+  kPriorityPerTask,
+  kMultiStream,
+  kDmdas,
+  kTrojanHorse,
+};
+
+const char* policy_name(Policy p);
+
+struct ScheduleOptions {
+  Policy policy = Policy::kTrojanHorse;
+  int n_ranks = 1;
+  ClusterSpec cluster;  // device + interconnect model
+  PrioritizerOptions prioritizer;
+  CollectorOptions collector;
+  Container::Discipline container = Container::Discipline::kHeap;
+  int n_streams = 4;  // kMultiStream only
+  /// Allow write-conflicting SSSSM tasks inside one batch via atomic
+  /// accumulation (paper §2.3); disabling serialises them (ablation).
+  bool allow_atomic_batching = true;
+  int exec_workers = 1;  // host threads for numeric batch execution
+  /// Price execution with the CPU model instead of the GPU (Table 7
+  /// CPU baselines). The CPU executes ready tasks in bulk per step.
+  bool cpu_mode = false;
+  CpuSpec cpu;
+  /// Record every batch's member task ids (and conflict flags) in the
+  /// result for post-hoc anatomy analysis (core/batch_stats.hpp). Off by
+  /// default — it costs memory proportional to the task count.
+  bool collect_batches = false;
+};
+
+struct RankStats {
+  offset_t kernels = 0;
+  real_t busy_s = 0;
+  offset_t flops = 0;
+};
+
+struct ScheduleResult {
+  Trace trace;
+  real_t makespan_s = 0;
+  offset_t kernel_count = 0;
+  real_t mean_batch_size = 0;
+  offset_t comm_bytes = 0;   // bytes crossing rank boundaries
+  offset_t comm_messages = 0;
+  offset_t atomic_tasks = 0;    // SSSSM tasks batched with a write conflict
+  offset_t deferred_tasks = 0;  // conflicting tasks pushed back (atomic off)
+  std::vector<RankStats> ranks;
+  /// Per-batch member ids, in launch order (only when
+  /// ScheduleOptions::collect_batches was set).
+  std::vector<std::vector<index_t>> batch_members;
+  /// Whether the corresponding batch contained an atomic (conflicting)
+  /// member; parallel to batch_members.
+  std::vector<char> batch_had_conflict;
+
+  /// Aggregate delivered GFLOPS = total flops / makespan.
+  real_t achieved_gflops() const {
+    return makespan_s > 0
+               ? static_cast<real_t>(trace.total_flops()) / makespan_s / 1e9
+               : 0;
+  }
+};
+
+/// Simulate (and optionally numerically execute) the task graph.
+/// Tasks' owner_rank fields must be < opt.n_ranks.
+ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
+                        NumericBackend* backend);
+
+}  // namespace th

@@ -1,0 +1,198 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace th {
+
+namespace {
+
+Csr from_coo_symmetrized(Coo& coo) {
+  Csr a = coo_to_csr(coo);
+  return symmetrize_pattern(a);
+}
+
+}  // namespace
+
+Csr grid2d_laplacian(index_t nx, index_t ny) {
+  TH_CHECK(nx > 0 && ny > 0);
+  Coo coo;
+  coo.n_rows = coo.n_cols = nx * ny;
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t c = id(x, y);
+      coo.add(c, c, 4.0);
+      if (x > 0) coo.add(c, id(x - 1, y), -1.0);
+      if (x + 1 < nx) coo.add(c, id(x + 1, y), -1.0);
+      if (y > 0) coo.add(c, id(x, y - 1), -1.0);
+      if (y + 1 < ny) coo.add(c, id(x, y + 1), -1.0);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+Csr grid3d_laplacian(index_t nx, index_t ny, index_t nz) {
+  TH_CHECK(nx > 0 && ny > 0 && nz > 0);
+  Coo coo;
+  coo.n_rows = coo.n_cols = nx * ny * nz;
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t c = id(x, y, z);
+        coo.add(c, c, 6.0);
+        if (x > 0) coo.add(c, id(x - 1, y, z), -1.0);
+        if (x + 1 < nx) coo.add(c, id(x + 1, y, z), -1.0);
+        if (y > 0) coo.add(c, id(x, y - 1, z), -1.0);
+        if (y + 1 < ny) coo.add(c, id(x, y + 1, z), -1.0);
+        if (z > 0) coo.add(c, id(x, y, z - 1), -1.0);
+        if (z + 1 < nz) coo.add(c, id(x, y, z + 1), -1.0);
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+Csr grid2d_fem9(index_t nx, index_t ny) {
+  TH_CHECK(nx > 0 && ny > 0);
+  Coo coo;
+  coo.n_rows = coo.n_cols = nx * ny;
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t c = id(x, y);
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          const index_t xx = x + dx;
+          const index_t yy = y + dy;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          coo.add(c, id(xx, yy), (dx == 0 && dy == 0) ? 8.0 : -1.0);
+        }
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+Csr banded_random(index_t n, index_t bandwidth, double density,
+                  std::uint64_t seed) {
+  TH_CHECK(n > 0 && bandwidth > 0);
+  TH_CHECK(density > 0 && density <= 1.0);
+  Rng rng(seed);
+  Coo coo;
+  coo.n_rows = coo.n_cols = n;
+  for (index_t r = 0; r < n; ++r) {
+    coo.add(r, r, 1.0);
+    const index_t lo = std::max<index_t>(0, r - bandwidth);
+    for (index_t c = lo; c < r; ++c) {
+      if (rng.next_real() < density) {
+        // Insert the pair (r,c) and (c,r) to keep the pattern symmetric.
+        coo.add(r, c, 1.0);
+        coo.add(c, r, 1.0);
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+Csr cage_like(index_t n, index_t nnz_per_row, double locality,
+              std::uint64_t seed) {
+  TH_CHECK(n > 0 && nnz_per_row > 0);
+  TH_CHECK(locality > 0);
+  Rng rng(seed);
+  Coo coo;
+  coo.n_rows = coo.n_cols = n;
+  const auto spread = std::max<index_t>(
+      2, static_cast<index_t>(static_cast<double>(n) * locality));
+  for (index_t r = 0; r < n; ++r) {
+    coo.add(r, r, 1.0);
+    for (index_t k = 0; k < nnz_per_row; ++k) {
+      // Geometric-ish local jump from the diagonal.
+      const real_t u = rng.next_real();
+      const auto jump = static_cast<index_t>(
+          std::floor(std::pow(u, 2.5) * static_cast<real_t>(spread))) + 1;
+      const index_t c = (rng.next_u64() & 1) ? r + jump : r - jump;
+      if (c >= 0 && c < n && c != r) coo.add(r, c, 1.0);
+    }
+  }
+  return from_coo_symmetrized(coo);
+}
+
+Csr circuit_like(index_t n, double avg_deg, index_t n_dense_rows,
+                 std::uint64_t seed) {
+  TH_CHECK(n > 0 && avg_deg >= 1.0 && n_dense_rows >= 0);
+  Rng rng(seed);
+  Coo coo;
+  coo.n_rows = coo.n_cols = n;
+  for (index_t r = 0; r < n; ++r) {
+    coo.add(r, r, 1.0);
+    // Power-law-ish degree: most rows have 1-3 off-diagonals, a tail has
+    // more, mimicking netlist stamping.
+    const real_t u = rng.next_real();
+    const auto deg = static_cast<index_t>(
+        std::ceil(avg_deg * 0.5 / std::sqrt(std::max<real_t>(u, 1e-6))));
+    for (index_t k = 0; k < std::min<index_t>(deg, 32); ++k) {
+      // Mix of local and global connections like circuit nets.
+      index_t c;
+      if (rng.next_real() < 0.7) {
+        const index_t jump = rng.index_in(1, std::max<index_t>(2, n / 64));
+        c = (rng.next_u64() & 1) ? r + jump : r - jump;
+      } else {
+        c = rng.index_in(0, n - 1);
+      }
+      if (c >= 0 && c < n && c != r) coo.add(r, c, 1.0);
+    }
+  }
+  // Dense supply-rail rows/columns.
+  for (index_t d = 0; d < n_dense_rows; ++d) {
+    const index_t r = rng.index_in(0, n - 1);
+    for (index_t k = 0; k < n; k += std::max<index_t>(1, n / 256)) {
+      coo.add(r, k, 1.0);
+      coo.add(k, r, 1.0);
+    }
+  }
+  return from_coo_symmetrized(coo);
+}
+
+Csr kkt_like(index_t n_primal, index_t n_dual, index_t nnz_per_row,
+             std::uint64_t seed) {
+  TH_CHECK(n_primal > 0 && n_dual > 0 && nnz_per_row > 0);
+  Rng rng(seed);
+  const index_t n = n_primal + n_dual;
+  Coo coo;
+  coo.n_rows = coo.n_cols = n;
+  // H block: banded SPD-like.
+  for (index_t r = 0; r < n_primal; ++r) {
+    coo.add(r, r, 4.0);
+    if (r > 0) coo.add(r, r - 1, -1.0);
+    if (r + 1 < n_primal) coo.add(r, r + 1, -1.0);
+  }
+  // B block: each dual row touches nnz_per_row random primal columns.
+  for (index_t d = 0; d < n_dual; ++d) {
+    const index_t r = n_primal + d;
+    coo.add(r, r, 1.0);  // regularized (2,2) block so no pivoting is needed
+    for (index_t k = 0; k < nnz_per_row; ++k) {
+      const index_t c = rng.index_in(0, n_primal - 1);
+      coo.add(r, c, 1.0);
+      coo.add(c, r, 1.0);
+    }
+  }
+  return from_coo_symmetrized(coo);
+}
+
+Csr finalize_system(Csr pattern, std::uint64_t seed) {
+  Rng rng(seed ^ 0xA5A5A5A5DEADBEEFULL);
+  for (real_t& v : pattern.values) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return make_diag_dominant(pattern);
+}
+
+}  // namespace th

@@ -1,0 +1,58 @@
+// Synthetic sparse-matrix generators.
+//
+// The paper evaluates on SuiteSparse matrices; this repository has no
+// network or dataset access, so each evaluation matrix is replaced by a
+// synthetic stand-in whose *structural* characteristics (dimension,
+// nonzeros per row, bandwidth/locality, fill behaviour under elimination)
+// drive the same scheduling phenomena: task-size distribution, DAG width,
+// and sparse-vs-dense block mix. DESIGN.md §2 documents the substitution.
+//
+// All generators are deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+/// 5-point finite-difference Laplacian on an nx-by-ny grid (n = nx*ny).
+/// Classic PDE/FEM-like structure: symmetric, bandwidth ~ nx, moderate fill.
+Csr grid2d_laplacian(index_t nx, index_t ny);
+
+/// 7-point Laplacian on an nx*ny*nz grid. Produces large separators and
+/// heavy fill — the stand-in family for audikw_1/Serena-style 3D FEM.
+Csr grid3d_laplacian(index_t nx, index_t ny, index_t nz);
+
+/// 9-point (bilinear FEM) stencil on a 2D grid: denser rows than grid2d.
+Csr grid2d_fem9(index_t nx, index_t ny);
+
+/// Banded matrix: each row has entries within +/- bandwidth of the diagonal,
+/// each present with probability `density`. Structurally symmetrized.
+/// Stand-in for narrow-band engineering matrices (Lin, para-8 style).
+Csr banded_random(index_t n, index_t bandwidth, double density,
+                  std::uint64_t seed);
+
+/// Cage-like matrix (DNA electrophoresis family, cage12/cage13): random
+/// pattern with strong geometric locality and a fixed number of nonzeros
+/// per row; nearly pattern-symmetric with high fill-in under elimination.
+Csr cage_like(index_t n, index_t nnz_per_row, double locality,
+              std::uint64_t seed);
+
+/// Circuit-like matrix (c-71/KLU-style): power-law row degrees, a few dense
+/// rows/columns (supply rails), extremely sparse elsewhere. These produce
+/// many tiny tasks — the worst case the Trojan Horse targets.
+Csr circuit_like(index_t n, double avg_deg, index_t n_dense_rows,
+                 std::uint64_t seed);
+
+/// Optimisation/KKT-like: 2x2 block structure [H B^T; B 0]-shaped pattern
+/// (nlpkkt80 stand-in), symmetrized and shifted to be factorisable.
+Csr kkt_like(index_t n_primal, index_t n_dual, index_t nnz_per_row,
+             std::uint64_t seed);
+
+/// Apply symmetric random permutation-resistant value noise: fills values
+/// with uniform[-1,1) keeping the pattern; then makes the result strictly
+/// diagonally dominant (both solver cores factor without pivoting).
+Csr finalize_system(Csr pattern, std::uint64_t seed);
+
+}  // namespace th

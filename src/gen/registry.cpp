@@ -1,0 +1,95 @@
+#include "gen/registry.hpp"
+
+#include "gen/generators.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+namespace {
+
+std::vector<PaperMatrix> build_registry() {
+  std::vector<PaperMatrix> m;
+  const offset_t M = 1000000, K = 1000;
+  const auto G = [](double g) { return static_cast<offset_t>(g * 1e9); };
+
+  // ---- Table 2: scale-up matrices ------------------------------------
+  m.push_back({"c-71", "optimization (circuit-like sparsity)",
+               MatrixRole::kScaleUp, 76600, 860 * K, offset_t{49400000},
+               offset_t{24900000}, [] {
+                 return finalize_system(circuit_like(4000, 2.6, 5, 71), 71);
+               }});
+  m.push_back({"cage12", "DNA electrophoresis", MatrixRole::kScaleUp,
+               130 * K, 2030 * K, 550 * M, 537 * M, [] {
+                 return finalize_system(cage_like(3000, 8, 0.05, 12), 12);
+               }});
+  m.push_back({"para-8", "semiconductor device", MatrixRole::kScaleUp,
+               156 * K, 2090 * K, 187 * M, 178 * M, [] {
+                 return finalize_system(banded_random(3600, 50, 0.30, 8), 8);
+               }});
+  m.push_back({"Lin", "structural eigenproblem", MatrixRole::kScaleUp,
+               256 * K, 1770 * K, 216 * M, 194 * M, [] {
+                 return finalize_system(grid3d_laplacian(15, 15, 15), 256);
+               }});
+
+  // ---- Table 4: scale-out matrices -----------------------------------
+  m.push_back({"Ga41As41H72", "quantum chemistry", MatrixRole::kScaleOut,
+               268 * K, offset_t{18500000}, G(4.61), G(4.59), [] {
+                 return finalize_system(cage_like(2500, 30, 0.20, 41), 41);
+               }});
+  m.push_back({"RM07R", "computational fluid dynamics",
+               MatrixRole::kScaleOut, 381 * K, offset_t{37400000}, G(2.68),
+               G(2.14), [] {
+                 return finalize_system(banded_random(3000, 90, 0.35, 7), 7);
+               }});
+  m.push_back({"cage13", "DNA electrophoresis", MatrixRole::kScaleOut,
+               445 * K, offset_t{7480000}, G(4.68), G(4.66), [] {
+                 return finalize_system(cage_like(3500, 9, 0.06, 13), 13);
+               }});
+  m.push_back({"audikw_1", "structural FEM (3D)", MatrixRole::kScaleOut,
+               943 * K, offset_t{77600000}, G(2.46), G(2.43), [] {
+                 return finalize_system(grid3d_laplacian(13, 13, 13), 943);
+               }});
+  m.push_back({"nlpkkt80", "nonlinear optimization (KKT)",
+               MatrixRole::kScaleOut, 1060 * K, offset_t{28100000}, G(3.80),
+               G(3.28), [] {
+                 return finalize_system(kkt_like(2400, 1200, 3, 80), 80);
+               }});
+  m.push_back({"Serena", "structural FEM (3D gas reservoir)",
+               MatrixRole::kScaleOut, 1390 * K, offset_t{64100000}, G(5.42),
+               G(5.38), [] {
+                 return finalize_system(grid3d_laplacian(14, 14, 14), 1390);
+               }});
+  return m;
+}
+
+}  // namespace
+
+const std::vector<PaperMatrix>& paper_matrices() {
+  static const std::vector<PaperMatrix> registry = build_registry();
+  return registry;
+}
+
+const PaperMatrix& paper_matrix(const std::string& name) {
+  for (const PaperMatrix& m : paper_matrices()) {
+    if (m.name == name) return m;
+  }
+  throw Error("unknown registry matrix: " + name);
+}
+
+std::vector<const PaperMatrix*> scale_up_matrices() {
+  std::vector<const PaperMatrix*> out;
+  for (const PaperMatrix& m : paper_matrices()) {
+    if (m.role == MatrixRole::kScaleUp) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<const PaperMatrix*> scale_out_matrices() {
+  std::vector<const PaperMatrix*> out;
+  for (const PaperMatrix& m : paper_matrices()) {
+    if (m.role == MatrixRole::kScaleOut) out.push_back(&m);
+  }
+  return out;
+}
+
+}  // namespace th

@@ -1,0 +1,50 @@
+// Registry of the paper's evaluation matrices and their synthetic stand-ins.
+//
+// Tables 2 and 4 of the paper define ten SuiteSparse matrices. Each registry
+// entry records the paper-reported statistics (for EXPERIMENTS.md
+// paper-vs-measured reporting) and a deterministic generator that produces a
+// structurally similar stand-in scaled to what a single-core CI machine can
+// factor. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+/// Which evaluation the matrix belongs to in the paper.
+enum class MatrixRole {
+  kScaleUp,   // Table 2: c-71, cage12, para-8, Lin
+  kScaleOut,  // Table 4: Ga41As41H72, RM07R, cage13, audikw_1, nlpkkt80, Serena
+};
+
+struct PaperMatrix {
+  std::string name;        // SuiteSparse name
+  std::string kind;        // application domain
+  MatrixRole role;
+  // Paper-reported statistics (Tables 2 and 4).
+  offset_t paper_n;
+  offset_t paper_nnz;
+  offset_t paper_nnz_lu_superlu;  // nnz(L+U) under SuperLU
+  offset_t paper_nnz_lu_pangu;    // nnz(L+U) under PanguLU
+  // Deterministic stand-in generator (already value-filled and
+  // diagonally dominant; ready to factor).
+  std::function<Csr()> make;
+};
+
+/// All ten registry matrices, scale-up first. Stable order across calls.
+const std::vector<PaperMatrix>& paper_matrices();
+
+/// Look up a registry matrix by SuiteSparse name; throws if unknown.
+const PaperMatrix& paper_matrix(const std::string& name);
+
+/// The four scale-up (Table 2) matrices.
+std::vector<const PaperMatrix*> scale_up_matrices();
+
+/// The six scale-out (Table 4) matrices.
+std::vector<const PaperMatrix*> scale_out_matrices();
+
+}  // namespace th

@@ -1,0 +1,35 @@
+// The 200-matrix synthetic evaluation suite for the Figure-10 reproduction.
+//
+// The paper sweeps 200 SuiteSparse matrices from 31 application kinds on an
+// A100. We reproduce the sweep with 200 deterministic synthetic matrices
+// drawn from 31 parameterised generator kinds covering the same structural
+// spectrum: 2D/3D PDE grids, FEM stencils, banded engineering systems,
+// cage-like locality patterns, circuit netlists and KKT saddle points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+struct SuiteEntry {
+  std::string name;   // e.g. "grid3d_08"
+  std::string kind;   // one of 31 kind labels
+  index_t n;          // dimension of the generated stand-in
+  std::uint64_t seed;
+  Csr (*make)(index_t n, std::uint64_t seed);  // generator trampoline
+};
+
+/// The full 200-entry suite, deterministic and stable across calls.
+/// Every entry's matrix is ready to factor (diagonally dominant values).
+const std::vector<SuiteEntry>& matrix_suite();
+
+/// Materialise the matrix for one suite entry.
+Csr make_suite_matrix(const SuiteEntry& e);
+
+/// Number of distinct kinds in the suite (31, as in the paper).
+int suite_kind_count();
+
+}  // namespace th

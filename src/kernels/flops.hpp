@@ -1,0 +1,36 @@
+// Floating-point operation and memory-traffic counts per task type. These
+// feed both the GFLOPS reporting (Figure 8/10, Table 7) and the GPU cost
+// model — the simulated time of a kernel is derived from the same counts
+// the real numerics execute, so "total flops remain unchanged" (paper §4.3)
+// holds by construction.
+#pragma once
+
+#include "support/types.hpp"
+
+namespace th {
+
+/// LU of an n x n block without pivoting: 2/3 n^3 + O(n^2).
+inline offset_t getrf_flops(index_t n) {
+  const offset_t nn = n;
+  return (2 * nn * nn * nn) / 3 + nn * nn;
+}
+
+/// Triangular solve with an m x m triangle applied to m x n (or n x m):
+/// m^2 * n multiply-adds.
+inline offset_t trsm_flops(index_t m, index_t n) {
+  return static_cast<offset_t>(m) * m * n;
+}
+
+/// C(m x n) -= A(m x k) * B(k x n): 2 m n k. A sparsity fraction on the
+/// left operand scales the count (sparse kernels skip zeros).
+inline offset_t gemm_flops(index_t m, index_t n, index_t k,
+                           real_t left_density = 1.0) {
+  return static_cast<offset_t>(
+      2.0 * static_cast<real_t>(m) * static_cast<real_t>(n) *
+      static_cast<real_t>(k) * left_density);
+}
+
+/// Bytes moved by a kernel touching the given number of FP64 words once.
+inline offset_t words_to_bytes(offset_t words) { return words * 8; }
+
+}  // namespace th

@@ -1,0 +1,84 @@
+#include "order/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sparse/convert.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+AdjacencyGraph build_adjacency(const Csr& a) {
+  TH_CHECK(a.n_rows == a.n_cols);
+  const Csr s = symmetrize_pattern(a);
+  AdjacencyGraph g;
+  g.n = s.n_rows;
+  g.ptr.assign(static_cast<std::size_t>(g.n) + 1, 0);
+  for (index_t r = 0; r < s.n_rows; ++r) {
+    for (offset_t p = s.row_ptr[r]; p < s.row_ptr[r + 1]; ++p) {
+      if (s.col_idx[p] != r) ++g.ptr[r + 1];
+    }
+  }
+  for (index_t r = 0; r < g.n; ++r) g.ptr[r + 1] += g.ptr[r];
+  g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+  std::vector<offset_t> cursor(g.ptr.begin(), g.ptr.end() - 1);
+  for (index_t r = 0; r < s.n_rows; ++r) {
+    for (offset_t p = s.row_ptr[r]; p < s.row_ptr[r + 1]; ++p) {
+      if (s.col_idx[p] != r) g.adj[cursor[r]++] = s.col_idx[p];
+    }
+  }
+  return g;
+}
+
+BfsResult bfs(const AdjacencyGraph& g, index_t start,
+              const std::vector<char>& mask) {
+  TH_CHECK(start >= 0 && start < g.n);
+  BfsResult r;
+  r.level.assign(static_cast<std::size_t>(g.n), -1);
+  r.order.reserve(static_cast<std::size_t>(g.n));
+  auto allowed = [&](index_t v) { return mask.empty() || mask[v]; };
+  TH_CHECK(allowed(start));
+  std::queue<index_t> q;
+  q.push(start);
+  r.level[start] = 0;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    r.order.push_back(v);
+    for (offset_t p = g.ptr[v]; p < g.ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (r.level[u] < 0 && allowed(u)) {
+        r.level[u] = r.level[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return r;
+}
+
+index_t pseudo_peripheral(const AdjacencyGraph& g, index_t start,
+                          const std::vector<char>& mask) {
+  index_t v = start;
+  index_t ecc = -1;
+  // Iterate: BFS, take a minimum-degree vertex in the last level; stop when
+  // eccentricity no longer grows.
+  for (int iter = 0; iter < 8; ++iter) {
+    const BfsResult r = bfs(g, v, mask);
+    index_t max_level = 0;
+    for (index_t u : r.order) max_level = std::max(max_level, r.level[u]);
+    if (max_level <= ecc) break;
+    ecc = max_level;
+    index_t best = v;
+    index_t best_deg = g.n + 1;
+    for (index_t u : r.order) {
+      if (r.level[u] == max_level && g.degree(u) < best_deg) {
+        best = u;
+        best_deg = g.degree(u);
+      }
+    }
+    v = best;
+  }
+  return v;
+}
+
+}  // namespace th

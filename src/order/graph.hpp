@@ -1,0 +1,39 @@
+// Undirected adjacency view used by the ordering algorithms: the pattern of
+// A + A^T with the diagonal removed.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+struct AdjacencyGraph {
+  index_t n = 0;
+  std::vector<offset_t> ptr;
+  std::vector<index_t> adj;
+
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr[v + 1] - ptr[v]);
+  }
+};
+
+/// Build the symmetrized, diagonal-free adjacency of a square matrix.
+AdjacencyGraph build_adjacency(const Csr& a);
+
+/// BFS from `start` over `g`, visiting only vertices where mask[v] == true
+/// (mask may be empty = all true). Returns (levels, order): level[v] = -1 if
+/// unreached. `order` lists reached vertices in BFS order.
+struct BfsResult {
+  std::vector<index_t> level;
+  std::vector<index_t> order;
+};
+BfsResult bfs(const AdjacencyGraph& g, index_t start,
+              const std::vector<char>& mask = {});
+
+/// A vertex approximately maximising eccentricity in the component of
+/// `start` (George-Liu pseudo-peripheral search).
+index_t pseudo_peripheral(const AdjacencyGraph& g, index_t start,
+                          const std::vector<char>& mask = {});
+
+}  // namespace th

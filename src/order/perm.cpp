@@ -1,0 +1,69 @@
+#include "order/perm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/coo.hpp"
+#include "sparse/convert.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+Permutation identity_permutation(index_t n) {
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+bool is_valid_permutation(const Permutation& perm) {
+  const auto n = static_cast<index_t>(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (index_t v : perm) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Permutation invert_permutation(const Permutation& perm) {
+  TH_CHECK_MSG(is_valid_permutation(perm), "invalid permutation");
+  Permutation inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[perm[i]] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+Csr apply_symmetric_permutation(const Csr& a, const Permutation& perm) {
+  TH_CHECK(a.n_rows == a.n_cols);
+  TH_CHECK(static_cast<index_t>(perm.size()) == a.n_rows);
+  const Permutation inv = invert_permutation(perm);
+  Coo coo;
+  coo.n_rows = a.n_rows;
+  coo.n_cols = a.n_cols;
+  coo.entries.reserve(a.values.size());
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    for (offset_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      coo.add(inv[r], inv[a.col_idx[p]], a.values[p]);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+std::vector<real_t> apply_permutation(const std::vector<real_t>& v,
+                                      const Permutation& perm) {
+  TH_CHECK(v.size() == perm.size());
+  std::vector<real_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[perm[i]];
+  return out;
+}
+
+std::vector<real_t> apply_inverse_permutation(const std::vector<real_t>& v,
+                                              const Permutation& perm) {
+  TH_CHECK(v.size() == perm.size());
+  std::vector<real_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[perm[i]] = v[i];
+  return out;
+}
+
+}  // namespace th

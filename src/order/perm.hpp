@@ -1,0 +1,37 @@
+// Permutation vectors and symmetric permutation of sparse matrices.
+//
+// Convention: `perm[new_index] = old_index` (a "new-from-old" ordering, the
+// convention of SuiteSparse AMD). apply_symmetric_permutation computes
+// B = P A P^T so that factorising B in natural order equals factorising A
+// in the given order.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+using Permutation = std::vector<index_t>;
+
+/// Identity permutation of length n.
+Permutation identity_permutation(index_t n);
+
+/// inverse[perm[i]] = i. Throws if perm is not a bijection on [0, n).
+Permutation invert_permutation(const Permutation& perm);
+
+/// True iff perm is a bijection on [0, perm.size()).
+bool is_valid_permutation(const Permutation& perm);
+
+/// B = P A P^T with perm[new] = old: B(i, j) = A(perm[i], perm[j]).
+Csr apply_symmetric_permutation(const Csr& a, const Permutation& perm);
+
+/// Permute a vector: out[i] = v[perm[i]].
+std::vector<real_t> apply_permutation(const std::vector<real_t>& v,
+                                      const Permutation& perm);
+
+/// Scatter back: out[perm[i]] = v[i].
+std::vector<real_t> apply_inverse_permutation(const std::vector<real_t>& v,
+                                              const Permutation& perm);
+
+}  // namespace th

@@ -1,0 +1,32 @@
+#include "sim/cluster.hpp"
+
+namespace th {
+
+ClusterSpec cluster_h100() {
+  ClusterSpec c;
+  c.name = "16x H100 SXM (2 nodes, 400 Gbps IB)";
+  c.gpu = device_h100();
+  c.gpus_per_node = 8;
+  c.inter_node_bw_bps = 50e9;  // 400 Gbps
+  return c;
+}
+
+ClusterSpec cluster_mi50() {
+  ClusterSpec c;
+  c.name = "16x MI50 PCIe (4 nodes, 200 Gbps IB)";
+  c.gpu = device_mi50();
+  c.gpus_per_node = 4;
+  c.intra_node_bw_bps = 64e9;   // PCIe gen4-ish P2P
+  c.inter_node_bw_bps = 25e9;   // 200 Gbps
+  return c;
+}
+
+ClusterSpec single_gpu(const DeviceSpec& gpu) {
+  ClusterSpec c;
+  c.name = gpu.name + " (single GPU)";
+  c.gpu = gpu;
+  c.gpus_per_node = 1;
+  return c;
+}
+
+}  // namespace th

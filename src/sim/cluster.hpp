@@ -1,0 +1,46 @@
+// Cluster model: ranks, node topology and an alpha-beta communication
+// model. Reproduces the two scale-out platforms of Table 3 (16x H100 over
+// 400 Gbps InfiniBand, 16x MI50 over 200 Gbps InfiniBand).
+#pragma once
+
+#include <string>
+
+#include "sim/device.hpp"
+
+namespace th {
+
+struct ClusterSpec {
+  std::string name = "H100 cluster";
+  DeviceSpec gpu = device_h100();
+  int gpus_per_node = 8;
+  // Link parameters (seconds of latency, bytes/second of bandwidth).
+  real_t intra_node_latency_s = 2e-6;    // NVLink / PCIe-P2P
+  real_t intra_node_bw_bps = 300e9;
+  real_t inter_node_latency_s = 5e-6;    // InfiniBand
+  real_t inter_node_bw_bps = 50e9;       // 400 Gbps
+
+  /// Node index of a rank (ranks are distributed contiguously, one GPU per
+  /// MPI process as in the paper's setup).
+  int node_of(int rank) const { return rank / gpus_per_node; }
+
+  /// Seconds to move `bytes` from rank `src` to rank `dst`.
+  real_t comm_seconds(int src, int dst, offset_t bytes) const {
+    if (src == dst) return 0.0;
+    const bool same_node = node_of(src) == node_of(dst);
+    const real_t lat =
+        same_node ? intra_node_latency_s : inter_node_latency_s;
+    const real_t bw = same_node ? intra_node_bw_bps : inter_node_bw_bps;
+    return lat + static_cast<real_t>(bytes) / bw;
+  }
+};
+
+/// Two-node 16x H100 cluster (Table 3 row 1).
+ClusterSpec cluster_h100();
+
+/// Four-node 16x MI50 cluster (Table 3 row 2).
+ClusterSpec cluster_mi50();
+
+/// Single-GPU "cluster" for the scale-up experiments.
+ClusterSpec single_gpu(const DeviceSpec& gpu);
+
+}  // namespace th

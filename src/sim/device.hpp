@@ -1,0 +1,124 @@
+// GPU and CPU device models.
+//
+// This repository has no GPU; all *timing* is produced by an analytic
+// device model calibrated with the paper's platform tables (Tables 1 and
+// 3), while numerics run on the host. The model captures exactly the three
+// effects the Trojan Horse exploits:
+//
+//   1. every kernel launch pays a fixed host-side latency,
+//   2. a kernel with few CUDA blocks leaves most SMs idle (occupancy), and
+//   3. per-block work is bounded by a single block's share of the machine,
+//      so batching many small tasks into one kernel both amortises (1) and
+//      fixes (2) without violating (3).
+//
+// Simulated seconds are deterministic functions of task resource counts —
+// never of wall-clock time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace th {
+
+/// One GPU model. Defaults follow NVIDIA A100 PCIe (Table 1).
+struct DeviceSpec {
+  std::string name = "A100 PCIe";
+  int sm_count = 108;                 // streaming multiprocessors / CUs
+  real_t fp64_peak_tflops = 9.75;     // Table 1/3 "FP64 peak"
+  real_t mem_bw_tbs = 1.56;           // Table 1/3 "B/W"
+  real_t memory_gib = 40;             // Table 1/3 "Memory" (GiB)
+  int shmem_per_sm_kib = 164;         // shared memory per SM
+  int max_blocks_per_sm = 16;         // residency limit used by Collector
+  real_t launch_latency_us = 2.5;     // per-kernel host launch cost
+  real_t host_per_task_us = 0.1;      // host-side per-task preparation
+                                      // (descriptor/dispatch-table setup);
+                                      // paid per task whether batched or not
+  real_t dense_efficiency = 0.55;     // fraction of peak for dense kernels
+  real_t sparse_efficiency = 0.18;    // fraction of peak for sparse kernels
+  real_t bandwidth_efficiency = 0.70; // achievable fraction of mem B/W
+
+  /// Blocks resident machine-wide when fully occupied.
+  offset_t resident_blocks() const {
+    return static_cast<offset_t>(sm_count) * max_blocks_per_sm;
+  }
+  /// Shared memory capacity machine-wide (bytes).
+  offset_t total_shmem_bytes() const {
+    return static_cast<offset_t>(sm_count) * shmem_per_sm_kib * 1024;
+  }
+};
+
+/// The paper's five GPU platforms (Tables 1 and 3).
+DeviceSpec device_rtx5060ti();
+DeviceSpec device_rtx5090();
+DeviceSpec device_a100();
+DeviceSpec device_h100();
+DeviceSpec device_mi50();
+
+/// Look up by short name ("5060ti", "5090", "a100", "h100", "mi50").
+DeviceSpec device_by_name(const std::string& name);
+
+/// Host CPU model for the Table 7 comparison (Intel Xeon Gold 6462C).
+struct CpuSpec {
+  std::string name = "Xeon Gold 6462C (32c)";
+  int cores = 32;
+  real_t per_core_gflops = 36.0;   // FP64 with AVX-512 FMA at base clock
+  real_t task_overhead_us = 0.3;   // per-task dispatch (no kernel launch)
+  real_t efficiency = 0.55;        // achieved fraction on BLAS-3-ish tasks
+  real_t mem_bw_tbs = 0.307;       // 8-channel DDR5-4800
+};
+
+CpuSpec cpu_xeon6462c();
+
+/// Resource footprint of one task on the device (filled by the solver
+/// cores from the symbolic structure).
+struct TaskCost {
+  offset_t flops = 0;        // FP operations the task performs
+  offset_t bytes = 0;        // global-memory traffic
+  index_t cuda_blocks = 1;   // one block per column/row as in Figure 7
+  offset_t shmem_per_block = 0;  // bytes of shared memory per block
+  bool sparse = false;       // selects sparse vs dense efficiency
+};
+
+/// Simulated time of one kernel launch, split into device execution and
+/// host-side overhead (launch latency + per-task batch preparation). The
+/// split feeds the Figure 11 kernel-vs-other breakdown.
+struct KernelTiming {
+  real_t exec_s = 0;
+  real_t host_s = 0;
+  real_t total_s() const { return exec_s + host_s; }
+};
+
+/// Simulated execution time of one kernel launch containing `tasks`.
+/// A single task passed alone models the no-batching baselines.
+class KernelCostModel {
+ public:
+  explicit KernelCostModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Timing breakdown for one batched kernel over the given tasks (host
+  /// costs counted once per kernel + once per task). Empty batches are
+  /// invalid.
+  KernelTiming batch_timing(const std::vector<TaskCost>& tasks) const;
+
+  /// Total seconds for one batched kernel.
+  real_t batch_seconds(const std::vector<TaskCost>& tasks) const {
+    return batch_timing(tasks).total_s();
+  }
+
+  /// Seconds for a single-task kernel (baseline path).
+  real_t single_seconds(const TaskCost& t) const {
+    return batch_seconds({t});
+  }
+
+ private:
+  DeviceSpec spec_;
+};
+
+/// Simulated time for a set of tasks executed on the CPU model with
+/// `cores`-way parallelism (used by the Table 7 CPU baselines).
+real_t cpu_batch_seconds(const CpuSpec& cpu, const std::vector<TaskCost>& t);
+
+}  // namespace th

@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace th {
+
+offset_t Trace::total_flops() const {
+  offset_t f = 0;
+  for (const auto& r : records_) f += r.flops;
+  return f;
+}
+
+real_t Trace::total_kernel_seconds() const {
+  real_t s = 0;
+  for (const auto& r : records_) s += r.end_s - r.start_s - r.host_s;
+  return s;
+}
+
+real_t Trace::total_host_seconds() const {
+  real_t s = 0;
+  for (const auto& r : records_) s += r.host_s;
+  return s;
+}
+
+real_t Trace::makespan_seconds() const {
+  real_t m = 0;
+  for (const auto& r : records_) m = std::max(m, r.end_s);
+  return m;
+}
+
+real_t Trace::mean_batch_size() const {
+  if (records_.empty()) return 0;
+  offset_t tasks = 0;
+  for (const auto& r : records_) tasks += r.tasks;
+  return static_cast<real_t>(tasks) / static_cast<real_t>(records_.size());
+}
+
+std::vector<real_t> Trace::gflops_series(int bins) const {
+  TH_CHECK(bins > 0);
+  std::vector<real_t> series(static_cast<std::size_t>(bins), 0.0);
+  const real_t span = makespan_seconds();
+  if (span <= 0) return series;
+  const real_t bin_w = span / static_cast<real_t>(bins);
+  for (const auto& r : records_) {
+    const real_t dur = r.end_s - r.start_s;
+    if (dur <= 0) continue;
+    const real_t flops_per_s = static_cast<real_t>(r.flops) / dur;
+    int b0 = std::clamp(static_cast<int>(r.start_s / bin_w), 0, bins - 1);
+    int b1 = std::clamp(static_cast<int>(r.end_s / bin_w), 0, bins - 1);
+    for (int b = b0; b <= b1; ++b) {
+      const real_t lo = std::max(r.start_s, static_cast<real_t>(b) * bin_w);
+      const real_t hi =
+          std::min(r.end_s, static_cast<real_t>(b + 1) * bin_w);
+      if (hi > lo) series[b] += flops_per_s * (hi - lo) / bin_w;
+    }
+  }
+  for (real_t& v : series) v /= 1e9;  // to GFLOPS
+  return series;
+}
+
+}  // namespace th

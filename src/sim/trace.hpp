@@ -1,0 +1,50 @@
+// Execution trace of a simulated run: every kernel's (rank, interval,
+// flops, task count) tuple. Used to regenerate the Figure 8 GFLOPS-vs-time
+// timelines and the Figure 11 kernel-time breakdowns.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace th {
+
+struct KernelRecord {
+  int rank = 0;
+  real_t start_s = 0;
+  real_t end_s = 0;
+  real_t host_s = 0;  // host-side share of [start, end) (launch + prep)
+  offset_t flops = 0;
+  int tasks = 0;  // batch size of this kernel
+};
+
+class Trace {
+ public:
+  void record(KernelRecord r) { records_.push_back(r); }
+
+  const std::vector<KernelRecord>& records() const { return records_; }
+
+  offset_t kernel_count() const {
+    return static_cast<offset_t>(records_.size());
+  }
+  offset_t total_flops() const;
+  /// Sum of device-side kernel execution time across all ranks
+  /// (GPU-seconds, host overhead excluded).
+  real_t total_kernel_seconds() const;
+  /// Sum of host-side time (launch latency + batch preparation).
+  real_t total_host_seconds() const;
+  /// Latest kernel end time (the numeric-phase makespan).
+  real_t makespan_seconds() const;
+  /// Mean batch size over all kernels.
+  real_t mean_batch_size() const;
+
+  /// Aggregate throughput series: GFLOPS delivered in each of `bins`
+  /// equal time buckets over [0, makespan]. Flops of a kernel are spread
+  /// uniformly over its interval (Figure 8's y-axis).
+  std::vector<real_t> gflops_series(int bins) const;
+
+ private:
+  std::vector<KernelRecord> records_;
+};
+
+}  // namespace th

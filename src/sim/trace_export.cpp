@@ -1,0 +1,56 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace th {
+
+void write_chrome_trace(std::ostream& out, const Trace& trace,
+                        const std::string& process_name) {
+  out << "{\"traceEvents\":[\n";
+  // Process/thread metadata so the UI shows meaningful labels.
+  out << R"({"name":"process_name","ph":"M","pid":1,"args":{"name":")"
+      << process_name << "\"}}";
+  int max_rank = 0;
+  for (const KernelRecord& r : trace.records()) {
+    max_rank = std::max(max_rank, r.rank);
+  }
+  for (int rank = 0; rank <= max_rank; ++rank) {
+    out << ",\n"
+        << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << rank
+        << R"(,"args":{"name":"rank )" << rank << "\"}}";
+  }
+
+  out.precision(6);
+  for (const KernelRecord& r : trace.records()) {
+    const double start_us = r.start_s * 1e6;
+    const double dur_us = (r.end_s - r.start_s) * 1e6;
+    const double host_us = r.host_s * 1e6;
+    const double dur_s = r.end_s - r.start_s;
+    const double gflops =
+        dur_s > 0 ? static_cast<double>(r.flops) / dur_s / 1e9 : 0;
+    out << ",\n"
+        << R"({"name":"batch of )" << r.tasks << R"( tasks","ph":"X","pid":1,"tid":)"
+        << r.rank << ",\"ts\":" << start_us << ",\"dur\":" << dur_us
+        << R"(,"args":{"tasks":)" << r.tasks << ",\"gflops\":" << gflops
+        << "}}";
+    if (host_us > 0) {
+      out << ",\n"
+          << R"({"name":"host launch+prep","ph":"X","pid":1,"tid":)" << r.rank
+          << ",\"ts\":" << start_us << ",\"dur\":" << host_us << ",\"args\":{}}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path, const Trace& trace,
+                             const std::string& process_name) {
+  std::ofstream out(path);
+  TH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_chrome_trace(out, trace, process_name);
+  TH_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace th

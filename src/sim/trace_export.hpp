@@ -1,0 +1,26 @@
+// Export a simulated execution trace in the Chrome trace-event JSON format
+// (load in chrome://tracing or https://ui.perfetto.dev). Each rank becomes
+// a "thread"; every kernel becomes a complete ("X") event whose name
+// carries its batch size and GFLOPS, with the host launch/preparation
+// share rendered as a nested event — making batching and idle gaps
+// directly visible, like the paper's Figure 8 but per kernel.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace th {
+
+/// Write `trace` as Chrome trace-event JSON. `process_name` labels the
+/// single emitted process. Times are exported in microseconds of simulated
+/// time.
+void write_chrome_trace(std::ostream& out, const Trace& trace,
+                        const std::string& process_name = "trojan-horse");
+
+/// Convenience: write to a file path; throws th::Error on I/O failure.
+void write_chrome_trace_file(const std::string& path, const Trace& trace,
+                             const std::string& process_name = "trojan-horse");
+
+}  // namespace th

@@ -1,0 +1,33 @@
+// 2-D block-cyclic ownership: the process-grid mapping both solver cores
+// use to assign blocks (and hence tasks) to ranks, as in SuperLU_DIST and
+// PanguLU.
+#pragma once
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace th {
+
+struct ProcessGrid {
+  int pr = 1;  // process rows
+  int pc = 1;  // process cols
+
+  int size() const { return pr * pc; }
+
+  /// Owner rank of block (i, j).
+  int owner(index_t i, index_t j) const {
+    return static_cast<int>(i % pr) * pc + static_cast<int>(j % pc);
+  }
+};
+
+/// Most-square grid factorisation of n_ranks (pr <= pc).
+inline ProcessGrid make_process_grid(int n_ranks) {
+  TH_CHECK(n_ranks >= 1);
+  int pr = 1;
+  for (int d = 1; d * d <= n_ranks; ++d) {
+    if (n_ranks % d == 0) pr = d;
+  }
+  return ProcessGrid{pr, n_ranks / pr};
+}
+
+}  // namespace th

@@ -1,0 +1,78 @@
+#include "solvers/condest.hpp"
+
+#include <cmath>
+
+#include "order/perm.hpp"
+#include "solvers/plu.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+real_t one_norm(const Csr& a) {
+  std::vector<real_t> colsum(static_cast<std::size_t>(a.n_cols), 0.0);
+  for (offset_t p = 0; p < a.nnz(); ++p) {
+    colsum[a.col_idx[p]] += std::fabs(a.values[p]);
+  }
+  real_t m = 0;
+  for (real_t c : colsum) m = std::max(m, c);
+  return m;
+}
+
+CondEstimate estimate_condition(SolverInstance& inst, int max_iterations) {
+  TH_CHECK(max_iterations >= 1);
+  TH_CHECK_MSG(inst.numeric_done(), "estimate_condition before numerics");
+  PluFactorization* fact = inst.plu_factorization();
+  TH_CHECK_MSG(fact != nullptr,
+               "estimate_condition requires the PLU core (transpose solve)");
+
+  const Csr& a = inst.matrix();
+  const index_t n = a.n_rows;
+  const Permutation& perm = inst.permutation();
+
+  // A^{-T} c via the permuted factors: A = P^T (PAP^T) P.
+  auto solve_transpose = [&](const std::vector<real_t>& c) {
+    const std::vector<real_t> pc = apply_permutation(c, perm);
+    const std::vector<real_t> w = fact->solve_transpose(pc);
+    return apply_inverse_permutation(w, perm);
+  };
+
+  CondEstimate est;
+  est.norm_a = one_norm(a);
+
+  // Hager's power method on ||A^{-1}||_1.
+  std::vector<real_t> x(static_cast<std::size_t>(n),
+                        1.0 / static_cast<real_t>(n));
+  real_t gamma = 0;
+  for (int it = 0; it < max_iterations; ++it) {
+    const std::vector<real_t> y = inst.solve(x);
+    ++est.solves_used;
+    real_t y1 = 0;
+    for (real_t v : y) y1 += std::fabs(v);
+    gamma = std::max(gamma, y1);
+
+    std::vector<real_t> xi(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      xi[i] = y[i] >= 0 ? 1.0 : -1.0;
+    }
+    const std::vector<real_t> z = solve_transpose(xi);
+    ++est.solves_used;
+
+    index_t j = 0;
+    real_t zmax = 0;
+    for (index_t i = 0; i < n; ++i) {
+      if (std::fabs(z[i]) > zmax) {
+        zmax = std::fabs(z[i]);
+        j = i;
+      }
+    }
+    real_t ztx = 0;
+    for (index_t i = 0; i < n; ++i) ztx += z[i] * x[i];
+    if (zmax <= ztx + 1e-15) break;  // converged
+    x.assign(static_cast<std::size_t>(n), 0.0);
+    x[j] = 1.0;
+  }
+  est.norm_a_inv = gamma;
+  return est;
+}
+
+}  // namespace th

@@ -1,0 +1,28 @@
+// 1-norm condition estimation (Hager 1984 / Higham 1988): estimate
+// ||A^{-1}||_1 using a handful of solves with A and A^T against the
+// computed LU factors, then kappa_1(A) ~= ||A||_1 * ||A^{-1}||_1.
+// The standard diagnostic every production direct solver ships; here it
+// also exercises the transpose-solve path of the PLU core.
+#pragma once
+
+#include "solvers/driver.hpp"
+
+namespace th {
+
+struct CondEstimate {
+  real_t norm_a = 0;        // ||A||_1
+  real_t norm_a_inv = 0;    // estimated ||A^{-1}||_1 (a lower bound)
+  int solves_used = 0;      // solves with A plus solves with A^T
+
+  real_t kappa() const { return norm_a * norm_a_inv; }
+};
+
+/// ||A||_1 (max absolute column sum).
+real_t one_norm(const Csr& a);
+
+/// Estimate kappa_1 of inst.matrix(). `inst` must be a PLU-core instance
+/// whose numeric phase completed; throws otherwise. `max_iterations` bounds
+/// the Hager power iterations (2 is almost always enough).
+CondEstimate estimate_condition(SolverInstance& inst, int max_iterations = 5);
+
+}  // namespace th

@@ -1,0 +1,117 @@
+#include "solvers/driver.hpp"
+
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace th {
+
+const char* solver_core_name(SolverCore c) {
+  switch (c) {
+    case SolverCore::kSlu:
+      return "SLU";
+    case SolverCore::kPlu:
+      return "PLU";
+  }
+  return "?";
+}
+
+SolverInstance::SolverInstance(const Csr& a, const InstanceOptions& opts)
+    : opts_(opts), a_(a) {
+  TH_CHECK_MSG(a.n_rows == a.n_cols, "solver requires a square matrix");
+
+  Stopwatch sw;
+  if (opts.preordered.has_value()) {
+    perm_ = *opts.preordered;
+    TH_CHECK_MSG(is_valid_permutation(perm_) &&
+                     static_cast<index_t>(perm_.size()) == a.n_rows,
+                 "preordered permutation does not match the matrix");
+  } else {
+    perm_ = compute_ordering(a_, opts.ordering);
+  }
+  reorder_s_ = sw.seconds();
+
+  sw.reset();
+  perm_a_ = apply_symmetric_permutation(a_, perm_);
+  if (opts.core == SolverCore::kPlu) {
+    PluOptions po;
+    if (opts.block > 0) po.tile_size = opts.block;
+    po.grid = opts.grid;
+    plu_ = std::make_unique<PluFactorization>(perm_a_, po);
+  } else {
+    SluOptions so;
+    if (opts.block > 0) so.max_supernode = opts.block;
+    so.grid = opts.grid;
+    slu_ = std::make_unique<SluFactorization>(perm_a_, so);
+  }
+  symbolic_s_ = sw.seconds();
+}
+
+const TaskGraph& SolverInstance::graph() const {
+  return plu_ ? plu_->graph() : slu_->graph();
+}
+
+offset_t SolverInstance::nnz_lu() const {
+  if (plu_) {
+    // Before the numeric phase the tiles only hold A's entries; report the
+    // symbolic estimate instead (exact counts exist once numerics ran).
+    return numeric_done_ ? plu_->nnz_lu()
+                         : estimate_tile_nnz_lu(plu_->pattern());
+  }
+  return slu_->nnz_lu();
+}
+
+void SolverInstance::set_grid(const ProcessGrid& grid) {
+  TaskGraph& g = plu_ ? plu_->mutable_graph() : slu_->mutable_graph();
+  for (index_t id = 0; id < g.size(); ++id) {
+    Task& t = g.mutable_task(id);
+    t.owner_rank = grid.owner(t.row, t.col);
+  }
+}
+
+ScheduleResult SolverInstance::run_numeric(const ScheduleOptions& opt) {
+  TH_CHECK_MSG(!numeric_done_,
+               "run_numeric() may be called once per SolverInstance");
+  NumericBackend* backend = plu_ ? &plu_->backend() : &slu_->backend();
+  ScheduleResult r = simulate(graph(), opt, backend);
+  numeric_done_ = true;
+  return r;
+}
+
+ScheduleResult SolverInstance::run_timing(const ScheduleOptions& opt) const {
+  return simulate(graph(), opt, nullptr);
+}
+
+std::vector<real_t> SolverInstance::solve(const std::vector<real_t>& b) const {
+  TH_CHECK_MSG(numeric_done_, "solve() before numeric factorisation");
+  // We factored P A P^T; solve P A P^T z = P b, then x = P^T z.
+  const std::vector<real_t> pb = apply_permutation(b, perm_);
+  const std::vector<real_t> z = plu_ ? plu_->solve(pb) : slu_->solve(pb);
+  return apply_inverse_permutation(z, perm_);
+}
+
+DriverReport run_solver(const Csr& a, const DriverOptions& opt) {
+  SolverInstance inst(a, opt.instance);
+
+  DriverReport rep;
+  rep.n = a.n_rows;
+  rep.nnz = a.nnz();
+  rep.reorder_s = inst.reorder_seconds();
+  rep.symbolic_s = inst.symbolic_seconds();
+  rep.task_count = inst.graph().size();
+  rep.dag_levels = inst.graph().level_count();
+  rep.numeric = inst.run_numeric(opt.sched);
+  rep.nnz_lu = inst.nnz_lu();
+
+  if (opt.check_residual) {
+    Rng rng(opt.rhs_seed);
+    std::vector<real_t> x_true(static_cast<std::size_t>(a.n_rows));
+    for (real_t& v : x_true) v = rng.uniform(-1.0, 1.0);
+    const std::vector<real_t> b = spmv(a, x_true);
+    const std::vector<real_t> x = inst.solve(b);
+    rep.residual = scaled_residual(a, x, b);
+  }
+  return rep;
+}
+
+}  // namespace th

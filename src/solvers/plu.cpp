@@ -1,0 +1,364 @@
+#include "solvers/plu.hpp"
+
+#include <algorithm>
+
+#include "kernels/flops.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+// ---- Numeric backend ------------------------------------------------------
+
+class PluFactorization::Backend : public NumericBackend {
+ public:
+  explicit Backend(TileMatrix& tiles) : tiles_(tiles) {}
+
+  void run_task(const Task& t, bool atomic) override {
+    switch (t.type) {
+      case TaskType::kGetrf:
+        tile_getrf(*tiles_.tile(t.row, t.col));
+        break;
+      case TaskType::kTstrf:
+        tile_tstrf(*tiles_.tile(t.row, t.col), *tiles_.tile(t.k, t.k));
+        break;
+      case TaskType::kGeesm:
+        tile_geesm(*tiles_.tile(t.row, t.col), *tiles_.tile(t.k, t.k));
+        break;
+      case TaskType::kSsssm: {
+        Tile& c = *tiles_.tile(t.row, t.col);
+        if (atomic) {
+          // Concurrent conflicting updates: densification of the shared
+          // target must happen exactly once, under the lock; the
+          // accumulation itself is atomic and lock-free.
+          std::lock_guard<std::mutex> lk(
+              densify_mu_[static_cast<std::size_t>(t.row * 31 + t.col) %
+                          kMutexes]);
+          c.densify();
+        }
+        tile_ssssm(c, *tiles_.tile(t.row, t.k), *tiles_.tile(t.k, t.col),
+                   atomic);
+        break;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMutexes = 64;
+  TileMatrix& tiles_;
+  std::mutex densify_mu_[kMutexes];
+};
+
+// ---- Construction ---------------------------------------------------------
+
+PluFactorization::~PluFactorization() = default;
+
+NumericBackend& PluFactorization::backend() { return *backend_; }
+
+PluFactorization::PluFactorization(const Csr& a, const PluOptions& opts)
+    : opts_(opts),
+      pattern_(tile_symbolic(a, opts.tile_size)),
+      tiles_(std::make_unique<TileMatrix>(a, pattern_)),
+      backend_(std::make_unique<Backend>(*tiles_)) {
+  build_graph();
+}
+
+void PluFactorization::build_graph() {
+  const index_t nt = pattern_.nt;
+
+  // Device footprint helpers. One CUDA block per column (GETRF/GEESM/SSSSM)
+  // or per row (TSTRF), as in Figure 7 of the paper.
+  // Tile density from the exact scalar fill — the basis for both sparse/
+  // dense kernel selection and flop pricing (PanguLU's kernels skip zeros).
+  auto tile_density = [&](index_t i, index_t j) {
+    const offset_t nz =
+        pattern_.fill_nnz[static_cast<std::size_t>(i) * nt + j];
+    const real_t area = static_cast<real_t>(pattern_.rows_in_tile(i)) *
+                        static_cast<real_t>(pattern_.rows_in_tile(j));
+    return std::min<real_t>(1.0, static_cast<real_t>(nz) / area);
+  };
+  auto is_sparse = [&](index_t i, index_t j) {
+    return tile_density(i, j) < opts_.sparse_density_threshold;
+  };
+
+  // Task ids for the final (consumer) task of each tile, so SSSSM
+  // producers can attach dependencies: for tile (i,j), the consumer is
+  // GETRF (i==j), TSTRF (i>j, step j) or GEESM (i<j, step i).
+  std::vector<index_t> consumer(
+      static_cast<std::size_t>(nt) * static_cast<std::size_t>(nt), -1);
+  auto cons = [&](index_t i, index_t j) -> index_t& {
+    return consumer[static_cast<std::size_t>(i) * nt + j];
+  };
+
+  // Pass 1: create GETRF / TSTRF / GEESM tasks (the per-tile consumers).
+  for (index_t k = 0; k < nt; ++k) {
+    const index_t bk = pattern_.rows_in_tile(k);
+    {
+      Task t;
+      t.type = TaskType::kGetrf;
+      t.k = k;
+      t.row = t.col = k;
+      t.cost.flops = std::max<offset_t>(
+          1, static_cast<offset_t>(static_cast<real_t>(getrf_flops(bk)) *
+                                   tile_density(k, k)));
+      t.cost.bytes = words_to_bytes(2 * static_cast<offset_t>(bk) * bk);
+      t.cost.cuda_blocks = bk;
+      t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
+      t.cost.sparse = false;  // diagonal tiles densify under fill
+      t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * bk);
+      t.owner_rank = opts_.grid.owner(k, k);
+      cons(k, k) = graph_.add_task(t);
+    }
+    for (const index_t i : pattern_.col_tiles_below(k)) {
+      const index_t bi = pattern_.rows_in_tile(i);
+      Task t;
+      t.type = TaskType::kTstrf;
+      t.k = k;
+      t.row = i;
+      t.col = k;
+      t.cost.flops = std::max<offset_t>(
+          1, static_cast<offset_t>(static_cast<real_t>(trsm_flops(bk, bi)) *
+                                   tile_density(i, k)));
+      t.cost.bytes =
+          words_to_bytes(2 * static_cast<offset_t>(bi) * bk +
+                         static_cast<offset_t>(bk) * bk);
+      t.cost.cuda_blocks = bi;  // one block per row of the target
+      t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
+      t.cost.sparse = is_sparse(i, k);
+      t.out_bytes = words_to_bytes(static_cast<offset_t>(bi) * bk);
+      t.owner_rank = opts_.grid.owner(i, k);
+      cons(i, k) = graph_.add_task(t);
+    }
+    for (const index_t j : pattern_.row_tiles_right(k)) {
+      const index_t bj = pattern_.rows_in_tile(j);
+      Task t;
+      t.type = TaskType::kGeesm;
+      t.k = k;
+      t.row = k;
+      t.col = j;
+      t.cost.flops = std::max<offset_t>(
+          1, static_cast<offset_t>(static_cast<real_t>(trsm_flops(bk, bj)) *
+                                   tile_density(k, j)));
+      t.cost.bytes =
+          words_to_bytes(2 * static_cast<offset_t>(bk) * bj +
+                         static_cast<offset_t>(bk) * bk);
+      t.cost.cuda_blocks = bj;  // one block per column of the target
+      t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
+      t.cost.sparse = is_sparse(k, j);
+      t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * bj);
+      t.owner_rank = opts_.grid.owner(k, j);
+      cons(k, j) = graph_.add_task(t);
+    }
+  }
+
+  // Pass 2: SSSSM tasks + all dependencies.
+  for (index_t k = 0; k < nt; ++k) {
+    const index_t f_k = cons(k, k);
+    const std::vector<index_t> col = pattern_.col_tiles_below(k);
+    const std::vector<index_t> row = pattern_.row_tiles_right(k);
+    for (const index_t i : col) graph_.add_dependency(f_k, cons(i, k));
+    for (const index_t j : row) graph_.add_dependency(f_k, cons(k, j));
+
+    const index_t bk = pattern_.rows_in_tile(k);
+    for (const index_t i : col) {
+      const index_t bi = pattern_.rows_in_tile(i);
+      for (const index_t j : row) {
+        const index_t bj = pattern_.rows_in_tile(j);
+        TH_ASSERT(pattern_.has(i, j));  // guaranteed by block fill
+        Task t;
+        t.type = TaskType::kSsssm;
+        t.k = k;
+        t.row = i;
+        t.col = j;
+        // Column-column SSSSM: every nonzero of L(i,k) multiplies the
+        // dense columns of U(k,j) — flops scale with both densities.
+        const real_t ldens = std::max<real_t>(tile_density(i, k), 0.01);
+        const real_t udens = std::max<real_t>(tile_density(k, j), 0.01);
+        t.cost.flops = std::max<offset_t>(
+            1, gemm_flops(bi, bj, bk, ldens * udens));
+        t.cost.bytes = words_to_bytes(static_cast<offset_t>(bi) * bk +
+                                      static_cast<offset_t>(bk) * bj +
+                                      2 * static_cast<offset_t>(bi) * bj);
+        t.cost.cuda_blocks = bj;
+        t.cost.shmem_per_block = static_cast<offset_t>(bi) * 8;
+        t.cost.sparse = is_sparse(i, k);
+        t.out_bytes = words_to_bytes(static_cast<offset_t>(bi) * bj);
+        t.atomic_ok = true;
+        t.owner_rank = opts_.grid.owner(i, j);
+        const index_t s = graph_.add_task(t);
+        graph_.add_dependency(cons(i, k), s);
+        graph_.add_dependency(cons(k, j), s);
+        // The Schur result must land before the tile's own consumer runs.
+        graph_.add_dependency(s, cons(i, j));
+      }
+    }
+  }
+
+  graph_.finalize();
+}
+
+std::vector<real_t> PluFactorization::solve(
+    const std::vector<real_t>& b) const {
+  const index_t n = pattern_.n;
+  TH_CHECK(static_cast<index_t>(b.size()) == n);
+  const index_t nt = pattern_.nt;
+  const index_t bs = pattern_.tile_size;
+  std::vector<real_t> x = b;
+
+  auto tile_dense = [&](index_t i, index_t j) -> const Tile* {
+    const Tile* t = tiles_->tile(i, j);
+    if (t != nullptr) {
+      TH_CHECK_MSG(t->storage() == Tile::Storage::kDense,
+                   "solve() before numeric factorisation completed");
+    }
+    return t;
+  };
+
+  // Forward solve L y = b (unit diagonal; L strictly below the diagonal of
+  // diagonal tiles plus all tiles with i > j).
+  for (index_t J = 0; J < nt; ++J) {
+    const Tile* diag = tile_dense(J, J);
+    TH_ASSERT(diag != nullptr);
+    const index_t w = diag->cols();
+    real_t* xj = x.data() + static_cast<offset_t>(J) * bs;
+    // Within-tile forward substitution.
+    const real_t* d = diag->dense_data();
+    for (index_t c = 0; c < w; ++c) {
+      const real_t xc = xj[c];
+      if (xc == 0.0) continue;
+      for (index_t r = c + 1; r < w; ++r) {
+        xj[r] -= d[r + c * static_cast<offset_t>(diag->ld())] * xc;
+      }
+    }
+    // Panel updates below.
+    for (index_t I = J + 1; I < nt; ++I) {
+      const Tile* lt = tiles_->tile(I, J);
+      if (lt == nullptr) continue;
+      const real_t* ld = tile_dense(I, J)->dense_data();
+      real_t* xi = x.data() + static_cast<offset_t>(I) * bs;
+      for (index_t c = 0; c < lt->cols(); ++c) {
+        const real_t xc = xj[c];
+        if (xc == 0.0) continue;
+        for (index_t r = 0; r < lt->rows(); ++r) {
+          xi[r] -= ld[r + c * static_cast<offset_t>(lt->ld())] * xc;
+        }
+      }
+    }
+  }
+
+  // Backward solve U x = y (non-unit diagonal).
+  for (index_t J = nt - 1; J >= 0; --J) {
+    const Tile* diag = tile_dense(J, J);
+    const index_t w = diag->cols();
+    real_t* xj = x.data() + static_cast<offset_t>(J) * bs;
+    // Updates from tiles right of the diagonal.
+    for (index_t K = J + 1; K < nt; ++K) {
+      const Tile* ut = tiles_->tile(J, K);
+      if (ut == nullptr) continue;
+      const real_t* ud = tile_dense(J, K)->dense_data();
+      const real_t* xk = x.data() + static_cast<offset_t>(K) * bs;
+      for (index_t c = 0; c < ut->cols(); ++c) {
+        const real_t xc = xk[c];
+        if (xc == 0.0) continue;
+        for (index_t r = 0; r < ut->rows(); ++r) {
+          xj[r] -= ud[r + c * static_cast<offset_t>(ut->ld())] * xc;
+        }
+      }
+    }
+    // Within-tile backward substitution.
+    const real_t* d = diag->dense_data();
+    for (index_t c = w - 1; c >= 0; --c) {
+      real_t acc = xj[c];
+      for (index_t r = c + 1; r < w; ++r) {
+        acc -= d[c + r * static_cast<offset_t>(diag->ld())] * xj[r];
+      }
+      xj[c] = acc / d[c + c * static_cast<offset_t>(diag->ld())];
+    }
+  }
+  return x;
+}
+
+std::vector<real_t> PluFactorization::solve_transpose(
+    const std::vector<real_t>& c) const {
+  const index_t n = pattern_.n;
+  TH_CHECK(static_cast<index_t>(c.size()) == n);
+  const index_t nt = pattern_.nt;
+  const index_t bs = pattern_.tile_size;
+  std::vector<real_t> x = c;
+
+  auto tile_dense = [&](index_t i, index_t j) -> const Tile* {
+    const Tile* t = tiles_->tile(i, j);
+    if (t != nullptr) {
+      TH_CHECK_MSG(t->storage() == Tile::Storage::kDense,
+                   "solve_transpose() before numeric factorisation");
+    }
+    return t;
+  };
+
+  // Forward: U^T y = c. U^T is lower triangular (non-unit); iterate block
+  // rows ascending, using U tiles (J, K) with K > J transposed.
+  for (index_t J = 0; J < nt; ++J) {
+    const Tile* diag = tile_dense(J, J);
+    TH_ASSERT(diag != nullptr);
+    const index_t w = diag->cols();
+    real_t* xj = x.data() + static_cast<offset_t>(J) * bs;
+    const real_t* d = diag->dense_data();
+    // Within-tile: solve U(J,J)^T y_J = rhs (lower, non-unit).
+    for (index_t r = 0; r < w; ++r) {
+      real_t acc = xj[r];
+      for (index_t k = 0; k < r; ++k) {
+        // (U^T)(r,k) = U(k,r)
+        acc -= d[k + static_cast<offset_t>(r) * diag->ld()] * xj[k];
+      }
+      xj[r] = acc / d[r + static_cast<offset_t>(r) * diag->ld()];
+    }
+    // Propagate to later block rows: x_K -= U(J,K)^T y_J for K > J.
+    for (index_t K = J + 1; K < nt; ++K) {
+      const Tile* ut = tiles_->tile(J, K);
+      if (ut == nullptr) continue;
+      const real_t* ud = tile_dense(J, K)->dense_data();
+      real_t* xk = x.data() + static_cast<offset_t>(K) * bs;
+      for (index_t cidx = 0; cidx < ut->cols(); ++cidx) {
+        real_t acc = 0;
+        for (index_t r = 0; r < ut->rows(); ++r) {
+          acc += ud[r + static_cast<offset_t>(cidx) * ut->ld()] * xj[r];
+        }
+        xk[cidx] -= acc;
+      }
+    }
+  }
+
+  // Backward: L^T z = y. L^T is upper triangular (unit); iterate block rows
+  // descending, using L tiles (I, J) with I > J transposed.
+  for (index_t J = nt - 1; J >= 0; --J) {
+    real_t* xj = x.data() + static_cast<offset_t>(J) * bs;
+    // Gather contributions from later block rows: x_J -= L(I,J)^T z_I.
+    for (index_t I = J + 1; I < nt; ++I) {
+      const Tile* lt = tiles_->tile(I, J);
+      if (lt == nullptr) continue;
+      const real_t* ld = tile_dense(I, J)->dense_data();
+      const real_t* xi = x.data() + static_cast<offset_t>(I) * bs;
+      for (index_t cidx = 0; cidx < lt->cols(); ++cidx) {
+        real_t acc = 0;
+        for (index_t r = 0; r < lt->rows(); ++r) {
+          acc += ld[r + static_cast<offset_t>(cidx) * lt->ld()] * xi[r];
+        }
+        xj[cidx] -= acc;
+      }
+    }
+    // Within-tile: solve L(J,J)^T z_J = rhs (upper, unit diagonal).
+    const Tile* diag = tile_dense(J, J);
+    const index_t w = diag->cols();
+    const real_t* d = diag->dense_data();
+    for (index_t r = w - 1; r >= 0; --r) {
+      real_t acc = xj[r];
+      for (index_t k = r + 1; k < w; ++k) {
+        // (L^T)(r,k) = L(k,r), strictly lower entries of the diag tile.
+        acc -= d[k + static_cast<offset_t>(r) * diag->ld()] * xj[k];
+      }
+      xj[r] = acc;
+    }
+  }
+  return x;
+}
+
+}  // namespace th

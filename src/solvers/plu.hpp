@@ -1,0 +1,65 @@
+// PLU — the PanguLU-style sparse-block solver core.
+//
+// The (reordered) matrix is cut into fixed b-by-b tiles; block symbolic
+// elimination predicts the L+U tile pattern; the numeric phase is the
+// right-looking block algorithm of Figure 4: GETRF on diagonal tiles,
+// TSTRF/GEESM on panel tiles, SSSSM Schur updates on trailing tiles. The
+// task DAG, per-task device costs, and 2-D block-cyclic ownership feed the
+// Trojan Horse scheduling layer; the numeric bodies run on host tiles.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "core/scheduler.hpp"
+#include "kernels/tile.hpp"
+#include "solvers/block_cyclic.hpp"
+
+namespace th {
+
+struct PluOptions {
+  index_t tile_size = 64;      // paper tunes PanguLU's block size to 512 at
+                               // SuiteSparse scale; 64 matches our stand-ins
+  real_t sparse_density_threshold = 0.25;  // tiles below are "sparse" tasks
+  ProcessGrid grid;            // block-cyclic ownership
+};
+
+/// The assembled problem: tiles plus the task DAG over them.
+class PluFactorization {
+ public:
+  PluFactorization(const Csr& a, const PluOptions& opts);
+  ~PluFactorization();
+
+  const TaskGraph& graph() const { return graph_; }
+  TaskGraph& mutable_graph() { return graph_; }
+  const TilePattern& pattern() const { return pattern_; }
+  TileMatrix& tiles() { return *tiles_; }
+  const TileMatrix& tiles() const { return *tiles_; }
+
+  /// Numeric backend bound to this factorisation's tiles.
+  NumericBackend& backend();
+
+  /// nnz(L+U) after the numeric phase (diagonal counted once).
+  offset_t nnz_lu() const { return tiles_->total_nnz(); }
+
+  /// Triangular solves with the computed factors: returns x with
+  /// L U x = b (b in the *permuted* ordering). Must be called after the
+  /// numeric phase completed.
+  std::vector<real_t> solve(const std::vector<real_t>& b) const;
+
+  /// Transpose solve: returns z with (L U)^T z = U^T L^T z = c. Needed by
+  /// the 1-norm condition estimator (solvers/condest.hpp).
+  std::vector<real_t> solve_transpose(const std::vector<real_t>& c) const;
+
+ private:
+  class Backend;
+  PluOptions opts_;
+  TilePattern pattern_;
+  std::unique_ptr<TileMatrix> tiles_;
+  std::unique_ptr<Backend> backend_;
+  TaskGraph graph_;
+
+  void build_graph();
+};
+
+}  // namespace th

@@ -1,0 +1,205 @@
+#include "solvers/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace th {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'H', 'L', 'U'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TH_CHECK_MSG(in.good(), "truncated factor stream");
+  return v;
+}
+
+}  // namespace
+
+void save_factors(std::ostream& out, const PluFactorization& fact,
+                  const Permutation& perm) {
+  const TilePattern& p = fact.pattern();
+  TH_CHECK_MSG(static_cast<index_t>(perm.size()) == p.n,
+               "permutation does not match the factorisation");
+
+  out.write(kMagic, 4);
+  put(out, kVersion);
+  put(out, p.n);
+  put(out, p.tile_size);
+  put(out, p.nt);
+  out.write(reinterpret_cast<const char*>(perm.data()),
+            static_cast<std::streamsize>(perm.size() * sizeof(index_t)));
+
+  // Count dense tiles first (all tiles are dense after the numeric phase).
+  offset_t count = 0;
+  for (index_t i = 0; i < p.nt; ++i) {
+    for (index_t j = 0; j < p.nt; ++j) {
+      if (fact.tiles().tile(i, j) != nullptr) ++count;
+    }
+  }
+  put(out, count);
+  for (index_t i = 0; i < p.nt; ++i) {
+    for (index_t j = 0; j < p.nt; ++j) {
+      const Tile* t = fact.tiles().tile(i, j);
+      if (t == nullptr) continue;
+      TH_CHECK_MSG(t->storage() == Tile::Storage::kDense,
+                   "save_factors before the numeric phase completed");
+      put(out, i);
+      put(out, j);
+      put(out, t->rows());
+      put(out, t->cols());
+      out.write(reinterpret_cast<const char*>(t->dense_data()),
+                static_cast<std::streamsize>(
+                    static_cast<std::size_t>(t->rows()) * t->cols() *
+                    sizeof(real_t)));
+    }
+  }
+  TH_CHECK_MSG(out.good(), "factor stream write failed");
+}
+
+void save_factors_file(const std::string& path, const PluFactorization& fact,
+                       const Permutation& perm) {
+  std::ofstream out(path, std::ios::binary);
+  TH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_factors(out, fact, perm);
+}
+
+LoadedFactors load_factors(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  TH_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+               "not a Trojan Horse factor stream (bad magic)");
+  const auto version = get<std::uint32_t>(in);
+  TH_CHECK_MSG(version == kVersion, "unsupported factor version " << version);
+
+  LoadedFactors f;
+  f.n_ = get<index_t>(in);
+  f.tile_size_ = get<index_t>(in);
+  f.nt_ = get<index_t>(in);
+  TH_CHECK_MSG(f.n_ > 0 && f.tile_size_ > 0 &&
+                   f.nt_ == (f.n_ + f.tile_size_ - 1) / f.tile_size_,
+               "inconsistent factor header");
+  f.perm_.resize(static_cast<std::size_t>(f.n_));
+  in.read(reinterpret_cast<char*>(f.perm_.data()),
+          static_cast<std::streamsize>(f.perm_.size() * sizeof(index_t)));
+  TH_CHECK_MSG(in.good() && is_valid_permutation(f.perm_),
+               "corrupt permutation in factor stream");
+
+  const auto count = get<offset_t>(in);
+  TH_CHECK_MSG(count >= f.nt_ &&
+                   count <= static_cast<offset_t>(f.nt_) * f.nt_,
+               "implausible tile count " << count);
+  f.tiles_.reserve(static_cast<std::size_t>(count));
+  f.tile_lookup_.assign(
+      static_cast<std::size_t>(f.nt_) * static_cast<std::size_t>(f.nt_), -1);
+  for (offset_t k = 0; k < count; ++k) {
+    LoadedFactors::StoredTile t;
+    t.i = get<index_t>(in);
+    t.j = get<index_t>(in);
+    t.rows = get<index_t>(in);
+    t.cols = get<index_t>(in);
+    TH_CHECK_MSG(t.i >= 0 && t.i < f.nt_ && t.j >= 0 && t.j < f.nt_ &&
+                     t.rows > 0 && t.rows <= f.tile_size_ && t.cols > 0 &&
+                     t.cols <= f.tile_size_,
+                 "corrupt tile header at index " << k);
+    t.values.resize(static_cast<std::size_t>(t.rows) * t.cols);
+    in.read(reinterpret_cast<char*>(t.values.data()),
+            static_cast<std::streamsize>(t.values.size() * sizeof(real_t)));
+    TH_CHECK_MSG(in.good(), "truncated tile values at index " << k);
+    f.tile_lookup_[static_cast<std::size_t>(t.i) * f.nt_ + t.j] =
+        static_cast<index_t>(f.tiles_.size());
+    f.tiles_.push_back(std::move(t));
+  }
+  for (index_t d = 0; d < f.nt_; ++d) {
+    TH_CHECK_MSG(f.tile(d, d) != nullptr,
+                 "factor stream misses diagonal tile " << d);
+  }
+  return f;
+}
+
+LoadedFactors load_factors_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TH_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_factors(in);
+}
+
+const LoadedFactors::StoredTile* LoadedFactors::tile(index_t i,
+                                                     index_t j) const {
+  const index_t idx =
+      tile_lookup_[static_cast<std::size_t>(i) * nt_ + j];
+  return idx < 0 ? nullptr : &tiles_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<real_t> LoadedFactors::solve(const std::vector<real_t>& b) const {
+  TH_CHECK(static_cast<index_t>(b.size()) == n_);
+  // Work in the permuted ordering, as the factors were stored.
+  std::vector<real_t> x = apply_permutation(b, perm_);
+
+  // Forward solve L y = Pb.
+  for (index_t J = 0; J < nt_; ++J) {
+    const StoredTile* diag = tile(J, J);
+    const index_t w = diag->cols;
+    real_t* xj = x.data() + static_cast<offset_t>(J) * tile_size_;
+    for (index_t c = 0; c < w; ++c) {
+      const real_t xc = xj[c];
+      if (xc == 0.0) continue;
+      for (index_t r = c + 1; r < w; ++r) {
+        xj[r] -= diag->values[r + static_cast<offset_t>(c) * w] * xc;
+      }
+    }
+    for (index_t I = J + 1; I < nt_; ++I) {
+      const StoredTile* lt = tile(I, J);
+      if (lt == nullptr) continue;
+      real_t* xi = x.data() + static_cast<offset_t>(I) * tile_size_;
+      for (index_t c = 0; c < lt->cols; ++c) {
+        const real_t xc = xj[c];
+        if (xc == 0.0) continue;
+        for (index_t r = 0; r < lt->rows; ++r) {
+          xi[r] -= lt->values[r + static_cast<offset_t>(c) * lt->rows] * xc;
+        }
+      }
+    }
+  }
+
+  // Backward solve U z = y.
+  for (index_t J = nt_ - 1; J >= 0; --J) {
+    real_t* xj = x.data() + static_cast<offset_t>(J) * tile_size_;
+    for (index_t K = J + 1; K < nt_; ++K) {
+      const StoredTile* ut = tile(J, K);
+      if (ut == nullptr) continue;
+      const real_t* xk = x.data() + static_cast<offset_t>(K) * tile_size_;
+      for (index_t c = 0; c < ut->cols; ++c) {
+        const real_t xc = xk[c];
+        if (xc == 0.0) continue;
+        for (index_t r = 0; r < ut->rows; ++r) {
+          xj[r] -= ut->values[r + static_cast<offset_t>(c) * ut->rows] * xc;
+        }
+      }
+    }
+    const StoredTile* diag = tile(J, J);
+    const index_t w = diag->cols;
+    for (index_t c = w - 1; c >= 0; --c) {
+      real_t acc = xj[c];
+      for (index_t r = c + 1; r < w; ++r) {
+        acc -= diag->values[c + static_cast<offset_t>(r) * w] * xj[r];
+      }
+      xj[c] = acc / diag->values[c + static_cast<offset_t>(c) * w];
+    }
+  }
+  return apply_inverse_permutation(x, perm_);
+}
+
+}  // namespace th

@@ -1,0 +1,67 @@
+// Binary serialization of computed PLU factors.
+//
+// A production direct solver lets applications factor once and reuse the
+// factors across runs (circuit simulators checkpoint exactly this way).
+// The format stores the permutation and every dense tile of L+U with a
+// small self-describing header; loading reconstructs a solve-capable
+// object without refactoring.
+//
+// Format (native-endian, FP64):
+//   magic "THLU" | version u32 | n i32 | tile_size i32 | nt i32 |
+//   perm[n] i32 |
+//   tile count i64 | per tile: { i i32, j i32, rows i32, cols i32,
+//                                values rows*cols f64 (column-major) }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "order/perm.hpp"
+#include "solvers/plu.hpp"
+
+namespace th {
+
+/// A reloaded factorisation: enough state to solve, independent of the
+/// original SolverInstance.
+class LoadedFactors {
+ public:
+  index_t n() const { return n_; }
+  index_t tile_size() const { return tile_size_; }
+  index_t nt() const { return nt_; }
+  const Permutation& permutation() const { return perm_; }
+  offset_t tile_count() const { return static_cast<offset_t>(tiles_.size()); }
+
+  /// Solve A x = b with the stored factors (handles the permutation).
+  std::vector<real_t> solve(const std::vector<real_t>& b) const;
+
+ private:
+  friend LoadedFactors load_factors(std::istream& in);
+
+  struct StoredTile {
+    index_t i = 0, j = 0, rows = 0, cols = 0;
+    std::vector<real_t> values;  // column-major
+  };
+  const StoredTile* tile(index_t i, index_t j) const;
+
+  index_t n_ = 0;
+  index_t tile_size_ = 0;
+  index_t nt_ = 0;
+  Permutation perm_;
+  std::vector<StoredTile> tiles_;        // in (i, j) lexicographic order
+  std::vector<index_t> tile_lookup_;     // nt*nt -> index into tiles_, -1 absent
+};
+
+/// Serialise the factors of a completed PLU factorisation together with the
+/// fill-reducing permutation that produced it.
+void save_factors(std::ostream& out, const PluFactorization& fact,
+                  const Permutation& perm);
+void save_factors_file(const std::string& path, const PluFactorization& fact,
+                       const Permutation& perm);
+
+/// Load factors previously written by save_factors. Throws th::Error on a
+/// malformed stream.
+LoadedFactors load_factors(std::istream& in);
+LoadedFactors load_factors_file(const std::string& path);
+
+}  // namespace th

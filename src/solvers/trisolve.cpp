@@ -1,0 +1,194 @@
+#include "solvers/trisolve.hpp"
+
+#include "kernels/dense.hpp"
+#include "kernels/flops.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+namespace {
+
+// Task encoding within the solve DAGs:
+//   kGetrf  -> diagonal substitution on block row t.k (row == col == k)
+//   kSsssm  -> update x[t.row] -= T(t.row, t.col) * x[t.col]
+// (reusing the factorisation task types keeps the scheduler unchanged; a
+// solve batch is as heterogeneous as a factorisation batch).
+constexpr TaskType kDiagSolve = TaskType::kGetrf;
+constexpr TaskType kUpdate = TaskType::kSsssm;
+
+}  // namespace
+
+class PluTriangularSolver::Backend : public NumericBackend {
+ public:
+  Backend(PluFactorization& fact, std::vector<real_t>& x, index_t nrhs,
+          bool forward)
+      : fact_(fact), x_(x), nrhs_(nrhs), forward_(forward) {}
+
+  void run_task(const Task& t, bool /*atomic*/) override {
+    // Solve updates conflict on the target block *row* (x[i]), not on the
+    // (row, col) key the factorisation scheduler uses for SSSSM conflict
+    // detection — so accumulation is unconditionally atomic here. With the
+    // default single-worker executor this costs one uncontended CAS per
+    // element.
+    const index_t bs = fact_.pattern().tile_size;
+    const index_t n = fact_.pattern().n;
+    if (t.type == kDiagSolve) {
+      const Tile& d = *fact_.tiles().tile(t.k, t.k);
+      const index_t w = d.rows();
+      real_t* xk = x_.data() + static_cast<offset_t>(t.k) * bs;
+      for (index_t r = 0; r < nrhs_; ++r) {
+        real_t* col = xk + static_cast<offset_t>(r) * n;
+        if (forward_) {
+          // Unit-lower substitution within the diagonal tile.
+          for (index_t c = 0; c < w; ++c) {
+            const real_t xc = col[c];
+            if (xc == 0.0) continue;
+            for (index_t i = c + 1; i < w; ++i) {
+              col[i] -= d.dense_data()[i + static_cast<offset_t>(c) * w] * xc;
+            }
+          }
+        } else {
+          // Non-unit upper substitution.
+          for (index_t c = w - 1; c >= 0; --c) {
+            real_t acc = col[c];
+            for (index_t i = c + 1; i < w; ++i) {
+              acc -= d.dense_data()[c + static_cast<offset_t>(i) * w] * col[i];
+            }
+            col[c] = acc / d.dense_data()[c + static_cast<offset_t>(c) * w];
+          }
+        }
+      }
+    } else {
+      // x[row] -= T(row, col) * x[col].
+      const Tile& tile = *fact_.tiles().tile(t.row, t.col);
+      real_t* xr = x_.data() + static_cast<offset_t>(t.row) * bs;
+      const real_t* xc = x_.data() + static_cast<offset_t>(t.col) * bs;
+      for (index_t r = 0; r < nrhs_; ++r) {
+        real_t* out = xr + static_cast<offset_t>(r) * n;
+        const real_t* in = xc + static_cast<offset_t>(r) * n;
+        for (index_t c = 0; c < tile.cols(); ++c) {
+          const real_t v = in[c];
+          if (v == 0.0) continue;
+          const real_t* tc =
+              tile.dense_data() + static_cast<offset_t>(c) * tile.ld();
+          for (index_t i = 0; i < tile.rows(); ++i) {
+            atomic_add(out[i], -tc[i] * v);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  PluFactorization& fact_;
+  std::vector<real_t>& x_;
+  index_t nrhs_;
+  bool forward_;
+};
+
+PluTriangularSolver::PluTriangularSolver(PluFactorization& fact, index_t nrhs,
+                                         const ProcessGrid& grid)
+    : fact_(fact), nrhs_(nrhs), grid_(grid) {
+  TH_CHECK(nrhs >= 1);
+  forward_ = build_graph(/*forward=*/true);
+  backward_ = build_graph(/*forward=*/false);
+}
+
+TaskGraph PluTriangularSolver::build_graph(bool forward) const {
+  const TilePattern& p = fact_.pattern();
+  const index_t nt = p.nt;
+  TaskGraph g;
+
+  // One diagonal substitution task per block row.
+  std::vector<index_t> diag_id(static_cast<std::size_t>(nt));
+  for (index_t k = 0; k < nt; ++k) {
+    const index_t bk = p.rows_in_tile(k);
+    Task t;
+    t.type = kDiagSolve;
+    t.k = k;
+    t.row = t.col = k;
+    t.cost.flops = static_cast<offset_t>(bk) * bk * nrhs_;
+    t.cost.bytes = words_to_bytes(static_cast<offset_t>(bk) * bk +
+                                  2 * static_cast<offset_t>(bk) * nrhs_);
+    t.cost.cuda_blocks = std::max<index_t>(1, nrhs_);
+    t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
+    t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * nrhs_);
+    t.owner_rank = grid_.owner(k, k);
+    diag_id[k] = g.add_task(t);
+  }
+
+  // One update task per off-diagonal tile of the triangle being solved,
+  // feeding the destination block row's diagonal task.
+  for (index_t k = 0; k < nt; ++k) {
+    const std::vector<index_t> targets =
+        forward ? p.col_tiles_below(k) : std::vector<index_t>{};
+    if (forward) {
+      for (const index_t i : targets) {
+        const index_t bi = p.rows_in_tile(i);
+        const index_t bk = p.rows_in_tile(k);
+        Task t;
+        t.type = kUpdate;
+        t.k = k;
+        t.row = i;
+        t.col = k;
+        t.cost.flops = 2 * static_cast<offset_t>(bi) * bk * nrhs_;
+        t.cost.bytes = words_to_bytes(static_cast<offset_t>(bi) * bk +
+                                      2 * static_cast<offset_t>(bi) * nrhs_);
+        t.cost.cuda_blocks = std::max<index_t>(1, bi / 16);
+        t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
+        t.out_bytes = words_to_bytes(static_cast<offset_t>(bi) * nrhs_);
+        t.atomic_ok = true;  // updates into block i commute
+        t.owner_rank = grid_.owner(i, k);
+        const index_t id = g.add_task(t);
+        g.add_dependency(diag_id[k], id);
+        g.add_dependency(id, diag_id[i]);
+      }
+    } else {
+      for (const index_t j : p.row_tiles_right(k)) {
+        // Backward: x_k -= U(k, j) x_j, so the update targets block k and
+        // depends on block j's diagonal task.
+        const index_t bk = p.rows_in_tile(k);
+        const index_t bj = p.rows_in_tile(j);
+        Task t;
+        t.type = kUpdate;
+        t.k = j;
+        t.row = k;
+        t.col = j;
+        t.cost.flops = 2 * static_cast<offset_t>(bk) * bj * nrhs_;
+        t.cost.bytes = words_to_bytes(static_cast<offset_t>(bk) * bj +
+                                      2 * static_cast<offset_t>(bk) * nrhs_);
+        t.cost.cuda_blocks = std::max<index_t>(1, bk / 16);
+        t.cost.shmem_per_block = static_cast<offset_t>(bj) * 8;
+        t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * nrhs_);
+        t.atomic_ok = true;
+        t.owner_rank = grid_.owner(k, j);
+        const index_t id = g.add_task(t);
+        g.add_dependency(diag_id[j], id);
+        g.add_dependency(id, diag_id[k]);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TriSolveResult PluTriangularSolver::solve(const std::vector<real_t>& b,
+                                          const ScheduleOptions& opt) {
+  const index_t n = fact_.pattern().n;
+  TH_CHECK_MSG(static_cast<index_t>(b.size()) ==
+                   n * static_cast<offset_t>(nrhs_),
+               "b must be n x nrhs");
+  TriSolveResult out;
+  out.x = b;
+  {
+    Backend backend(fact_, out.x, nrhs_, /*forward=*/true);
+    out.forward = simulate(forward_, opt, &backend);
+  }
+  {
+    Backend backend(fact_, out.x, nrhs_, /*forward=*/false);
+    out.backward = simulate(backward_, opt, &backend);
+  }
+  return out;
+}
+
+}  // namespace th

@@ -1,0 +1,56 @@
+// Parallel sparse triangular solve (SpTRSV) over the PLU tile structure.
+//
+// The solve phase generates the same fine-grained, dependency-laden task
+// soup as factorisation (the paper's related-work section calls SpTRSV out
+// as an essential component), so it benefits from the same
+// aggregate-and-batch treatment. This module builds forward (L x = b) and
+// backward (U x = y) task DAGs over the factored tiles — one diagonal
+// substitution task per block row plus one update task per off-diagonal
+// tile, update tasks into the same block commuting via atomic adds — and
+// executes them through the standard scheduler, supporting multiple
+// right-hand sides.
+//
+// This is an extension beyond the paper's evaluated scope (the paper
+// batches the numeric factorisation only); bench/ext_sptrsv quantifies it.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "solvers/plu.hpp"
+
+namespace th {
+
+/// Result of a scheduled triangular-solve phase.
+struct TriSolveResult {
+  std::vector<real_t> x;          // n * nrhs, column-major
+  ScheduleResult forward;         // L-solve schedule
+  ScheduleResult backward;        // U-solve schedule
+};
+
+class PluTriangularSolver {
+ public:
+  /// `fact` must have completed its numeric phase (tiles dense).
+  /// `nrhs` right-hand sides are solved together; costs scale with nrhs.
+  PluTriangularSolver(PluFactorization& fact, index_t nrhs,
+                      const ProcessGrid& grid = {});
+
+  const TaskGraph& forward_graph() const { return forward_; }
+  const TaskGraph& backward_graph() const { return backward_; }
+
+  /// Solve L U X = B under the given scheduling options (B is n x nrhs,
+  /// column-major, in the permuted ordering). Numerics execute on the host
+  /// during the simulation, exactly like the factorisation path.
+  TriSolveResult solve(const std::vector<real_t>& b,
+                       const ScheduleOptions& opt);
+
+ private:
+  class Backend;
+  TaskGraph build_graph(bool forward) const;
+
+  PluFactorization& fact_;
+  index_t nrhs_;
+  ProcessGrid grid_;
+  TaskGraph forward_;
+  TaskGraph backward_;
+};
+
+}  // namespace th

@@ -1,0 +1,31 @@
+// Format conversions. All converters produce sorted, duplicate-free output
+// (duplicates in COO input are summed).
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace th {
+
+/// COO -> CSR with duplicate summation and per-row column sorting.
+Csr coo_to_csr(const Coo& a);
+
+/// COO -> CSC with duplicate summation and per-column row sorting.
+Csc coo_to_csc(const Coo& a);
+
+/// CSR -> CSC (exact transpose of the storage, same matrix).
+Csc csr_to_csc(const Csr& a);
+
+/// CSC -> CSR.
+Csr csc_to_csr(const Csc& a);
+
+/// Explicit transpose: returns B = A^T in CSR form.
+Csr transpose(const Csr& a);
+
+/// Symmetrize the *pattern*: returns the pattern of A + A^T with values from
+/// A where present and 0 where only the transpose contributes. Used before
+/// symbolic analysis, which assumes a structurally symmetric input (both
+/// SuperLU_DIST and PanguLU symmetrize similarly after static pivoting).
+Csr symmetrize_pattern(const Csr& a);
+
+}  // namespace th

@@ -1,0 +1,30 @@
+// Coordinate-format (triplet) sparse matrix, the assembly format every
+// generator and file reader produces before conversion to CSR/CSC.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace th {
+
+/// One explicit nonzero entry.
+struct Triplet {
+  index_t row;
+  index_t col;
+  real_t value;
+};
+
+/// A sparse matrix under assembly. Duplicate (row, col) entries are allowed
+/// and are summed during conversion, which makes finite-element style
+/// assembly natural.
+struct Coo {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  std::vector<Triplet> entries;
+
+  void add(index_t r, index_t c, real_t v) { entries.push_back({r, c, v}); }
+  offset_t nnz() const { return static_cast<offset_t>(entries.size()); }
+};
+
+}  // namespace th

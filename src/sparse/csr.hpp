@@ -1,0 +1,45 @@
+// Compressed sparse row / column containers.
+//
+// Both formats share the same three-array layout; the distinction is purely
+// semantic (which dimension is compressed), so they are separate strong
+// types to prevent accidental mixing — a lesson distributed solvers learn
+// the hard way.
+#pragma once
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace th {
+
+/// Compressed sparse row matrix. Column indices within each row are sorted
+/// and unique once produced by the converters in convert.hpp.
+struct Csr {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  std::vector<offset_t> row_ptr;  // size n_rows + 1
+  std::vector<index_t> col_idx;   // size nnz
+  std::vector<real_t> values;     // size nnz
+
+  offset_t nnz() const { return static_cast<offset_t>(col_idx.size()); }
+
+  /// Validate structural invariants (monotone pointers, in-range indices,
+  /// sorted rows). Intended for tests and after deserialization.
+  void check() const;
+};
+
+/// Compressed sparse column matrix; same invariants column-wise.
+struct Csc {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  std::vector<offset_t> col_ptr;  // size n_cols + 1
+  std::vector<index_t> row_idx;   // size nnz
+  std::vector<real_t> values;     // size nnz
+
+  offset_t nnz() const { return static_cast<offset_t>(row_idx.size()); }
+
+  void check() const;
+};
+
+}  // namespace th

@@ -1,0 +1,94 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace th {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  TH_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  TH_CHECK_MSG(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  TH_CHECK_MSG(lower(object) == "matrix", "unsupported object: " << object);
+  TH_CHECK_MSG(lower(format) == "coordinate",
+               "only coordinate format is supported, got " << format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  TH_CHECK_MSG(field == "real" || field == "integer" || field == "pattern",
+               "unsupported field: " << field);
+  TH_CHECK_MSG(symmetry == "general" || symmetry == "symmetric" ||
+                   symmetry == "skew-symmetric",
+               "unsupported symmetry: " << symmetry);
+
+  // Skip comments / blank lines, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  TH_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+               "bad size line: " << line);
+
+  Coo a;
+  a.n_rows = static_cast<index_t>(rows);
+  a.n_cols = static_cast<index_t>(cols);
+  a.entries.reserve(static_cast<std::size_t>(entries));
+
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  for (long long k = 0; k < entries; ++k) {
+    TH_CHECK_MSG(std::getline(in, line),
+                 "truncated file: expected " << entries << " entries, got "
+                                             << k);
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    es >> r >> c;
+    if (!pattern) es >> v;
+    TH_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                 "entry out of range: " << line);
+    a.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if ((symmetric || skew) && r != c) {
+      a.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1),
+            skew ? -v : v);
+    }
+  }
+  return a;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  TH_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.n_rows << ' ' << a.n_cols << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (const Triplet& t : a.entries) {
+    out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.value << '\n';
+  }
+}
+
+}  // namespace th

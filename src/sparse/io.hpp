@@ -1,0 +1,25 @@
+// Matrix Market (.mtx) reader/writer for the `coordinate` format, the
+// interchange format of the SuiteSparse collection the paper evaluates on.
+// Supports real/integer/pattern fields and general/symmetric symmetry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace th {
+
+/// Parse a Matrix Market coordinate-format matrix from a stream.
+/// Symmetric/skew-symmetric inputs are expanded to general storage; pattern
+/// matrices get value 1.0 on every entry. Throws th::Error on malformed
+/// input.
+Coo read_matrix_market(std::istream& in);
+
+/// Convenience overload reading from a file path.
+Coo read_matrix_market_file(const std::string& path);
+
+/// Write a COO matrix in `matrix coordinate real general` format.
+void write_matrix_market(std::ostream& out, const Coo& a);
+
+}  // namespace th

@@ -1,0 +1,127 @@
+#include "sparse/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/convert.hpp"
+
+namespace th {
+
+std::vector<real_t> spmv(const Csr& a, const std::vector<real_t>& x) {
+  TH_CHECK_MSG(static_cast<index_t>(x.size()) == a.n_cols,
+               "spmv dimension mismatch");
+  std::vector<real_t> y(static_cast<std::size_t>(a.n_rows), 0.0);
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    real_t acc = 0;
+    for (offset_t p = a.row_ptr[static_cast<std::size_t>(r)];
+         p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      acc += a.values[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+real_t inf_norm(const std::vector<real_t>& v) {
+  real_t m = 0;
+  for (real_t x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+real_t inf_norm(const Csr& a) {
+  real_t m = 0;
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    real_t rowsum = 0;
+    for (offset_t p = a.row_ptr[static_cast<std::size_t>(r)];
+         p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      rowsum += std::fabs(a.values[static_cast<std::size_t>(p)]);
+    }
+    m = std::max(m, rowsum);
+  }
+  return m;
+}
+
+real_t scaled_residual(const Csr& a, const std::vector<real_t>& x,
+                       const std::vector<real_t>& b) {
+  const std::vector<real_t> ax = spmv(a, x);
+  TH_CHECK(ax.size() == b.size());
+  real_t num = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    num = std::max(num, std::fabs(ax[i] - b[i]));
+  }
+  const real_t den = inf_norm(a) * inf_norm(x) + inf_norm(b);
+  return den > 0 ? num / den : num;
+}
+
+bool is_pattern_symmetric(const Csr& a) {
+  if (a.n_rows != a.n_cols) return false;
+  const Csr at = transpose(a);
+  if (at.nnz() != a.nnz()) return false;
+  return at.row_ptr == a.row_ptr && at.col_idx == a.col_idx;
+}
+
+Csr make_diag_dominant(const Csr& a, real_t alpha) {
+  TH_CHECK(a.n_rows == a.n_cols);
+  Csr out;
+  out.n_rows = a.n_rows;
+  out.n_cols = a.n_cols;
+  out.row_ptr.assign(static_cast<std::size_t>(a.n_rows) + 1, 0);
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    real_t offsum = 0;
+    bool has_diag = false;
+    for (offset_t p = a.row_ptr[static_cast<std::size_t>(r)];
+         p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      const index_t c = a.col_idx[static_cast<std::size_t>(p)];
+      if (c == r) {
+        has_diag = true;
+      } else {
+        offsum += std::fabs(a.values[static_cast<std::size_t>(p)]);
+      }
+    }
+    const real_t bump = alpha * offsum + 1.0;
+    bool emitted_diag = false;
+    for (offset_t p = a.row_ptr[static_cast<std::size_t>(r)];
+         p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      const index_t c = a.col_idx[static_cast<std::size_t>(p)];
+      if (!emitted_diag && c > r) {
+        out.col_idx.push_back(r);
+        out.values.push_back(bump);
+        emitted_diag = true;
+      }
+      if (c == r) {
+        out.col_idx.push_back(c);
+        out.values.push_back(a.values[static_cast<std::size_t>(p)] + bump);
+        emitted_diag = true;
+      } else {
+        out.col_idx.push_back(c);
+        out.values.push_back(a.values[static_cast<std::size_t>(p)]);
+      }
+    }
+    if (!emitted_diag) {
+      out.col_idx.push_back(r);
+      out.values.push_back(bump);
+    }
+    (void)has_diag;
+    out.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(out.col_idx.size());
+  }
+  return out;
+}
+
+std::vector<real_t> to_dense(const Csr& a) {
+  std::vector<real_t> d(
+      static_cast<std::size_t>(a.n_rows) * static_cast<std::size_t>(a.n_cols),
+      0.0);
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    for (offset_t p = a.row_ptr[static_cast<std::size_t>(r)];
+         p < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      d[static_cast<std::size_t>(r) * static_cast<std::size_t>(a.n_cols) +
+        static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(p)])] =
+          a.values[static_cast<std::size_t>(p)];
+    }
+  }
+  return d;
+}
+
+}  // namespace th

@@ -1,0 +1,40 @@
+// Basic sparse linear-algebra operations used by solver drivers and tests:
+// matrix-vector products, norms and the scaled residual that certifies a
+// factorisation.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+/// y = A * x.
+std::vector<real_t> spmv(const Csr& a, const std::vector<real_t>& x);
+
+/// Infinity norm of a vector.
+real_t inf_norm(const std::vector<real_t>& v);
+
+/// Infinity norm of a matrix (max absolute row sum).
+real_t inf_norm(const Csr& a);
+
+/// Componentwise-scaled backward-error style residual
+///   ||A x - b||_inf / (||A||_inf * ||x||_inf + ||b||_inf),
+/// the acceptance criterion for every solver test in this repository.
+real_t scaled_residual(const Csr& a, const std::vector<real_t>& x,
+                       const std::vector<real_t>& b);
+
+/// True iff the sparsity pattern is symmetric (values may differ).
+bool is_pattern_symmetric(const Csr& a);
+
+/// Add `alpha * max_offdiag_rowsum` to each diagonal entry so the matrix is
+/// strictly diagonally dominant; inserts missing diagonal entries. Both of
+/// our solver cores factorise without pivoting, so generated systems are
+/// preconditioned this way (documented in DESIGN.md §7).
+Csr make_diag_dominant(const Csr& a, real_t alpha = 1.1);
+
+/// Extract a dense copy (row-major, n_rows x n_cols); intended for tiny
+/// matrices in tests only.
+std::vector<real_t> to_dense(const Csr& a);
+
+}  // namespace th

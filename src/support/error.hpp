@@ -1,0 +1,49 @@
+// Error handling helpers.
+//
+// The library throws th::Error for recoverable, user-visible failures
+// (bad input file, singular pivot, inconsistent dimensions) and uses
+// TH_ASSERT for internal invariants that indicate a programming bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace th {
+
+/// Exception type thrown for all user-visible library failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "trojanhorse: check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace th
+
+/// Check a recoverable condition; throws th::Error with location info.
+#define TH_CHECK(cond)                                                 \
+  do {                                                                 \
+    if (!(cond)) ::th::detail::throw_error(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check with an explanatory message (streamed, e.g. TH_CHECK_MSG(x>0, "x=" << x)).
+#define TH_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream th_os_;                                      \
+      th_os_ << msg;                                                  \
+      ::th::detail::throw_error(#cond, __FILE__, __LINE__, th_os_.str()); \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant; same behaviour as TH_CHECK but documents intent.
+#define TH_ASSERT(cond) TH_CHECK(cond)

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// All matrix generators and workload builders draw from Xoshiro256**, a
+// small, fast, high-quality PRNG. Determinism matters: every benchmark and
+// test must reproduce the same matrices bit-for-bit across runs, so the
+// library never uses std::random_device or global RNG state.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace th {
+
+/// Xoshiro256** by Blackman & Vigna (public domain reference implementation,
+/// re-expressed). Seeded via SplitMix64 so that any 64-bit seed yields a
+/// well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding.
+    std::uint64_t x = seed;
+    for (auto& w : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  real_t next_real() {
+    return static_cast<real_t>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  real_t uniform(real_t lo, real_t hi) { return lo + (hi - lo) * next_real(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [lo, hi] inclusive.
+  index_t index_in(index_t lo, index_t hi) {
+    return lo + static_cast<index_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace th

@@ -1,0 +1,83 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace th {
+
+real_t geomean(const std::vector<real_t>& v) {
+  TH_CHECK_MSG(!v.empty(), "geomean of empty vector");
+  real_t acc = 0;
+  for (real_t x : v) {
+    TH_CHECK_MSG(x > 0, "geomean requires positive values, got " << x);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<real_t>(v.size()));
+}
+
+real_t mean(const std::vector<real_t>& v) {
+  TH_CHECK_MSG(!v.empty(), "mean of empty vector");
+  real_t acc = 0;
+  for (real_t x : v) acc += x;
+  return acc / static_cast<real_t>(v.size());
+}
+
+real_t quantile(std::vector<real_t> v, real_t q) {
+  TH_CHECK_MSG(!v.empty(), "quantile of empty vector");
+  TH_CHECK(q >= 0 && q <= 1);
+  std::sort(v.begin(), v.end());
+  const real_t pos = q * static_cast<real_t>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const real_t frac = pos - static_cast<real_t>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+Summary summarize(const std::vector<real_t>& v) {
+  Summary s;
+  s.min = quantile(v, 0.0);
+  s.q25 = quantile(v, 0.25);
+  s.median = quantile(v, 0.5);
+  s.q75 = quantile(v, 0.75);
+  s.max = quantile(v, 1.0);
+  s.mean = mean(v);
+  return s;
+}
+
+std::vector<offset_t> histogram(const std::vector<real_t>& v, real_t lo,
+                                real_t hi, int bins) {
+  TH_CHECK(bins > 0);
+  TH_CHECK(hi > lo);
+  std::vector<offset_t> buckets(static_cast<std::size_t>(bins), 0);
+  const real_t scale = static_cast<real_t>(bins) / (hi - lo);
+  for (real_t x : v) {
+    int b = static_cast<int>((x - lo) * scale);
+    b = std::clamp(b, 0, bins - 1);
+    ++buckets[static_cast<std::size_t>(b)];
+  }
+  return buckets;
+}
+
+std::string sparkline(const std::vector<offset_t>& buckets) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  if (buckets.empty()) return "";
+  offset_t max = 0;
+  for (offset_t c : buckets) max = std::max(max, c);
+  std::string out;
+  for (offset_t c : buckets) {
+    int level = 0;
+    if (max > 0 && c > 0) {
+      level = 1 + static_cast<int>((c * 7) / max);
+      level = std::min(level, 8);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace th

@@ -1,0 +1,41 @@
+// Small statistics helpers shared by benchmarks and the evaluation harness:
+// geometric means for speedup aggregation (as the paper reports "Geomean"),
+// quantiles for the violin-plot summaries of Figure 3, and a fixed-width
+// histogram used to print distribution sketches on the console.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace th {
+
+/// Geometric mean of strictly positive values. Throws on empty input or any
+/// non-positive entry.
+real_t geomean(const std::vector<real_t>& v);
+
+/// Arithmetic mean. Throws on empty input.
+real_t mean(const std::vector<real_t>& v);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation; sorts a copy.
+real_t quantile(std::vector<real_t> v, real_t q);
+
+/// Five-number summary used to describe a distribution textually.
+struct Summary {
+  real_t min = 0, q25 = 0, median = 0, q75 = 0, max = 0, mean = 0;
+};
+
+/// Compute the five-number summary (+mean) of v. Throws on empty input.
+Summary summarize(const std::vector<real_t>& v);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// values are clamped into the first/last bucket.
+std::vector<offset_t> histogram(const std::vector<real_t>& v, real_t lo,
+                                real_t hi, int bins);
+
+/// Render a one-line unicode sparkline of bucket counts (for console
+/// "violin" sketches). Empty input renders as an empty string.
+std::string sparkline(const std::vector<offset_t>& buckets);
+
+}  // namespace th

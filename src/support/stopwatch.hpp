@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for host-side timing of the real (non-simulated)
+// execution phases. Simulated GPU/cluster time is tracked separately by
+// th::sim — never mix the two.
+#pragma once
+
+#include <chrono>
+
+namespace th {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace th

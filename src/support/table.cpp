@@ -1,0 +1,129 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace th {
+
+void Table::set_header(std::vector<std::string> header) {
+  TH_CHECK_MSG(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  TH_CHECK_MSG(row.size() == header_.size(),
+               "row width " << row.size() << " != header width "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+// Visible width ignoring UTF-8 continuation bytes (good enough for our
+// sparkline glyphs, which are all single-column).
+std::size_t visible_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = visible_width(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], visible_width(row[c]));
+    }
+  }
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t p = visible_width(row[c]); p < width[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      std::replace(cell.begin(), cell.end(), ',', ';');
+      os << cell;
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_speedup(double v) { return fmt_fixed(v, 2) + "x"; }
+
+std::string fmt_count(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+    if (pos > 0 && pos % 3 == 0) out += ',';
+    out += *it;
+  }
+  if (v < 0) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_si(double v, int decimals) {
+  const char* suffix = "";
+  double scaled = v;
+  if (std::fabs(v) >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  return fmt_fixed(scaled, decimals) + suffix;
+}
+
+std::string fmt_percent(double ratio, int decimals) {
+  return fmt_fixed(ratio * 100.0, decimals) + "%";
+}
+
+}  // namespace th

@@ -1,0 +1,45 @@
+// Console table and CSV rendering used by every benchmark binary so the
+// reproduced tables/figures print in a consistent, paper-like layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace th {
+
+/// A simple column-aligned text table with an optional title. Cells are
+/// strings; use the fmt_* helpers for numeric formatting consistent across
+/// benches.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; its width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table with unicode rules and padded columns.
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting of embedded commas is needed for
+  /// our numeric content; commas in cells are replaced with ';').
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers (fixed decimals, engineering-style counts, speedups).
+std::string fmt_fixed(double v, int decimals);
+std::string fmt_speedup(double v);          // e.g. "5.47x"
+std::string fmt_count(long long v);         // e.g. "12,991,278"
+std::string fmt_si(double v, int decimals); // e.g. "2.03M", "4.61G"
+std::string fmt_percent(double ratio, int decimals);  // 0.011 -> "1.10%"
+
+}  // namespace th

@@ -1,0 +1,21 @@
+// Fundamental scalar and index types used across the Trojan Horse library.
+//
+// Matrices use 32-bit row/column indices (n fits comfortably) and 64-bit
+// offsets so that nnz(L+U) may exceed 2^31 without overflow, matching the
+// conventions of distributed sparse direct solvers.
+#pragma once
+
+#include <cstdint>
+
+namespace th {
+
+/// Row/column index of a matrix, tile grid, supernode or task.
+using index_t = std::int32_t;
+
+/// Offset into a nonzero array; also used for nnz and flop counts.
+using offset_t = std::int64_t;
+
+/// Numeric scalar. The paper's numeric phase is double precision only.
+using real_t = double;
+
+}  // namespace th

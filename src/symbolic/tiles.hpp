@@ -1,0 +1,59 @@
+// Tile-level (2-D block) symbolic structure — the PanguLU-style blocking.
+//
+// The matrix is cut into a fixed grid of b-by-b tiles; boolean block
+// elimination on the tile pattern predicts which tiles of L+U are nonzero,
+// which is exactly the task structure the PLU solver core and the Trojan
+// Horse schedule over (Figure 4 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace th {
+
+struct TilePattern {
+  index_t n = 0;          // matrix dimension
+  index_t tile_size = 0;  // b
+  index_t nt = 0;         // number of tile rows/cols = ceil(n / b)
+
+  /// present[I * nt + J] != 0 iff tile (I, J) is structurally nonzero in
+  /// L+U (after block fill).
+  std::vector<char> present;
+
+  /// Nonzeros of A that fall in each present tile (0 for pure-fill tiles).
+  std::vector<offset_t> a_nnz;
+
+  /// Scalar-fill nonzeros of L+U that fall in each tile, computed from the
+  /// exact symbolic factorisation. This is what kernel selection (sparse vs
+  /// dense) and the cost model use as tile density — block-level boolean
+  /// fill alone would wildly overestimate the work in sparse tiles.
+  std::vector<offset_t> fill_nnz;
+
+  bool has(index_t i, index_t j) const {
+    return present[static_cast<std::size_t>(i) * nt + j] != 0;
+  }
+
+  /// Number of structurally nonzero tiles.
+  offset_t tile_count() const;
+
+  /// Tiles of block-column J below the diagonal (i > J), ascending.
+  std::vector<index_t> col_tiles_below(index_t J) const;
+  /// Tiles of block-row I right of the diagonal (j > I), ascending.
+  std::vector<index_t> row_tiles_right(index_t I) const;
+
+  index_t rows_in_tile(index_t I) const {
+    return std::min<index_t>(tile_size, n - I * tile_size);
+  }
+};
+
+/// Build the tile pattern of A and run boolean block LU elimination
+/// (right-looking): for every k, present(i,k) & present(k,j) => present(i,j)
+/// for i,j > k. Also requires/forces all diagonal tiles present.
+TilePattern tile_symbolic(const Csr& a, index_t tile_size);
+
+/// nnz(L+U) from the scalar symbolic fill binned into tiles (exact for a
+/// factorisation without pivoting). Feeds Table 2/4 reporting.
+offset_t estimate_tile_nnz_lu(const TilePattern& p);
+
+}  // namespace th

@@ -1,0 +1,138 @@
+// Transpose solve and 1-norm condition estimation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/condest.hpp"
+#include "solvers/plu.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+
+namespace th {
+namespace {
+
+ScheduleOptions th_opts() {
+  ScheduleOptions o;
+  o.policy = Policy::kTrojanHorse;
+  o.cluster = single_gpu(device_a100());
+  return o;
+}
+
+TEST(OneNorm, MatchesDenseDefinition) {
+  Coo c;
+  c.n_rows = c.n_cols = 3;
+  c.add(0, 0, 1.0);
+  c.add(1, 0, -4.0);
+  c.add(2, 1, 2.0);
+  c.add(0, 2, 3.0);
+  const Csr a = coo_to_csr(c);
+  EXPECT_DOUBLE_EQ(one_norm(a), 5.0);  // column 0: |1| + |-4|
+}
+
+TEST(TransposeSolve, SatisfiesTransposedSystem) {
+  const Csr a = finalize_system(cage_like(180, 5, 0.1, 6), 6);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+  SolverInstance inst(a, io);
+  inst.run_numeric(th_opts());
+  PluFactorization* fact = inst.plu_factorization();
+
+  // z solves (P A P^T)^T z = c; check against A^T directly.
+  const Csr pa = inst.permuted_matrix();
+  const Csr pat = transpose(pa);
+  std::vector<real_t> c(static_cast<std::size_t>(a.n_rows));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = std::cos(static_cast<real_t>(i));
+  }
+  const std::vector<real_t> z = fact->solve_transpose(c);
+  EXPECT_LT(scaled_residual(pat, z, c), 1e-11);
+}
+
+TEST(TransposeSolve, AgreesWithForwardSolveOnSymmetricMatrix) {
+  // For a numerically symmetric matrix, A = A^T, so both solves agree.
+  Csr a = grid2d_laplacian(12, 12);
+  for (real_t& v : a.values) v *= 1.0;  // grid Laplacian is symmetric
+  a = make_diag_dominant(a);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+  io.ordering = Ordering::kNatural;
+  SolverInstance inst(a, io);
+  inst.run_numeric(th_opts());
+  PluFactorization* fact = inst.plu_factorization();
+  std::vector<real_t> b(static_cast<std::size_t>(a.n_rows));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + (i % 3);
+  const std::vector<real_t> x1 = fact->solve(b);
+  const std::vector<real_t> x2 = fact->solve_transpose(b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-10);
+  }
+}
+
+// Exact ||A^{-1}||_1 by solving against every unit vector (small n only).
+real_t exact_inv_one_norm(SolverInstance& inst) {
+  const index_t n = inst.matrix().n_rows;
+  real_t best = 0;
+  for (index_t j = 0; j < n; ++j) {
+    std::vector<real_t> e(static_cast<std::size_t>(n), 0.0);
+    e[j] = 1.0;
+    const std::vector<real_t> col = inst.solve(e);
+    real_t sum = 0;
+    for (real_t v : col) sum += std::fabs(v);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+TEST(CondEst, LowerBoundsAndApproximatesExactNorm) {
+  const Csr a = finalize_system(banded_random(120, 7, 0.5, 9), 9);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 12;
+  SolverInstance inst(a, io);
+  inst.run_numeric(th_opts());
+
+  const CondEstimate est = estimate_condition(inst);
+  const real_t exact = exact_inv_one_norm(inst);
+  EXPECT_LE(est.norm_a_inv, exact * (1 + 1e-10));  // Hager is a lower bound
+  EXPECT_GE(est.norm_a_inv, exact * 0.3);          // and usually sharp
+  EXPECT_GT(est.kappa(), 1.0);
+  EXPECT_GE(est.solves_used, 2);
+}
+
+TEST(CondEst, WellConditionedIsSmall) {
+  // Strong diagonal dominance keeps kappa modest.
+  const Csr a = finalize_system(grid2d_laplacian(10, 10), 14);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 10;
+  SolverInstance inst(a, io);
+  inst.run_numeric(th_opts());
+  const CondEstimate est = estimate_condition(inst);
+  EXPECT_LT(est.kappa(), 100.0);
+  EXPECT_GT(est.kappa(), 1.0);
+}
+
+TEST(CondEst, RequiresNumericAndPluCore) {
+  const Csr a = finalize_system(grid2d_laplacian(8, 8), 1);
+  {
+    InstanceOptions io;
+    io.core = SolverCore::kPlu;
+    SolverInstance inst(a, io);
+    EXPECT_THROW(estimate_condition(inst), Error);  // no numerics yet
+  }
+  {
+    InstanceOptions io;
+    io.core = SolverCore::kSlu;
+    io.block = 8;
+    SolverInstance inst(a, io);
+    inst.run_numeric(th_opts());
+    EXPECT_THROW(estimate_condition(inst), Error);  // SLU core unsupported
+  }
+}
+
+}  // namespace
+}  // namespace th

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/collector.hpp"
+#include "core/container.hpp"
+#include "core/executor.hpp"
+#include "core/prioritizer.hpp"
+#include "core/task_graph.hpp"
+
+namespace th {
+namespace {
+
+Task make_task(TaskType type, index_t k, index_t row, index_t col,
+               index_t blocks = 1) {
+  Task t;
+  t.type = type;
+  t.k = k;
+  t.row = row;
+  t.col = col;
+  t.cost.flops = 1000;
+  t.cost.bytes = 800;
+  t.cost.cuda_blocks = blocks;
+  t.cost.shmem_per_block = 512;
+  return t;
+}
+
+TEST(TaskGraph, LevelsAndWidths) {
+  TaskGraph g;
+  const index_t a = g.add_task(make_task(TaskType::kGetrf, 0, 0, 0));
+  const index_t b = g.add_task(make_task(TaskType::kTstrf, 0, 1, 0));
+  const index_t c = g.add_task(make_task(TaskType::kGeesm, 0, 0, 1));
+  const index_t d = g.add_task(make_task(TaskType::kSsssm, 0, 1, 1));
+  g.add_dependency(a, b);
+  g.add_dependency(a, c);
+  g.add_dependency(b, d);
+  g.add_dependency(c, d);
+  g.finalize();
+  EXPECT_EQ(g.levels(), (std::vector<index_t>{0, 1, 1, 2}));
+  EXPECT_EQ(g.level_count(), 3);
+  EXPECT_EQ(g.level_widths(), (std::vector<offset_t>{1, 2, 1}));
+  EXPECT_EQ(g.in_degree(d), 2);
+  auto [sb, se] = g.successors(a);
+  EXPECT_EQ(se - sb, 2);
+  EXPECT_EQ(g.total_flops(), 4000);
+}
+
+TEST(TaskGraph, DuplicateEdgesDeduplicated) {
+  TaskGraph g;
+  const index_t a = g.add_task(make_task(TaskType::kGetrf, 0, 0, 0));
+  const index_t b = g.add_task(make_task(TaskType::kTstrf, 0, 1, 0));
+  g.add_dependency(a, b);
+  g.add_dependency(a, b);
+  g.finalize();
+  EXPECT_EQ(g.in_degree(b), 1);
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const index_t a = g.add_task(make_task(TaskType::kGetrf, 0, 0, 0));
+  const index_t b = g.add_task(make_task(TaskType::kTstrf, 0, 1, 0));
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW(g.finalize(), Error);
+}
+
+TEST(TaskGraph, SelfDependencyRejected) {
+  TaskGraph g;
+  const index_t a = g.add_task(make_task(TaskType::kGetrf, 0, 0, 0));
+  EXPECT_THROW(g.add_dependency(a, a), Error);
+}
+
+TEST(Prioritizer, GetrfAlwaysUrgent) {
+  const Prioritizer p;
+  EXPECT_TRUE(p.is_urgent(make_task(TaskType::kGetrf, 5, 5, 5)));
+}
+
+TEST(Prioritizer, DiagonalDistanceRule) {
+  PrioritizerOptions opts;
+  opts.urgent_window = 1;
+  const Prioritizer p(opts);
+  EXPECT_TRUE(p.is_urgent(make_task(TaskType::kTstrf, 0, 1, 0)));
+  EXPECT_FALSE(p.is_urgent(make_task(TaskType::kTstrf, 0, 3, 0)));
+  EXPECT_TRUE(p.is_urgent(make_task(TaskType::kSsssm, 0, 2, 2)));
+}
+
+TEST(Prioritizer, KeyOrdersByDistanceThenStep) {
+  Task near = make_task(TaskType::kTstrf, 4, 5, 4);   // distance 1
+  Task far = make_task(TaskType::kTstrf, 0, 6, 0);    // distance 6
+  near.id = 10;
+  far.id = 2;
+  EXPECT_LT(Prioritizer::priority_key(near), Prioritizer::priority_key(far));
+  Task early = make_task(TaskType::kSsssm, 1, 3, 1);  // distance 2, k=1
+  Task late = make_task(TaskType::kSsssm, 2, 4, 2);   // distance 2, k=2
+  early.id = late.id = 0;
+  EXPECT_LT(Prioritizer::priority_key(early),
+            Prioritizer::priority_key(late));
+}
+
+TEST(Container, HeapReturnsHighestPriority) {
+  Container c;
+  Task far = make_task(TaskType::kSsssm, 0, 9, 0);
+  far.id = 1;
+  Task near = make_task(TaskType::kSsssm, 0, 2, 0);
+  near.id = 2;
+  c.push(far);
+  c.push(near);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.pop(), 2);  // closer to the diagonal first
+  EXPECT_EQ(c.pop(), 1);
+  EXPECT_TRUE(c.empty());
+  EXPECT_THROW(c.pop(), Error);
+}
+
+TEST(Container, FifoPreservesInsertionOrder) {
+  Container c(Container::Discipline::kFifo);
+  Task a = make_task(TaskType::kSsssm, 0, 9, 0);
+  a.id = 1;
+  Task b = make_task(TaskType::kSsssm, 0, 2, 0);
+  b.id = 2;
+  c.push(a);
+  c.push(b);
+  EXPECT_EQ(c.pop(), 1);
+  EXPECT_EQ(c.pop(), 2);
+}
+
+TEST(Collector, FirstTaskAlwaysAccepted) {
+  DeviceSpec tiny;
+  tiny.sm_count = 1;
+  tiny.max_blocks_per_sm = 4;
+  Collector c(tiny);
+  Task huge = make_task(TaskType::kSsssm, 0, 1, 1, /*blocks=*/1000);
+  huge.id = 0;
+  EXPECT_TRUE(c.try_add(huge));
+  EXPECT_TRUE(c.full());
+  Task next = make_task(TaskType::kGetrf, 0, 0, 0);
+  next.id = 1;
+  EXPECT_FALSE(c.try_add(next));
+  EXPECT_EQ(c.take(), (std::vector<index_t>{0}));
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Collector, BlockCapacityRespected) {
+  DeviceSpec d;
+  d.sm_count = 2;
+  d.max_blocks_per_sm = 4;  // 8 resident blocks
+  d.shmem_per_sm_kib = 1024;
+  Collector c(d);
+  int admitted = 0;
+  for (index_t i = 0; i < 10; ++i) {
+    Task t = make_task(TaskType::kSsssm, 0, i + 1, 0, /*blocks=*/2);
+    t.id = i;
+    if (!c.try_add(t)) break;
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, 4);  // 4 tasks x 2 blocks = 8 = capacity
+}
+
+TEST(Collector, ShmemCapacityRespected) {
+  DeviceSpec d;
+  d.sm_count = 1;
+  d.max_blocks_per_sm = 1000;
+  d.shmem_per_sm_kib = 4;  // 4096 bytes total
+  Collector c(d);
+  Task t1 = make_task(TaskType::kSsssm, 0, 1, 0);
+  t1.cost.shmem_per_block = 3000;
+  t1.id = 0;
+  Task t2 = t1;
+  t2.id = 1;
+  EXPECT_TRUE(c.try_add(t1));
+  EXPECT_FALSE(c.try_add(t2));  // 6000 > 4096
+}
+
+TEST(Collector, CountOnlyMode) {
+  CollectorOptions opts;
+  opts.capacity = CollectorOptions::Capacity::kCountOnly;
+  opts.max_task_count = 3;
+  Collector c(DeviceSpec{}, opts);
+  for (index_t i = 0; i < 3; ++i) {
+    Task t = make_task(TaskType::kSsssm, 0, i + 1, 0);
+    t.id = i;
+    EXPECT_TRUE(c.try_add(t));
+  }
+  Task t = make_task(TaskType::kSsssm, 0, 9, 0);
+  t.id = 99;
+  EXPECT_FALSE(c.try_add(t));
+}
+
+TEST(BlockTaskMap, BinarySearchDispatch) {
+  Task a = make_task(TaskType::kGetrf, 0, 0, 0, 10);
+  Task b = make_task(TaskType::kTstrf, 0, 1, 0, 9);
+  Task c = make_task(TaskType::kGeesm, 0, 0, 1, 11);
+  Task d = make_task(TaskType::kSsssm, 0, 1, 1, 15);
+  const std::vector<const Task*> batch{&a, &b, &c, &d};
+  const BlockTaskMap map(batch);
+  // The exact Figure-7 example: 10 + 9 + 11 + 15 = 45 blocks.
+  EXPECT_EQ(map.total_blocks(), 45);
+  EXPECT_EQ(map.task_of_block(0), 0);
+  EXPECT_EQ(map.task_of_block(9), 0);
+  EXPECT_EQ(map.task_of_block(10), 1);
+  EXPECT_EQ(map.task_of_block(18), 1);
+  EXPECT_EQ(map.task_of_block(19), 2);
+  EXPECT_EQ(map.task_of_block(29), 2);
+  EXPECT_EQ(map.task_of_block(30), 3);
+  EXPECT_EQ(map.task_of_block(44), 3);
+  EXPECT_EQ(map.start_of(3), 30);
+}
+
+// A backend that counts executions and checks atomic flags.
+class CountingBackend : public NumericBackend {
+ public:
+  void run_task(const Task& t, bool atomic) override {
+    ++count_;
+    (void)t;
+    if (atomic) ++atomic_count_;
+  }
+  int count() const { return count_.load(); }
+  int atomic_count() const { return atomic_count_.load(); }
+
+ private:
+  std::atomic<int> count_{0};
+  std::atomic<int> atomic_count_{0};
+};
+
+TEST(Executor, ExecutesEveryBatchMemberOnce) {
+  TaskGraph g;
+  for (index_t i = 0; i < 20; ++i) {
+    g.add_task(make_task(TaskType::kSsssm, 0, i + 1, 0));
+  }
+  g.finalize();
+  CountingBackend backend;
+  Executor ex(KernelCostModel(DeviceSpec{}), &backend, /*n_workers=*/1);
+  std::vector<index_t> batch;
+  for (index_t i = 0; i < 20; ++i) batch.push_back(i);
+  const BatchResult r = ex.execute(g, batch, std::vector<char>(20, 0));
+  EXPECT_EQ(backend.count(), 20);
+  EXPECT_EQ(r.tasks, 20);
+  EXPECT_EQ(r.flops, 20 * 1000);
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST(Executor, WorkerPoolExecutesAll) {
+  TaskGraph g;
+  const index_t n = 500;
+  for (index_t i = 0; i < n; ++i) {
+    g.add_task(make_task(TaskType::kSsssm, 0, i + 1, 0));
+  }
+  g.finalize();
+  CountingBackend backend;
+  Executor ex(KernelCostModel(DeviceSpec{}), &backend, /*n_workers=*/4);
+  std::vector<index_t> batch(n);
+  for (index_t i = 0; i < n; ++i) batch[i] = i;
+  // Two consecutive batches exercise pool reuse.
+  ex.execute(g, batch, std::vector<char>(n, 0));
+  ex.execute(g, batch, std::vector<char>(n, 1));
+  EXPECT_EQ(backend.count(), 2 * n);
+  EXPECT_EQ(backend.atomic_count(), n);
+}
+
+TEST(Executor, NullBackendTimesOnly) {
+  TaskGraph g;
+  g.add_task(make_task(TaskType::kGetrf, 0, 0, 0));
+  g.finalize();
+  Executor ex(KernelCostModel(DeviceSpec{}), nullptr);
+  const BatchResult r = ex.execute(g, {0}, {0});
+  EXPECT_GT(r.seconds, 0);
+}
+
+}  // namespace
+}  // namespace th

@@ -1,0 +1,185 @@
+// SolverInstance / run_solver API contract tests.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "order/reorder.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/driver.hpp"
+#include "sparse/convert.hpp"
+
+namespace th {
+namespace {
+
+Csr demo_matrix() { return finalize_system(grid2d_laplacian(14, 14), 5); }
+
+ScheduleOptions gpu_opts(Policy p = Policy::kTrojanHorse) {
+  ScheduleOptions o;
+  o.policy = p;
+  o.cluster = single_gpu(device_a100());
+  return o;
+}
+
+TEST(SolverInstance, NumericRunsExactlyOnce) {
+  SolverInstance inst(demo_matrix(), InstanceOptions{});
+  EXPECT_FALSE(inst.numeric_done());
+  inst.run_numeric(gpu_opts());
+  EXPECT_TRUE(inst.numeric_done());
+  EXPECT_THROW(inst.run_numeric(gpu_opts()), Error);
+}
+
+TEST(SolverInstance, SolveRequiresNumeric) {
+  SolverInstance inst(demo_matrix(), InstanceOptions{});
+  std::vector<real_t> b(static_cast<std::size_t>(inst.matrix().n_rows), 1.0);
+  EXPECT_THROW(inst.solve(b), Error);
+}
+
+TEST(SolverInstance, PreorderedPermutationIsUsed) {
+  const Csr a = demo_matrix();
+  const Permutation perm = rcm_order(a);
+  InstanceOptions io;
+  io.preordered = perm;
+  io.ordering = Ordering::kMinDegree;  // must be ignored
+  SolverInstance inst(a, io);
+  EXPECT_EQ(inst.permutation(), perm);
+}
+
+TEST(SolverInstance, BadPreorderedRejected) {
+  InstanceOptions io;
+  io.preordered = Permutation{0, 0, 1};  // not a bijection
+  EXPECT_THROW(SolverInstance(demo_matrix(), io), Error);
+  io.preordered = identity_permutation(3);  // wrong length
+  EXPECT_THROW(SolverInstance(demo_matrix(), io), Error);
+}
+
+TEST(SolverInstance, NonSquareRejected) {
+  Csr a;
+  a.n_rows = 2;
+  a.n_cols = 3;
+  a.row_ptr = {0, 0, 0};
+  EXPECT_THROW(SolverInstance(a, InstanceOptions{}), Error);
+}
+
+TEST(SolverInstance, SetGridReassignsOwners) {
+  SolverInstance inst(demo_matrix(), InstanceOptions{});
+  inst.set_grid(make_process_grid(6));
+  const ProcessGrid g = make_process_grid(6);
+  for (index_t i = 0; i < inst.graph().size(); ++i) {
+    const Task& t = inst.graph().task(i);
+    EXPECT_EQ(t.owner_rank, g.owner(t.row, t.col));
+    EXPECT_LT(t.owner_rank, 6);
+  }
+}
+
+TEST(SolverInstance, TimingReplayWorksBeforeAndAfterNumeric) {
+  SolverInstance inst(demo_matrix(), InstanceOptions{});
+  const ScheduleResult before = inst.run_timing(gpu_opts());
+  inst.run_numeric(gpu_opts());
+  const ScheduleResult after = inst.run_timing(gpu_opts());
+  EXPECT_EQ(before.makespan_s, after.makespan_s);
+  EXPECT_EQ(before.kernel_count, after.kernel_count);
+}
+
+TEST(SolverInstance, PluNnzLuEstimateMatchesExactForDiagDominantGrid) {
+  // The tile estimate equals exact scalar symbolic fill; the post-numeric
+  // count can only differ through numerical cancellation (none expected on
+  // a random-valued diagonally dominant system beyond exact zeros).
+  const Csr a = demo_matrix();
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+  SolverInstance inst(a, io);
+  const offset_t estimate = inst.nnz_lu();
+  EXPECT_GT(estimate, a.nnz());
+  inst.run_numeric(gpu_opts());
+  const offset_t exact = inst.nnz_lu();
+  // Dense-on-write storage pads tiles, so the exact stored-nonzero count
+  // matches the symbolic fill (no pivoting, no dropping).
+  EXPECT_NEAR(static_cast<double>(exact), static_cast<double>(estimate),
+              0.02 * static_cast<double>(estimate));
+}
+
+TEST(RunSolver, ReportFieldsConsistent) {
+  DriverOptions opt;
+  opt.sched = gpu_opts();
+  const DriverReport rep = run_solver(demo_matrix(), opt);
+  EXPECT_EQ(rep.n, 196);
+  EXPECT_GT(rep.nnz, 0);
+  EXPECT_GT(rep.task_count, 0);
+  EXPECT_GT(rep.dag_levels, 1);
+  EXPECT_GT(rep.nnz_lu, rep.nnz / 2);
+  EXPECT_GE(rep.reorder_s, 0);
+  EXPECT_GE(rep.symbolic_s, 0);
+  EXPECT_LT(rep.residual, 1e-12);
+  EXPECT_GT(rep.numeric.makespan_s, 0);
+}
+
+TEST(RunSolver, ResidualCheckCanBeSkipped) {
+  DriverOptions opt;
+  opt.sched = gpu_opts();
+  opt.check_residual = false;
+  const DriverReport rep = run_solver(demo_matrix(), opt);
+  EXPECT_EQ(rep.residual, -1);
+}
+
+TEST(RunSolver, StructurallySingularMatrixThrows) {
+  // A matrix with an exactly zero pivot that no fill can repair: a zero
+  // row/column on the diagonal with no couplings.
+  Coo c;
+  c.n_rows = c.n_cols = 3;
+  c.add(0, 0, 1.0);
+  c.add(2, 2, 1.0);
+  c.add(1, 1, 0.0);  // explicit zero pivot, no neighbours
+  DriverOptions opt;
+  opt.instance.ordering = Ordering::kNatural;
+  opt.sched = gpu_opts();
+  EXPECT_THROW(run_solver(coo_to_csr(c), opt), Error);
+}
+
+TEST(RunSolver, BothCoresAgreeOnSolution) {
+  const Csr a = demo_matrix();
+  std::vector<real_t> xs[2];
+  int i = 0;
+  for (SolverCore core : {SolverCore::kSlu, SolverCore::kPlu}) {
+    InstanceOptions io;
+    io.core = core;
+    io.block = 16;
+    SolverInstance inst(a, io);
+    inst.run_numeric(gpu_opts());
+    std::vector<real_t> b(static_cast<std::size_t>(a.n_rows));
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      b[j] = static_cast<real_t>(j % 7) - 3.0;
+    }
+    xs[i++] = inst.solve(b);
+  }
+  for (std::size_t j = 0; j < xs[0].size(); ++j) {
+    EXPECT_NEAR(xs[0][j], xs[1][j], 1e-9);
+  }
+}
+
+TEST(ProcessGrid, FactorisationsAreMostSquare) {
+  EXPECT_EQ(make_process_grid(1).pr, 1);
+  EXPECT_EQ(make_process_grid(4).pr, 2);
+  EXPECT_EQ(make_process_grid(4).pc, 2);
+  EXPECT_EQ(make_process_grid(6).pr, 2);
+  EXPECT_EQ(make_process_grid(6).pc, 3);
+  EXPECT_EQ(make_process_grid(16).pr, 4);
+  EXPECT_EQ(make_process_grid(7).pr, 1);  // prime: 1 x 7
+  EXPECT_THROW(make_process_grid(0), Error);
+}
+
+TEST(ProcessGrid, OwnerCoversAllRanks) {
+  const ProcessGrid g = make_process_grid(6);
+  std::vector<int> seen(6, 0);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      const int o = g.owner(i, j);
+      ASSERT_GE(o, 0);
+      ASSERT_LT(o, 6);
+      seen[o] = 1;
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+}  // namespace
+}  // namespace th

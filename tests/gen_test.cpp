@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gen/generators.hpp"
+#include "gen/registry.hpp"
+#include "gen/suite.hpp"
+#include "sparse/ops.hpp"
+
+namespace th {
+namespace {
+
+TEST(Generators, Grid2dStructure) {
+  const Csr a = grid2d_laplacian(4, 3);
+  a.check();
+  EXPECT_EQ(a.n_rows, 12);
+  // Interior point has 5 entries; corner has 3.
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  EXPECT_EQ(a.nnz(), 12 + 2 * (3 * 4 - 4 + 4 * 3 - 3));
+}
+
+TEST(Generators, Grid3dSizeAndSymmetry) {
+  const Csr a = grid3d_laplacian(3, 4, 5);
+  a.check();
+  EXPECT_EQ(a.n_rows, 60);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Generators, Fem9HasDenserRows) {
+  const Csr a5 = grid2d_laplacian(8, 8);
+  const Csr a9 = grid2d_fem9(8, 8);
+  EXPECT_GT(a9.nnz(), a5.nnz());
+  EXPECT_TRUE(is_pattern_symmetric(a9));
+}
+
+TEST(Generators, BandedRespectsBandwidth) {
+  const index_t bw = 7;
+  const Csr a = banded_random(120, bw, 0.5, 42);
+  a.check();
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    for (offset_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      EXPECT_LE(std::abs(a.col_idx[p] - r), bw);
+    }
+  }
+}
+
+TEST(Generators, CageLikeDeterministic) {
+  const Csr a = cage_like(200, 6, 0.1, 5);
+  const Csr b = cage_like(200, 6, 0.1, 5);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  const Csr c = cage_like(200, 6, 0.1, 6);
+  EXPECT_NE(a.col_idx, c.col_idx);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Generators, CircuitLikeHasDenseRails) {
+  const Csr with = circuit_like(400, 2.0, 4, 9);
+  const Csr without = circuit_like(400, 2.0, 0, 9);
+  EXPECT_GT(with.nnz(), without.nnz());
+  EXPECT_TRUE(is_pattern_symmetric(with));
+}
+
+TEST(Generators, KktLikeShape) {
+  const Csr a = kkt_like(60, 30, 3, 1);
+  a.check();
+  EXPECT_EQ(a.n_rows, 90);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Generators, FinalizeSystemIsDiagonallyDominant) {
+  const Csr a = finalize_system(cage_like(150, 5, 0.1, 2), 2);
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    real_t diag = 0, off = 0;
+    for (offset_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      if (a.col_idx[p] == r) {
+        diag = std::fabs(a.values[p]);
+      } else {
+        off += std::fabs(a.values[p]);
+      }
+    }
+    ASSERT_GT(diag, off) << "row " << r;
+  }
+}
+
+TEST(Registry, TenPaperMatrices) {
+  EXPECT_EQ(paper_matrices().size(), 10u);
+  EXPECT_EQ(scale_up_matrices().size(), 4u);
+  EXPECT_EQ(scale_out_matrices().size(), 6u);
+}
+
+TEST(Registry, LookupByName) {
+  const PaperMatrix& m = paper_matrix("cage12");
+  EXPECT_EQ(m.paper_n, 130000);
+  EXPECT_THROW(paper_matrix("nonexistent"), Error);
+}
+
+TEST(Registry, StandInsAreFactorable) {
+  for (const PaperMatrix& m : paper_matrices()) {
+    const Csr a = m.make();
+    a.check();
+    EXPECT_GT(a.n_rows, 500) << m.name;
+    EXPECT_TRUE(is_pattern_symmetric(a)) << m.name;
+  }
+}
+
+TEST(Suite, Has200MatricesOf31Kinds) {
+  const auto& suite = matrix_suite();
+  EXPECT_EQ(suite.size(), 200u);
+  std::set<std::string> kinds;
+  std::set<std::string> names;
+  for (const SuiteEntry& e : suite) {
+    kinds.insert(e.kind);
+    names.insert(e.name);
+  }
+  EXPECT_EQ(static_cast<int>(kinds.size()), suite_kind_count());
+  EXPECT_EQ(kinds.size(), 31u);
+  EXPECT_EQ(names.size(), 200u);  // names unique
+}
+
+TEST(Suite, SampledEntriesGenerate) {
+  const auto& suite = matrix_suite();
+  for (std::size_t i = 0; i < suite.size(); i += 23) {
+    const Csr a = make_suite_matrix(suite[i]);
+    a.check();
+    EXPECT_GT(a.n_rows, 100) << suite[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace th

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "gen/generators.hpp"
+#include "order/graph.hpp"
+#include "sparse/convert.hpp"
+#include "order/reorder.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+#include "symbolic/fill.hpp"
+
+namespace th {
+namespace {
+
+TEST(Perm, IdentityAndInverse) {
+  const Permutation id = identity_permutation(5);
+  EXPECT_TRUE(is_valid_permutation(id));
+  EXPECT_EQ(invert_permutation(id), id);
+  const Permutation p{2, 0, 1};
+  const Permutation inv = invert_permutation(p);
+  EXPECT_EQ(inv, (Permutation{1, 2, 0}));
+}
+
+TEST(Perm, InvalidDetected) {
+  EXPECT_FALSE(is_valid_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_valid_permutation({0, 3}));
+  EXPECT_THROW(invert_permutation({1, 1}), Error);
+}
+
+TEST(Perm, SymmetricPermutationPreservesValues) {
+  const Csr a = finalize_system(grid2d_laplacian(4, 4), 3);
+  const Permutation p = rcm_order(a);
+  const Csr b = apply_symmetric_permutation(a, p);
+  b.check();
+  EXPECT_EQ(b.nnz(), a.nnz());
+  // Spot-check: B(i,j) == A(perm[i], perm[j]).
+  const auto da = to_dense(a);
+  const auto db = to_dense(b);
+  for (index_t i = 0; i < a.n_rows; ++i) {
+    for (index_t j = 0; j < a.n_cols; ++j) {
+      EXPECT_DOUBLE_EQ(
+          db[static_cast<std::size_t>(i) * a.n_cols + j],
+          da[static_cast<std::size_t>(p[i]) * a.n_cols + p[j]]);
+    }
+  }
+}
+
+TEST(Perm, VectorPermutationRoundTrip) {
+  const Permutation p{2, 0, 1};
+  const std::vector<real_t> v{10, 20, 30};
+  const auto pv = apply_permutation(v, p);
+  EXPECT_EQ(pv, (std::vector<real_t>{30, 10, 20}));
+  EXPECT_EQ(apply_inverse_permutation(pv, p), v);
+}
+
+TEST(Graph, AdjacencyExcludesDiagonal) {
+  const Csr a = grid2d_laplacian(3, 3);
+  const AdjacencyGraph g = build_adjacency(a);
+  EXPECT_EQ(g.n, 9);
+  for (index_t v = 0; v < g.n; ++v) {
+    for (offset_t p = g.ptr[v]; p < g.ptr[v + 1]; ++p) {
+      EXPECT_NE(g.adj[p], v);
+    }
+  }
+  // Center vertex of the 3x3 grid has degree 4.
+  EXPECT_EQ(g.degree(4), 4);
+}
+
+TEST(Graph, BfsLevelsOnPath) {
+  // 1D chain: levels are distances.
+  const Csr a = grid2d_laplacian(6, 1);
+  const AdjacencyGraph g = build_adjacency(a);
+  const BfsResult r = bfs(g, 0);
+  for (index_t v = 0; v < 6; ++v) EXPECT_EQ(r.level[v], v);
+}
+
+TEST(Graph, PseudoPeripheralOnChainIsEndpoint) {
+  const Csr a = grid2d_laplacian(9, 1);
+  const AdjacencyGraph g = build_adjacency(a);
+  const index_t v = pseudo_peripheral(g, 4);
+  EXPECT_TRUE(v == 0 || v == 8);
+}
+
+// Bandwidth of the permuted matrix: RCM should shrink it on shuffled
+// banded structure.
+index_t bandwidth(const Csr& a) {
+  index_t bw = 0;
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    for (offset_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      bw = std::max(bw, std::abs(a.col_idx[p] - r));
+    }
+  }
+  return bw;
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledGrid) {
+  const Csr a = finalize_system(grid2d_laplacian(16, 16), 1);
+  // Shuffle with a random permutation first.
+  Permutation shuffle = identity_permutation(a.n_rows);
+  Rng rng(99);
+  for (index_t i = a.n_rows - 1; i > 0; --i) {
+    std::swap(shuffle[i], shuffle[rng.index_in(0, i)]);
+  }
+  const Csr shuffled = apply_symmetric_permutation(a, shuffle);
+  const Csr rcm = apply_symmetric_permutation(shuffled, rcm_order(shuffled));
+  EXPECT_LT(bandwidth(rcm), bandwidth(shuffled) / 2);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Block-diagonal: two disjoint grids.
+  Coo c;
+  const Csr g1 = grid2d_laplacian(4, 4);
+  c.n_rows = c.n_cols = 32;
+  for (index_t r = 0; r < 16; ++r) {
+    for (offset_t p = g1.row_ptr[r]; p < g1.row_ptr[r + 1]; ++p) {
+      c.add(r, g1.col_idx[p], g1.values[p]);
+      c.add(r + 16, g1.col_idx[p] + 16, g1.values[p]);
+    }
+  }
+  const Csr a = coo_to_csr(c);
+  EXPECT_TRUE(is_valid_permutation(rcm_order(a)));
+  EXPECT_TRUE(is_valid_permutation(min_degree_order(a)));
+  EXPECT_TRUE(is_valid_permutation(nested_dissection_order(a)));
+}
+
+offset_t fill_nnz(const Csr& a, const Permutation& p) {
+  return symbolic_fill(apply_symmetric_permutation(a, p)).nnz_l();
+}
+
+TEST(MinDegree, ReducesFillVsNatural) {
+  const Csr a = finalize_system(grid2d_laplacian(14, 14), 4);
+  const offset_t natural = fill_nnz(a, identity_permutation(a.n_rows));
+  const offset_t md = fill_nnz(a, min_degree_order(a));
+  EXPECT_LT(md, natural);
+}
+
+TEST(NestedDissection, ReducesFillVsNaturalOnGrid) {
+  const Csr a = finalize_system(grid2d_laplacian(16, 16), 4);
+  const offset_t natural = fill_nnz(a, identity_permutation(a.n_rows));
+  const offset_t nd = fill_nnz(a, nested_dissection_order(a));
+  EXPECT_LT(nd, natural);
+}
+
+TEST(Orderings, AllValidOnIrregularMatrix) {
+  const Csr a = finalize_system(circuit_like(300, 2.5, 3, 17), 17);
+  for (Ordering o : {Ordering::kNatural, Ordering::kRcm,
+                     Ordering::kMinDegree, Ordering::kNestedDissection}) {
+    EXPECT_TRUE(is_valid_permutation(compute_ordering(a, o)))
+        << ordering_name(o);
+  }
+}
+
+}  // namespace
+}  // namespace th

@@ -1,0 +1,144 @@
+// Schedule-quality integration tests over the paper-matrix registry:
+// the Trojan Horse must beat every per-task baseline on every registry
+// matrix and device, the headline orderings of the paper's figures must
+// hold, and the schedules must respect physical lower bounds. These are
+// timing-only replays (numerics are covered elsewhere), so the whole
+// registry is affordable.
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/driver.hpp"
+
+namespace th {
+namespace {
+
+struct RegistryCase {
+  const char* name;
+  SolverCore core;
+};
+
+std::string case_name(const testing::TestParamInfo<RegistryCase>& info) {
+  std::string s = info.param.name;
+  s += "_";
+  s += solver_core_name(info.param.core);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class RegistrySchedule : public testing::TestWithParam<RegistryCase> {
+ protected:
+  static SolverInstance make_instance(const RegistryCase& c) {
+    InstanceOptions io;
+    io.core = c.core;
+    io.block = c.core == SolverCore::kPlu ? 96 : 32;
+    return SolverInstance(paper_matrix(c.name).make(), io);
+  }
+};
+
+TEST_P(RegistrySchedule, TrojanHorseBeatsAllPerTaskBaselines) {
+  SolverInstance inst = make_instance(GetParam());
+  ScheduleOptions o;
+  o.cluster = single_gpu(device_a100());
+  o.policy = Policy::kTrojanHorse;
+  const real_t th = inst.run_timing(o).makespan_s;
+  for (Policy p : {Policy::kLevelPerTask, Policy::kPriorityPerTask,
+                   Policy::kMultiStream, Policy::kDmdas}) {
+    o.policy = p;
+    EXPECT_GT(inst.run_timing(o).makespan_s, th) << policy_name(p);
+  }
+}
+
+TEST_P(RegistrySchedule, FasterGpuHelpsMoreWithTrojanHorse) {
+  // The Figure 9 amplification: 5090/5060Ti gain is larger with TH than
+  // without (or at worst equal).
+  SolverInstance inst = make_instance(GetParam());
+  auto ratio = [&](Policy p) {
+    ScheduleOptions o;
+    o.policy = p;
+    o.cluster = single_gpu(device_rtx5060ti());
+    const real_t slow = inst.run_timing(o).makespan_s;
+    o.cluster = single_gpu(device_rtx5090());
+    return slow / inst.run_timing(o).makespan_s;
+  };
+  EXPECT_GE(ratio(Policy::kTrojanHorse) * 1.05,
+            ratio(Policy::kPriorityPerTask));
+}
+
+TEST_P(RegistrySchedule, MakespanRespectsWorkAndCriticalPathBounds) {
+  SolverInstance inst = make_instance(GetParam());
+  ScheduleOptions o;
+  o.policy = Policy::kTrojanHorse;
+  o.cluster = single_gpu(device_a100());
+  const ScheduleResult r = inst.run_timing(o);
+  const DeviceSpec& d = o.cluster.gpu;
+  // Aggregate work cannot run faster than peak.
+  const real_t work_bound =
+      static_cast<real_t>(inst.graph().total_flops()) /
+      (d.fp64_peak_tflops * 1e12);
+  EXPECT_GE(r.makespan_s * 1.0001, work_bound);
+  // Nor faster than the dependency critical path at peak single-block rate.
+  const real_t cp_bound =
+      static_cast<real_t>(inst.graph().critical_path_flops()) /
+      (d.fp64_peak_tflops * 1e12);
+  EXPECT_GE(r.makespan_s, cp_bound);
+  // Achieved GFLOPS never exceeds the device's peak.
+  EXPECT_LE(r.achieved_gflops(), d.fp64_peak_tflops * 1e3);
+}
+
+TEST_P(RegistrySchedule, ScaleOutMonotoneOnH100) {
+  SolverInstance inst = make_instance(GetParam());
+  ScheduleOptions o;
+  o.policy = Policy::kTrojanHorse;
+  o.cluster = cluster_h100();
+  real_t prev = 1e300;
+  for (int ranks : {1, 4, 16}) {
+    inst.set_grid(make_process_grid(ranks));
+    o.n_ranks = ranks;
+    const real_t t = inst.run_timing(o).makespan_s;
+    // Strong scaling should not regress by more than comm slack (20%).
+    EXPECT_LT(t, prev * 1.2) << ranks << " ranks";
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, RegistrySchedule,
+    testing::Values(RegistryCase{"c-71", SolverCore::kSlu},
+                    RegistryCase{"c-71", SolverCore::kPlu},
+                    RegistryCase{"cage12", SolverCore::kSlu},
+                    RegistryCase{"cage12", SolverCore::kPlu},
+                    RegistryCase{"para-8", SolverCore::kPlu},
+                    RegistryCase{"Lin", SolverCore::kSlu},
+                    RegistryCase{"Lin", SolverCore::kPlu},
+                    RegistryCase{"audikw_1", SolverCore::kSlu},
+                    RegistryCase{"audikw_1", SolverCore::kPlu},
+                    RegistryCase{"Serena", SolverCore::kPlu}),
+    case_name);
+
+TEST(ScheduleQuality, KernelCountReductionOrdersLikeThePaper) {
+  // Table 5/6 shape: SLU's reduction rate is far below PLU's.
+  auto rate = [&](SolverCore core, Policy base) {
+    InstanceOptions io;
+    io.core = core;
+    io.block = core == SolverCore::kPlu ? 96 : 32;
+    SolverInstance inst(paper_matrix("cage12").make(), io);
+    ScheduleOptions o;
+    o.cluster = single_gpu(device_a100());
+    o.policy = base;
+    const auto b = inst.run_timing(o).kernel_count;
+    o.policy = Policy::kTrojanHorse;
+    const auto t = inst.run_timing(o).kernel_count;
+    return static_cast<real_t>(t) / static_cast<real_t>(b);
+  };
+  const real_t slu = rate(SolverCore::kSlu, Policy::kLevelPerTask);
+  const real_t plu = rate(SolverCore::kPlu, Policy::kPriorityPerTask);
+  EXPECT_LT(slu, 0.05);
+  EXPECT_LT(plu, 0.25);
+  EXPECT_LT(slu, plu);
+}
+
+}  // namespace
+}  // namespace th

@@ -1,0 +1,147 @@
+// Factor serialization and batch-anatomy statistics tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/batch_stats.hpp"
+#include "gen/generators.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/driver.hpp"
+#include "solvers/serialize.hpp"
+#include "sparse/ops.hpp"
+
+namespace th {
+namespace {
+
+ScheduleOptions th_opts() {
+  ScheduleOptions o;
+  o.policy = Policy::kTrojanHorse;
+  o.cluster = single_gpu(device_a100());
+  return o;
+}
+
+struct Factored {
+  Csr a;
+  std::unique_ptr<SolverInstance> inst;
+};
+
+Factored make_factored(std::uint64_t seed = 3) {
+  Factored f;
+  f.a = finalize_system(cage_like(180, 5, 0.12, seed), seed);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+  f.inst = std::make_unique<SolverInstance>(f.a, io);
+  f.inst->run_numeric(th_opts());
+  return f;
+}
+
+TEST(Serialize, RoundTripSolvesIdentically) {
+  Factored f = make_factored();
+  std::stringstream buf;
+  save_factors(buf, *f.inst->plu_factorization(), f.inst->permutation());
+
+  const LoadedFactors loaded = load_factors(buf);
+  EXPECT_EQ(loaded.n(), f.a.n_rows);
+  EXPECT_EQ(loaded.permutation(), f.inst->permutation());
+
+  std::vector<real_t> b(static_cast<std::size_t>(f.a.n_rows));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + (i % 4);
+  const std::vector<real_t> x_orig = f.inst->solve(b);
+  const std::vector<real_t> x_loaded = loaded.solve(b);
+  ASSERT_EQ(x_orig.size(), x_loaded.size());
+  for (std::size_t i = 0; i < x_orig.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x_orig[i], x_loaded[i]);  // bit-identical tiles
+  }
+  EXPECT_LT(scaled_residual(f.a, x_loaded, b), 1e-11);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Factored f = make_factored(9);
+  const std::string path = "factors_test.thlu";
+  save_factors_file(path, *f.inst->plu_factorization(),
+                    f.inst->permutation());
+  const LoadedFactors loaded = load_factors_file(path);
+  EXPECT_EQ(loaded.n(), f.a.n_rows);
+  EXPECT_GT(loaded.tile_count(), 0);
+  EXPECT_THROW(load_factors_file("/nonexistent/f.thlu"), Error);
+}
+
+TEST(Serialize, RejectsCorruptStreams) {
+  {
+    std::stringstream bad("not a factor stream at all");
+    EXPECT_THROW(load_factors(bad), Error);
+  }
+  Factored f = make_factored(11);
+  std::stringstream buf;
+  save_factors(buf, *f.inst->plu_factorization(), f.inst->permutation());
+  std::string data = buf.str();
+  {
+    // Truncate mid-tile.
+    std::stringstream trunc(data.substr(0, data.size() / 2));
+    EXPECT_THROW(load_factors(trunc), Error);
+  }
+  {
+    // Corrupt the magic.
+    std::string d = data;
+    d[0] = 'X';
+    std::stringstream badmagic(d);
+    EXPECT_THROW(load_factors(badmagic), Error);
+  }
+}
+
+TEST(Serialize, SaveBeforeNumericThrows) {
+  const Csr a = finalize_system(grid2d_laplacian(8, 8), 5);
+  PluOptions po;
+  po.tile_size = 8;
+  PluFactorization fact(a, po);
+  std::stringstream buf;
+  EXPECT_THROW(save_factors(buf, fact, identity_permutation(a.n_rows)),
+               Error);
+}
+
+TEST(BatchAnatomy, CountsAreConsistent) {
+  const Csr a = finalize_system(grid2d_laplacian(16, 16), 7);
+  InstanceOptions io;
+  io.block = 12;
+  SolverInstance inst(a, io);
+  ScheduleOptions o = th_opts();
+  o.collect_batches = true;
+  const ScheduleResult r = inst.run_timing(o);
+  const BatchAnatomy an = analyze_batches(inst.graph(), r);
+  EXPECT_EQ(an.batches, r.kernel_count);
+  EXPECT_EQ(an.tasks, inst.graph().size());
+  EXPECT_GE(an.max_batch_size, 1);
+  EXPECT_LE(an.mixed_type_batches, an.batches);
+  offset_t by_type = 0;
+  for (offset_t c : an.tasks_by_type) by_type += c;
+  EXPECT_EQ(by_type, an.tasks);
+  // A real factorisation schedule mixes types in at least some batches.
+  EXPECT_GT(an.mixed_type_batches, 0);
+}
+
+TEST(BatchAnatomy, RequiresCollectedBatches) {
+  const Csr a = finalize_system(grid2d_laplacian(8, 8), 2);
+  InstanceOptions io;
+  io.block = 8;
+  SolverInstance inst(a, io);
+  const ScheduleResult r = inst.run_timing(th_opts());  // not collected
+  EXPECT_THROW(analyze_batches(inst.graph(), r), Error);
+}
+
+TEST(BatchAnatomy, PerTaskPolicyHasNoMixedBatches) {
+  const Csr a = finalize_system(grid2d_laplacian(10, 10), 4);
+  InstanceOptions io;
+  io.block = 10;
+  SolverInstance inst(a, io);
+  ScheduleOptions o = th_opts();
+  o.policy = Policy::kPriorityPerTask;
+  o.collect_batches = true;
+  const ScheduleResult r = inst.run_timing(o);
+  const BatchAnatomy an = analyze_batches(inst.graph(), r);
+  EXPECT_EQ(an.mixed_type_batches, 0);
+  EXPECT_EQ(an.max_batch_size, 1);
+}
+
+}  // namespace
+}  // namespace th

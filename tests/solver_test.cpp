@@ -1,0 +1,220 @@
+// End-to-end solver tests: factor A, solve, and check the scaled residual
+// under every combination of solver core, scheduling policy, rank count and
+// ordering. These are the strongest tests in the suite — they certify that
+// the Trojan Horse reordering of execution (batching, deferral, atomic
+// accumulation) never changes the numeric result beyond FP reassociation.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/driver.hpp"
+#include "sparse/ops.hpp"
+
+namespace th {
+namespace {
+
+constexpr real_t kTol = 1e-10;
+
+Csr test_matrix(int which) {
+  switch (which) {
+    case 0:
+      return finalize_system(grid2d_laplacian(18, 18), 1);
+    case 1:
+      return finalize_system(banded_random(300, 12, 0.4, 7), 7);
+    case 2:
+      return finalize_system(cage_like(260, 6, 0.08, 3), 3);
+    case 3:
+      return finalize_system(circuit_like(320, 2.5, 2, 5), 5);
+    default:
+      return finalize_system(grid3d_laplacian(6, 6, 6), 9);
+  }
+}
+
+struct Combo {
+  SolverCore core;
+  Policy policy;
+  int ranks;
+  Ordering ordering;
+  int matrix;
+};
+
+std::string combo_name(const testing::TestParamInfo<Combo>& info) {
+  const Combo& c = info.param;
+  std::string s = solver_core_name(c.core);
+  s += "_";
+  s += policy_name(c.policy);
+  s += "_r" + std::to_string(c.ranks);
+  s += "_";
+  s += ordering_name(c.ordering);
+  s += "_m" + std::to_string(c.matrix);
+  for (char& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class SolverResidual : public testing::TestWithParam<Combo> {};
+
+TEST_P(SolverResidual, FactorsAndSolves) {
+  const Combo c = GetParam();
+  const Csr a = test_matrix(c.matrix);
+
+  DriverOptions opt;
+  opt.instance.core = c.core;
+  opt.instance.ordering = c.ordering;
+  opt.instance.block = 16;
+  opt.instance.grid = make_process_grid(c.ranks);
+  opt.sched.policy = c.policy;
+  opt.sched.n_ranks = c.ranks;
+  opt.sched.cluster = c.ranks > 1 ? cluster_h100() : single_gpu(device_a100());
+
+  const DriverReport rep = run_solver(a, opt);
+  EXPECT_LT(rep.residual, kTol) << "residual too large";
+  EXPECT_GT(rep.numeric.makespan_s, 0);
+  EXPECT_EQ(rep.task_count, rep.numeric.trace.records().empty()
+                                ? rep.task_count
+                                : rep.task_count);
+  // Every task ran exactly once.
+  offset_t executed = 0;
+  for (const auto& r : rep.numeric.trace.records()) executed += r.tasks;
+  EXPECT_EQ(executed, rep.task_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, SolverResidual,
+    testing::Values(
+        Combo{SolverCore::kPlu, Policy::kTrojanHorse, 1,
+              Ordering::kMinDegree, 0},
+        Combo{SolverCore::kPlu, Policy::kPriorityPerTask, 1,
+              Ordering::kMinDegree, 0},
+        Combo{SolverCore::kPlu, Policy::kLevelPerTask, 1,
+              Ordering::kMinDegree, 1},
+        Combo{SolverCore::kPlu, Policy::kMultiStream, 1,
+              Ordering::kMinDegree, 1},
+        Combo{SolverCore::kPlu, Policy::kDmdas, 1, Ordering::kMinDegree, 2},
+        Combo{SolverCore::kSlu, Policy::kTrojanHorse, 1,
+              Ordering::kMinDegree, 0},
+        Combo{SolverCore::kSlu, Policy::kLevelPerTask, 1,
+              Ordering::kMinDegree, 1},
+        Combo{SolverCore::kSlu, Policy::kPriorityPerTask, 1,
+              Ordering::kMinDegree, 2},
+        Combo{SolverCore::kSlu, Policy::kDmdas, 1, Ordering::kMinDegree, 3},
+        Combo{SolverCore::kSlu, Policy::kMultiStream, 1,
+              Ordering::kMinDegree, 4}),
+    combo_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    RankSweep, SolverResidual,
+    testing::Values(
+        Combo{SolverCore::kPlu, Policy::kTrojanHorse, 2,
+              Ordering::kMinDegree, 0},
+        Combo{SolverCore::kPlu, Policy::kTrojanHorse, 4,
+              Ordering::kMinDegree, 2},
+        Combo{SolverCore::kPlu, Policy::kPriorityPerTask, 4,
+              Ordering::kMinDegree, 1},
+        Combo{SolverCore::kSlu, Policy::kTrojanHorse, 4,
+              Ordering::kMinDegree, 1},
+        Combo{SolverCore::kSlu, Policy::kTrojanHorse, 3,
+              Ordering::kMinDegree, 3},
+        Combo{SolverCore::kSlu, Policy::kLevelPerTask, 2,
+              Ordering::kMinDegree, 4}),
+    combo_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderingSweep, SolverResidual,
+    testing::Values(
+        Combo{SolverCore::kPlu, Policy::kTrojanHorse, 1, Ordering::kNatural,
+              0},
+        Combo{SolverCore::kPlu, Policy::kTrojanHorse, 1, Ordering::kRcm, 1},
+        Combo{SolverCore::kPlu, Policy::kTrojanHorse, 1,
+              Ordering::kNestedDissection, 0},
+        Combo{SolverCore::kSlu, Policy::kTrojanHorse, 1, Ordering::kNatural,
+              1},
+        Combo{SolverCore::kSlu, Policy::kTrojanHorse, 1, Ordering::kRcm, 0},
+        Combo{SolverCore::kSlu, Policy::kTrojanHorse, 1,
+              Ordering::kNestedDissection, 4}),
+    combo_name);
+
+// The Trojan Horse must produce the same factors (hence solution) as the
+// no-batching baseline on the same matrix.
+TEST(SolverEquivalence, TrojanHorseMatchesBaseline) {
+  const Csr a = test_matrix(0);
+  std::vector<real_t> xs[2];
+  int i = 0;
+  for (Policy p : {Policy::kTrojanHorse, Policy::kPriorityPerTask}) {
+    DriverOptions opt;
+    opt.instance.core = SolverCore::kPlu;
+    opt.instance.block = 16;
+    opt.sched.policy = p;
+    opt.sched.cluster = single_gpu(device_a100());
+    SolverInstance inst(a, opt.instance);
+    inst.run_numeric(opt.sched);
+    std::vector<real_t> b(static_cast<std::size_t>(a.n_rows), 1.0);
+    xs[i++] = inst.solve(b);
+  }
+  ASSERT_EQ(xs[0].size(), xs[1].size());
+  for (std::size_t j = 0; j < xs[0].size(); ++j) {
+    EXPECT_NEAR(xs[0][j], xs[1][j], 1e-9) << "component " << j;
+  }
+}
+
+// Numeric execution on a worker pool (atomic SSSSM accumulation path) must
+// agree with the sequential run to accumulation tolerance.
+TEST(SolverEquivalence, WorkerPoolMatchesSequential) {
+  const Csr a = test_matrix(1);
+  std::vector<real_t> xs[2];
+  int i = 0;
+  for (int workers : {1, 4}) {
+    DriverOptions opt;
+    opt.instance.core = SolverCore::kPlu;
+    opt.instance.block = 16;
+    opt.sched.policy = Policy::kTrojanHorse;
+    opt.sched.exec_workers = workers;
+    opt.sched.cluster = single_gpu(device_a100());
+    SolverInstance inst(a, opt.instance);
+    inst.run_numeric(opt.sched);
+    std::vector<real_t> b(static_cast<std::size_t>(a.n_rows), 1.0);
+    xs[i++] = inst.solve(b);
+  }
+  for (std::size_t j = 0; j < xs[0].size(); ++j) {
+    EXPECT_NEAR(xs[0][j], xs[1][j], 1e-8) << "component " << j;
+  }
+}
+
+// Timing-only replay must not require numerics and must be deterministic.
+TEST(SolverTiming, ReplayIsDeterministic) {
+  const Csr a = test_matrix(2);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+  SolverInstance inst(a, io);
+  ScheduleOptions so;
+  so.policy = Policy::kTrojanHorse;
+  so.cluster = single_gpu(device_a100());
+  const ScheduleResult r1 = inst.run_timing(so);
+  const ScheduleResult r2 = inst.run_timing(so);
+  EXPECT_EQ(r1.makespan_s, r2.makespan_s);
+  EXPECT_EQ(r1.kernel_count, r2.kernel_count);
+}
+
+// The aggregate stage must shrink kernel counts dramatically (Tables 5/6).
+TEST(SolverBatching, KernelCountDropsWithTrojanHorse) {
+  const Csr a = test_matrix(0);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+  SolverInstance inst(a, io);
+  ScheduleOptions base;
+  base.policy = Policy::kPriorityPerTask;
+  base.cluster = single_gpu(device_a100());
+  ScheduleOptions tro = base;
+  tro.policy = Policy::kTrojanHorse;
+  const ScheduleResult rb = inst.run_timing(base);
+  const ScheduleResult rt = inst.run_timing(tro);
+  EXPECT_EQ(rb.kernel_count, inst.graph().size());  // one kernel per task
+  EXPECT_LT(rt.kernel_count, rb.kernel_count / 5);
+  EXPECT_LT(rt.makespan_s, rb.makespan_s);
+}
+
+}  // namespace
+}  // namespace th

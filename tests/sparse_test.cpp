@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "sparse/io.hpp"
+#include "sparse/ops.hpp"
+
+namespace th {
+namespace {
+
+Coo small_coo() {
+  Coo a;
+  a.n_rows = a.n_cols = 3;
+  a.add(0, 0, 1.0);
+  a.add(0, 2, 2.0);
+  a.add(1, 1, 3.0);
+  a.add(2, 0, 4.0);
+  a.add(2, 2, 5.0);
+  return a;
+}
+
+TEST(Convert, CooToCsrBasic) {
+  const Csr a = coo_to_csr(small_coo());
+  a.check();
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_EQ(a.row_ptr, (std::vector<offset_t>{0, 2, 3, 5}));
+  EXPECT_EQ(a.col_idx, (std::vector<index_t>{0, 2, 1, 0, 2}));
+}
+
+TEST(Convert, DuplicatesAreSummed) {
+  Coo c;
+  c.n_rows = c.n_cols = 2;
+  c.add(0, 1, 1.5);
+  c.add(0, 1, 2.5);
+  c.add(1, 0, 1.0);
+  const Csr a = coo_to_csr(c);
+  a.check();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.values[0], 4.0);
+}
+
+TEST(Convert, CsrCscRoundTrip) {
+  const Csr a = coo_to_csr(small_coo());
+  const Csc c = csr_to_csc(a);
+  c.check();
+  const Csr back = csc_to_csr(c);
+  back.check();
+  EXPECT_EQ(back.row_ptr, a.row_ptr);
+  EXPECT_EQ(back.col_idx, a.col_idx);
+  EXPECT_EQ(back.values, a.values);
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  const Csr a = coo_to_csr(small_coo());
+  const Csr att = transpose(transpose(a));
+  EXPECT_EQ(att.row_ptr, a.row_ptr);
+  EXPECT_EQ(att.col_idx, a.col_idx);
+  EXPECT_EQ(att.values, a.values);
+}
+
+TEST(Convert, SymmetrizePatternIsSymmetric) {
+  const Csr a = coo_to_csr(small_coo());
+  const Csr s = symmetrize_pattern(a);
+  s.check();
+  EXPECT_TRUE(is_pattern_symmetric(s));
+  // Values of A survive.
+  const auto dense_a = to_dense(a);
+  const auto dense_s = to_dense(s);
+  for (std::size_t i = 0; i < dense_a.size(); ++i) {
+    if (dense_a[i] != 0.0) {
+      EXPECT_DOUBLE_EQ(dense_s[i], dense_a[i]);
+    }
+  }
+}
+
+TEST(Convert, OutOfRangeEntryThrows) {
+  Coo c;
+  c.n_rows = c.n_cols = 2;
+  c.add(0, 0, 1.0);
+  c.entries.push_back({5, 0, 1.0});
+  EXPECT_THROW(coo_to_csr(c), Error);
+}
+
+TEST(Ops, SpmvKnownResult) {
+  const Csr a = coo_to_csr(small_coo());
+  const std::vector<real_t> y = spmv(a, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(Ops, InfNorms) {
+  const Csr a = coo_to_csr(small_coo());
+  EXPECT_DOUBLE_EQ(inf_norm(a), 9.0);  // row 2: |4| + |5|
+  EXPECT_DOUBLE_EQ(inf_norm(std::vector<real_t>{-3, 2}), 3.0);
+}
+
+TEST(Ops, ScaledResidualZeroForExactSolve) {
+  Coo c;
+  c.n_rows = c.n_cols = 2;
+  c.add(0, 0, 2.0);
+  c.add(1, 1, 4.0);
+  const Csr a = coo_to_csr(c);
+  const std::vector<real_t> x{1.0, 2.0};
+  const std::vector<real_t> b = spmv(a, x);
+  EXPECT_NEAR(scaled_residual(a, x, b), 0.0, 1e-16);
+}
+
+TEST(Ops, MakeDiagDominantHolds) {
+  Coo c;
+  c.n_rows = c.n_cols = 3;
+  c.add(0, 1, -10.0);
+  c.add(1, 0, 6.0);
+  c.add(1, 2, 7.0);
+  c.add(2, 2, 0.5);
+  const Csr a = make_diag_dominant(coo_to_csr(c));
+  a.check();
+  const auto d = to_dense(a);
+  for (index_t r = 0; r < 3; ++r) {
+    real_t diag = 0, off = 0;
+    for (index_t cc = 0; cc < 3; ++cc) {
+      const real_t v = d[static_cast<std::size_t>(r) * 3 + cc];
+      if (r == cc) {
+        diag = std::fabs(v);
+      } else {
+        off += std::fabs(v);
+      }
+    }
+    EXPECT_GT(diag, off) << "row " << r;
+  }
+}
+
+TEST(Io, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 2 3\n"
+      "1 1 1.5\n"
+      "2 1 -2\n"
+      "2 2 3\n");
+  const Coo c = read_matrix_market(in);
+  EXPECT_EQ(c.n_rows, 2);
+  EXPECT_EQ(c.nnz(), 3);
+  const Csr a = coo_to_csr(c);
+  EXPECT_DOUBLE_EQ(to_dense(a)[0], 1.5);
+}
+
+TEST(Io, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 1\n"
+      "2 1 5\n");
+  const Coo c = read_matrix_market(in);
+  EXPECT_EQ(c.nnz(), 3);  // off-diagonal mirrored
+  const auto d = to_dense(coo_to_csr(c));
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(Io, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "1 1 1\n"
+      "1 1\n");
+  const Coo c = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(c.entries[0].value, 1.0);
+}
+
+TEST(Io, RoundTrip) {
+  const Coo c0 = small_coo();
+  std::ostringstream out;
+  write_matrix_market(out, c0);
+  std::istringstream in(out.str());
+  const Coo c1 = read_matrix_market(in);
+  const auto d0 = to_dense(coo_to_csr(c0));
+  const auto d1 = to_dense(coo_to_csr(c1));
+  EXPECT_EQ(d0, d1);
+}
+
+TEST(Io, MalformedInputsThrow) {
+  std::istringstream bad_banner("%%NotMM matrix coordinate real general\n");
+  EXPECT_THROW(read_matrix_market(bad_banner), Error);
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1\n");
+  EXPECT_THROW(read_matrix_market(truncated), Error);
+  std::istringstream range(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1\n");
+  EXPECT_THROW(read_matrix_market(range), Error);
+}
+
+}  // namespace
+}  // namespace th

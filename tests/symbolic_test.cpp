@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/fill.hpp"
+#include "symbolic/supernodes.hpp"
+#include "symbolic/tiles.hpp"
+
+namespace th {
+namespace {
+
+// Dense boolean Gaussian elimination: the ground truth for fill.
+std::vector<char> dense_fill(const Csr& a) {
+  const index_t n = a.n_rows;
+  const Csr s = symmetrize_pattern(a);
+  std::vector<char> m(static_cast<std::size_t>(n) * n, 0);
+  for (index_t r = 0; r < n; ++r) {
+    m[static_cast<std::size_t>(r) * n + r] = 1;
+    for (offset_t p = s.row_ptr[r]; p < s.row_ptr[r + 1]; ++p) {
+      m[static_cast<std::size_t>(r) * n + s.col_idx[p]] = 1;
+    }
+  }
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = k + 1; i < n; ++i) {
+      if (!m[static_cast<std::size_t>(i) * n + k]) continue;
+      for (index_t j = k + 1; j < n; ++j) {
+        if (m[static_cast<std::size_t>(k) * n + j]) {
+          m[static_cast<std::size_t>(i) * n + j] = 1;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+TEST(Etree, ChainMatrixIsPathTree) {
+  // Tridiagonal: parent(v) = v+1.
+  const Csr a = grid2d_laplacian(8, 1);
+  const EliminationTree t = elimination_tree(a);
+  for (index_t v = 0; v + 1 < 8; ++v) EXPECT_EQ(t.parent[v], v + 1);
+  EXPECT_EQ(t.parent[7], -1);
+  EXPECT_EQ(t.height, 8);
+}
+
+TEST(Etree, ParentsAlwaysLarger) {
+  const Csr a = finalize_system(cage_like(150, 5, 0.1, 8), 8);
+  const EliminationTree t = elimination_tree(a);
+  for (index_t v = 0; v < t.n(); ++v) {
+    if (t.parent[v] != -1) EXPECT_GT(t.parent[v], v);
+  }
+}
+
+TEST(Etree, PostorderChildrenBeforeParents) {
+  const Csr a = finalize_system(grid2d_laplacian(7, 7), 8);
+  const EliminationTree t = elimination_tree(a);
+  const std::vector<index_t> post = postorder(t);
+  std::vector<index_t> position(post.size());
+  for (std::size_t i = 0; i < post.size(); ++i) position[post[i]] = i;
+  for (index_t v = 0; v < t.n(); ++v) {
+    if (t.parent[v] != -1) EXPECT_LT(position[v], position[t.parent[v]]);
+  }
+}
+
+TEST(Fill, MatchesDenseEliminationSmall) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Csr a = finalize_system(cage_like(40, 4, 0.2, seed), seed);
+    const std::vector<char> truth = dense_fill(a);
+    const FillPattern f = symbolic_fill(a);
+    // Collect fill columns into a set for comparison (lower triangle).
+    std::set<std::pair<index_t, index_t>> got;
+    for (index_t j = 0; j < f.n; ++j) {
+      for (offset_t p = f.col_ptr[j]; p < f.col_ptr[j + 1]; ++p) {
+        got.insert({f.row_idx[p], j});
+      }
+    }
+    for (index_t i = 0; i < a.n_rows; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        const bool expected =
+            truth[static_cast<std::size_t>(i) * a.n_rows + j] != 0;
+        EXPECT_EQ(got.count({i, j}) > 0, expected)
+            << "(" << i << "," << j << ") seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Fill, DiagonalFirstAndSorted) {
+  const Csr a = finalize_system(grid2d_laplacian(9, 9), 2);
+  const FillPattern f = symbolic_fill(a);
+  for (index_t j = 0; j < f.n; ++j) {
+    ASSERT_LT(f.col_ptr[j], f.col_ptr[j + 1]);
+    EXPECT_EQ(f.row_idx[f.col_ptr[j]], j);
+    for (offset_t p = f.col_ptr[j] + 1; p < f.col_ptr[j + 1]; ++p) {
+      EXPECT_GT(f.row_idx[p], f.row_idx[p - 1]);
+    }
+  }
+  EXPECT_EQ(f.nnz_lu(), 2 * f.nnz_l() - f.n);
+}
+
+TEST(Supernodes, PartitionCoversAllColumns) {
+  const Csr a = finalize_system(grid2d_laplacian(10, 10), 3);
+  const EliminationTree t = elimination_tree(a);
+  const FillPattern f = symbolic_fill(a, t);
+  const SupernodePartition part = find_supernodes(f, t, 8);
+  EXPECT_EQ(part.start.front(), 0);
+  EXPECT_EQ(part.start.back(), a.n_rows);
+  for (index_t s = 0; s < part.count(); ++s) {
+    EXPECT_GE(part.width(s), 1);
+    EXPECT_LE(part.width(s), 8);
+    for (index_t c = part.start[s]; c < part.start[s + 1]; ++c) {
+      EXPECT_EQ(part.sn_of_col[c], s);
+    }
+  }
+}
+
+TEST(Supernodes, MaxSizeOneIsScalar) {
+  const Csr a = finalize_system(grid2d_laplacian(6, 6), 3);
+  const EliminationTree t = elimination_tree(a);
+  const FillPattern f = symbolic_fill(a, t);
+  const SupernodePartition part = find_supernodes(f, t, 1);
+  EXPECT_EQ(part.count(), a.n_rows);
+}
+
+TEST(Supernodes, LargerCapNeverIncreasesCount) {
+  const Csr a = finalize_system(grid3d_laplacian(5, 5, 5), 4);
+  const EliminationTree t = elimination_tree(a);
+  const FillPattern f = symbolic_fill(a, t);
+  const index_t c8 = find_supernodes(f, t, 8).count();
+  const index_t c64 = find_supernodes(f, t, 64).count();
+  EXPECT_LE(c64, c8);
+}
+
+TEST(Tiles, PatternCoversMatrixAndDiagonal) {
+  const Csr a = finalize_system(cage_like(130, 5, 0.1, 11), 11);
+  const TilePattern p = tile_symbolic(a, 16);
+  EXPECT_EQ(p.nt, (a.n_rows + 15) / 16);
+  for (index_t k = 0; k < p.nt; ++k) EXPECT_TRUE(p.has(k, k));
+  // Every A entry lands in a present tile.
+  for (index_t r = 0; r < a.n_rows; ++r) {
+    for (offset_t q = a.row_ptr[r]; q < a.row_ptr[r + 1]; ++q) {
+      EXPECT_TRUE(p.has(r / 16, a.col_idx[q] / 16));
+    }
+  }
+}
+
+TEST(Tiles, BlockFillIsClosedUnderElimination) {
+  const Csr a = finalize_system(cage_like(100, 5, 0.15, 13), 13);
+  const TilePattern p = tile_symbolic(a, 10);
+  for (index_t k = 0; k < p.nt; ++k) {
+    for (index_t i = k + 1; i < p.nt; ++i) {
+      if (!p.has(i, k)) continue;
+      for (index_t j = k + 1; j < p.nt; ++j) {
+        if (p.has(k, j)) {
+          EXPECT_TRUE(p.has(i, j)) << "fill (" << i << "," << j
+                                   << ") missing from step " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Tiles, ScalarFillIsSubsetOfBlockFill) {
+  // Tile-level elimination over-approximates scalar fill: every scalar
+  // fill entry must fall inside a present tile.
+  const Csr a = finalize_system(cage_like(90, 4, 0.2, 17), 17);
+  const index_t b = 8;
+  const TilePattern p = tile_symbolic(a, b);
+  const FillPattern f = symbolic_fill(a);
+  for (index_t j = 0; j < f.n; ++j) {
+    for (offset_t q = f.col_ptr[j]; q < f.col_ptr[j + 1]; ++q) {
+      const index_t i = f.row_idx[q];
+      EXPECT_TRUE(p.has(i / b, j / b)) << i << "," << j;
+      EXPECT_TRUE(p.has(j / b, i / b));  // symmetric pattern
+    }
+  }
+}
+
+TEST(Tiles, RowColHelpers) {
+  const Csr a = finalize_system(grid2d_laplacian(8, 8), 19);
+  const TilePattern p = tile_symbolic(a, 16);
+  for (index_t k = 0; k < p.nt; ++k) {
+    for (index_t i : p.col_tiles_below(k)) {
+      EXPECT_GT(i, k);
+      EXPECT_TRUE(p.has(i, k));
+    }
+    for (index_t j : p.row_tiles_right(k)) {
+      EXPECT_GT(j, k);
+      EXPECT_TRUE(p.has(k, j));
+    }
+  }
+  EXPECT_GT(estimate_tile_nnz_lu(p), a.nnz() / 2);
+}
+
+TEST(Tiles, LastTileMayBeSmaller) {
+  const Csr a = finalize_system(grid2d_laplacian(5, 5), 23);  // n = 25
+  const TilePattern p = tile_symbolic(a, 8);
+  EXPECT_EQ(p.nt, 4);
+  EXPECT_EQ(p.rows_in_tile(3), 1);
+  EXPECT_EQ(p.rows_in_tile(0), 8);
+}
+
+}  // namespace
+}  // namespace th
