@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batch_anatomy.dir/ext_batch_anatomy.cpp.o"
+  "CMakeFiles/ext_batch_anatomy.dir/ext_batch_anatomy.cpp.o.d"
+  "ext_batch_anatomy"
+  "ext_batch_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sptrsv.dir/ext_sptrsv.cpp.o"
+  "CMakeFiles/ext_sptrsv.dir/ext_sptrsv.cpp.o.d"
+  "ext_sptrsv"
+  "ext_sptrsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sptrsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

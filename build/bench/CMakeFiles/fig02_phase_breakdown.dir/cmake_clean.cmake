@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_phase_breakdown.dir/fig02_phase_breakdown.cpp.o"
+  "CMakeFiles/fig02_phase_breakdown.dir/fig02_phase_breakdown.cpp.o.d"
+  "fig02_phase_breakdown"
+  "fig02_phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dag_parallelism.dir/fig03_dag_parallelism.cpp.o"
+  "CMakeFiles/fig03_dag_parallelism.dir/fig03_dag_parallelism.cpp.o.d"
+  "fig03_dag_parallelism"
+  "fig03_dag_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dag_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_scaleup_gpus.cpp" "bench/CMakeFiles/fig09_scaleup_gpus.dir/fig09_scaleup_gpus.cpp.o" "gcc" "bench/CMakeFiles/fig09_scaleup_gpus.dir/fig09_scaleup_gpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/th_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/th_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/th_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/th_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/th_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/th_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/th_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/th_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/th_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/th_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scaleup_gpus.dir/fig09_scaleup_gpus.cpp.o"
+  "CMakeFiles/fig09_scaleup_gpus.dir/fig09_scaleup_gpus.cpp.o.d"
+  "fig09_scaleup_gpus"
+  "fig09_scaleup_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scaleup_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

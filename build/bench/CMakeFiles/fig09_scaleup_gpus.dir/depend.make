@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_scaleup_gpus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_04_matrix_stats.dir/tab02_04_matrix_stats.cpp.o"
+  "CMakeFiles/tab02_04_matrix_stats.dir/tab02_04_matrix_stats.cpp.o.d"
+  "tab02_04_matrix_stats"
+  "tab02_04_matrix_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_04_matrix_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_06_kernel_count.dir/tab05_06_kernel_count.cpp.o"
+  "CMakeFiles/tab05_06_kernel_count.dir/tab05_06_kernel_count.cpp.o.d"
+  "tab05_06_kernel_count"
+  "tab05_06_kernel_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_06_kernel_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab05_06_kernel_count.
+# This may be replaced when dependencies are built.

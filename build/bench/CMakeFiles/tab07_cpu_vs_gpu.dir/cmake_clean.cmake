@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_cpu_vs_gpu.dir/tab07_cpu_vs_gpu.cpp.o"
+  "CMakeFiles/tab07_cpu_vs_gpu.dir/tab07_cpu_vs_gpu.cpp.o.d"
+  "tab07_cpu_vs_gpu"
+  "tab07_cpu_vs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_cpu_vs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/th_bench_common.dir/common/bench_common.cpp.o.d"
+  "libth_bench_common.a"
+  "libth_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thsolve_cli.dir/thsolve_cli.cpp.o"
+  "CMakeFiles/thsolve_cli.dir/thsolve_cli.cpp.o.d"
+  "thsolve_cli"
+  "thsolve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thsolve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_stats.cpp" "src/core/CMakeFiles/th_core.dir/batch_stats.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/batch_stats.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/core/CMakeFiles/th_core.dir/executor.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/executor.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/th_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/task_graph.cpp" "src/core/CMakeFiles/th_core.dir/task_graph.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/th_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/th_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

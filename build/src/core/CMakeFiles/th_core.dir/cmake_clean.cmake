@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_core.dir/batch_stats.cpp.o"
+  "CMakeFiles/th_core.dir/batch_stats.cpp.o.d"
+  "CMakeFiles/th_core.dir/executor.cpp.o"
+  "CMakeFiles/th_core.dir/executor.cpp.o.d"
+  "CMakeFiles/th_core.dir/scheduler.cpp.o"
+  "CMakeFiles/th_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/th_core.dir/task_graph.cpp.o"
+  "CMakeFiles/th_core.dir/task_graph.cpp.o.d"
+  "libth_core.a"
+  "libth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

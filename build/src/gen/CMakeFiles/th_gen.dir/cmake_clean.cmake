@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_gen.dir/generators.cpp.o"
+  "CMakeFiles/th_gen.dir/generators.cpp.o.d"
+  "CMakeFiles/th_gen.dir/registry.cpp.o"
+  "CMakeFiles/th_gen.dir/registry.cpp.o.d"
+  "CMakeFiles/th_gen.dir/suite.cpp.o"
+  "CMakeFiles/th_gen.dir/suite.cpp.o.d"
+  "libth_gen.a"
+  "libth_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

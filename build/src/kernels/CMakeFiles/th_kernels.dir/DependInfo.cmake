@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/dense.cpp" "src/kernels/CMakeFiles/th_kernels.dir/dense.cpp.o" "gcc" "src/kernels/CMakeFiles/th_kernels.dir/dense.cpp.o.d"
+  "/root/repo/src/kernels/tile.cpp" "src/kernels/CMakeFiles/th_kernels.dir/tile.cpp.o" "gcc" "src/kernels/CMakeFiles/th_kernels.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/th_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/th_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/th_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_kernels.dir/dense.cpp.o"
+  "CMakeFiles/th_kernels.dir/dense.cpp.o.d"
+  "CMakeFiles/th_kernels.dir/tile.cpp.o"
+  "CMakeFiles/th_kernels.dir/tile.cpp.o.d"
+  "libth_kernels.a"
+  "libth_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

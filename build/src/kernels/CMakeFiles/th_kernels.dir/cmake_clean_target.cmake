@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libth_kernels.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/graph.cpp" "src/order/CMakeFiles/th_order.dir/graph.cpp.o" "gcc" "src/order/CMakeFiles/th_order.dir/graph.cpp.o.d"
+  "/root/repo/src/order/mindeg.cpp" "src/order/CMakeFiles/th_order.dir/mindeg.cpp.o" "gcc" "src/order/CMakeFiles/th_order.dir/mindeg.cpp.o.d"
+  "/root/repo/src/order/nd.cpp" "src/order/CMakeFiles/th_order.dir/nd.cpp.o" "gcc" "src/order/CMakeFiles/th_order.dir/nd.cpp.o.d"
+  "/root/repo/src/order/perm.cpp" "src/order/CMakeFiles/th_order.dir/perm.cpp.o" "gcc" "src/order/CMakeFiles/th_order.dir/perm.cpp.o.d"
+  "/root/repo/src/order/rcm.cpp" "src/order/CMakeFiles/th_order.dir/rcm.cpp.o" "gcc" "src/order/CMakeFiles/th_order.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/th_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/th_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_order.dir/graph.cpp.o"
+  "CMakeFiles/th_order.dir/graph.cpp.o.d"
+  "CMakeFiles/th_order.dir/mindeg.cpp.o"
+  "CMakeFiles/th_order.dir/mindeg.cpp.o.d"
+  "CMakeFiles/th_order.dir/nd.cpp.o"
+  "CMakeFiles/th_order.dir/nd.cpp.o.d"
+  "CMakeFiles/th_order.dir/perm.cpp.o"
+  "CMakeFiles/th_order.dir/perm.cpp.o.d"
+  "CMakeFiles/th_order.dir/rcm.cpp.o"
+  "CMakeFiles/th_order.dir/rcm.cpp.o.d"
+  "libth_order.a"
+  "libth_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_sim.dir/cluster.cpp.o"
+  "CMakeFiles/th_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/th_sim.dir/device.cpp.o"
+  "CMakeFiles/th_sim.dir/device.cpp.o.d"
+  "CMakeFiles/th_sim.dir/trace.cpp.o"
+  "CMakeFiles/th_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/th_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/th_sim.dir/trace_export.cpp.o.d"
+  "libth_sim.a"
+  "libth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_solvers.dir/condest.cpp.o"
+  "CMakeFiles/th_solvers.dir/condest.cpp.o.d"
+  "CMakeFiles/th_solvers.dir/driver.cpp.o"
+  "CMakeFiles/th_solvers.dir/driver.cpp.o.d"
+  "CMakeFiles/th_solvers.dir/plu.cpp.o"
+  "CMakeFiles/th_solvers.dir/plu.cpp.o.d"
+  "CMakeFiles/th_solvers.dir/refine.cpp.o"
+  "CMakeFiles/th_solvers.dir/refine.cpp.o.d"
+  "CMakeFiles/th_solvers.dir/serialize.cpp.o"
+  "CMakeFiles/th_solvers.dir/serialize.cpp.o.d"
+  "CMakeFiles/th_solvers.dir/slu.cpp.o"
+  "CMakeFiles/th_solvers.dir/slu.cpp.o.d"
+  "CMakeFiles/th_solvers.dir/trisolve.cpp.o"
+  "CMakeFiles/th_solvers.dir/trisolve.cpp.o.d"
+  "libth_solvers.a"
+  "libth_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

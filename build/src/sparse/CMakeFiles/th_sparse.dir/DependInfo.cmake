@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/convert.cpp" "src/sparse/CMakeFiles/th_sparse.dir/convert.cpp.o" "gcc" "src/sparse/CMakeFiles/th_sparse.dir/convert.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/th_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/th_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/sparse/CMakeFiles/th_sparse.dir/ops.cpp.o" "gcc" "src/sparse/CMakeFiles/th_sparse.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/th_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

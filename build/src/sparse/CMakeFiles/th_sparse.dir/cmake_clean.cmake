@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_sparse.dir/convert.cpp.o"
+  "CMakeFiles/th_sparse.dir/convert.cpp.o.d"
+  "CMakeFiles/th_sparse.dir/io.cpp.o"
+  "CMakeFiles/th_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/th_sparse.dir/ops.cpp.o"
+  "CMakeFiles/th_sparse.dir/ops.cpp.o.d"
+  "libth_sparse.a"
+  "libth_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_support.dir/stats.cpp.o"
+  "CMakeFiles/th_support.dir/stats.cpp.o.d"
+  "CMakeFiles/th_support.dir/table.cpp.o"
+  "CMakeFiles/th_support.dir/table.cpp.o.d"
+  "libth_support.a"
+  "libth_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_symbolic.dir/etree.cpp.o"
+  "CMakeFiles/th_symbolic.dir/etree.cpp.o.d"
+  "CMakeFiles/th_symbolic.dir/fill.cpp.o"
+  "CMakeFiles/th_symbolic.dir/fill.cpp.o.d"
+  "CMakeFiles/th_symbolic.dir/supernodes.cpp.o"
+  "CMakeFiles/th_symbolic.dir/supernodes.cpp.o.d"
+  "CMakeFiles/th_symbolic.dir/tiles.cpp.o"
+  "CMakeFiles/th_symbolic.dir/tiles.cpp.o.d"
+  "libth_symbolic.a"
+  "libth_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

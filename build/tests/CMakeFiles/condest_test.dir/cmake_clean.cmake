@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condest_test.dir/condest_test.cpp.o"
+  "CMakeFiles/condest_test.dir/condest_test.cpp.o.d"
+  "condest_test"
+  "condest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_quality_test.dir/schedule_quality_test.cpp.o"
+  "CMakeFiles/schedule_quality_test.dir/schedule_quality_test.cpp.o.d"
+  "schedule_quality_test"
+  "schedule_quality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
