@@ -118,9 +118,12 @@ Executor::~Executor() = default;
 
 BatchResult Executor::execute(const TaskGraph& graph,
                               const std::vector<index_t>& batch,
-                              const std::vector<char>& atomic_flags) {
+                              const std::vector<char>& atomic_flags,
+                              const ExecuteOptions& eo) {
   TH_CHECK(!batch.empty());
   TH_CHECK(atomic_flags.size() == batch.size());
+  TH_CHECK(eo.skip_numeric == nullptr ||
+           eo.skip_numeric->size() == batch.size());
 
   std::vector<const Task*> tasks;
   std::vector<TaskCost> costs;
@@ -136,8 +139,10 @@ BatchResult Executor::execute(const TaskGraph& graph,
   const BlockTaskMap map(tasks);
   TH_ASSERT(map.total_blocks() > 0);
 
+  BatchResult r;
   if (backend_ != nullptr) {
     auto run_one = [&](index_t i) {
+      if (eo.skip_numeric != nullptr && (*eo.skip_numeric)[i] != 0) return;
       backend_->run_task(*tasks[i], atomic_flags[i] != 0);
     };
     if (pool_) {
@@ -147,9 +152,23 @@ BatchResult Executor::execute(const TaskGraph& graph,
         run_one(i);
       }
     }
+    if (eo.run_guards) {
+      // Guards scan freshly written factor/update blocks (GETRF diagonals
+      // and SSSSM targets); sequential — tiles are small and GuardReport
+      // accumulation stays trivially race-free.
+      for (index_t i = 0; i < static_cast<index_t>(batch.size()); ++i) {
+        if (eo.skip_numeric != nullptr && (*eo.skip_numeric)[i] != 0) {
+          continue;
+        }
+        const TaskType ty = tasks[i]->type;
+        if (ty != TaskType::kGetrf && ty != TaskType::kSsssm) continue;
+        GuardReport g = backend_->guard_task(*tasks[i], eo.guard);
+        if (g.fired()) g.tasks_fired = 1;
+        r.guards.merge(g);
+      }
+    }
   }
 
-  BatchResult r;
   const KernelTiming timing = model_.batch_timing(costs);
   r.seconds = timing.total_s();
   r.host_s = timing.host_s;

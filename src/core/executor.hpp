@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/task_graph.hpp"
+#include "fault/fault.hpp"
 #include "sim/device.hpp"
 
 namespace th {
@@ -25,6 +26,25 @@ class NumericBackend {
  public:
   virtual ~NumericBackend() = default;
   virtual void run_task(const Task& t, bool atomic) = 0;
+
+  /// Plant a numeric fault into the task's target block before it runs
+  /// (fault-injection testing). Returns false when the backend has no
+  /// storage for the block or does not support injection.
+  virtual bool inject_fault(const Task& t, NumericFaultKind kind) {
+    (void)t;
+    (void)kind;
+    return false;
+  }
+
+  /// Scan (and repair) the task's freshly written output: scrub NaN/Inf
+  /// entries to zero, perturb near-zero GETRF pivots per `policy`. Called
+  /// by the Executor after GETRF/SSSSM tasks when guards are enabled;
+  /// serialised by the caller (no concurrent guard calls).
+  virtual GuardReport guard_task(const Task& t, const GuardPolicy& policy) {
+    (void)t;
+    (void)policy;
+    return {};
+  }
 };
 
 /// The paper's CUDA-block -> task dispatch structure: an array of starting
@@ -49,6 +69,19 @@ struct BatchResult {
   real_t host_s = 0;    // host-side share (launch + per-task preparation)
   offset_t flops = 0;   // flops executed by the batch
   int tasks = 0;        // batch size
+  GuardReport guards;   // numeric-guard findings (when guards enabled)
+};
+
+/// Fault-model controls for one batch execution.
+struct ExecuteOptions {
+  /// Members flagged here are priced (the kernel ran and crashed) but not
+  /// executed numerically — the scheduler re-runs them on a later attempt,
+  /// so each task's numerics still execute exactly once.
+  const std::vector<char>* skip_numeric = nullptr;
+  /// Run the backend's NaN/Inf + tiny-pivot guards after GETRF/SSSSM
+  /// members.
+  bool run_guards = false;
+  GuardPolicy guard;
 };
 
 class Executor {
@@ -66,7 +99,8 @@ class Executor {
   /// atomic accumulation (write conflict with another member).
   BatchResult execute(const TaskGraph& graph,
                       const std::vector<index_t>& batch,
-                      const std::vector<char>& atomic_flags);
+                      const std::vector<char>& atomic_flags,
+                      const ExecuteOptions& eo = {});
 
   const KernelCostModel& model() const { return model_; }
 

@@ -99,12 +99,38 @@ std::uint64_t order_key(Policy policy, const TaskGraph& g, const Task& t) {
   }
 }
 
+// Reject garbage configurations up front instead of producing garbage
+// timelines (or dividing by zero deep inside the comm model).
+void validate_options(const ScheduleOptions& opt) {
+  TH_CHECK_MSG(opt.n_ranks >= 1, "n_ranks must be >= 1, got " << opt.n_ranks);
+  TH_CHECK_MSG(opt.n_streams >= 1,
+               "n_streams must be >= 1, got " << opt.n_streams);
+  TH_CHECK_MSG(opt.exec_workers >= 1,
+               "exec_workers must be >= 1, got " << opt.exec_workers);
+  const ClusterSpec& c = opt.cluster;
+  TH_CHECK_MSG(c.gpus_per_node >= 1,
+               "cluster '" << c.name << "' needs gpus_per_node >= 1");
+  TH_CHECK_MSG(c.intra_node_bw_bps > 0 && c.inter_node_bw_bps > 0,
+               "cluster '" << c.name << "' has non-positive link bandwidth ("
+                           << c.intra_node_bw_bps << " intra, "
+                           << c.inter_node_bw_bps << " inter)");
+  TH_CHECK_MSG(c.intra_node_latency_s >= 0 && c.inter_node_latency_s >= 0,
+               "cluster '" << c.name << "' has negative link latency");
+  TH_CHECK_MSG(c.gpu.sm_count >= 1 && c.gpu.max_blocks_per_sm >= 1,
+               "device '" << c.gpu.name << "' has no resident blocks");
+  if (opt.cpu_mode) {
+    TH_CHECK_MSG(opt.cpu.cores >= 1,
+                 "cpu_mode needs cpu.cores >= 1, got " << opt.cpu.cores);
+  }
+  opt.faults.validate(opt.n_ranks);
+}
+
 }  // namespace
 
 ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
                         NumericBackend* backend) {
   TH_CHECK_MSG(graph.finalized(), "simulate() requires a finalized graph");
-  TH_CHECK(opt.n_ranks >= 1);
+  validate_options(opt);
   const index_t n = graph.size();
 
   const Prioritizer prioritizer(opt.prioritizer);
@@ -146,13 +172,48 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   result.ranks.assign(static_cast<std::size_t>(opt.n_ranks), RankStats{});
   std::unordered_set<std::uint64_t> comm_pairs;  // (producer, dest rank)
 
-  // Route a now-ready task to its owner's queues.
+  // ---- Fault-model state -----------------------------------------------
+  const FaultPlan& plan = opt.faults;
+  const bool fault_mode = !plan.empty();
+  FaultReport& freport = result.faults;
+  // Effective owner of each task; rank-death migration rewrites entries
+  // (fault-free runs never touch it, so routing is byte-identical).
+  std::vector<int> eff_owner(static_cast<std::size_t>(n));
+  for (index_t id = 0; id < n; ++id) {
+    const int owner = graph.task(id).owner_rank;
+    TH_CHECK_MSG(owner >= 0 && owner < opt.n_ranks,
+                 "task " << id << " owner " << owner << " out of range");
+    eff_owner[id] = owner;
+  }
+  std::vector<int> attempts;  // failed execution attempts per task
+  if (fault_mode && plan.has_transient()) {
+    attempts.assign(static_cast<std::size_t>(n), 0);
+  }
+  std::vector<char> task_done(static_cast<std::size_t>(n), 0);
+  std::vector<char> rank_dead(static_cast<std::size_t>(opt.n_ranks), 0);
+  std::vector<char> rank_cpu(static_cast<std::size_t>(opt.n_ranks), 0);
+  std::vector<RankFailure> failures = plan.rank_failures;
+  std::stable_sort(failures.begin(), failures.end(),
+                   [](const RankFailure& a, const RankFailure& b) {
+                     return a.time_s < b.time_s;
+                   });
+  std::size_t next_failure = 0;
+  // One-shot consumption markers for planted numeric corruptions.
+  std::vector<char> numeric_pending(plan.numeric_faults.size(), 1);
+
+  // Communication pricing with the fault model's per-node-pair bandwidth
+  // derate applied (1.0 on healthy links).
+  auto comm_s = [&](int src, int dst, offset_t bytes) {
+    const real_t derate =
+        fault_mode ? plan.link_bw_factor(opt.cluster.node_of(src),
+                                         opt.cluster.node_of(dst))
+                   : 1.0;
+    return opt.cluster.comm_seconds(src, dst, bytes, derate);
+  };
+
+  // Route a now-ready task to its (effective) owner's queues.
   auto enqueue_ready = [&](index_t id, real_t when) {
-    const Task& t = graph.task(id);
-    TH_CHECK_MSG(t.owner_rank >= 0 && t.owner_rank < opt.n_ranks,
-                 "task " << id << " owner " << t.owner_rank
-                         << " out of range");
-    ranks[t.owner_rank].arrivals.push({when, id});
+    ranks[static_cast<std::size_t>(eff_owner[id])].arrivals.push({when, id});
   };
 
   for (index_t id = 0; id < n; ++id) {
@@ -179,9 +240,11 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     }
   };
 
-  // Earliest time rank r could launch its next kernel; kNever if idle with
-  // nothing pending.
-  auto next_launch_time = [&](const RankState& st) -> real_t {
+  // Earliest time rank r could launch its next kernel; kNever if dead, or
+  // idle with nothing pending.
+  auto next_launch_time = [&](int r) -> real_t {
+    if (rank_dead[static_cast<std::size_t>(r)]) return kNever;
+    const RankState& st = ranks[static_cast<std::size_t>(r)];
     const bool pool_nonempty =
         opt.policy == Policy::kTrojanHorse
             ? (!st.urgent.empty() || !st.container.empty())
@@ -195,6 +258,61 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       return std::max(base, st.arrivals.top().time);
     }
     return kNever;
+  };
+
+  // Apply one rank failure: either the GPU dies and pending work migrates
+  // to the survivors (re-running the block-cyclic owner map over them), or
+  // the rank degrades to CPU-model execution.
+  auto process_failure = [&](const RankFailure& f) {
+    const std::size_t fr = static_cast<std::size_t>(f.rank);
+    if (rank_dead[fr] || rank_cpu[fr]) return;  // already degraded
+    ++freport.ranks_failed;
+    if (f.recovery == RankRecovery::kCpuFallback) {
+      rank_cpu[fr] = 1;  // keeps launching; priced on the CPU model
+      return;
+    }
+    rank_dead[fr] = 1;
+    std::vector<int> survivors;
+    for (int r = 0; r < opt.n_ranks; ++r) {
+      if (!rank_dead[static_cast<std::size_t>(r)]) survivors.push_back(r);
+    }
+    TH_CHECK_MSG(!survivors.empty(),
+                 "every rank has failed by t=" << f.time_s);
+    for (index_t id = 0; id < n; ++id) {
+      if (task_done[id] || eff_owner[id] != f.rank) continue;
+      const Task& t = graph.task(id);
+      eff_owner[id] = remap_owner(t.row, t.col, survivors);
+      ++freport.tasks_migrated;
+    }
+    // Requeue the dead rank's ready work on the new owners. The producing
+    // blocks must be re-shipped (from each producer's rank — completed
+    // producers on the dead rank re-send from its node's host checkpoint),
+    // so the arrival is delayed by the slowest re-send.
+    RankState& st = ranks[fr];
+    auto requeue = [&](index_t id) {
+      real_t ready = f.time_s;
+      auto [pb, pe] = graph.predecessors(id);
+      for (const index_t* pp = pb; pp != pe; ++pp) {
+        ready = std::max(
+            ready, f.time_s + comm_s(eff_owner[*pp], eff_owner[id],
+                                     graph.task(*pp).out_bytes));
+      }
+      enqueue_ready(id, ready);
+    };
+    while (!st.arrivals.empty()) {
+      const index_t id = st.arrivals.top().id;
+      st.arrivals.pop();
+      requeue(id);
+    }
+    while (!st.pool.empty()) {
+      requeue(st.pool.top().second);
+      st.pool.pop();
+    }
+    while (!st.urgent.empty()) {
+      requeue(st.urgent.top().second);
+      st.urgent.pop();
+    }
+    while (!st.container.empty()) requeue(st.container.pop());
   };
 
   // ---- Batch formation -----------------------------------------------
@@ -305,19 +423,32 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   // ---- Main event loop --------------------------------------------------
   index_t completed = 0;
   while (completed < n) {
-    // Pick the rank able to launch earliest.
+    // Pick the rank able to launch earliest — after applying any rank
+    // failure whose time has come (failures move work between queues, so
+    // they must land before the launch decision).
     int best_rank = -1;
     real_t best_time = kNever;
-    for (int r = 0; r < opt.n_ranks; ++r) {
-      const real_t t = next_launch_time(ranks[r]);
-      if (t < best_time) {
-        best_time = t;
-        best_rank = r;
+    for (;;) {
+      best_rank = -1;
+      best_time = kNever;
+      for (int r = 0; r < opt.n_ranks; ++r) {
+        const real_t t = next_launch_time(r);
+        if (t < best_time) {
+          best_time = t;
+          best_rank = r;
+        }
       }
+      if (next_failure < failures.size() &&
+          failures[next_failure].time_s <= best_time) {
+        process_failure(failures[next_failure]);
+        ++next_failure;
+        continue;
+      }
+      break;
     }
     TH_CHECK_MSG(best_rank >= 0,
                  "deadlock: " << n - completed << " tasks unreachable");
-    RankState& st = ranks[best_rank];
+    RankState& st = ranks[static_cast<std::size_t>(best_rank)];
     const real_t t0 = best_time;
     drain_arrivals(st, best_rank, t0);
 
@@ -333,12 +464,62 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       result.batch_had_conflict.push_back(any_conflict ? 1 : 0);
     }
 
+    // Decide transient kernel faults for this attempt *before* numerics
+    // run: faulted members are priced (the kernel ran and its results were
+    // discarded) but their numeric bodies are deferred to the retry, so
+    // every task's numerics still execute exactly once, in dependency
+    // order.
+    std::vector<char> failed;
+    bool any_failed = false;
+    if (fault_mode && plan.has_transient()) {
+      failed.assign(batch.size(), 0);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Task& t = graph.task(batch[i]);
+        if (transient_fault_fires(plan, batch[i], attempts[batch[i]],
+                                  t.type)) {
+          failed[i] = 1;
+          any_failed = true;
+          ++freport.transient_faults;
+        }
+      }
+    }
+
+    // Plant pending numeric corruptions into targets that are about to
+    // execute successfully (a corruption on a crashing attempt would be
+    // wiped by the retry anyway).
+    if (fault_mode && backend != nullptr && !plan.numeric_faults.empty()) {
+      for (std::size_t f = 0; f < plan.numeric_faults.size(); ++f) {
+        if (!numeric_pending[f]) continue;
+        const NumericFault& nf = plan.numeric_faults[f];
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch[i] != nf.task_id) continue;
+          if (any_failed && failed[i]) break;  // keep pending for the retry
+          if (backend->inject_fault(graph.task(batch[i]), nf.kind)) {
+            ++freport.numeric_faults_injected;
+          }
+          numeric_pending[f] = 0;
+          break;
+        }
+      }
+    }
+
     // Execute numerics (host) and price the launch (model).
-    const BatchResult br = executor.execute(graph, batch, atomic);
+    ExecuteOptions eo;
+    if (any_failed) eo.skip_numeric = &failed;
+    eo.run_guards = fault_mode && plan.numeric_guards && backend != nullptr;
+    eo.guard = plan.guard;
+    const BatchResult br = executor.execute(graph, batch, atomic, eo);
+    if (br.guards.fired()) {
+      freport.guards.merge(br.guards);
+      freport.escalate_refinement = true;
+    }
 
     real_t start = t0, end = t0;
     real_t host_share = br.host_s;
-    if (opt.cpu_mode) {
+    const bool cpu_price =
+        opt.cpu_mode ||
+        (fault_mode && rank_cpu[static_cast<std::size_t>(best_rank)]);
+    if (cpu_price) {
       std::vector<TaskCost> costs;
       costs.reserve(batch.size());
       for (index_t id : batch) costs.push_back(graph.task(id).cost);
@@ -346,6 +527,11 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       end = start + dur;
       host_share = 0;  // CPU model folds dispatch into the step itself
       st.rank_free = end;
+      if (!opt.cpu_mode) {
+        // Degraded-mode execution: the rank's GPU is dead but the node
+        // keeps computing on its host CPU.
+        freport.cpu_fallback_tasks += static_cast<offset_t>(batch.size());
+      }
     } else if (opt.policy == Policy::kMultiStream) {
       // Host serialises launches; kernels overlap across streams.
       const real_t launch_s = opt.cluster.gpu.launch_latency_us * 1e-6;
@@ -364,36 +550,55 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
 
     result.trace.record({best_rank, start, end, host_share, br.flops,
                          static_cast<int>(batch.size())});
-    auto& rs = result.ranks[best_rank];
+    auto& rs = result.ranks[static_cast<std::size_t>(best_rank)];
     ++rs.kernels;
     rs.busy_s += end - start;
     rs.flops += br.flops;
 
-    // Completion: wake successors.
-    for (index_t id : batch) {
+    // Completion: wake successors; faulted members instead schedule their
+    // retry with exponential backoff priced into the timeline.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const index_t id = batch[i];
+      if (any_failed && failed[i]) {
+        const int att = ++attempts[id];
+        TH_CHECK_MSG(
+            att <= plan.max_retries,
+            "task " << id << " ("
+                    << task_type_name(graph.task(id).type)
+                    << ") exhausted its retry budget of " << plan.max_retries
+                    << " after " << att << " transient faults");
+        const real_t backoff = plan.backoff_s(att);
+        ++freport.retries;
+        freport.backoff_delay_s += backoff;
+        enqueue_ready(id, end + backoff);
+        continue;
+      }
       finish_time[id] = end;
+      task_done[id] = 1;
       ++completed;
     }
-    for (index_t id : batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (any_failed && failed[i]) continue;
+      const index_t id = batch[i];
       auto [sb, se] = graph.successors(id);
       for (const index_t* sp = sb; sp != se; ++sp) {
         const index_t c = *sp;
         if (--deps_left[c] > 0) continue;
         // All producers done: arrival = max(finish + comm).
-        const Task& ct = graph.task(c);
         real_t ready = 0;
         auto [pb, pe] = graph.predecessors(c);
         for (const index_t* pp = pb; pp != pe; ++pp) {
           const Task& pt = graph.task(*pp);
           real_t f = finish_time[*pp];
           TH_ASSERT(f < kNever);
-          if (pt.owner_rank != ct.owner_rank) {
-            f += opt.cluster.comm_seconds(pt.owner_rank, ct.owner_rank,
-                                          pt.out_bytes);
+          const int src = eff_owner[*pp];
+          const int dst = eff_owner[c];
+          if (src != dst) {
+            f += comm_s(src, dst, pt.out_bytes);
             const std::uint64_t pair_key =
                 static_cast<std::uint64_t>(*pp) *
                     static_cast<std::uint64_t>(opt.n_ranks) +
-                static_cast<std::uint64_t>(ct.owner_rank);
+                static_cast<std::uint64_t>(dst);
             if (comm_pairs.insert(pair_key).second) {
               result.comm_bytes += pt.out_bytes;
               ++result.comm_messages;

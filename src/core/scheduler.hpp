@@ -61,6 +61,10 @@ struct ScheduleOptions {
   /// result for post-hoc anatomy analysis (core/batch_stats.hpp). Off by
   /// default — it costs memory proportional to the task count.
   bool collect_batches = false;
+  /// Fault-injection & recovery plan (src/fault). The default plan is
+  /// empty: simulate() takes the exact fault-free path and its output is
+  /// unchanged (zero-overhead off switch).
+  FaultPlan faults;
 };
 
 struct RankStats {
@@ -85,6 +89,9 @@ struct ScheduleResult {
   /// Whether the corresponding batch contained an atomic (conflicting)
   /// member; parallel to batch_members.
   std::vector<char> batch_had_conflict;
+  /// Resilience accounting: faults injected, retries/backoff priced,
+  /// tasks migrated off dead ranks, guard firings (src/fault).
+  FaultReport faults;
 
   /// Aggregate delivered GFLOPS = total flops / makespan.
   real_t achieved_gflops() const {

@@ -1,0 +1,202 @@
+// Fault injection & recovery (`th::fault`): the simulated cluster's
+// unhappy paths.
+//
+// Real deployments of the paper's 16-GPU clusters (Table 3) see GPU hangs,
+// flaky links and numerically hostile tiles; task-based solver runtimes
+// treat worker loss and task re-execution as first-class events. This
+// module gives the schedule simulator a deterministic, seeded fault model
+// plus the recovery machinery the scheduler prices into the timeline:
+//
+//   * transient kernel faults  -> bounded retry with exponential backoff,
+//   * rank (GPU) failure       -> pending work migrated to survivors via a
+//                                 re-run block-cyclic owner map, or the
+//                                 rank degrades to CPU-model execution,
+//   * link degradation         -> bandwidth derate per node pair,
+//   * numeric corruption       -> NaN/Inf or near-singular pivots planted
+//                                 in tiles; executor guards scrub/perturb
+//                                 and flag post-solve refinement.
+//
+// Every draw is a pure function of (plan seed, task id, attempt), so two
+// simulations of the same FaultPlan are bit-identical — the replay tests
+// rely on this.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+// ---- Numeric faults & guards --------------------------------------------
+
+enum class NumericFaultKind : std::uint8_t {
+  kNaN,       // plant a quiet NaN in the task's target block
+  kInf,       // plant an Inf in the task's target block
+  kTinyPivot  // shrink a diagonal entry toward singularity (GETRF targets)
+};
+
+const char* numeric_fault_name(NumericFaultKind k);
+
+/// Guard thresholds applied by the Executor after GETRF/SSSSM tasks.
+struct GuardPolicy {
+  /// A GETRF pivot with |d| < tiny_pivot_rel * max|tile| is perturbed to
+  /// +-tiny_pivot_rel * max|tile| (the static-pivoting trick SuperLU_DIST
+  /// uses); accuracy is recovered by post-solve iterative refinement.
+  real_t tiny_pivot_rel = 1e-8;
+};
+
+/// What the guards found (and repaired) while scanning task output.
+struct GuardReport {
+  offset_t nonfinite_scrubbed = 0;  // NaN/Inf entries replaced with zero
+  offset_t pivots_perturbed = 0;    // tiny diagonals bumped off zero
+  offset_t tasks_fired = 0;         // tasks where at least one guard fired
+
+  bool fired() const { return nonfinite_scrubbed > 0 || pivots_perturbed > 0; }
+  void merge(const GuardReport& o) {
+    nonfinite_scrubbed += o.nonfinite_scrubbed;
+    pivots_perturbed += o.pivots_perturbed;
+    tasks_fired += o.tasks_fired;
+  }
+};
+
+// ---- Fault plan -----------------------------------------------------------
+
+/// How a failed rank's work is recovered.
+enum class RankRecovery : std::uint8_t {
+  kMigrate,     // redistribute pending tasks over the surviving ranks
+  kCpuFallback  // the rank keeps running, priced with the CPU model
+};
+
+struct RankFailure {
+  int rank = 0;
+  real_t time_s = 0;  // simulation time at which the GPU dies
+  RankRecovery recovery = RankRecovery::kMigrate;
+};
+
+/// Bandwidth derate on the links between two nodes (node pair is
+/// unordered; factor f >= 1 divides the modelled link bandwidth by f).
+struct LinkDegrade {
+  int node_a = 0;
+  int node_b = 0;
+  real_t bw_factor = 1.0;
+};
+
+/// Corruption planted into one task's target block just before the task's
+/// (successful) execution attempt. Caught by the executor guards.
+struct NumericFault {
+  index_t task_id = -1;
+  NumericFaultKind kind = NumericFaultKind::kNaN;
+};
+
+/// A deterministic, seeded description of everything that goes wrong
+/// during one simulated factorisation. Default-constructed plans are
+/// empty: the scheduler takes the exact fault-free code path and produces
+/// bit-identical results to a build without this subsystem.
+struct FaultPlan {
+  std::uint64_t seed = 0x7f4a7c15;
+
+  /// Per-attempt transient kernel-fault probability per task class,
+  /// indexed by TaskType (GETRF, TSTRF, GEESM, SSSSM).
+  std::array<real_t, 4> transient_prob{{0, 0, 0, 0}};
+
+  std::vector<RankFailure> rank_failures;
+  std::vector<LinkDegrade> link_degrades;
+  std::vector<NumericFault> numeric_faults;
+
+  /// Enable the executor's NaN/Inf + tiny-pivot guards (automatically
+  /// exercised by planted numeric faults, but genuine overflow/breakdown
+  /// is caught too). Off by default: scanning costs host time.
+  bool numeric_guards = false;
+  GuardPolicy guard;
+
+  /// Retry budget per task; exceeding it aborts the run with th::Error.
+  int max_retries = 3;
+  /// Exponential backoff priced into the timeline before attempt k+1:
+  /// backoff_base_s * backoff_multiplier^(k-1) after the k-th failure.
+  real_t backoff_base_s = 50e-6;
+  real_t backoff_multiplier = 2.0;
+
+  bool has_transient() const {
+    for (real_t p : transient_prob) {
+      if (p > 0) return true;
+    }
+    return false;
+  }
+
+  /// True when the plan injects nothing and enables no guards; the
+  /// scheduler's zero-overhead off switch.
+  bool empty() const {
+    return !has_transient() && rank_failures.empty() &&
+           link_degrades.empty() && numeric_faults.empty() && !numeric_guards;
+  }
+
+  real_t transient_p(TaskType t) const {
+    return transient_prob[static_cast<std::size_t>(t)];
+  }
+  void set_transient_all(real_t p) { transient_prob.fill(p); }
+
+  /// Bandwidth derate (>= 1) between two nodes; 1 when undegraded.
+  real_t link_bw_factor(int node_a, int node_b) const;
+
+  /// Backoff delay before retry `attempt` (1-based: first retry = 1).
+  real_t backoff_s(int attempt) const;
+
+  /// Throws th::Error on out-of-range ranks, probabilities outside [0, 1],
+  /// non-positive budgets/backoffs or degrade factors < 1.
+  void validate(int n_ranks) const;
+};
+
+/// Deterministic transient-fault draw for one execution attempt (0-based)
+/// of one task. Pure function of (plan.seed, task_id, attempt).
+bool transient_fault_fires(const FaultPlan& plan, index_t task_id,
+                           int attempt, TaskType type);
+
+/// Re-run 2-D block-cyclic ownership of block (row, col) over the ordered
+/// surviving-rank list (the most-square grid factorisation of
+/// survivors.size(), mirroring solvers/block_cyclic.hpp).
+int remap_owner(index_t row, index_t col, const std::vector<int>& survivors);
+
+// ---- Fault report ---------------------------------------------------------
+
+/// Resilience accounting attached to every ScheduleResult. The invariant
+/// the tests enforce: injected() == handled() — every injected fault is
+/// either retried, migrated/degraded, or caught by a guard.
+struct FaultReport {
+  offset_t transient_faults = 0;   // transient kernel faults injected
+  offset_t retries = 0;            // re-executions scheduled
+  real_t backoff_delay_s = 0;      // total backoff priced into the timeline
+  int ranks_failed = 0;            // rank failures applied
+  offset_t tasks_migrated = 0;     // tasks moved off dead ranks
+  offset_t cpu_fallback_tasks = 0; // tasks priced on the CPU model instead
+  offset_t numeric_faults_injected = 0;
+  GuardReport guards;              // what the executor guards found/repaired
+  bool escalate_refinement = false;  // guards fired: run refinement post-solve
+  /// Makespan of the matching fault-free schedule (filled by run_solver /
+  /// the benches via a timing-only replay; -1 when not computed).
+  real_t fault_free_makespan_s = -1;
+
+  offset_t injected() const {
+    return transient_faults + tasks_migrated + cpu_fallback_tasks +
+           numeric_faults_injected;
+  }
+  offset_t handled() const {
+    return retries + tasks_migrated + cpu_fallback_tasks + guards.tasks_fired;
+  }
+  bool fully_accounted() const { return injected() == handled(); }
+  bool any() const {
+    return transient_faults > 0 || ranks_failed > 0 || tasks_migrated > 0 ||
+           cpu_fallback_tasks > 0 || numeric_faults_injected > 0 ||
+           guards.fired();
+  }
+  /// Extra makespan attributable to faults (requires fault_free_makespan_s).
+  real_t overhead_s(real_t faulted_makespan_s) const {
+    return fault_free_makespan_s >= 0
+               ? faulted_makespan_s - fault_free_makespan_s
+               : -1;
+  }
+};
+
+}  // namespace th

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sim/device.hpp"
+#include "support/error.hpp"
 
 namespace th {
 
@@ -23,14 +24,25 @@ struct ClusterSpec {
   /// MPI process as in the paper's setup).
   int node_of(int rank) const { return rank / gpus_per_node; }
 
-  /// Seconds to move `bytes` from rank `src` to rank `dst`.
-  real_t comm_seconds(int src, int dst, offset_t bytes) const {
+  /// Seconds to move `bytes` from rank `src` to rank `dst`. `bw_derate`
+  /// (>= 1) divides the link bandwidth — the fault model's per-node-pair
+  /// degradation hook; 1.0 is the healthy link.
+  real_t comm_seconds(int src, int dst, offset_t bytes,
+                      real_t bw_derate = 1.0) const {
     if (src == dst) return 0.0;
     const bool same_node = node_of(src) == node_of(dst);
     const real_t lat =
         same_node ? intra_node_latency_s : inter_node_latency_s;
     const real_t bw = same_node ? intra_node_bw_bps : inter_node_bw_bps;
-    return lat + static_cast<real_t>(bytes) / bw;
+    TH_CHECK_MSG(bw > 0, "cluster '" << name << "' has non-positive "
+                                     << (same_node ? "intra" : "inter")
+                                     << "-node bandwidth " << bw);
+    TH_CHECK_MSG(lat >= 0, "cluster '" << name << "' has negative "
+                                       << (same_node ? "intra" : "inter")
+                                       << "-node latency " << lat);
+    TH_CHECK_MSG(bw_derate >= 1.0,
+                 "bandwidth derate " << bw_derate << " must be >= 1");
+    return lat + static_cast<real_t>(bytes) * bw_derate / bw;
   }
 };
 

@@ -87,6 +87,11 @@ struct DriverOptions {
   ScheduleOptions sched;
   bool check_residual = true;
   std::uint64_t rhs_seed = 1234;
+  /// Iterative-refinement budget when the fault model's numeric guards
+  /// fired (NaN scrubs / pivot perturbations degrade the factors, so the
+  /// driver escalates the plain solve to refinement; solvers/refine.hpp).
+  int refine_max_iterations = 8;
+  real_t refine_tolerance = 1e-12;
 };
 
 struct DriverReport {
@@ -99,6 +104,9 @@ struct DriverReport {
   offset_t task_count = 0;
   index_t dag_levels = 0;
   real_t residual = -1;        // scaled residual; -1 if not checked
+  /// Refinement iterations performed by guard escalation (0 = plain solve;
+  /// `residual` is then the refined residual).
+  int refine_iterations = 0;
 };
 
 DriverReport run_solver(const Csr& a, const DriverOptions& opt);

@@ -1,6 +1,8 @@
 #include "solvers/plu.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "kernels/flops.hpp"
 #include "support/error.hpp"
@@ -40,6 +42,70 @@ class PluFactorization::Backend : public NumericBackend {
         break;
       }
     }
+  }
+
+  bool inject_fault(const Task& t, NumericFaultKind kind) override {
+    Tile* tile = tiles_.tile(t.row, t.col);
+    if (tile == nullptr) return false;
+    tile->densify();
+    real_t* d = tile->dense_data();
+    const auto ld = static_cast<offset_t>(tile->ld());
+    if (kind == NumericFaultKind::kTinyPivot) {
+      // Sever the last in-tile row/column and leave a near-zero pivot.
+      // Elimination keeps a zero column zero, so the tiny value survives
+      // factorisation intact for the guard to find — without ever feeding
+      // huge multipliers into the rest of the tile.
+      const index_t p = std::min(tile->rows(), tile->cols()) - 1;
+      for (index_t r = 0; r < tile->rows(); ++r) d[r + p * ld] = 0.0;
+      for (index_t c = 0; c < tile->cols(); ++c) d[p + c * ld] = 0.0;
+      d[p + p * ld] = 1e-30;
+      return true;
+    }
+    // Plant off the tile diagonal: the guard scrubs the entry to zero, a
+    // bounded single-entry perturbation (a zeroed *diagonal* entry would
+    // leave a zero pivot behind for GETRF to trip over).
+    const index_t r = tile->rows() > 1 ? 1 : 0;
+    d[r] = kind == NumericFaultKind::kInf
+               ? std::numeric_limits<real_t>::infinity()
+               : std::numeric_limits<real_t>::quiet_NaN();
+    return true;
+  }
+
+  GuardReport guard_task(const Task& t, const GuardPolicy& policy) override {
+    GuardReport g;
+    Tile* tile = tiles_.tile(t.row, t.col);
+    if (tile == nullptr || tile->storage() != Tile::Storage::kDense) {
+      return g;  // sparse-path SSSSM wrote no dense block to scan
+    }
+    real_t* d = tile->dense_data();
+    const auto ld = static_cast<offset_t>(tile->ld());
+    real_t maxabs = 0;
+    for (index_t c = 0; c < tile->cols(); ++c) {
+      for (index_t r = 0; r < tile->rows(); ++r) {
+        real_t& v = d[r + c * ld];
+        if (!std::isfinite(v)) {
+          v = 0.0;
+          ++g.nonfinite_scrubbed;
+        } else {
+          maxabs = std::max(maxabs, std::abs(v));
+        }
+      }
+    }
+    if (t.type == TaskType::kGetrf) {
+      // SuperLU_DIST-style static pivoting: bump pivots that would blow up
+      // the triangular solves to +/- the relative threshold.
+      const real_t thresh =
+          policy.tiny_pivot_rel * (maxabs > 0 ? maxabs : 1.0);
+      const index_t w = std::min(tile->rows(), tile->cols());
+      for (index_t c = 0; c < w; ++c) {
+        real_t& p = d[c + c * ld];
+        if (std::abs(p) < thresh) {
+          p = p < 0 ? -thresh : thresh;
+          ++g.pivots_perturbed;
+        }
+      }
+    }
+    return g;
   }
 
  private:

@@ -1,0 +1,456 @@
+// Fault-injection & recovery tests (src/fault + the scheduler's recovery
+// machinery): deterministic replay, retry/backoff, rank-death migration,
+// CPU fallback, numeric guards with refinement escalation, and the
+// accounting invariant injected() == handled().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "gen/generators.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/block_cyclic.hpp"
+#include "solvers/driver.hpp"
+#include "sparse/ops.hpp"
+
+namespace th {
+namespace {
+
+Task make_task(TaskType type, index_t k, index_t row, index_t col,
+               offset_t flops = 50000, index_t blocks = 8) {
+  Task t;
+  t.type = type;
+  t.k = k;
+  t.row = row;
+  t.col = col;
+  t.cost.flops = flops;
+  t.cost.bytes = flops;
+  t.cost.cuda_blocks = blocks;
+  t.cost.shmem_per_block = 256;
+  t.out_bytes = 4096;
+  t.atomic_ok = type == TaskType::kSsssm;
+  return t;
+}
+
+// A two-level fan-out/fan-in DAG wide enough that every rank owns work:
+// GETRF -> W solves -> W Schur updates -> final GETRF. `flops_scale`
+// fattens the tasks (compute-bound instead of launch-bound).
+TaskGraph wide_graph(int width, int ranks, offset_t flops_scale = 1) {
+  TaskGraph g;
+  const index_t root = g.add_task(make_task(TaskType::kGetrf, 0, 0, 0));
+  std::vector<index_t> solves, updates;
+  const index_t blocks = flops_scale > 1 ? 64 : 4;
+  for (int i = 0; i < width; ++i) {
+    const index_t s = g.add_task(make_task(TaskType::kTstrf, 0, i + 1, 0,
+                                           40000 * flops_scale, blocks));
+    g.add_dependency(root, s);
+    solves.push_back(s);
+  }
+  for (int i = 0; i < width; ++i) {
+    const index_t u = g.add_task(make_task(TaskType::kSsssm, 0, i + 1, i + 1,
+                                           60000 * flops_scale, blocks));
+    g.add_dependency(solves[i], u);
+    updates.push_back(u);
+  }
+  const index_t last =
+      g.add_task(make_task(TaskType::kGetrf, 1, 1, 1, 20000, 4));
+  for (const index_t u : updates) g.add_dependency(u, last);
+  for (index_t i = 0; i < g.size(); ++i) {
+    Task& t = g.mutable_task(i);
+    t.owner_rank = static_cast<int>((t.row + t.col) % ranks);
+  }
+  g.finalize();
+  return g;
+}
+
+// Counts how many times each task's numerics ran (must be exactly once,
+// faults or not — retried attempts are priced but not re-executed).
+class CountingBackend : public NumericBackend {
+ public:
+  explicit CountingBackend(index_t n) : runs_(n, 0) {}
+
+  void run_task(const Task& t, bool) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++runs_[t.id];
+  }
+
+  void expect_exactly_once() const {
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      EXPECT_EQ(runs_[i], 1) << "task " << i << " numerics ran "
+                             << runs_[i] << " times";
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> runs_;
+};
+
+ScheduleOptions cluster_options(int ranks) {
+  ScheduleOptions o;
+  o.policy = Policy::kTrojanHorse;
+  o.n_ranks = ranks;
+  o.cluster = cluster_h100();
+  return o;
+}
+
+void expect_identical(const ScheduleResult& a, const ScheduleResult& b) {
+  ASSERT_EQ(a.trace.records().size(), b.trace.records().size());
+  for (std::size_t i = 0; i < a.trace.records().size(); ++i) {
+    const auto& ra = a.trace.records()[i];
+    const auto& rb = b.trace.records()[i];
+    EXPECT_EQ(ra.rank, rb.rank);
+    EXPECT_EQ(ra.start_s, rb.start_s);  // bit-identical, not just close
+    EXPECT_EQ(ra.end_s, rb.end_s);
+    EXPECT_EQ(ra.tasks, rb.tasks);
+  }
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.comm_bytes, b.comm_bytes);
+  EXPECT_EQ(a.kernel_count, b.kernel_count);
+}
+
+// ---- Zero-overhead off switch -------------------------------------------
+
+TEST(FaultPlan, EmptyPlanLeavesScheduleUntouched) {
+  const TaskGraph g = wide_graph(24, 4);
+  ScheduleOptions base = cluster_options(4);
+  const ScheduleResult clean = simulate(g, base, nullptr);
+
+  ScheduleOptions with_plan = base;
+  with_plan.faults.seed = 999;  // non-default seed, still an empty plan
+  with_plan.faults.max_retries = 7;
+  const ScheduleResult r = simulate(g, with_plan, nullptr);
+
+  expect_identical(clean, r);
+  EXPECT_FALSE(r.faults.any());
+  EXPECT_EQ(r.faults.injected(), 0);
+}
+
+// ---- Deterministic replay -----------------------------------------------
+
+TEST(FaultPlan, SameSeedReplaysBitIdentically) {
+  const TaskGraph g = wide_graph(32, 4);
+  const real_t clean =
+      simulate(g, cluster_options(4), nullptr).makespan_s;
+  ScheduleOptions o = cluster_options(4);
+  o.faults.seed = 42;
+  o.faults.set_transient_all(0.15);
+  o.faults.max_retries = 20;
+  o.faults.rank_failures.push_back(
+      {1, 0.3 * clean, RankRecovery::kMigrate});
+  o.faults.link_degrades.push_back({0, 1, 4.0});
+
+  const ScheduleResult a = simulate(g, o, nullptr);
+  const ScheduleResult b = simulate(g, o, nullptr);
+  expect_identical(a, b);
+  EXPECT_EQ(a.faults.transient_faults, b.faults.transient_faults);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.backoff_delay_s, b.faults.backoff_delay_s);
+  EXPECT_EQ(a.faults.tasks_migrated, b.faults.tasks_migrated);
+  EXPECT_EQ(a.faults.ranks_failed, b.faults.ranks_failed);
+  EXPECT_GT(a.faults.transient_faults, 0);
+  EXPECT_GT(a.faults.tasks_migrated, 0);
+
+  // A different seed draws a different fault pattern (with p = 0.15 over
+  // ~200 attempts, identical draws are vanishingly unlikely).
+  ScheduleOptions o2 = o;
+  o2.faults.seed = 43;
+  const ScheduleResult c = simulate(g, o2, nullptr);
+  EXPECT_NE(a.faults.transient_faults, c.faults.transient_faults);
+}
+
+// ---- Transient faults & retry -------------------------------------------
+
+TEST(TransientFaults, RetriedTasksStillExecuteExactlyOnce) {
+  const TaskGraph g = wide_graph(24, 2);
+  CountingBackend backend(g.size());
+  ScheduleOptions o = cluster_options(2);
+  o.faults.set_transient_all(0.3);
+  o.faults.max_retries = 50;
+  const ScheduleResult r = simulate(g, o, &backend);
+
+  backend.expect_exactly_once();
+  EXPECT_GT(r.faults.transient_faults, 0);
+  EXPECT_EQ(r.faults.transient_faults, r.faults.retries);
+  EXPECT_GT(r.faults.backoff_delay_s, 0);
+  EXPECT_TRUE(r.faults.fully_accounted());
+
+  // Backoff and re-runs must lengthen the timeline.
+  ScheduleOptions clean = cluster_options(2);
+  EXPECT_GT(r.makespan_s, simulate(g, clean, nullptr).makespan_s);
+}
+
+TEST(TransientFaults, ExhaustedRetryBudgetThrows) {
+  const TaskGraph g = wide_graph(4, 1);
+  ScheduleOptions o = cluster_options(1);
+  o.faults.set_transient_all(1.0);  // every attempt fails
+  o.faults.max_retries = 3;
+  try {
+    simulate(g, o, nullptr);
+    FAIL() << "expected retry-budget exhaustion";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("retry budget"), std::string::npos);
+  }
+}
+
+// ---- Rank failure --------------------------------------------------------
+
+TEST(RankFailure, DeadRankWorkMigratesToSurvivors) {
+  const TaskGraph g = wide_graph(48, 4);
+  ScheduleOptions base = cluster_options(4);
+  const real_t clean_makespan = simulate(g, base, nullptr).makespan_s;
+
+  const int dead = 2;
+  ScheduleOptions o = base;
+  const real_t tf = clean_makespan * 0.3;
+  o.faults.rank_failures.push_back({dead, tf, RankRecovery::kMigrate});
+  CountingBackend backend(g.size());
+  const ScheduleResult r = simulate(g, o, &backend);
+
+  backend.expect_exactly_once();  // every task still runs, elsewhere
+  EXPECT_EQ(r.faults.ranks_failed, 1);
+  EXPECT_GT(r.faults.tasks_migrated, 0);
+  EXPECT_TRUE(r.faults.fully_accounted());
+  // The dead rank launches nothing after its failure time.
+  for (const auto& rec : r.trace.records()) {
+    if (rec.rank == dead) {
+      EXPECT_LE(rec.start_s, tf);
+    }
+  }
+}
+
+TEST(RankFailure, KillingEveryRankThrows) {
+  const TaskGraph g = wide_graph(8, 2);
+  ScheduleOptions o = cluster_options(2);
+  o.faults.rank_failures.push_back({0, 0.0, RankRecovery::kMigrate});
+  o.faults.rank_failures.push_back({1, 0.0, RankRecovery::kMigrate});
+  EXPECT_THROW(simulate(g, o, nullptr), Error);
+}
+
+TEST(RankFailure, CpuFallbackPricesOnCpuModel) {
+  // Fat tasks: the GPU is clearly faster, so falling back to the CPU
+  // model must lengthen the timeline.
+  const TaskGraph g = wide_graph(16, 2, /*flops_scale=*/1000);
+  ScheduleOptions base = cluster_options(2);
+  const real_t clean_makespan = simulate(g, base, nullptr).makespan_s;
+
+  ScheduleOptions o = base;
+  o.faults.rank_failures.push_back({0, 0.0, RankRecovery::kCpuFallback});
+  CountingBackend backend(g.size());
+  const ScheduleResult r = simulate(g, o, &backend);
+
+  backend.expect_exactly_once();
+  EXPECT_EQ(r.faults.ranks_failed, 1);
+  EXPECT_EQ(r.faults.tasks_migrated, 0);  // the rank keeps its work
+  EXPECT_GT(r.faults.cpu_fallback_tasks, 0);
+  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_GT(r.makespan_s, clean_makespan);  // CPU pricing is slower
+}
+
+// ---- Link degradation ----------------------------------------------------
+
+TEST(LinkDegrade, SlowsCrossNodeTraffic) {
+  const TaskGraph g = wide_graph(32, 16);  // 16 ranks = 2 H100 nodes
+  ScheduleOptions o = cluster_options(16);
+  const real_t clean = simulate(g, o, nullptr).makespan_s;
+  o.faults.link_degrades.push_back({0, 1, 50.0});
+  const real_t degraded = simulate(g, o, nullptr).makespan_s;
+  EXPECT_GT(degraded, clean);
+}
+
+// ---- remap_owner / plan validation --------------------------------------
+
+TEST(RemapOwner, OnlyReturnsSurvivors) {
+  const std::vector<int> survivors{0, 2, 3, 5, 6, 7};
+  for (index_t i = 0; i < 20; ++i) {
+    for (index_t j = 0; j < 20; ++j) {
+      const int o = remap_owner(i, j, survivors);
+      EXPECT_TRUE(std::find(survivors.begin(), survivors.end(), o) !=
+                  survivors.end())
+          << "remap(" << i << "," << j << ") -> " << o;
+    }
+  }
+  // With every rank alive, the remap is the plain block-cyclic map.
+  const ProcessGrid grid = make_process_grid(6);
+  const std::vector<int> all{0, 1, 2, 3, 4, 5};
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      EXPECT_EQ(remap_owner(i, j, all), grid.owner(i, j));
+    }
+  }
+}
+
+TEST(FaultPlanValidation, RejectsGarbage) {
+  const TaskGraph g = wide_graph(4, 2);
+  auto run = [&](auto mutate) {
+    ScheduleOptions o = cluster_options(2);
+    mutate(o.faults);
+    return simulate(g, o, nullptr);
+  };
+  EXPECT_THROW(run([](FaultPlan& p) { p.set_transient_all(1.5); }), Error);
+  EXPECT_THROW(run([](FaultPlan& p) { p.set_transient_all(-0.1); }), Error);
+  EXPECT_THROW(run([](FaultPlan& p) {
+                 p.rank_failures.push_back({7, 0.0, RankRecovery::kMigrate});
+               }),
+               Error);
+  EXPECT_THROW(run([](FaultPlan& p) {
+                 p.rank_failures.push_back({0, -1.0, RankRecovery::kMigrate});
+               }),
+               Error);
+  EXPECT_THROW(run([](FaultPlan& p) {
+                 p.link_degrades.push_back({0, 1, 0.5});
+               }),
+               Error);
+  EXPECT_THROW(run([](FaultPlan& p) {
+                 p.numeric_faults.push_back({-1, NumericFaultKind::kNaN});
+               }),
+               Error);
+  EXPECT_THROW(run([](FaultPlan& p) {
+                 p.set_transient_all(0.1);
+                 p.max_retries = -1;
+               }),
+               Error);
+  EXPECT_THROW(run([](FaultPlan& p) {
+                 p.set_transient_all(0.1);
+                 p.backoff_multiplier = 0.5;
+               }),
+               Error);
+}
+
+TEST(FaultPlan, BackoffGrowsExponentially) {
+  FaultPlan p;
+  p.backoff_base_s = 1e-4;
+  p.backoff_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(p.backoff_s(1), 1e-4);
+  EXPECT_DOUBLE_EQ(p.backoff_s(2), 2e-4);
+  EXPECT_DOUBLE_EQ(p.backoff_s(3), 4e-4);
+}
+
+// ---- Numeric faults, guards and refinement escalation -------------------
+
+// Find the first task of `type` in a probe instance built identically to
+// the instance under test (same matrix + deterministic ordering).
+index_t find_task(const Csr& a, const InstanceOptions& io, TaskType type,
+                  bool last = false) {
+  SolverInstance probe(a, io);
+  index_t found = -1;
+  for (index_t i = 0; i < probe.graph().size(); ++i) {
+    if (probe.graph().task(i).type == type) {
+      found = i;
+      if (!last) break;
+    }
+  }
+  return found;
+}
+
+InstanceOptions small_instance() {
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.ordering = Ordering::kNatural;  // deterministic probe/run match
+  io.grid = make_process_grid(2);
+  return io;
+}
+
+TEST(NumericGuards, NaNInjectionIsScrubbedAndRefinedAway) {
+  const Csr a = finalize_system(grid2d_laplacian(16, 16), 11);
+  const InstanceOptions io = small_instance();
+  const index_t target = find_task(a, io, TaskType::kSsssm);
+  ASSERT_GE(target, 0);
+
+  DriverOptions d;
+  d.instance = io;
+  d.sched = cluster_options(2);
+  d.sched.faults.numeric_faults.push_back({target, NumericFaultKind::kNaN});
+  d.sched.faults.numeric_guards = true;
+  const DriverReport rep = run_solver(a, d);
+
+  EXPECT_EQ(rep.numeric.faults.numeric_faults_injected, 1);
+  EXPECT_GE(rep.numeric.faults.guards.nonfinite_scrubbed, 1);
+  EXPECT_TRUE(rep.numeric.faults.escalate_refinement);
+  EXPECT_TRUE(rep.numeric.faults.fully_accounted());
+  EXPECT_GE(rep.refine_iterations, 1);
+  // Refinement recovers the single-entry corruption on this diagonally
+  // dominant system.
+  EXPECT_LT(rep.residual, 1e-10);
+}
+
+TEST(NumericGuards, TinyPivotIsPerturbedAndRefinedAway) {
+  const Csr a = finalize_system(grid2d_laplacian(16, 16), 11);
+  const InstanceOptions io = small_instance();
+  const index_t target = find_task(a, io, TaskType::kGetrf, /*last=*/true);
+  ASSERT_GE(target, 0);
+
+  DriverOptions d;
+  d.instance = io;
+  d.sched = cluster_options(2);
+  d.sched.faults.numeric_faults.push_back(
+      {target, NumericFaultKind::kTinyPivot});
+  d.sched.faults.numeric_guards = true;
+  // A near-zero pivot makes the repaired factors a *preconditioner*, not
+  // an exact solve: perturb generously and give refinement a real budget.
+  d.sched.faults.guard.tiny_pivot_rel = 0.5;
+  d.refine_max_iterations = 60;
+  const DriverReport rep = run_solver(a, d);
+
+  EXPECT_EQ(rep.numeric.faults.numeric_faults_injected, 1);
+  EXPECT_GE(rep.numeric.faults.guards.pivots_perturbed, 1);
+  EXPECT_TRUE(rep.numeric.faults.escalate_refinement);
+  EXPECT_GE(rep.refine_iterations, 1);
+  EXPECT_LT(rep.residual, 1e-6);
+}
+
+TEST(NumericGuards, CleanRunFiresNoGuards) {
+  const Csr a = finalize_system(grid2d_laplacian(12, 12), 11);
+  DriverOptions d;
+  d.instance = small_instance();
+  d.sched = cluster_options(2);
+  d.sched.faults.numeric_guards = true;  // guards on, nothing injected
+  const DriverReport rep = run_solver(a, d);
+  EXPECT_FALSE(rep.numeric.faults.guards.fired());
+  EXPECT_EQ(rep.refine_iterations, 0);
+  EXPECT_LT(rep.residual, 1e-10);
+}
+
+// ---- Acceptance: 16-rank H100 run with transients + a rank death --------
+
+TEST(FaultAcceptance, SixteenRankRunSurvivesAndAccounts) {
+  const Csr a = finalize_system(grid2d_laplacian(24, 24), 3);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.grid = make_process_grid(16);
+
+  // Probe the fault-free makespan so the rank death lands mid-run.
+  const real_t clean =
+      SolverInstance(a, io).run_timing(cluster_options(16)).makespan_s;
+
+  DriverOptions d;
+  d.instance = io;
+  d.sched = cluster_options(16);
+  d.sched.faults.seed = 20260805;
+  d.sched.faults.set_transient_all(0.02);
+  d.sched.faults.max_retries = 30;
+  d.sched.faults.rank_failures.push_back(
+      {5, 0.3 * clean, RankRecovery::kMigrate});
+  const DriverReport rep = run_solver(a, d);
+
+  const FaultReport& f = rep.numeric.faults;
+  EXPECT_GT(f.transient_faults, 0);
+  EXPECT_EQ(f.ranks_failed, 1);
+  EXPECT_GT(f.tasks_migrated, 0);
+  // Every injected fault is accounted for by a recovery action.
+  EXPECT_EQ(f.injected(), f.handled());
+  EXPECT_EQ(f.transient_faults, f.retries);
+  // The driver priced the fault-free baseline for the overhead metric.
+  EXPECT_GT(f.fault_free_makespan_s, 0);
+  EXPECT_GT(f.overhead_s(rep.numeric.makespan_s), 0);
+  // Transient faults and migration never touch the numerics: the
+  // factorisation is exact and the residual passes as in a clean run.
+  EXPECT_LT(rep.residual, 1e-10);
+}
+
+}  // namespace
+}  // namespace th

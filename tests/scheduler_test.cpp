@@ -246,6 +246,34 @@ TEST(Scheduler, RequiresFinalizedGraph) {
                Error);
 }
 
+TEST(Scheduler, RejectsInvalidOptions) {
+  TaskGraph g = figure4_graph();
+  g.finalize();
+  auto run = [&](auto mutate) {
+    ScheduleOptions o = base_options(Policy::kTrojanHorse);
+    mutate(o);
+    return simulate(g, o, nullptr);
+  };
+  EXPECT_THROW(run([](ScheduleOptions& o) { o.n_ranks = 0; }), Error);
+  EXPECT_THROW(run([](ScheduleOptions& o) { o.n_streams = 0; }), Error);
+  EXPECT_THROW(run([](ScheduleOptions& o) { o.exec_workers = 0; }), Error);
+  EXPECT_THROW(run([](ScheduleOptions& o) { o.cluster.gpus_per_node = 0; }),
+               Error);
+  EXPECT_THROW(run([](ScheduleOptions& o) { o.cluster.intra_node_bw_bps = 0; }),
+               Error);
+  EXPECT_THROW(
+      run([](ScheduleOptions& o) { o.cluster.inter_node_bw_bps = -1; }),
+      Error);
+  EXPECT_THROW(
+      run([](ScheduleOptions& o) { o.cluster.inter_node_latency_s = -1e-6; }),
+      Error);
+  EXPECT_THROW(run([](ScheduleOptions& o) {
+                 o.cpu_mode = true;
+                 o.cpu.cores = 0;
+               }),
+               Error);
+}
+
 TEST(Scheduler, RanksStatsConsistent) {
   TaskGraph g = figure4_graph();
   for (index_t i = 0; i < g.size(); ++i) {

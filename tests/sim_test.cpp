@@ -104,6 +104,41 @@ TEST(Cluster, CommModel) {
   EXPECT_GT(inter, intra);  // IB slower than NVLink
 }
 
+TEST(Cluster, CommModelPricesAlphaBetaExactly) {
+  const ClusterSpec c = cluster_h100();
+  // Same-node: NVLink latency + bytes / NVLink bandwidth.
+  EXPECT_DOUBLE_EQ(c.comm_seconds(0, 1, 1 << 20),
+                   c.intra_node_latency_s +
+                       static_cast<real_t>(1 << 20) / c.intra_node_bw_bps);
+  // Cross-node: InfiniBand latency + bytes / InfiniBand bandwidth.
+  EXPECT_DOUBLE_EQ(c.comm_seconds(0, 8, 1 << 20),
+                   c.inter_node_latency_s +
+                       static_cast<real_t>(1 << 20) / c.inter_node_bw_bps);
+  // A bandwidth derate scales only the volume term.
+  EXPECT_DOUBLE_EQ(c.comm_seconds(0, 8, 1 << 20, 4.0),
+                   c.inter_node_latency_s +
+                       4.0 * static_cast<real_t>(1 << 20) /
+                           c.inter_node_bw_bps);
+  // Zero bytes still pays latency; same rank is always free.
+  EXPECT_DOUBLE_EQ(c.comm_seconds(0, 8, 0), c.inter_node_latency_s);
+  EXPECT_DOUBLE_EQ(c.comm_seconds(5, 5, 1 << 30), 0.0);
+}
+
+TEST(Cluster, CommModelRejectsBrokenLinks) {
+  ClusterSpec c = cluster_h100();
+  c.intra_node_bw_bps = 0;
+  EXPECT_THROW(c.comm_seconds(0, 1, 1024), Error);
+  EXPECT_NO_THROW(c.comm_seconds(0, 8, 1024));  // inter-node link intact
+  c = cluster_h100();
+  c.inter_node_bw_bps = -5;
+  EXPECT_THROW(c.comm_seconds(0, 8, 1024), Error);
+  c = cluster_h100();
+  c.inter_node_latency_s = -1e-6;
+  EXPECT_THROW(c.comm_seconds(0, 8, 1024), Error);
+  c = cluster_h100();
+  EXPECT_THROW(c.comm_seconds(0, 8, 1024, 0.5), Error);  // derate < 1
+}
+
 TEST(Cluster, Mi50HasFourGpuNodes) {
   const ClusterSpec c = cluster_mi50();
   EXPECT_EQ(c.node_of(3), 0);
