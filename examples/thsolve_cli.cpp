@@ -18,6 +18,19 @@
 //     --refine <iters>           iterative-refinement steps (default 0)
 //     --trace <out.json>         write a Chrome trace of the schedule
 //     --faults <spec>            fault-injection plan (see below)
+//     --ckpt-interval <sec|auto> coordinated checkpoints every <sec> of
+//                                simulated time ("auto" = Young/Daly from
+//                                the fault plan's failure rate)
+//     --ckpt-write <sec>         simulated write pause per checkpoint
+//     --ckpt-out <f.thck>        save the last checkpoint to a file
+//     --resume <f.thck>          resume a timing replay from a checkpoint;
+//                                the remaining schedule is bit-identical
+//                                to the run that captured it
+//     --validate                 run the schedule-invariant validator on
+//                                the resulting timeline (aborts if violated)
+//
+// Exit codes: 0 solved (scaled residual < 1e-9), 1 solved but residual
+// above threshold, 2 usage error, 3 I/O error, 4 solver/scheduler error.
 //
 // Fault-injection walkthrough. --faults takes a comma-separated spec:
 //
@@ -26,6 +39,8 @@
 //   kill=R@T         rank R's GPU dies T seconds into the run; its pending
 //                    work migrates to the surviving ranks
 //   cpu=R@T          rank R falls back to CPU-model execution at time T
+//   restart=R@T      rank R dies at time T and restarts from the last
+//                    coordinated checkpoint (see --ckpt-interval)
 //   degrade=A-B@F    links between nodes A and B lose Fx bandwidth
 //   nan=ID | inf=ID | tinypivot=ID
 //                    corrupt task ID's target block (enables guards)
@@ -46,6 +61,7 @@
 #include <string>
 
 #include "gen/generators.hpp"
+#include "resilience/checkpoint.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace_export.hpp"
 #include "solvers/driver.hpp"
@@ -67,9 +83,11 @@ using namespace th;
                "[--device a100|h100|5090|5060ti|mi50] [--ranks R] "
                "[--block B] [--ordering mindeg|rcm|nd|natural] "
                "[--refine I] [--trace out.json] "
-               "[--faults transient=P,kill=R@T,cpu=R@T,degrade=A-B@F,"
-               "nan=ID,inf=ID,tinypivot=ID,guards=1,seed=S,retries=N,"
-               "backoff=SEC]\n");
+               "[--faults transient=P,kill=R@T,cpu=R@T,restart=R@T,"
+               "degrade=A-B@F,nan=ID,inf=ID,tinypivot=ID,guards=1,seed=S,"
+               "retries=N,backoff=SEC] "
+               "[--ckpt-interval SEC|auto] [--ckpt-write SEC] "
+               "[--ckpt-out f.thck] [--resume f.thck] [--validate]\n");
   std::exit(2);
 }
 
@@ -121,7 +139,7 @@ FaultPlan parse_faults(const std::string& spec) {
     const std::string val = item.substr(eq + 1);
     if (key == "transient") {
       plan.set_transient_all(std::atof(val.c_str()));
-    } else if (key == "kill" || key == "cpu") {
+    } else if (key == "kill" || key == "cpu" || key == "restart") {
       const std::size_t at = val.find('@');
       if (at == std::string::npos) {
         usage(("--faults " + key + " wants R@T").c_str());
@@ -129,8 +147,9 @@ FaultPlan parse_faults(const std::string& spec) {
       RankFailure f;
       f.rank = std::atoi(val.substr(0, at).c_str());
       f.time_s = std::atof(val.substr(at + 1).c_str());
-      f.recovery = key == "kill" ? RankRecovery::kMigrate
-                                 : RankRecovery::kCpuFallback;
+      f.recovery = key == "kill"  ? RankRecovery::kMigrate
+                   : key == "cpu" ? RankRecovery::kCpuFallback
+                                  : RankRecovery::kRestartFromCheckpoint;
       plan.rank_failures.push_back(f);
     } else if (key == "degrade") {
       const std::size_t dash = val.find('-');
@@ -183,6 +202,9 @@ int main(int argc, char** argv) {
   std::string matrix_path, gen_kind = "grid2d", trace_path, faults_spec;
   std::string core = "plu", policy = "th", device = "a100";
   std::string ordering = "mindeg";
+  std::string ckpt_interval_spec, ckpt_out_path, resume_path;
+  real_t ckpt_write = 0;
+  bool validate = false;
   index_t n = 1600, block = 0;
   int ranks = 1, refine_iters = 0;
 
@@ -215,18 +237,46 @@ int main(int argc, char** argv) {
       trace_path = need("--trace");
     } else if (!std::strcmp(argv[i], "--faults")) {
       faults_spec = need("--faults");
+    } else if (!std::strcmp(argv[i], "--ckpt-interval")) {
+      ckpt_interval_spec = need("--ckpt-interval");
+    } else if (!std::strcmp(argv[i], "--ckpt-write")) {
+      ckpt_write = std::atof(need("--ckpt-write"));
+    } else if (!std::strcmp(argv[i], "--ckpt-out")) {
+      ckpt_out_path = need("--ckpt-out");
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      resume_path = need("--resume");
+    } else if (!std::strcmp(argv[i], "--validate")) {
+      validate = true;
     } else {
       usage((std::string("unknown flag: ") + argv[i]).c_str());
     }
   }
 
+  // Anything the filesystem can get wrong — unreadable matrices, corrupt
+  // checkpoints, unwritable outputs — exits 3; solver/scheduler breakdowns
+  // exit 4 so scripts can tell the two apart.
+  Csr a;
   try {
-    Csr a;
     if (!matrix_path.empty()) {
       a = make_diag_dominant(coo_to_csr(read_matrix_market_file(matrix_path)));
     } else {
       a = make_generated(gen_kind, n);
     }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "thsolve: %s\n", e.what());
+    return 3;
+  }
+  CheckpointState resume_state;
+  if (!resume_path.empty()) {
+    try {
+      resume_state = load_checkpoint_file(resume_path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "thsolve: %s\n", e.what());
+      return 3;
+    }
+  }
+
+  try {
     std::printf("matrix: n=%d nnz=%lld\n", a.n_rows,
                 static_cast<long long>(a.nnz()));
 
@@ -245,6 +295,44 @@ int main(int argc, char** argv) {
                                                 : single_gpu(device_by_name(device));
     if (ranks > 1) so.cluster.gpu = device_by_name(device);
     if (!faults_spec.empty()) so.faults = parse_faults(faults_spec);
+    so.validate = validate;
+    if (!ckpt_interval_spec.empty()) {
+      if (ckpt_interval_spec == "auto") {
+        so.checkpoint.mode = CheckpointPolicy::Mode::kAuto;
+      } else {
+        so.checkpoint.mode = CheckpointPolicy::Mode::kInterval;
+        so.checkpoint.interval_s = std::atof(ckpt_interval_spec.c_str());
+      }
+      if (ckpt_write > 0) so.checkpoint.write_cost_s = ckpt_write;
+    }
+    CheckpointState ckpt_captured;
+    if (!ckpt_out_path.empty()) so.checkpoint_out = &ckpt_captured;
+
+    if (!resume_path.empty()) {
+      // Resume is a timing replay: numeric state is not checkpointed, only
+      // schedule progress, so the remaining timeline is reproduced
+      // bit-identically without re-running kernels.
+      so.resume = &resume_state;
+      const ScheduleResult r = inst.run_timing(so);
+      std::printf("resume from %s at t=%.6f s: remaining schedule %.3f ms, "
+                  "%lld kernels (%s policy on %d x %s)\n",
+                  resume_path.c_str(), resume_state.time_s,
+                  (r.makespan_s - resume_state.time_s) * 1e3,
+                  static_cast<long long>(r.kernel_count), policy.c_str(),
+                  ranks, so.cluster.gpu.name.c_str());
+      try {
+        if (!trace_path.empty()) {
+          write_chrome_trace_file(trace_path, r.trace, "thsolve " + policy);
+        }
+        if (!ckpt_out_path.empty() && !ckpt_captured.empty()) {
+          save_checkpoint_file(ckpt_out_path, ckpt_captured);
+        }
+      } catch (const Error& e) {
+        std::fprintf(stderr, "thsolve: %s\n", e.what());
+        return 3;
+      }
+      return 0;
+    }
 
     const ScheduleResult r = inst.run_numeric(so);
     std::printf("reorder %.1f ms, symbolic %.1f ms (host)\n",
@@ -260,6 +348,8 @@ int main(int argc, char** argv) {
       const real_t clean = inst.run_timing([&] {
                              ScheduleOptions c = so;
                              c.faults = FaultPlan{};
+                             c.checkpoint = CheckpointPolicy{};
+                             c.checkpoint_out = nullptr;
                              return c;
                            }())
                                .makespan_s;
@@ -278,6 +368,14 @@ int main(int argc, char** argv) {
           static_cast<long long>(r.faults.guards.pivots_perturbed),
           (r.makespan_s - clean) * 1e3,
           clean > 0 ? (r.makespan_s / clean - 1.0) * 100.0 : 0.0);
+      if (r.faults.checkpoints_taken > 0 || r.faults.tasks_restarted > 0) {
+        std::printf("ckpt: %lld checkpoint(s) written (%.3f ms of pauses), "
+                    "%d rank restart(s), %lld task(s) re-executed\n",
+                    static_cast<long long>(r.faults.checkpoints_taken),
+                    r.faults.checkpoint_write_s * 1e3,
+                    r.faults.ranks_restarted,
+                    static_cast<long long>(r.faults.tasks_restarted));
+      }
       if (r.faults.escalate_refinement && refine_iters == 0) {
         refine_iters = 8;  // guards repaired the factors; polish the solve
         std::printf("faults: numeric guards fired -> escalating to %d "
@@ -300,14 +398,36 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
 
-    if (!trace_path.empty()) {
-      write_chrome_trace_file(trace_path, r.trace, "thsolve " + policy);
-      std::printf("schedule trace written to %s (open in chrome://tracing)\n",
-                  trace_path.c_str());
+    try {
+      if (!trace_path.empty()) {
+        write_chrome_trace_file(trace_path, r.trace, "thsolve " + policy);
+        std::printf("schedule trace written to %s (open in chrome://tracing)\n",
+                    trace_path.c_str());
+      }
+      if (!ckpt_out_path.empty()) {
+        if (ckpt_captured.empty()) {
+          std::fprintf(stderr,
+                       "thsolve: no checkpoint captured (did the run outlast "
+                       "--ckpt-interval?); %s not written\n",
+                       ckpt_out_path.c_str());
+        } else {
+          save_checkpoint_file(ckpt_out_path, ckpt_captured);
+          std::printf("checkpoint (t=%.6f s) written to %s\n",
+                      ckpt_captured.time_s, ckpt_out_path.c_str());
+        }
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "thsolve: %s\n", e.what());
+      return 3;
     }
-    return rep.final_residual() < 1e-9 ? 0 : 1;
+    if (rep.final_residual() >= 1e-9) {
+      std::fprintf(stderr, "thsolve: scaled residual %.2e above 1e-9\n",
+                   rep.final_residual());
+      return 1;
+    }
+    return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "thsolve: %s\n", e.what());
-    return 1;
+    return 4;
   }
 }

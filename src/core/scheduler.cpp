@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "resilience/validate.hpp"
 #include "support/error.hpp"
 
 namespace th {
@@ -123,6 +124,7 @@ void validate_options(const ScheduleOptions& opt) {
                  "cpu_mode needs cpu.cores >= 1, got " << opt.cpu.cores);
   }
   opt.faults.validate(opt.n_ranks);
+  opt.checkpoint.validate();
 }
 
 }  // namespace
@@ -193,13 +195,60 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   std::vector<char> rank_dead(static_cast<std::size_t>(opt.n_ranks), 0);
   std::vector<char> rank_cpu(static_cast<std::size_t>(opt.n_ranks), 0);
   std::vector<RankFailure> failures = plan.rank_failures;
-  std::stable_sort(failures.begin(), failures.end(),
-                   [](const RankFailure& a, const RankFailure& b) {
-                     return a.time_s < b.time_s;
-                   });
+  // Same-timestamp failures apply in (time, rank, recovery) order — never
+  // in container order — so two plans listing the same events in a
+  // different order replay bit-identically (fault_order_less; locked by a
+  // regression test).
+  std::sort(failures.begin(), failures.end(), fault_order_less);
   std::size_t next_failure = 0;
   // One-shot consumption markers for planted numeric corruptions.
   std::vector<char> numeric_pending(plan.numeric_faults.size(), 1);
+
+  // ---- Checkpoint/restart state (src/resilience) -----------------------
+  const CheckpointPolicy& ckpt = opt.checkpoint;
+  const real_t ckpt_interval = ckpt.effective_interval_s(plan);
+  const bool ckpt_mode = ckpt.enabled() && ckpt_interval > 0;
+  // A write pause as long as the cadence would stall the run in an
+  // endless checkpoint storm (each pause pushes every launch past the
+  // next checkpoint instant) — reject the configuration up front.
+  TH_CHECK_MSG(!ckpt_mode || ckpt_interval > ckpt.write_cost_s,
+               "checkpoint interval " << ckpt_interval
+                                      << "s must exceed the write cost "
+                                      << ckpt.write_cost_s << "s");
+  bool restart_mode = opt.resume != nullptr;
+  for (const RankFailure& f : failures) {
+    restart_mode |= f.recovery == RankRecovery::kRestartFromCheckpoint;
+  }
+  // Pending-arrival bookkeeping, maintained only when a checkpoint could
+  // be captured or a restart could invalidate queue entries — the
+  // fault-free path stays byte-identical to a build without it.
+  const bool track_pending = ckpt_mode || restart_mode;
+  std::vector<real_t> arrival_time;
+  std::vector<char> in_queue;
+  std::vector<index_t> stale_entries;  // invalidated entries still queued
+  if (track_pending) {
+    arrival_time.assign(static_cast<std::size_t>(n), 0.0);
+    in_queue.assign(static_cast<std::size_t>(n), 0);
+    stale_entries.assign(static_cast<std::size_t>(n), 0);
+  }
+  CheckpointState last_ckpt;  // empty until the first capture / resume
+  real_t next_ckpt_t = ckpt_mode ? ckpt_interval : kNever;
+
+  const bool collect = opt.collect_batches || opt.validate;
+  // Where each completed task's surviving trace appearance lives — the
+  // retroactive lost-to-restart status flip targets it. (batch, member)
+  std::vector<std::pair<index_t, index_t>> done_app;
+  if (collect && restart_mode) {
+    done_app.assign(static_cast<std::size_t>(n), {index_t{-1}, index_t{-1}});
+  }
+  // Host memory is the durable store behind the simulated checkpoints: a
+  // restarted rank re-executes lost tasks in the *timeline*, but their
+  // numeric effects already landed (the checkpointed numeric frontier), so
+  // re-running them through the backend would double-apply updates.
+  std::vector<char> numerics_ran;
+  if (restart_mode && backend != nullptr) {
+    numerics_ran.assign(static_cast<std::size_t>(n), 0);
+  }
 
   // Communication pricing with the fault model's per-node-pair bandwidth
   // derate applied (1.0 on healthy links).
@@ -213,12 +262,88 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
 
   // Route a now-ready task to its (effective) owner's queues.
   auto enqueue_ready = [&](index_t id, real_t when) {
+    if (track_pending) {
+      arrival_time[id] = when;
+      in_queue[id] = 1;
+    }
     ranks[static_cast<std::size_t>(eff_owner[id])].arrivals.push({when, id});
   };
 
-  for (index_t id = 0; id < n; ++id) {
-    deps_left[id] = graph.in_degree(id);
-    if (deps_left[id] == 0) enqueue_ready(id, 0.0);
+  // A restart reopens dependencies of already-queued tasks; their stale
+  // queue entries are dropped unseen the moment they are popped.
+  auto entry_stale = [&](index_t id) -> bool {
+    if (!restart_mode || stale_entries[id] == 0) return false;
+    --stale_entries[id];
+    return true;
+  };
+
+  index_t completed = 0;
+  if (opt.resume != nullptr) {
+    // Restore the snapshot: the remaining schedule replays bit-identically
+    // to the trace suffix of the run that captured it.
+    const CheckpointState& snap = *opt.resume;
+    TH_CHECK_MSG(backend == nullptr,
+                 "resume replays timing only — pass a null backend");
+    TH_CHECK_MSG(!snap.empty() && snap.n_tasks == n &&
+                     snap.n_ranks == opt.n_ranks,
+                 "resume snapshot shape (" << snap.n_tasks << " tasks, "
+                                           << snap.n_ranks
+                                           << " ranks) does not match this "
+                                              "run ("
+                                           << n << " tasks, " << opt.n_ranks
+                                           << " ranks)");
+    TH_CHECK_MSG(
+        snap.n_streams == static_cast<int>(ranks[0].stream_free.size()),
+        "resume snapshot has " << snap.n_streams
+                               << " stream lanes per rank, this run has "
+                               << ranks[0].stream_free.size());
+    TH_CHECK_MSG(snap.numeric_pending.size() == numeric_pending.size() &&
+                     snap.failures_applied <=
+                         static_cast<index_t>(failures.size()),
+                 "resume snapshot was taken under a different fault plan");
+    for (index_t id = 0; id < n; ++id) {
+      task_done[id] = snap.done[id];
+      finish_time[id] = snap.finish_time[id];
+      eff_owner[id] = snap.owner[id];
+      if (task_done[id] != 0) ++completed;
+    }
+    if (!attempts.empty()) attempts = snap.attempts;
+    for (int r = 0; r < opt.n_ranks; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      rank_dead[rr] = snap.rank_dead[rr];
+      rank_cpu[rr] = snap.rank_cpu[rr];
+      ranks[rr].rank_free = snap.rank_free[rr];
+      for (std::size_t l = 0; l < ranks[rr].stream_free.size(); ++l) {
+        ranks[rr].stream_free[l] =
+            snap.stream_free[rr * ranks[rr].stream_free.size() + l];
+      }
+    }
+    next_failure = static_cast<std::size_t>(snap.failures_applied);
+    numeric_pending = snap.numeric_pending;
+    freport = snap.report;
+    for (index_t id = 0; id < n; ++id) {
+      if (task_done[id] != 0) continue;
+      index_t d = 0;
+      auto [pb, pe] = graph.predecessors(id);
+      for (const index_t* pp = pb; pp != pe; ++pp) d += !task_done[*pp];
+      deps_left[id] = d;
+    }
+    for (const CheckpointState::Pending& p : snap.pending) {
+      enqueue_ready(p.id, p.arrival_s);
+    }
+    last_ckpt = snap;
+    // Re-derive the checkpoint cadence by the same repeated addition the
+    // original run used, so the next capture lands on the identical
+    // double.
+    if (ckpt_mode) {
+      next_ckpt_t = ckpt_interval;
+      while (next_ckpt_t <= snap.time_s) next_ckpt_t += ckpt_interval;
+    }
+  } else {
+    for (index_t id = 0; id < n; ++id) {
+      deps_left[id] = graph.in_degree(id);
+      if (deps_left[id] == 0) enqueue_ready(id, 0.0);
+    }
   }
 
   // Move every arrival with time <= t into the policy pools of rank r.
@@ -227,6 +352,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     while (!st.arrivals.empty() && st.arrivals.top().time <= t) {
       const index_t id = st.arrivals.top().id;
       st.arrivals.pop();
+      if (entry_stale(id)) continue;
       const Task& task = graph.task(id);
       if (opt.policy == Policy::kTrojanHorse) {
         if (prioritizer.is_urgent(task)) {
@@ -260,15 +386,107 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     return kNever;
   };
 
-  // Apply one rank failure: either the GPU dies and pending work migrates
-  // to the survivors (re-running the block-cyclic owner map over them), or
-  // the rank degrades to CPU-model execution.
+  // kRestartFromCheckpoint: the rank reboots, reloads the last coordinated
+  // checkpoint (or rolls back to the initial state when none exists) and
+  // rejoins at full speed after a priced restore. Work it completed since
+  // that checkpoint is lost and re-executed; queue entries elsewhere whose
+  // dependencies reopen become stale and are dropped when popped.
+  auto restart_rank = [&](const RankFailure& f) {
+    const std::size_t fr = static_cast<std::size_t>(f.rank);
+    RankState& st = ranks[fr];
+    // In-flight batches complete in this model (their consumers already
+    // scheduled against those finish times), so the reboot+restore cannot
+    // relaunch before they drain — otherwise the restarted rank would run
+    // two kernels at once.
+    real_t resume_t = std::max(f.time_s, st.rank_free);
+    for (const real_t lane : st.stream_free) {
+      resume_t = std::max(resume_t, lane);
+    }
+    resume_t += ckpt.restore_cost_s;
+    ++freport.ranks_restarted;
+    freport.restore_s += ckpt.restore_cost_s;
+    // 1) Completions on this rank since the last checkpoint are gone.
+    for (index_t id = 0; id < n; ++id) {
+      if (!task_done[id] || eff_owner[id] != f.rank) continue;
+      if (!last_ckpt.empty() && last_ckpt.done[id] != 0) continue;
+      task_done[id] = 0;
+      finish_time[id] = kNever;
+      --completed;
+      ++freport.tasks_restarted;
+      if (!done_app.empty() && done_app[id].first >= 0) {
+        result
+            .batch_status[static_cast<std::size_t>(done_app[id].first)]
+                         [static_cast<std::size_t>(done_app[id].second)] = 2;
+      }
+    }
+    // 2) Re-derive readiness; entries whose dependencies reopened are now
+    //    stale.
+    for (index_t id = 0; id < n; ++id) {
+      if (task_done[id]) continue;
+      index_t d = 0;
+      auto [pb, pe] = graph.predecessors(id);
+      for (const index_t* pp = pb; pp != pe; ++pp) d += !task_done[*pp];
+      deps_left[id] = d;
+      if (d > 0 && in_queue[id] != 0) {
+        ++stale_entries[id];
+        in_queue[id] = 0;
+      }
+    }
+    // 3) The rank's own queues do not survive the reboot.
+    auto discard = [&](index_t id) {
+      if (stale_entries[id] > 0) {
+        --stale_entries[id];
+      } else {
+        in_queue[id] = 0;
+      }
+    };
+    while (!st.arrivals.empty()) {
+      discard(st.arrivals.top().id);
+      st.arrivals.pop();
+    }
+    while (!st.pool.empty()) {
+      discard(st.pool.top().second);
+      st.pool.pop();
+    }
+    while (!st.urgent.empty()) {
+      discard(st.urgent.top().second);
+      st.urgent.pop();
+    }
+    while (!st.container.empty()) discard(st.container.pop());
+    // 4) Back online after the restore, its ready work re-queued behind
+    //    re-shipped producer blocks (which may still be in flight at the
+    //    failure instant).
+    st.rank_free = resume_t;
+    st.stream_free.assign(st.stream_free.size(), resume_t);
+    for (index_t id = 0; id < n; ++id) {
+      if (task_done[id] || eff_owner[id] != f.rank || deps_left[id] != 0) {
+        continue;
+      }
+      real_t ready = resume_t;
+      auto [pb, pe] = graph.predecessors(id);
+      for (const index_t* pp = pb; pp != pe; ++pp) {
+        ready = std::max(ready, std::max(resume_t, finish_time[*pp]) +
+                                    comm_s(eff_owner[*pp], f.rank,
+                                           graph.task(*pp).out_bytes));
+      }
+      enqueue_ready(id, ready);
+    }
+  };
+
+  // Apply one rank failure: the GPU dies and pending work migrates to the
+  // survivors (re-running the block-cyclic owner map over them), the rank
+  // degrades to CPU-model execution, or it restarts from the last
+  // checkpoint.
   auto process_failure = [&](const RankFailure& f) {
     const std::size_t fr = static_cast<std::size_t>(f.rank);
     if (rank_dead[fr] || rank_cpu[fr]) return;  // already degraded
     ++freport.ranks_failed;
     if (f.recovery == RankRecovery::kCpuFallback) {
       rank_cpu[fr] = 1;  // keeps launching; priced on the CPU model
+      return;
+    }
+    if (f.recovery == RankRecovery::kRestartFromCheckpoint) {
+      restart_rank(f);
       return;
     }
     rank_dead[fr] = 1;
@@ -287,15 +505,17 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     // Requeue the dead rank's ready work on the new owners. The producing
     // blocks must be re-shipped (from each producer's rank — completed
     // producers on the dead rank re-send from its node's host checkpoint),
-    // so the arrival is delayed by the slowest re-send.
+    // so the arrival is delayed by the slowest re-send — which cannot
+    // leave before the producing batch itself has finished.
     RankState& st = ranks[fr];
     auto requeue = [&](index_t id) {
+      if (entry_stale(id)) return;
       real_t ready = f.time_s;
       auto [pb, pe] = graph.predecessors(id);
       for (const index_t* pp = pb; pp != pe; ++pp) {
-        ready = std::max(
-            ready, f.time_s + comm_s(eff_owner[*pp], eff_owner[id],
-                                     graph.task(*pp).out_bytes));
+        ready = std::max(ready, std::max(f.time_s, finish_time[*pp]) +
+                                    comm_s(eff_owner[*pp], eff_owner[id],
+                                           graph.task(*pp).out_bytes));
       }
       enqueue_ready(id, ready);
     };
@@ -315,6 +535,58 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     while (!st.container.empty()) requeue(st.container.pop());
   };
 
+  // Coordinated checkpoint at instant t_c: every alive rank pauses for
+  // the write (after any in-flight kernel), then the progress frontier is
+  // snapshotted. Clocks are captured post-pause, so a resumed run replays
+  // without re-paying the write.
+  auto take_checkpoint = [&](real_t t_c) {
+    int alive = 0;
+    for (int r = 0; r < opt.n_ranks; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      if (rank_dead[rr]) continue;
+      ++alive;
+      ranks[rr].rank_free =
+          std::max(ranks[rr].rank_free, t_c) + ckpt.write_cost_s;
+      for (real_t& lane : ranks[rr].stream_free) {
+        lane = std::max(lane, t_c) + ckpt.write_cost_s;
+      }
+    }
+    ++freport.checkpoints_taken;
+    freport.checkpoint_write_s += ckpt.write_cost_s * alive;
+
+    CheckpointState s;
+    s.time_s = t_c;
+    s.n_tasks = n;
+    s.n_ranks = opt.n_ranks;
+    s.n_streams = static_cast<int>(ranks[0].stream_free.size());
+    s.done = task_done;
+    s.finish_time = finish_time;
+    s.attempts = attempts.empty()
+                     ? std::vector<int>(static_cast<std::size_t>(n), 0)
+                     : attempts;
+    s.owner = eff_owner;
+    for (index_t id = 0; id < n; ++id) {
+      if (in_queue[id] != 0) s.pending.push_back({id, arrival_time[id]});
+    }
+    s.rank_free.resize(static_cast<std::size_t>(opt.n_ranks));
+    s.stream_free.resize(static_cast<std::size_t>(opt.n_ranks) *
+                         ranks[0].stream_free.size());
+    s.rank_dead = rank_dead;
+    s.rank_cpu = rank_cpu;
+    for (int r = 0; r < opt.n_ranks; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      s.rank_free[rr] = ranks[rr].rank_free;
+      for (std::size_t l = 0; l < ranks[rr].stream_free.size(); ++l) {
+        s.stream_free[rr * ranks[rr].stream_free.size() + l] =
+            ranks[rr].stream_free[l];
+      }
+    }
+    s.failures_applied = static_cast<index_t>(next_failure);
+    s.numeric_pending = numeric_pending;
+    s.report = freport;
+    last_ckpt = std::move(s);
+  };
+
   // ---- Batch formation -----------------------------------------------
   // Returns task ids + per-task atomic flags.
   auto form_batch = [&](RankState& st)
@@ -328,15 +600,21 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       // reduced per-core, so no atomics are needed in the model).
       auto take_all = [&](auto& q) {
         while (!q.empty()) {
-          batch.push_back(q.top().second);
-          atomic.push_back(0);
+          const index_t id = q.top().second;
           q.pop();
+          if (entry_stale(id)) continue;
+          if (track_pending) in_queue[id] = 0;
+          batch.push_back(id);
+          atomic.push_back(0);
         }
       };
       if (opt.policy == Policy::kTrojanHorse) {
         take_all(st.urgent);
         while (!st.container.empty()) {
-          batch.push_back(st.container.pop());
+          const index_t id = st.container.pop();
+          if (entry_stale(id)) continue;
+          if (track_pending) in_queue[id] = 0;
+          batch.push_back(id);
           atomic.push_back(0);
         }
       } else {
@@ -381,6 +659,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
         if (!collector.try_add(t)) return false;
         batch.push_back(id);
         atomic.push_back(0);
+        if (track_pending) in_queue[id] = 0;
         if (t.type == TaskType::kSsssm) {
           auto& slots = targets[target_key(t)];
           slots.push_back(batch.size() - 1);
@@ -395,12 +674,17 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       // Phase 1: urgent tasks straight from the Prioritizer.
       while (!st.urgent.empty()) {
         const index_t id = st.urgent.top().second;
+        if (entry_stale(id)) {
+          st.urgent.pop();
+          continue;
+        }
         if (!admit(id)) break;  // Collector full; id stays urgent
         st.urgent.pop();
       }
       // Phase 2: top up from the Container.
       while (!collector.full() && !st.container.empty()) {
         const index_t id = st.container.pop();
+        if (entry_stale(id)) continue;
         if (!admit(id)) {
           st.container.push(th_key(graph.task(id)), id);
           break;
@@ -411,21 +695,29 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       }
       collector.take();  // reset (ids already copied)
     } else {
-      // All per-task policies launch exactly one kernel per task.
-      TH_ASSERT(!st.pool.empty());
-      batch.push_back(st.pool.top().second);
-      atomic.push_back(0);
-      st.pool.pop();
+      // All per-task policies launch exactly one kernel per task. The pool
+      // may hold only stale (restart-invalidated) entries, in which case
+      // the batch comes back empty and the caller re-evaluates.
+      while (!st.pool.empty()) {
+        const index_t id = st.pool.top().second;
+        st.pool.pop();
+        if (entry_stale(id)) continue;
+        if (track_pending) in_queue[id] = 0;
+        batch.push_back(id);
+        atomic.push_back(0);
+        break;
+      }
     }
     return {std::move(batch), std::move(atomic)};
   };
 
   // ---- Main event loop --------------------------------------------------
-  index_t completed = 0;
   while (completed < n) {
-    // Pick the rank able to launch earliest — after applying any rank
-    // failure whose time has come (failures move work between queues, so
-    // they must land before the launch decision).
+    // Pick the rank able to launch earliest — after taking any checkpoint
+    // and applying any rank failure whose time has come, in event order
+    // (checkpoint first on ties, so a same-instant restart rolls back to
+    // it rather than past it). Failures move work between queues, so they
+    // must land before the launch decision.
     int best_rank = -1;
     real_t best_time = kNever;
     for (;;) {
@@ -438,8 +730,16 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
           best_rank = r;
         }
       }
-      if (next_failure < failures.size() &&
-          failures[next_failure].time_s <= best_time) {
+      const real_t fail_t = next_failure < failures.size()
+                                ? failures[next_failure].time_s
+                                : kNever;
+      if (ckpt_mode && std::min(best_time, fail_t) < kNever &&
+          next_ckpt_t <= std::min(best_time, fail_t)) {
+        take_checkpoint(next_ckpt_t);
+        next_ckpt_t += ckpt_interval;
+        continue;
+      }
+      if (next_failure < failures.size() && fail_t <= best_time) {
         process_failure(failures[next_failure]);
         ++next_failure;
         continue;
@@ -453,15 +753,11 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     drain_arrivals(st, best_rank, t0);
 
     auto [batch, atomic] = form_batch(st);
-    TH_ASSERT(!batch.empty());
+    if (batch.empty()) continue;  // only stale entries were pending
     bool any_conflict = false;
     for (char a : atomic) {
       result.atomic_tasks += (a != 0);
       any_conflict |= (a != 0);
-    }
-    if (opt.collect_batches) {
-      result.batch_members.push_back(batch);
-      result.batch_had_conflict.push_back(any_conflict ? 1 : 0);
     }
 
     // Decide transient kernel faults for this attempt *before* numerics
@@ -481,6 +777,17 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
           any_failed = true;
           ++freport.transient_faults;
         }
+      }
+    }
+    if (collect) {
+      result.batch_members.push_back(batch);
+      result.batch_had_conflict.push_back(any_conflict ? 1 : 0);
+      // Per-member outcome: transient faults are known now; lost-to-restart
+      // (status 2) is flipped retroactively when a restart discards work.
+      if (failed.empty()) {
+        result.batch_status.emplace_back(batch.size(), 0);
+      } else {
+        result.batch_status.emplace_back(failed.begin(), failed.end());
       }
     }
 
@@ -506,9 +813,26 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     // Execute numerics (host) and price the launch (model).
     ExecuteOptions eo;
     if (any_failed) eo.skip_numeric = &failed;
+    std::vector<char> skip_rerun;  // restart re-executions: time, no numerics
+    if (!numerics_ran.empty()) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!numerics_ran[batch[i]]) continue;
+        if (skip_rerun.empty()) {
+          skip_rerun = any_failed ? failed
+                                  : std::vector<char>(batch.size(), 0);
+        }
+        skip_rerun[i] = 1;
+      }
+      if (!skip_rerun.empty()) eo.skip_numeric = &skip_rerun;
+    }
     eo.run_guards = fault_mode && plan.numeric_guards && backend != nullptr;
     eo.guard = plan.guard;
     const BatchResult br = executor.execute(graph, batch, atomic, eo);
+    if (!numerics_ran.empty()) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!(any_failed && failed[i])) numerics_ran[batch[i]] = 1;
+      }
+    }
     if (br.guards.fired()) {
       freport.guards.merge(br.guards);
       freport.escalate_refinement = true;
@@ -576,6 +900,10 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       finish_time[id] = end;
       task_done[id] = 1;
       ++completed;
+      if (!done_app.empty()) {
+        done_app[id] = {static_cast<index_t>(result.batch_members.size() - 1),
+                        static_cast<index_t>(i)};
+      }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (any_failed && failed[i]) continue;
@@ -583,6 +911,9 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       auto [sb, se] = graph.successors(id);
       for (const index_t* sp = sb; sp != se; ++sp) {
         const index_t c = *sp;
+        // A restarted producer re-completes; consumers that finished
+        // before the failure already got its data the first time around.
+        if (restart_mode && task_done[c]) continue;
         if (--deps_left[c] > 0) continue;
         // All producers done: arrival = max(finish + comm).
         real_t ready = 0;
@@ -614,6 +945,8 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   result.makespan_s = result.trace.makespan_seconds();
   result.kernel_count = result.trace.kernel_count();
   result.mean_batch_size = result.trace.mean_batch_size();
+  if (opt.checkpoint_out != nullptr) *opt.checkpoint_out = last_ckpt;
+  if (opt.validate) check_schedule(graph, opt, result);
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include "core/executor.hpp"
 #include "core/prioritizer.hpp"
 #include "core/task_graph.hpp"
+#include "resilience/checkpoint.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
 
@@ -65,6 +66,24 @@ struct ScheduleOptions {
   /// empty: simulate() takes the exact fault-free path and its output is
   /// unchanged (zero-overhead off switch).
   FaultPlan faults;
+  /// Periodic coordinated checkpointing (src/resilience/checkpoint.hpp).
+  /// Off by default — fault-free runs with checkpointing off are
+  /// bit-identical to a build without the subsystem.
+  CheckpointPolicy checkpoint;
+  /// Resume a run from a snapshot instead of starting at t=0: the
+  /// remaining schedule replays bit-identically to the trace suffix of the
+  /// original run (heap container discipline). Timing-only — the backend
+  /// must be null, since pre-checkpoint numeric state is not stored.
+  /// Borrowed pointer; must outlive the simulate() call.
+  const CheckpointState* resume = nullptr;
+  /// When non-null, receives the last coordinated checkpoint taken (left
+  /// empty() if checkpointing never triggered) for `thsolve_cli --resume`
+  /// style workflows. Borrowed pointer.
+  CheckpointState* checkpoint_out = nullptr;
+  /// Run the post-hoc schedule validator (resilience/validate.hpp) on the
+  /// result before returning; throws th::Error on any invariant violation.
+  /// Implies collect_batches.
+  bool validate = false;
 };
 
 struct RankStats {
@@ -89,6 +108,11 @@ struct ScheduleResult {
   /// Whether the corresponding batch contained an atomic (conflicting)
   /// member; parallel to batch_members.
   std::vector<char> batch_had_conflict;
+  /// Per-member outcome of each batch, parallel to batch_members:
+  /// 0 = completed, 1 = transient fault (a retry appears later), 2 = had
+  /// completed but the work was lost to a rank restart and re-executed
+  /// later. The schedule validator keys its completion accounting on this.
+  std::vector<std::vector<char>> batch_status;
   /// Resilience accounting: faults injected, retries/backoff priced,
   /// tasks migrated off dead ranks, guard firings (src/fault).
   FaultReport faults;

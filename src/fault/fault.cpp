@@ -14,6 +14,27 @@ const char* numeric_fault_name(NumericFaultKind k) {
   return "?";
 }
 
+const char* rank_recovery_name(RankRecovery r) {
+  switch (r) {
+    case RankRecovery::kMigrate:
+      return "migrate";
+    case RankRecovery::kCpuFallback:
+      return "cpu-fallback";
+    case RankRecovery::kRestartFromCheckpoint:
+      return "restart";
+  }
+  return "?";
+}
+
+real_t FaultPlan::estimated_mtbf_s() const {
+  if (rank_failures.empty()) return 0;
+  real_t latest = 0;
+  for (const RankFailure& f : rank_failures) {
+    if (f.time_s > latest) latest = f.time_s;
+  }
+  return latest / static_cast<real_t>(rank_failures.size());
+}
+
 real_t FaultPlan::link_bw_factor(int node_a, int node_b) const {
   real_t factor = 1.0;
   for (const LinkDegrade& d : link_degrades) {
@@ -43,6 +64,8 @@ void FaultPlan::validate(int n_ranks) const {
                                               << n_ranks << " ranks exist");
     TH_CHECK_MSG(f.time_s >= 0, "rank failure time must be >= 0");
   }
+  // Only kMigrate removes a rank for good; restarted / CPU-degraded ranks
+  // keep computing, so they don't count toward "no survivor" exhaustion.
   int migrating = 0;
   for (const RankFailure& f : rank_failures) {
     if (f.recovery == RankRecovery::kMigrate) ++migrating;

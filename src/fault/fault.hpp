@@ -67,14 +67,31 @@ struct GuardReport {
 /// How a failed rank's work is recovered.
 enum class RankRecovery : std::uint8_t {
   kMigrate,     // redistribute pending tasks over the surviving ranks
-  kCpuFallback  // the rank keeps running, priced with the CPU model
+  kCpuFallback, // the rank keeps running, priced with the CPU model
+  /// The rank restarts and resumes from the last coordinated checkpoint
+  /// (src/resilience/checkpoint.hpp): work completed since that checkpoint
+  /// is re-executed after a priced restore, but the rank rejoins at full
+  /// speed instead of permanently shrinking the cluster.
+  kRestartFromCheckpoint,
 };
+
+const char* rank_recovery_name(RankRecovery r);
 
 struct RankFailure {
   int rank = 0;
   real_t time_s = 0;  // simulation time at which the GPU dies
   RankRecovery recovery = RankRecovery::kMigrate;
 };
+
+/// Deterministic replay order for fault events. Faults at the same
+/// simulated timestamp apply in (time, rank, recovery) order — NEVER in
+/// container order, so two FaultPlans listing the same failures in a
+/// different order replay bit-identically (locked by a regression test).
+inline bool fault_order_less(const RankFailure& a, const RankFailure& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return static_cast<int>(a.recovery) < static_cast<int>(b.recovery);
+}
 
 /// Bandwidth derate on the links between two nodes (node pair is
 /// unordered; factor f >= 1 divides the modelled link bandwidth by f).
@@ -138,6 +155,11 @@ struct FaultPlan {
   }
   void set_transient_all(real_t p) { transient_prob.fill(p); }
 
+  /// Crude MTBF plug-in estimate for the Young/Daly interval: the span of
+  /// the planned rank failures divided by their count (0 when the plan
+  /// kills no rank — auto checkpointing then stays off).
+  real_t estimated_mtbf_s() const;
+
   /// Bandwidth derate (>= 1) between two nodes; 1 when undegraded.
   real_t link_bw_factor(int node_a, int node_b) const;
 
@@ -162,8 +184,10 @@ int remap_owner(index_t row, index_t col, const std::vector<int>& survivors);
 // ---- Fault report ---------------------------------------------------------
 
 /// Resilience accounting attached to every ScheduleResult. The invariant
-/// the tests enforce: injected() == handled() — every injected fault is
-/// either retried, migrated/degraded, or caught by a guard.
+/// the tests (and the schedule validator) enforce:
+/// injected() == handled() + fatal_faults — every injected fault is either
+/// retried, migrated/degraded, re-executed after a checkpoint restart,
+/// caught by a guard, or explicitly recorded as fatal.
 struct FaultReport {
   offset_t transient_faults = 0;   // transient kernel faults injected
   offset_t retries = 0;            // re-executions scheduled
@@ -177,18 +201,31 @@ struct FaultReport {
   /// Makespan of the matching fault-free schedule (filled by run_solver /
   /// the benches via a timing-only replay; -1 when not computed).
   real_t fault_free_makespan_s = -1;
+  // ---- Checkpoint/restart accounting (src/resilience) -------------------
+  int checkpoints_taken = 0;       // coordinated checkpoints written
+  real_t checkpoint_write_s = 0;   // total write pauses priced, all ranks
+  real_t restore_s = 0;            // restore pauses priced by restarts
+  int ranks_restarted = 0;         // kRestartFromCheckpoint recoveries
+  offset_t tasks_restarted = 0;    // completed work lost & re-executed
+  /// Faults that no recovery absorbed (populated by harnesses that catch
+  /// an aborted run, e.g. retry-budget exhaustion under chaos soak).
+  offset_t fatal_faults = 0;
 
   offset_t injected() const {
     return transient_faults + tasks_migrated + cpu_fallback_tasks +
-           numeric_faults_injected;
+           tasks_restarted + numeric_faults_injected;
   }
   offset_t handled() const {
-    return retries + tasks_migrated + cpu_fallback_tasks + guards.tasks_fired;
+    return retries + tasks_migrated + cpu_fallback_tasks + tasks_restarted +
+           guards.tasks_fired;
   }
-  bool fully_accounted() const { return injected() == handled(); }
+  bool fully_accounted() const {
+    return injected() == handled() + fatal_faults;
+  }
   bool any() const {
     return transient_faults > 0 || ranks_failed > 0 || tasks_migrated > 0 ||
            cpu_fallback_tasks > 0 || numeric_faults_injected > 0 ||
+           tasks_restarted > 0 || ranks_restarted > 0 || fatal_faults > 0 ||
            guards.fired();
   }
   /// Extra makespan attributable to faults (requires fault_free_makespan_s).

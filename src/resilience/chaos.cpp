@@ -1,0 +1,338 @@
+#include "resilience/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace th {
+
+namespace {
+
+// SplitMix64: the same generator family the fault model's deterministic
+// draws use — cross-platform stable, unlike <random> distributions.
+std::uint64_t mix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unit(std::uint64_t& s) {  // uniform in [0, 1)
+  return static_cast<double>(mix64(s) >> 11) * 0x1.0p-53;
+}
+
+int below(std::uint64_t& s, int bound) {
+  return bound <= 1 ? 0 : static_cast<int>(mix64(s) % bound);
+}
+
+enum class Outcome { kValidated, kAborted, kFailed };
+
+// Aborts the scheduler raises by design when a plan overwhelms the
+// recovery machinery; everything else a scenario throws is a finding.
+bool is_legitimate_abort(const std::string& what) {
+  return what.find("exhausted its retry budget") != std::string::npos ||
+         what.find("every rank has failed") != std::string::npos;
+}
+
+Outcome run_scenario(const TaskGraph& graph, ScheduleOptions so,
+                     const FaultPlan& plan, const CheckpointPolicy& ckpt,
+                     std::string* what) {
+  so.faults = plan;
+  so.checkpoint = ckpt;
+  so.validate = true;
+  try {
+    simulate(graph, so, nullptr);
+    return Outcome::kValidated;
+  } catch (const Error& e) {
+    if (is_legitimate_abort(e.what())) return Outcome::kAborted;
+    if (what != nullptr) *what = e.what();
+    return Outcome::kFailed;
+  } catch (const std::exception& e) {
+    if (what != nullptr) *what = e.what();
+    return Outcome::kFailed;
+  }
+}
+
+CheckpointPolicy scenario_checkpoint(std::uint64_t& s, real_t horizon_s) {
+  CheckpointPolicy ck;
+  switch (below(s, 4)) {
+    case 0:
+    case 1:
+      break;  // half the scenarios run without checkpointing
+    case 2:
+      ck.mode = CheckpointPolicy::Mode::kInterval;
+      ck.interval_s = horizon_s * (0.05 + 0.35 * unit(s));
+      break;
+    case 3:
+      ck.mode = CheckpointPolicy::Mode::kAuto;
+      // A plan-derived MTBF can undercut the write cost and turn the
+      // Young/Daly cadence into a checkpoint storm (which the scheduler
+      // rejects); pin the hint well above it instead.
+      ck.mtbf_hint_s = horizon_s * (0.1 + unit(s));
+      break;
+  }
+  // Keep the write pause strictly below any cadence this scenario can
+  // produce — storms are a configuration error, not a chaos finding.
+  ck.write_cost_s = horizon_s * 0.002 * (0.5 + unit(s));
+  ck.restore_cost_s = horizon_s * 0.01 * (0.5 + unit(s));
+  return ck;
+}
+
+// One greedy delta-debugging pass: drop any single ingredient whose
+// removal keeps the scenario failing, until no removal does (a 1-minimal
+// plan). Bounded by a rerun budget so soak time stays predictable.
+FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
+                      const CheckpointPolicy& ckpt, FaultPlan plan) {
+  int budget = 200;
+  auto still_fails = [&](const FaultPlan& p) {
+    if (budget-- <= 0) return false;
+    return run_scenario(graph, base, p, ckpt, nullptr) == Outcome::kFailed;
+  };
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    for (std::size_t i = 0; i < plan.rank_failures.size(); ++i) {
+      FaultPlan c = plan;
+      c.rank_failures.erase(c.rank_failures.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (still_fails(c)) {
+        plan = std::move(c);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (std::size_t i = 0; i < plan.link_degrades.size(); ++i) {
+      FaultPlan c = plan;
+      c.link_degrades.erase(c.link_degrades.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (still_fails(c)) {
+        plan = std::move(c);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (std::size_t i = 0; i < plan.numeric_faults.size(); ++i) {
+      FaultPlan c = plan;
+      c.numeric_faults.erase(c.numeric_faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (still_fails(c)) {
+        plan = std::move(c);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    if (plan.has_transient()) {
+      FaultPlan c = plan;
+      c.set_transient_all(0);
+      if (still_fails(c)) {
+        plan = std::move(c);
+        changed = true;
+      }
+    }
+    if (changed) continue;
+    if (plan.numeric_guards) {
+      FaultPlan c = plan;
+      c.numeric_guards = false;
+      if (still_fails(c)) {
+        plan = std::move(c);
+        changed = true;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+FaultPlan random_fault_plan(std::uint64_t seed, const TaskGraph& graph,
+                            int n_ranks, real_t horizon_s) {
+  std::uint64_t s = seed ^ 0xc3a5c85c97cb3127ULL;
+  FaultPlan plan;
+  plan.seed = mix64(s);
+  plan.max_retries = 3 + below(s, 4);
+
+  // Transient storms: most scenarios crash some kernels.
+  if (unit(s) < 0.6) {
+    const real_t p = 5e-4 * std::pow(40.0, unit(s));  // 5e-4 .. 2e-2
+    plan.set_transient_all(p);
+  }
+
+  // Rank failures. Migrate-deaths stay strictly below n_ranks so the
+  // cluster keeps at least one survivor; restarts and CPU fallbacks do
+  // not shrink the cluster and are unconstrained. A "fault storm" pins
+  // every failure to one timestamp to exercise the deterministic
+  // same-time ordering.
+  const bool storm = unit(s) < 0.25;
+  const real_t storm_t = horizon_s * unit(s);
+  const int max_deaths = std::max(0, n_ranks - 1);
+  const int deaths = below(s, max_deaths + 1);
+  int migrated = 0;
+  const int events = deaths + below(s, n_ranks + 1);
+  for (int e = 0; e < events; ++e) {
+    RankFailure f;
+    f.rank = below(s, n_ranks);
+    f.time_s = storm ? storm_t : horizon_s * (0.05 + 1.1 * unit(s));
+    const double kind = unit(s);
+    if (migrated < deaths && kind < 0.4) {
+      f.recovery = RankRecovery::kMigrate;
+      ++migrated;
+    } else if (kind < 0.75) {
+      f.recovery = RankRecovery::kRestartFromCheckpoint;
+    } else {
+      f.recovery = RankRecovery::kCpuFallback;
+    }
+    plan.rank_failures.push_back(f);
+  }
+
+  // Link degrades between a few node pairs.
+  const int degrades = below(s, 3);
+  for (int d = 0; d < degrades; ++d) {
+    LinkDegrade ld;
+    ld.node_a = below(s, 4);
+    ld.node_b = below(s, 4);
+    ld.bw_factor = 1.0 + 7.0 * unit(s);
+    plan.link_degrades.push_back(ld);
+  }
+
+  // Corruption bursts: a clutch of numeric faults on random tasks (the
+  // guards path is numeric-only; in timing-only soak these exercise the
+  // plan bookkeeping).
+  if (graph.size() > 0 && unit(s) < 0.3) {
+    const int burst = 1 + below(s, 4);
+    for (int b = 0; b < burst; ++b) {
+      NumericFault nf;
+      nf.task_id = below(s, static_cast<int>(graph.size()));
+      const int k = below(s, 3);
+      nf.kind = k == 0   ? NumericFaultKind::kNaN
+                : k == 1 ? NumericFaultKind::kInf
+                         : NumericFaultKind::kTinyPivot;
+      plan.numeric_faults.push_back(nf);
+    }
+  }
+  return plan;
+}
+
+std::string fault_plan_spec(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << "seed=" << plan.seed << ",retries=" << plan.max_retries;
+  if (plan.has_transient()) {
+    // The CLI sets one probability for every kernel class; emit the
+    // largest so the repro is at least as hostile as the plan.
+    real_t p = 0;
+    for (real_t q : plan.transient_prob) p = std::max(p, q);
+    os << ",transient=" << p;
+  }
+  for (const RankFailure& f : plan.rank_failures) {
+    const char* key = f.recovery == RankRecovery::kMigrate ? "kill"
+                      : f.recovery == RankRecovery::kCpuFallback
+                          ? "cpu"
+                          : "restart";
+    os << "," << key << "=" << f.rank << "@" << f.time_s;
+  }
+  for (const LinkDegrade& d : plan.link_degrades) {
+    os << ",degrade=" << d.node_a << "-" << d.node_b << "@" << d.bw_factor;
+  }
+  for (const NumericFault& nf : plan.numeric_faults) {
+    const char* key = nf.kind == NumericFaultKind::kNaN   ? "nan"
+                      : nf.kind == NumericFaultKind::kInf ? "inf"
+                                                          : "tinypivot";
+    os << "," << key << "=" << nf.task_id;
+  }
+  if (plan.numeric_guards) os << ",guards=1";
+  return os.str();
+}
+
+std::string ChaosReport::summary() const {
+  std::ostringstream os;
+  os << scenarios_run << " scenario(s): " << validated << " validated, "
+     << aborted << " aborted legitimately, " << failures.size()
+     << " failed";
+  for (const ChaosFailure& f : failures) {
+    os << "\n  graph " << f.graph_index << " / " << policy_name(f.policy)
+       << " / seed " << f.scenario_seed
+       << (f.checkpointing ? " (checkpointing)" : "") << ": " << f.what
+       << "\n    repro: --faults " << f.repro;
+  }
+  return os.str();
+}
+
+ChaosReport run_chaos(const std::vector<const TaskGraph*>& graphs,
+                      const ChaosOptions& opt) {
+  TH_CHECK_MSG(opt.scenarios >= 1 && opt.n_ranks >= 1,
+               "chaos soak needs scenarios >= 1 and n_ranks >= 1");
+  static const Policy kAll[] = {Policy::kLevelPerTask,
+                                Policy::kPriorityPerTask,
+                                Policy::kMultiStream, Policy::kDmdas,
+                                Policy::kTrojanHorse};
+  const std::vector<Policy> policies =
+      opt.policies.empty() ? std::vector<Policy>(std::begin(kAll),
+                                                 std::end(kAll))
+                           : opt.policies;
+
+  ChaosReport report;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    TH_CHECK_MSG(graphs[gi] != nullptr && graphs[gi]->finalized(),
+                 "chaos graph " << gi << " is null or not finalized");
+    const TaskGraph& graph = *graphs[gi];
+    for (const Policy policy : policies) {
+      ScheduleOptions base;
+      base.policy = policy;
+      base.n_ranks = opt.n_ranks;
+      base.cluster = opt.cluster;
+      base.validate = true;
+      // Fault-free baseline: validates the clean schedule and sets the
+      // horizon that failure times scale against.
+      base.faults = FaultPlan{};
+      const real_t horizon =
+          std::max<real_t>(simulate(graph, base, nullptr).makespan_s, 1e-9);
+
+      for (int sc = 0; sc < opt.scenarios; ++sc) {
+        std::uint64_t h = opt.seed;
+        mix64(h);
+        h ^= 0x100000001b3ULL * (gi + 1);
+        mix64(h);
+        h ^= static_cast<std::uint64_t>(policy) * 0x9e3779b9ULL + sc;
+        const std::uint64_t scenario_seed = mix64(h);
+
+        std::uint64_t s = scenario_seed;
+        FaultPlan plan =
+            random_fault_plan(mix64(s), graph, opt.n_ranks, horizon);
+        CheckpointPolicy ckpt;
+        if (opt.exercise_checkpointing) {
+          ckpt = scenario_checkpoint(s, horizon);
+        }
+
+        ++report.scenarios_run;
+        std::string what;
+        const Outcome o = run_scenario(graph, base, plan, ckpt, &what);
+        if (o == Outcome::kValidated) {
+          ++report.validated;
+          continue;
+        }
+        if (o == Outcome::kAborted) {
+          ++report.aborted;
+          continue;
+        }
+        ChaosFailure fail;
+        fail.graph_index = gi;
+        fail.policy = policy;
+        fail.scenario_seed = scenario_seed;
+        fail.checkpointing = ckpt.enabled();
+        fail.what = what;
+        fail.plan = opt.shrink ? shrink_plan(graph, base, ckpt, plan)
+                               : plan;
+        fail.repro = fault_plan_spec(fail.plan);
+        report.failures.push_back(std::move(fail));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace th

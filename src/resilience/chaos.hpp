@@ -1,0 +1,76 @@
+// Chaos-soak harness (`th::resilience` piece 3): randomized-but-seeded
+// fault campaigns against every scheduling policy, each resulting
+// timeline checked by the schedule validator.
+//
+// A scenario seed deterministically expands into a composed FaultPlan
+// (multi-rank death, fault storms at one timestamp, checkpoint restarts,
+// CPU fallbacks, link degrades, corruption bursts) plus a checkpoint
+// policy, so any failure reproduces from its seed alone. Failing
+// scenarios are shrunk greedily to a minimal fault plan and reported with
+// a ready-to-paste `thsolve_cli --faults` spec.
+//
+// Runs are timing-only (null backend): the harness hammers the
+// *scheduling* invariants; numeric-path fault coverage lives in the
+// executor/fault unit tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace th {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  /// Fault plans generated per (graph, policy) pair.
+  int scenarios = 20;
+  int n_ranks = 4;
+  ClusterSpec cluster;
+  /// Policies to soak; empty = all five.
+  std::vector<Policy> policies;
+  /// Shrink failing scenarios to a minimal fault plan before reporting.
+  bool shrink = true;
+  /// Let scenarios also turn on interval / Young-Daly checkpointing.
+  bool exercise_checkpointing = true;
+};
+
+struct ChaosFailure {
+  std::size_t graph_index = 0;
+  Policy policy = Policy::kTrojanHorse;
+  std::uint64_t scenario_seed = 0;
+  /// The failing plan, shrunk to a minimal repro when shrinking is on.
+  FaultPlan plan;
+  bool checkpointing = false;  // scenario ran with a checkpoint policy
+  std::string what;            // validator / scheduler error message
+  std::string repro;           // thsolve_cli --faults spec for the plan
+};
+
+struct ChaosReport {
+  int scenarios_run = 0;
+  int validated = 0;  // completed with a clean validator pass
+  int aborted = 0;    // legitimate aborts (retry budget / no survivors)
+  std::vector<ChaosFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// Deterministically expand one scenario seed into a composed fault plan
+/// for a graph scheduled on n_ranks. `horizon_s` scales failure times
+/// (use the fault-free makespan). Never kills every rank.
+FaultPlan random_fault_plan(std::uint64_t seed, const TaskGraph& graph,
+                            int n_ranks, real_t horizon_s);
+
+/// Render a plan as a `thsolve_cli --faults` spec string (the repro line
+/// attached to chaos failures).
+std::string fault_plan_spec(const FaultPlan& plan);
+
+/// Soak every (graph, policy, scenario) combination; validator runs on
+/// every completed timeline. Graph pointers are borrowed and must be
+/// finalized. Tasks' owner_rank fields must be < opt.n_ranks.
+ChaosReport run_chaos(const std::vector<const TaskGraph*>& graphs,
+                      const ChaosOptions& opt);
+
+}  // namespace th

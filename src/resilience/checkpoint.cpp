@@ -1,0 +1,166 @@
+#include "resilience/checkpoint.hpp"
+
+#include <fstream>
+#include <limits>
+
+#include "support/binio.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+namespace {
+
+constexpr char kCkptMagic[4] = {'T', 'H', 'C', 'K'};
+constexpr std::uint32_t kCkptVersion = 1;
+constexpr char kReportMagic[4] = {'T', 'H', 'F', 'R'};
+constexpr std::uint32_t kReportVersion = 1;
+
+using bin::get;
+using bin::put;
+
+}  // namespace
+
+void CheckpointPolicy::validate() const {
+  if (!enabled()) return;
+  TH_CHECK_MSG(write_cost_s >= 0,
+               "checkpoint write cost must be >= 0, got " << write_cost_s);
+  TH_CHECK_MSG(restore_cost_s >= 0,
+               "checkpoint restore cost must be >= 0, got " << restore_cost_s);
+  if (mode == Mode::kInterval) {
+    TH_CHECK_MSG(interval_s > 0,
+                 "interval checkpointing needs interval_s > 0, got "
+                     << interval_s);
+  }
+  TH_CHECK_MSG(mtbf_hint_s >= 0,
+               "mtbf_hint_s must be >= 0, got " << mtbf_hint_s);
+}
+
+void save_fault_report(std::ostream& out, const FaultReport& r) {
+  bin::put_header(out, kReportMagic, kReportVersion);
+  put(out, r.transient_faults);
+  put(out, r.retries);
+  put(out, r.backoff_delay_s);
+  put(out, r.ranks_failed);
+  put(out, r.tasks_migrated);
+  put(out, r.cpu_fallback_tasks);
+  put(out, r.numeric_faults_injected);
+  put(out, r.guards.nonfinite_scrubbed);
+  put(out, r.guards.pivots_perturbed);
+  put(out, r.guards.tasks_fired);
+  put<char>(out, r.escalate_refinement ? 1 : 0);
+  put(out, r.fault_free_makespan_s);
+  put(out, r.checkpoints_taken);
+  put(out, r.checkpoint_write_s);
+  put(out, r.restore_s);
+  put(out, r.ranks_restarted);
+  put(out, r.tasks_restarted);
+  put(out, r.fatal_faults);
+  TH_CHECK_MSG(out.good(), "fault report write failed");
+}
+
+FaultReport load_fault_report(std::istream& in) {
+  bin::check_header(in, kReportMagic, kReportVersion, "fault report");
+  FaultReport r;
+  r.transient_faults = get<offset_t>(in);
+  r.retries = get<offset_t>(in);
+  r.backoff_delay_s = get<real_t>(in);
+  r.ranks_failed = get<int>(in);
+  r.tasks_migrated = get<offset_t>(in);
+  r.cpu_fallback_tasks = get<offset_t>(in);
+  r.numeric_faults_injected = get<offset_t>(in);
+  r.guards.nonfinite_scrubbed = get<offset_t>(in);
+  r.guards.pivots_perturbed = get<offset_t>(in);
+  r.guards.tasks_fired = get<offset_t>(in);
+  r.escalate_refinement = get<char>(in) != 0;
+  r.fault_free_makespan_s = get<real_t>(in);
+  r.checkpoints_taken = get<int>(in);
+  r.checkpoint_write_s = get<real_t>(in);
+  r.restore_s = get<real_t>(in);
+  r.ranks_restarted = get<int>(in);
+  r.tasks_restarted = get<offset_t>(in);
+  r.fatal_faults = get<offset_t>(in);
+  return r;
+}
+
+void save_checkpoint(std::ostream& out, const CheckpointState& s) {
+  TH_CHECK_MSG(!s.empty(), "refusing to save an empty checkpoint");
+  bin::put_header(out, kCkptMagic, kCkptVersion);
+  put(out, s.time_s);
+  put(out, s.n_tasks);
+  put(out, s.n_ranks);
+  put(out, s.n_streams);
+  bin::put_vector(out, s.done);
+  bin::put_vector(out, s.finish_time);
+  bin::put_vector(out, s.attempts);
+  bin::put_vector(out, s.owner);
+  bin::put_vector(out, s.pending);
+  bin::put_vector(out, s.rank_free);
+  bin::put_vector(out, s.stream_free);
+  bin::put_vector(out, s.rank_dead);
+  bin::put_vector(out, s.rank_cpu);
+  put(out, s.failures_applied);
+  bin::put_vector(out, s.numeric_pending);
+  save_fault_report(out, s.report);
+  TH_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+CheckpointState load_checkpoint(std::istream& in) {
+  bin::check_header(in, kCkptMagic, kCkptVersion, "checkpoint");
+  CheckpointState s;
+  s.time_s = get<real_t>(in);
+  s.n_tasks = get<index_t>(in);
+  s.n_ranks = get<int>(in);
+  s.n_streams = get<int>(in);
+  TH_CHECK_MSG(s.n_tasks > 0 && s.n_ranks > 0 && s.n_streams > 0 &&
+                   s.time_s >= 0,
+               "inconsistent checkpoint header (n_tasks=" << s.n_tasks
+                   << ", n_ranks=" << s.n_ranks << ")");
+  const auto nt = static_cast<std::uint64_t>(s.n_tasks);
+  const auto nr = static_cast<std::uint64_t>(s.n_ranks);
+  s.done = bin::get_vector<char>(in, nt);
+  s.finish_time = bin::get_vector<real_t>(in, nt);
+  s.attempts = bin::get_vector<int>(in, nt);
+  s.owner = bin::get_vector<int>(in, nt);
+  s.pending = bin::get_vector<CheckpointState::Pending>(in, nt);
+  s.rank_free = bin::get_vector<real_t>(in, nr);
+  s.stream_free =
+      bin::get_vector<real_t>(in, nr * static_cast<std::uint64_t>(s.n_streams));
+  s.rank_dead = bin::get_vector<char>(in, nr);
+  s.rank_cpu = bin::get_vector<char>(in, nr);
+  s.failures_applied = get<index_t>(in);
+  s.numeric_pending =
+      bin::get_vector<char>(in, std::numeric_limits<std::uint32_t>::max());
+  s.report = load_fault_report(in);
+
+  TH_CHECK_MSG(s.done.size() == nt && s.finish_time.size() == nt &&
+                   s.attempts.size() == nt && s.owner.size() == nt,
+               "checkpoint task arrays do not match n_tasks=" << s.n_tasks);
+  TH_CHECK_MSG(s.rank_free.size() == nr && s.rank_dead.size() == nr &&
+                   s.rank_cpu.size() == nr,
+               "checkpoint rank arrays do not match n_ranks=" << s.n_ranks);
+  for (const CheckpointState::Pending& p : s.pending) {
+    TH_CHECK_MSG(p.id >= 0 && p.id < s.n_tasks && p.arrival_s >= 0,
+                 "corrupt checkpoint pending entry (task " << p.id << ")");
+    TH_CHECK_MSG(!s.done[static_cast<std::size_t>(p.id)],
+                 "checkpoint lists completed task " << p.id << " as pending");
+  }
+  for (int o : s.owner) {
+    TH_CHECK_MSG(o >= 0 && o < s.n_ranks,
+                 "checkpoint owner " << o << " out of range");
+  }
+  return s;
+}
+
+void save_checkpoint_file(const std::string& path, const CheckpointState& s) {
+  std::ofstream out(path, std::ios::binary);
+  TH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_checkpoint(out, s);
+}
+
+CheckpointState load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TH_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_checkpoint(in);
+}
+
+}  // namespace th

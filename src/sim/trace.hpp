@@ -23,6 +23,9 @@ class Trace {
   void record(KernelRecord r) { records_.push_back(r); }
 
   const std::vector<KernelRecord>& records() const { return records_; }
+  /// Mutable access for tooling that edits timelines (the validator tests
+  /// tamper with records to prove the checks bite).
+  std::vector<KernelRecord>& mutable_records() { return records_; }
 
   offset_t kernel_count() const {
     return static_cast<offset_t>(records_.size());

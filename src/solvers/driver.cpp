@@ -109,6 +109,9 @@ DriverReport run_solver(const Csr& a, const DriverOptions& opt) {
     // overhead the faults cost (timing-only replay, numerics untouched).
     ScheduleOptions clean = opt.sched;
     clean.faults = FaultPlan{};
+    clean.checkpoint = CheckpointPolicy{};  // no write pauses in the baseline
+    clean.resume = nullptr;
+    clean.checkpoint_out = nullptr;
     rep.numeric.faults.fault_free_makespan_s =
         inst.run_timing(clean).makespan_s;
   }

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "support/binio.hpp"
 #include "support/error.hpp"
 
 namespace th {
@@ -14,18 +15,8 @@ namespace {
 constexpr char kMagic[4] = {'T', 'H', 'L', 'U'};
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void put(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T get(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  TH_CHECK_MSG(in.good(), "truncated factor stream");
-  return v;
-}
+using bin::get;
+using bin::put;
 
 }  // namespace
 
@@ -35,8 +26,7 @@ void save_factors(std::ostream& out, const PluFactorization& fact,
   TH_CHECK_MSG(static_cast<index_t>(perm.size()) == p.n,
                "permutation does not match the factorisation");
 
-  out.write(kMagic, 4);
-  put(out, kVersion);
+  bin::put_header(out, kMagic, kVersion);
   put(out, p.n);
   put(out, p.tile_size);
   put(out, p.nt);
@@ -78,12 +68,7 @@ void save_factors_file(const std::string& path, const PluFactorization& fact,
 }
 
 LoadedFactors load_factors(std::istream& in) {
-  char magic[4];
-  in.read(magic, 4);
-  TH_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-               "not a Trojan Horse factor stream (bad magic)");
-  const auto version = get<std::uint32_t>(in);
-  TH_CHECK_MSG(version == kVersion, "unsupported factor version " << version);
+  bin::check_header(in, kMagic, kVersion, "factor");
 
   LoadedFactors f;
   f.n_ = get<index_t>(in);

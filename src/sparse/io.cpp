@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -39,32 +40,52 @@ Coo read_matrix_market(std::istream& in) {
                "unsupported symmetry: " << symmetry);
 
   // Skip comments / blank lines, then read the size line.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
   }
+  TH_CHECK_MSG(have_size_line, "missing size line (file ends after header)");
   std::istringstream size_line(line);
   long long rows = 0, cols = 0, entries = 0;
-  size_line >> rows >> cols >> entries;
+  TH_CHECK_MSG(static_cast<bool>(size_line >> rows >> cols >> entries),
+               "malformed size line: '" << line << "'");
   TH_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
                "bad size line: " << line);
+  constexpr long long kMaxIndex = std::numeric_limits<index_t>::max();
+  TH_CHECK_MSG(rows <= kMaxIndex && cols <= kMaxIndex,
+               "matrix dimensions " << rows << " x " << cols
+                                    << " overflow index_t ("
+                                    << kMaxIndex << ")");
 
   Coo a;
   a.n_rows = static_cast<index_t>(rows);
   a.n_cols = static_cast<index_t>(cols);
-  a.entries.reserve(static_cast<std::size_t>(entries));
+  // Reserve conservatively: a lying size line must produce a descriptive
+  // truncation error below, not an allocation failure here.
+  a.entries.reserve(static_cast<std::size_t>(
+      std::min<long long>(entries, 1LL << 20)));
 
   const bool pattern = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
   const bool skew = symmetry == "skew-symmetric";
   for (long long k = 0; k < entries; ++k) {
-    TH_CHECK_MSG(std::getline(in, line),
-                 "truncated file: expected " << entries << " entries, got "
-                                             << k);
+    // Entry lists may contain stray blank or comment lines; only running
+    // out of data entirely is a truncation.
+    do {
+      TH_CHECK_MSG(std::getline(in, line),
+                   "truncated file: expected " << entries << " entries, got "
+                                               << k);
+    } while (line.empty() || line[0] == '%');
     std::istringstream es(line);
     long long r = 0, c = 0;
     double v = 1.0;
     es >> r >> c;
     if (!pattern) es >> v;
+    TH_CHECK_MSG(!es.fail(),
+                 "malformed entry " << k + 1 << ": '" << line << "'");
     TH_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
                  "entry out of range: " << line);
     a.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);

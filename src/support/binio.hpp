@@ -1,0 +1,80 @@
+// Shared binary stream helpers for the on-disk formats (factor files,
+// schedule checkpoints, fault reports).
+//
+// Every format follows the same conventions, factored out of
+// solvers/serialize.cpp so new formats inherit them instead of reinventing
+// framing: a 4-byte magic, a u32 version, then native-endian POD fields
+// and length-prefixed vectors. Readers fail with a descriptive th::Error
+// on truncation, bad magic or a version mismatch — never by silently
+// producing garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace th::bin {
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TH_CHECK_MSG(in.good(), "truncated stream");
+  return v;
+}
+
+template <typename T>
+void put_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> get_vector(std::istream& in, std::uint64_t max_size) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto size = get<std::uint64_t>(in);
+  TH_CHECK_MSG(size <= max_size,
+               "implausible vector length " << size << " (max " << max_size
+                                            << ")");
+  std::vector<T> v(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  TH_CHECK_MSG(in.good(), "truncated vector of " << size << " elements");
+  return v;
+}
+
+inline void put_header(std::ostream& out, const char magic[4],
+                       std::uint32_t version) {
+  out.write(magic, 4);
+  put(out, version);
+}
+
+/// Reads and checks the 4-byte magic and u32 version; `what` names the
+/// format in error messages ("factor", "checkpoint", ...).
+inline void check_header(std::istream& in, const char magic[4],
+                         std::uint32_t version, const char* what) {
+  char m[4];
+  in.read(m, 4);
+  TH_CHECK_MSG(in.good() && std::memcmp(m, magic, 4) == 0,
+               "not a Trojan Horse " << what << " stream (bad magic)");
+  const auto v = get<std::uint32_t>(in);
+  TH_CHECK_MSG(v == version, "unsupported " << what << " version " << v
+                                            << " (this build reads version "
+                                            << version << ")");
+}
+
+}  // namespace th::bin

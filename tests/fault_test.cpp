@@ -95,6 +95,7 @@ ScheduleOptions cluster_options(int ranks) {
   o.policy = Policy::kTrojanHorse;
   o.n_ranks = ranks;
   o.cluster = cluster_h100();
+  o.validate = true;  // schedule invariants checked on every timeline
   return o;
 }
 
@@ -221,6 +222,61 @@ TEST(RankFailure, DeadRankWorkMigratesToSurvivors) {
       EXPECT_LE(rec.start_s, tf);
     }
   }
+}
+
+TEST(RankFailure, RestartReexecutionDoesNotRerunNumerics) {
+  // A real factorisation graph: deep enough that the failing rank has
+  // completions after the last checkpoint, so the rollback loses work.
+  const Csr a = finalize_system(grid2d_laplacian(20, 20), 11);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.ordering = Ordering::kNatural;
+  io.grid = make_process_grid(2);
+  SolverInstance inst(a, io);
+  const TaskGraph& g = inst.graph();
+  const real_t m = inst.run_timing(cluster_options(2)).makespan_s;
+
+  ScheduleOptions o = cluster_options(2);
+  o.checkpoint.mode = CheckpointPolicy::Mode::kInterval;
+  o.checkpoint.interval_s = m / 4;
+  o.checkpoint.write_cost_s = m / 400;
+  o.checkpoint.restore_cost_s = m / 200;
+  o.faults.rank_failures.push_back(
+      {1, 0.45 * m, RankRecovery::kRestartFromCheckpoint});
+  CountingBackend backend(g.size());
+  const ScheduleResult r = simulate(g, o, &backend);
+
+  // Lost completions re-execute in the *timeline*, but their host numerics
+  // already landed (the checkpointed frontier is durable) — running them
+  // through the backend again would double-apply updates.
+  backend.expect_exactly_once();
+  EXPECT_EQ(r.faults.ranks_restarted, 1);
+  EXPECT_GT(r.faults.tasks_restarted, 0);
+}
+
+TEST(RankFailure, RestartNumericRunKeepsResidualTiny) {
+  const Csr a = finalize_system(grid2d_laplacian(20, 20), 11);
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.ordering = Ordering::kNatural;
+  io.grid = make_process_grid(2);
+  SolverInstance inst(a, io);
+  const real_t m = inst.run_timing(cluster_options(2)).makespan_s;
+
+  ScheduleOptions o = cluster_options(2);
+  o.checkpoint.mode = CheckpointPolicy::Mode::kInterval;
+  o.checkpoint.interval_s = m / 4;
+  o.checkpoint.write_cost_s = m / 400;
+  o.checkpoint.restore_cost_s = m / 200;
+  o.faults.rank_failures.push_back(
+      {1, 0.45 * m, RankRecovery::kRestartFromCheckpoint});
+  const ScheduleResult r = inst.run_numeric(o);
+  EXPECT_EQ(r.faults.ranks_restarted, 1);
+  EXPECT_GT(r.faults.tasks_restarted, 0);
+
+  std::vector<real_t> b(static_cast<std::size_t>(a.n_rows), 1.0);
+  const std::vector<real_t> x = inst.solve(b);
+  EXPECT_LT(scaled_residual(a, x, b), 1e-10);
 }
 
 TEST(RankFailure, KillingEveryRankThrows) {

@@ -17,6 +17,7 @@ ScheduleOptions th_opts() {
   ScheduleOptions o;
   o.policy = Policy::kTrojanHorse;
   o.cluster = single_gpu(device_a100());
+  o.validate = true;  // schedule invariants checked on every timeline
   return o;
 }
 
@@ -125,7 +126,9 @@ TEST(BatchAnatomy, RequiresCollectedBatches) {
   InstanceOptions io;
   io.block = 8;
   SolverInstance inst(a, io);
-  const ScheduleResult r = inst.run_timing(th_opts());  // not collected
+  ScheduleOptions o = th_opts();
+  o.validate = false;  // validate implies batch collection
+  const ScheduleResult r = inst.run_timing(o);  // not collected
   EXPECT_THROW(analyze_batches(inst.graph(), r), Error);
 }
 

@@ -195,5 +195,78 @@ TEST(Io, MalformedInputsThrow) {
   EXPECT_THROW(read_matrix_market(range), Error);
 }
 
+// Every corruption yields a descriptive th::Error naming the offending
+// line — never a silent zero-filled matrix or an allocation blow-up.
+TEST(Io, CorruptFixturesThrowDescriptiveErrors) {
+  auto expect_error_containing = [](const std::string& text,
+                                    const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected th::Error mentioning '" << needle << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "got: " << e.what();
+    }
+  };
+
+  expect_error_containing("", "empty Matrix Market stream");
+  expect_error_containing("%%MatrixMarket tensor coordinate real general\n",
+                          "unsupported object");
+  expect_error_containing("%%MatrixMarket matrix array real general\n",
+                          "coordinate");
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate complex general\n", "field");
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real hermitian\n", "symmetry");
+  // Header only; the size line never arrives.
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% just comments\n",
+      "missing size line");
+  // Size line that is not three integers.
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 banana 3\n",
+      "malformed size line");
+  // Negative / zero dimensions.
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "-4 2 1\n",
+      "bad size line");
+  // Dimensions that overflow index_t must be rejected, not truncated.
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "80000000000 80000000000 1\n",
+      "overflow index_t");
+  // An absurd entry count with no data reports truncation (and must not
+  // try to reserve 9e18 triplets first).
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 9000000000000000000\n",
+      "truncated");
+  // Entry line that is not parseable.
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 x 1.0\n",
+      "malformed entry");
+  // Real matrix with a missing value field.
+  expect_error_containing(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n",
+      "malformed entry");
+
+  // Stray blank lines inside the entry list are tolerated, not fatal.
+  std::istringstream blanks(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "\n"
+      "2 2 4.0\n");
+  EXPECT_EQ(read_matrix_market(blanks).nnz(), 2);
+}
+
 }  // namespace
 }  // namespace th
