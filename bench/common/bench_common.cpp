@@ -1,5 +1,6 @@
 #include "common/bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -13,6 +14,28 @@ namespace th::bench {
 bool fast_mode() {
   const char* v = std::getenv("TH_FAST");
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+int repeat_count() {
+  if (const char* v = std::getenv("TH_REPEAT"); v != nullptr && v[0] != '\0') {
+    const int n = std::atoi(v);
+    TH_CHECK_MSG(n >= 1, "TH_REPEAT must be a positive integer");
+    return n;
+  }
+  return fast_mode() ? 1 : 3;
+}
+
+TimingSample time_repeated(const std::function<real_t()>& sample,
+                           int warmup) {
+  for (int i = 0; i < warmup; ++i) (void)sample();
+  std::vector<real_t> t(static_cast<std::size_t>(repeat_count()));
+  for (real_t& s : t) s = sample();
+  std::sort(t.begin(), t.end());
+  TimingSample out;
+  out.best = t.front();
+  out.median = t[t.size() / 2];
+  out.repeats = static_cast<int>(t.size());
+  return out;
 }
 
 const std::vector<Variant>& all_variants() {

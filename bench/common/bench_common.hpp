@@ -6,6 +6,7 @@
 // "30-minutes-fast mode").
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,27 @@ class MatrixBench {
   std::unique_ptr<SolverInstance> slu_;
   std::unique_ptr<SolverInstance> plu_;
 };
+
+/// Repetitions for host wall-clock measurements: TH_REPEAT if set (>= 1),
+/// else 3 (1 in fast mode). Modelled timings are deterministic and need no
+/// repetition — this is only for phases measured with a real stopwatch.
+int repeat_count();
+
+/// Repeated host-timing summary (seconds).
+struct TimingSample {
+  real_t best = 0;    // min over repetitions — least-noise estimate
+  real_t median = 0;  // robust central value, reported in tables
+  int repeats = 0;
+};
+
+/// Run `sample` (which executes the workload once and returns its measured
+/// seconds) `warmup` times untimed, then repeat_count() times for real;
+/// returns the min and median of the kept samples. The sampler owns its
+/// own stopwatch so per-run setup (e.g. constructing a fresh
+/// SolverInstance, since numerics run at most once per instance) stays
+/// outside the measurement.
+TimingSample time_repeated(const std::function<real_t()>& sample,
+                           int warmup = 1);
 
 /// Print the table and also write `<stem>.csv` into results/ (created on
 /// demand, relative to the current working directory).

@@ -30,7 +30,7 @@ ScheduleOptions base_options() {
   o.policy = Policy::kTrojanHorse;
   o.n_ranks = kRanks;
   o.cluster = cluster_h100();
-  o.validate = true;  // every timeline passes the schedule validator
+  o.validate_schedule = true;  // every timeline passes the schedule validator
   return o;
 }
 

@@ -104,7 +104,7 @@ void BM_BlockTaskMapLookup(benchmark::State& state) {
     storage[i].cost.cuda_blocks = rng.index_in(1, 64);
     batch.push_back(&storage[i]);
   }
-  const BlockTaskMap map(batch);
+  const exec::BlockMap map = exec::BlockMap::from_tasks(batch);
   index_t block = 0;
   for (auto _ : state) {
     block = (block + 97) % map.total_blocks();

@@ -13,6 +13,13 @@
 //     --policy <th|pangu|superlu|stream|dmdas>        (default th)
 //     --device <a100|h100|5090|5060ti|mi50>           (default a100)
 //     --ranks <int>              GPUs in the modelled cluster (default 1)
+//     --threads <int>            host worker threads for the numeric batch
+//                                runtime (default $TH_THREADS or 1); each
+//                                worker plays a CUDA block
+//     --accum <atomic|det>       Schur accumulation for write-conflicting
+//                                batch members: lock-free atomic adds
+//                                (paper-faithful, default) or deterministic
+//                                scratch + ordered reduction
 //     --block <int>              tile size / max supernode (default core's)
 //     --ordering <mindeg|rcm|nd|natural>              (default mindeg)
 //     --refine <iters>           iterative-refinement steps (default 0)
@@ -81,6 +88,7 @@ using namespace th;
                "usage: thsolve_cli [--matrix f.mtx | --gen KIND --n N] "
                "[--core plu|slu] [--policy th|pangu|superlu|stream|dmdas] "
                "[--device a100|h100|5090|5060ti|mi50] [--ranks R] "
+               "[--threads N] [--accum atomic|det] "
                "[--block B] [--ordering mindeg|rcm|nd|natural] "
                "[--refine I] [--trace out.json] "
                "[--faults transient=P,kill=R@T,cpu=R@T,restart=R@T,"
@@ -203,10 +211,18 @@ int main(int argc, char** argv) {
   std::string core = "plu", policy = "th", device = "a100";
   std::string ordering = "mindeg";
   std::string ckpt_interval_spec, ckpt_out_path, resume_path;
+  std::string accum = "atomic";
   real_t ckpt_write = 0;
   bool validate = false;
   index_t n = 1600, block = 0;
   int ranks = 1, refine_iters = 0;
+  // --threads beats TH_THREADS beats the serial default, so scripted
+  // environments can set a fleet-wide thread count the flag still overrides.
+  int threads = 1;
+  if (const char* env = std::getenv("TH_THREADS")) {
+    threads = std::atoi(env);
+    if (threads < 1) usage("TH_THREADS must be a positive integer");
+  }
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -227,6 +243,14 @@ int main(int argc, char** argv) {
       device = need("--device");
     } else if (!std::strcmp(argv[i], "--ranks")) {
       ranks = std::atoi(need("--ranks"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::atoi(need("--threads"));
+      if (threads < 1) usage("--threads wants a positive integer");
+    } else if (!std::strcmp(argv[i], "--accum")) {
+      accum = need("--accum");
+      if (accum != "atomic" && accum != "det") {
+        usage("--accum wants atomic or det");
+      }
     } else if (!std::strcmp(argv[i], "--block")) {
       block = static_cast<index_t>(std::atoi(need("--block")));
     } else if (!std::strcmp(argv[i], "--ordering")) {
@@ -295,7 +319,10 @@ int main(int argc, char** argv) {
                                                 : single_gpu(device_by_name(device));
     if (ranks > 1) so.cluster.gpu = device_by_name(device);
     if (!faults_spec.empty()) so.faults = parse_faults(faults_spec);
-    so.validate = validate;
+    so.exec_workers = threads;
+    so.exec_accum = exec::accum_mode_by_name(accum);
+    so.validate_schedule = validate;
+    so.validate();  // reject bad thread/rank combinations before building
     if (!ckpt_interval_spec.empty()) {
       if (ckpt_interval_spec == "auto") {
         so.checkpoint.mode = CheckpointPolicy::Mode::kAuto;
@@ -343,6 +370,14 @@ int main(int argc, char** argv) {
                 r.makespan_s * 1e3, static_cast<long long>(r.kernel_count),
                 r.mean_batch_size, r.achieved_gflops(),
                 static_cast<long long>(inst.nnz_lu()));
+    if (threads > 1) {
+      std::printf("exec: %d host threads (%s accum): wall %.1f ms, span "
+                  "%.1f ms, busy %.1f ms, %ld slices, %ld whole-task "
+                  "fallbacks\n",
+                  r.exec.workers, accum.c_str(), r.exec.wall_s * 1e3,
+                  r.exec.span_s * 1e3, r.exec.busy_s * 1e3, r.exec.slices,
+                  r.exec.fallback_tasks);
+    }
 
     if (r.faults.any()) {
       const real_t clean = inst.run_timing([&] {

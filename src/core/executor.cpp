@@ -1,117 +1,17 @@
 #include "core/executor.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <functional>
-#include <mutex>
-#include <thread>
-
 #include "support/error.hpp"
 
 namespace th {
 
-BlockTaskMap::BlockTaskMap(const std::vector<const Task*>& batch) {
-  starts_.reserve(batch.size() + 1);
-  starts_.push_back(0);
-  for (const Task* t : batch) {
-    TH_CHECK(t->cost.cuda_blocks > 0);
-    starts_.push_back(starts_.back() + t->cost.cuda_blocks);
-  }
-  total_blocks_ = starts_.back();
-}
-
-index_t BlockTaskMap::task_of_block(index_t block) const {
-  TH_CHECK(block >= 0 && block < total_blocks_);
-  // First start strictly greater than `block`, minus one: the owning task.
-  const auto it = std::upper_bound(starts_.begin(), starts_.end(), block);
-  return static_cast<index_t>(it - starts_.begin()) - 1;
-}
-
-// ---- Worker pool ---------------------------------------------------------
-
-struct Executor::Pool {
-  explicit Pool(int n) {
-    TH_CHECK(n >= 1);
-    workers.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      workers.emplace_back([this] { worker_loop(); });
-    }
-  }
-
-  ~Pool() {
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      stop = true;
-    }
-    cv.notify_all();
-    for (auto& w : workers) w.join();
-  }
-
-  /// Run `fn(i)` for i in [0, count) across the pool; blocks until done.
-  void parallel_for(index_t count, const std::function<void(index_t)>& fn) {
-    if (count == 0) return;
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      next.store(0, std::memory_order_relaxed);
-      remaining.store(count, std::memory_order_relaxed);
-      total = count;
-      job.store(&fn, std::memory_order_release);
-      ++generation;
-    }
-    cv.notify_all();
-    // The calling thread participates too.
-    run_current();
-    std::unique_lock<std::mutex> lk(mu);
-    done_cv.wait(lk, [this] { return remaining.load() == 0; });
-    job.store(nullptr, std::memory_order_release);
-  }
-
- private:
-  void run_current() {
-    const std::function<void(index_t)>* fn =
-        job.load(std::memory_order_acquire);
-    if (fn == nullptr) return;
-    while (true) {
-      const index_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) break;
-      (*fn)(i);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lk(mu);
-        done_cv.notify_all();
-      }
-    }
-  }
-
-  void worker_loop() {
-    std::uint64_t seen = 0;
-    while (true) {
-      std::unique_lock<std::mutex> lk(mu);
-      cv.wait(lk, [&] { return stop || generation != seen; });
-      if (stop) return;
-      seen = generation;
-      lk.unlock();
-      run_current();
-    }
-  }
-
-  std::vector<std::thread> workers;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::condition_variable done_cv;
-  std::atomic<const std::function<void(index_t)>*> job{nullptr};
-  std::atomic<index_t> next{0};
-  std::atomic<index_t> remaining{0};
-  index_t total = 0;
-  std::uint64_t generation = 0;
-  bool stop = false;
-};
-
 Executor::Executor(KernelCostModel model, NumericBackend* backend,
-                   int n_workers)
+                   int n_workers, exec::AccumMode accum)
     : model_(std::move(model)), backend_(backend) {
   TH_CHECK(n_workers >= 1);
-  if (n_workers > 1) pool_ = std::make_unique<Pool>(n_workers - 1);
+  exec::BatchExecOptions opt;
+  opt.n_threads = n_workers;
+  opt.accum = accum;
+  batch_exec_ = std::make_unique<exec::BatchExecutor>(opt);
 }
 
 Executor::~Executor() = default;
@@ -134,24 +34,9 @@ BatchResult Executor::execute(const TaskGraph& graph,
     costs.push_back(graph.task(id).cost);
   }
 
-  // Materialise the block->task dispatch table exactly as the GPU kernel
-  // would; this also validates every task has a positive block count.
-  const BlockTaskMap map(tasks);
-  TH_ASSERT(map.total_blocks() > 0);
-
   BatchResult r;
   if (backend_ != nullptr) {
-    auto run_one = [&](index_t i) {
-      if (eo.skip_numeric != nullptr && (*eo.skip_numeric)[i] != 0) return;
-      backend_->run_task(*tasks[i], atomic_flags[i] != 0);
-    };
-    if (pool_) {
-      pool_->parallel_for(static_cast<index_t>(batch.size()), run_one);
-    } else {
-      for (index_t i = 0; i < static_cast<index_t>(batch.size()); ++i) {
-        run_one(i);
-      }
-    }
+    batch_exec_->execute(*backend_, tasks, atomic_flags, eo.skip_numeric);
     if (eo.run_guards) {
       // Guards scan freshly written factor/update blocks (GETRF diagonals
       // and SSSSM targets); sequential — tiles are small and GuardReport
@@ -167,6 +52,11 @@ BatchResult Executor::execute(const TaskGraph& graph,
         r.guards.merge(g);
       }
     }
+  } else {
+    // Timing-only replay still materialises the block->task dispatch table
+    // so every task's block count is validated the same way.
+    const exec::BlockMap map = exec::BlockMap::from_tasks(tasks);
+    TH_ASSERT(map.total_blocks() > 0);
   }
 
   const KernelTiming timing = model_.batch_timing(costs);

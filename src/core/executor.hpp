@@ -1,68 +1,24 @@
 // Executor — Batch-stage module 2 (paper §3.4).
 //
 // Runs one heterogeneous batch as a single simulated kernel launch:
-// * the numeric bodies execute on the host via a solver-provided
-//   NumericBackend (optionally on a worker pool, with atomic accumulation
-//   for write-conflicting SSSSM tasks — the host analogue of atomicAdd);
-// * the simulated duration comes from the KernelCostModel;
-// * the CUDA-block -> task mapping array with binary search (Figure 7) is
-//   materialised per batch exactly as the paper describes.
+// * the numeric bodies execute on the host through exec::BatchExecutor — a
+//   persistent worker pool where each worker plays a CUDA block, routed to
+//   its task via the shared exec::BlockMap (Figure 7), with atomic or
+//   deterministic Schur accumulation for write-conflicting SSSSM members;
+// * the simulated duration comes from the KernelCostModel, which derives
+//   occupancy from the same BlockMap.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/task_graph.hpp"
+#include "exec/backend.hpp"
+#include "exec/batch_executor.hpp"
 #include "fault/fault.hpp"
 #include "sim/device.hpp"
 
 namespace th {
-
-/// Solver-side numeric execution of a single task. Implementations must be
-/// safe to call concurrently for tasks within one batch (the scheduler
-/// guarantees batched tasks are mutually independent except for SSSSM
-/// write conflicts, which are flagged `atomic`).
-class NumericBackend {
- public:
-  virtual ~NumericBackend() = default;
-  virtual void run_task(const Task& t, bool atomic) = 0;
-
-  /// Plant a numeric fault into the task's target block before it runs
-  /// (fault-injection testing). Returns false when the backend has no
-  /// storage for the block or does not support injection.
-  virtual bool inject_fault(const Task& t, NumericFaultKind kind) {
-    (void)t;
-    (void)kind;
-    return false;
-  }
-
-  /// Scan (and repair) the task's freshly written output: scrub NaN/Inf
-  /// entries to zero, perturb near-zero GETRF pivots per `policy`. Called
-  /// by the Executor after GETRF/SSSSM tasks when guards are enabled;
-  /// serialised by the caller (no concurrent guard calls).
-  virtual GuardReport guard_task(const Task& t, const GuardPolicy& policy) {
-    (void)t;
-    (void)policy;
-    return {};
-  }
-};
-
-/// The paper's CUDA-block -> task dispatch structure: an array of starting
-/// block indices per task; a block finds its task by binary search.
-class BlockTaskMap {
- public:
-  explicit BlockTaskMap(const std::vector<const Task*>& batch);
-
-  index_t total_blocks() const { return total_blocks_; }
-  /// Which position in the batch owns this block (0-based CUDA block id).
-  index_t task_of_block(index_t block) const;
-  /// Starting block of a batch position.
-  index_t start_of(index_t pos) const { return starts_[pos]; }
-
- private:
-  std::vector<index_t> starts_;  // size batch+1, starts_[0] = 0
-  index_t total_blocks_ = 0;
-};
 
 struct BatchResult {
   real_t seconds = 0;   // simulated total duration (host + device)
@@ -88,8 +44,10 @@ class Executor {
  public:
   /// `backend` may be null for timing-only replays (the numeric results
   /// were already validated in an earlier run). `n_workers > 1` executes
-  /// batch members on a persistent thread pool.
-  Executor(KernelCostModel model, NumericBackend* backend, int n_workers = 1);
+  /// batch members block-sliced on a persistent thread pool; `accum`
+  /// selects how write-conflicting members fold their updates.
+  Executor(KernelCostModel model, NumericBackend* backend, int n_workers = 1,
+           exec::AccumMode accum = exec::AccumMode::kAtomic);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -104,11 +62,14 @@ class Executor {
 
   const KernelCostModel& model() const { return model_; }
 
+  /// Aggregate runtime counters (wall/busy/span time, slices, fallbacks)
+  /// over every batch executed so far. Zeros on timing-only replays.
+  const exec::ExecStats& exec_stats() const { return batch_exec_->stats(); }
+
  private:
-  struct Pool;
   KernelCostModel model_;
   NumericBackend* backend_;
-  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<exec::BatchExecutor> batch_exec_;
 };
 
 }  // namespace th

@@ -100,14 +100,19 @@ std::uint64_t order_key(Policy policy, const TaskGraph& g, const Task& t) {
   }
 }
 
+}  // namespace
+
 // Reject garbage configurations up front instead of producing garbage
 // timelines (or dividing by zero deep inside the comm model).
-void validate_options(const ScheduleOptions& opt) {
+void ScheduleOptions::validate() const {
+  const ScheduleOptions& opt = *this;
   TH_CHECK_MSG(opt.n_ranks >= 1, "n_ranks must be >= 1, got " << opt.n_ranks);
   TH_CHECK_MSG(opt.n_streams >= 1,
                "n_streams must be >= 1, got " << opt.n_streams);
-  TH_CHECK_MSG(opt.exec_workers >= 1,
-               "exec_workers must be >= 1, got " << opt.exec_workers);
+  // Bounded above as well: a worker is an OS thread, and a thread count in
+  // the thousands is a mistyped flag, not a machine.
+  TH_CHECK_MSG(opt.exec_workers >= 1 && opt.exec_workers <= 256,
+               "exec_workers must be in [1, 256], got " << opt.exec_workers);
   const ClusterSpec& c = opt.cluster;
   TH_CHECK_MSG(c.gpus_per_node >= 1,
                "cluster '" << c.name << "' needs gpus_per_node >= 1");
@@ -127,17 +132,15 @@ void validate_options(const ScheduleOptions& opt) {
   opt.checkpoint.validate();
 }
 
-}  // namespace
-
 ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
                         NumericBackend* backend) {
   TH_CHECK_MSG(graph.finalized(), "simulate() requires a finalized graph");
-  validate_options(opt);
+  opt.validate();
   const index_t n = graph.size();
 
   const Prioritizer prioritizer(opt.prioritizer);
   KernelCostModel model(opt.cluster.gpu);
-  Executor executor(model, backend, opt.exec_workers);
+  Executor executor(model, backend, opt.exec_workers, opt.exec_accum);
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opt.n_ranks));
   for (auto& r : ranks) {
@@ -234,7 +237,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   CheckpointState last_ckpt;  // empty until the first capture / resume
   real_t next_ckpt_t = ckpt_mode ? ckpt_interval : kNever;
 
-  const bool collect = opt.collect_batches || opt.validate;
+  const bool collect = opt.collect_batches || opt.validate_schedule;
   // Where each completed task's surviving trace appearance lives — the
   // retroactive lost-to-restart status flip targets it. (batch, member)
   std::vector<std::pair<index_t, index_t>> done_app;
@@ -946,7 +949,8 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   result.kernel_count = result.trace.kernel_count();
   result.mean_batch_size = result.trace.mean_batch_size();
   if (opt.checkpoint_out != nullptr) *opt.checkpoint_out = last_ckpt;
-  if (opt.validate) check_schedule(graph, opt, result);
+  result.exec = executor.exec_stats();
+  if (opt.validate_schedule) check_schedule(graph, opt, result);
   return result;
 }
 

@@ -53,7 +53,13 @@ struct ScheduleOptions {
   /// Allow write-conflicting SSSSM tasks inside one batch via atomic
   /// accumulation (paper §2.3); disabling serialises them (ablation).
   bool allow_atomic_batching = true;
-  int exec_workers = 1;  // host threads for numeric batch execution
+  /// Host threads for numeric batch execution (exec::BatchExecutor lanes,
+  /// each playing a CUDA block). thsolve_cli --threads / TH_THREADS.
+  int exec_workers = 1;
+  /// How write-conflicting SSSSM members accumulate when exec_workers > 1:
+  /// atomic fetch-add in place (paper-faithful) or per-task scratch folded
+  /// in batch order (bit-reproducible). thsolve_cli --accum.
+  exec::AccumMode exec_accum = exec::AccumMode::kAtomic;
   /// Price execution with the CPU model instead of the GPU (Table 7
   /// CPU baselines). The CPU executes ready tasks in bulk per step.
   bool cpu_mode = false;
@@ -83,7 +89,13 @@ struct ScheduleOptions {
   /// Run the post-hoc schedule validator (resilience/validate.hpp) on the
   /// result before returning; throws th::Error on any invariant violation.
   /// Implies collect_batches.
-  bool validate = false;
+  bool validate_schedule = false;
+
+  /// Reject garbage configurations (non-positive rank/stream/worker
+  /// counts, broken cluster specs, malformed fault/checkpoint plans) by
+  /// throwing th::Error. simulate() calls this up front; CLI/bench code
+  /// may call it earlier for friendlier reporting.
+  void validate() const;
 };
 
 struct RankStats {
@@ -116,6 +128,10 @@ struct ScheduleResult {
   /// Resilience accounting: faults injected, retries/backoff priced,
   /// tasks migrated off dead ranks, guard firings (src/fault).
   FaultReport faults;
+  /// Host-runtime counters from the parallel batch executor (wall/busy/
+  /// span seconds, slices, whole-task fallbacks). Zeros on timing-only
+  /// replays — simulated time never depends on them.
+  exec::ExecStats exec;
 
   /// Aggregate delivered GFLOPS = total flops / makespan.
   real_t achieved_gflops() const {

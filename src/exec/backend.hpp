@@ -1,0 +1,118 @@
+// NumericBackend — the contract between the schedulers/runtime and a
+// solver core's numeric kernels, plus the Schur-accumulation mode of the
+// batch runtime.
+//
+// The baseline interface is task-granular: run_task() executes one
+// GETRF/TSTRF/GEESM/SSSSM body whole. The block-level extension lets the
+// BatchExecutor slice a task into its CUDA blocks (one block per target
+// row/column, Figure 7) so several workers can cooperate on a single large
+// task; backends that do not override it keep whole-task execution via the
+// runtime's fallback path.
+#pragma once
+
+#include <string>
+
+#include "core/task.hpp"
+#include "fault/fault.hpp"
+#include "support/error.hpp"
+
+namespace th {
+
+namespace exec {
+
+/// How write-conflicting SSSSM batch members accumulate into their shared
+/// target tile.
+enum class AccumMode {
+  /// Lock-free fetch-add in place — the host analogue of the paper's
+  /// atomicAdd path. Fast, but FP addition order varies run to run.
+  kAtomic,
+  /// Each conflicting member accumulates into a private zero-initialised
+  /// scratch buffer; the runtime folds the buffers into the target in
+  /// batch order after the parallel phase. Bit-reproducible across thread
+  /// counts (the batch composition does not depend on the worker count).
+  kDeterministic,
+};
+
+inline const char* accum_mode_name(AccumMode m) {
+  return m == AccumMode::kAtomic ? "atomic" : "det";
+}
+
+inline AccumMode accum_mode_by_name(const std::string& name) {
+  if (name == "atomic") return AccumMode::kAtomic;
+  if (name == "det" || name == "deterministic") return AccumMode::kDeterministic;
+  throw Error("unknown accumulation mode: " + name + " (want atomic|det)");
+}
+
+}  // namespace exec
+
+/// Solver-side numeric execution of a single task. Implementations must be
+/// safe to call concurrently for tasks within one batch (the scheduler
+/// guarantees batched tasks are mutually independent except for SSSSM
+/// write conflicts, which are flagged `atomic`).
+class NumericBackend {
+ public:
+  virtual ~NumericBackend() = default;
+  virtual void run_task(const Task& t, bool atomic) = 0;
+
+  /// Plant a numeric fault into the task's target block before it runs
+  /// (fault-injection testing). Returns false when the backend has no
+  /// storage for the block or does not support injection.
+  virtual bool inject_fault(const Task& t, NumericFaultKind kind) {
+    (void)t;
+    (void)kind;
+    return false;
+  }
+
+  /// Scan (and repair) the task's freshly written output: scrub NaN/Inf
+  /// entries to zero, perturb near-zero GETRF pivots per `policy`. Called
+  /// by the Executor after GETRF/SSSSM tasks when guards are enabled;
+  /// serialised by the caller (no concurrent guard calls).
+  virtual GuardReport guard_task(const Task& t, const GuardPolicy& policy) {
+    (void)t;
+    (void)policy;
+    return {};
+  }
+
+  // ---- Block-level extension (exec::BatchExecutor) ----------------------
+
+  /// Serial prologue run once per task before any of its blocks execute —
+  /// e.g. densify the output tile so concurrent slices only touch disjoint
+  /// rows/columns of a stable buffer. Called from a single thread.
+  virtual void prepare_task(const Task& t) { (void)t; }
+
+  /// Execute CUDA blocks [b0, b1) of the task (0-based within the task;
+  /// one block per target row or column as priced in Task::cost).
+  /// `atomic` mirrors run_task. When `into` is non-null the blocks must
+  /// accumulate into that zero-initialised scratch buffer instead of the
+  /// real target (deterministic mode). Return false when the task type has
+  /// no block-level body — the runtime then runs the task whole, via
+  /// run_task(), on the worker that claimed its first block.
+  virtual bool run_blocks(const Task& t, index_t b0, index_t b1, bool atomic,
+                          real_t* into) {
+    (void)t;
+    (void)b0;
+    (void)b1;
+    (void)atomic;
+    (void)into;
+    return false;
+  }
+
+  /// Scratch elements (real_t) deterministic mode needs for this task's
+  /// private accumulation buffer. 0 means unsupported: the runtime then
+  /// serialises the conflicting member in the ordered batch epilogue
+  /// instead — slower, but still deterministic.
+  virtual offset_t scratch_size(const Task& t) {
+    (void)t;
+    return 0;
+  }
+
+  /// Fold the task's scratch accumulation into the real target. Called
+  /// serially, in batch order — the ordered reduction that makes
+  /// deterministic mode reproducible.
+  virtual void apply_scratch(const Task& t, const real_t* scratch) {
+    (void)t;
+    (void)scratch;
+  }
+};
+
+}  // namespace th

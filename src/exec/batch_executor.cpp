@@ -1,0 +1,164 @@
+#include "exec/batch_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ctime>
+
+#include "support/stopwatch.hpp"
+
+namespace th::exec {
+namespace {
+
+/// CPU time consumed by the calling thread. Unlike wall time this is
+/// immune to preemption, so per-lane busy time (and the batch span derived
+/// from it) stays meaningful on machines with fewer cores than lanes.
+real_t thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<real_t>(ts.tv_sec) +
+         1e-9 * static_cast<real_t>(ts.tv_nsec);
+}
+
+/// How one batch member executes.
+enum class Mode : char {
+  kInPlace,  // plain writes, no conflict
+  kAtomic,   // atomic accumulation in place
+  kScratch,  // det mode: accumulate into private scratch, fold in epilogue
+  kSerial,   // det mode, backend without scratch: run whole in the epilogue
+  kSkip,     // simulated kernel crash: priced but not executed
+};
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(const BatchExecOptions& opt)
+    : opt_(opt), pool_(opt.n_threads) {
+  TH_CHECK(opt.chunk_blocks > 0);
+  lane_busy_.assign(static_cast<std::size_t>(pool_.width()), 0.0);
+  lane_slices_.assign(static_cast<std::size_t>(pool_.width()), 0);
+}
+
+void BatchExecutor::execute(NumericBackend& backend,
+                            const std::vector<const Task*>& tasks,
+                            const std::vector<char>& atomic_flags,
+                            const std::vector<char>* skip) {
+  TH_CHECK(!tasks.empty());
+  TH_CHECK(atomic_flags.size() == tasks.size());
+  TH_CHECK(skip == nullptr || skip->size() == tasks.size());
+  const Stopwatch wall;
+  const real_t caller_t0 = thread_cpu_seconds();
+
+  const BlockMap map = BlockMap::from_tasks(tasks);
+
+  // Classify members and lay out deterministic-mode scratch.
+  const std::size_t nb = tasks.size();
+  std::vector<Mode> mode(nb, Mode::kInPlace);
+  std::vector<offset_t> scratch_at(nb, -1);
+  offset_t scratch_total = 0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (skip != nullptr && (*skip)[i] != 0) {
+      mode[i] = Mode::kSkip;
+    } else if (atomic_flags[i] != 0) {
+      if (opt_.accum == AccumMode::kAtomic) {
+        mode[i] = Mode::kAtomic;
+      } else if (const offset_t sz = backend.scratch_size(*tasks[i]); sz > 0) {
+        mode[i] = Mode::kScratch;
+        scratch_at[i] = scratch_total;
+        scratch_total += sz;
+      } else {
+        mode[i] = Mode::kSerial;
+      }
+    }
+  }
+  scratch_.assign(static_cast<std::size_t>(scratch_total), 0.0);
+
+  // Serial prologue: per-task preparation (densify targets, ...) for every
+  // member that runs sliced in the parallel phase.
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (mode[i] == Mode::kSkip || mode[i] == Mode::kSerial) continue;
+    backend.prepare_task(*tasks[i]);
+  }
+
+  // Parallel phase: the block range is cut into fixed chunks owned
+  // round-robin by lane — the host analogue of CUDA's static blockIdx
+  // assignment (each block knows its id before the kernel runs; nothing is
+  // negotiated at runtime). Static ownership keeps per-lane work — and the
+  // span derived from it — independent of how the OS interleaves the
+  // lanes, so the scaling numbers survive core-starved CI machines.
+  std::atomic<long> fallbacks{0};
+  const index_t total = map.total_blocks();
+  const index_t width = static_cast<index_t>(pool_.width());
+  std::fill(lane_busy_.begin(), lane_busy_.end(), 0.0);
+  std::fill(lane_slices_.begin(), lane_slices_.end(), 0);
+  pool_.run([&](int lane) {
+    const real_t t0 = thread_cpu_seconds();
+    long slices = 0;
+    for (index_t chunk = static_cast<index_t>(lane) * opt_.chunk_blocks;
+         chunk < total; chunk += width * opt_.chunk_blocks) {
+      const index_t chunk_end =
+          std::min<index_t>(chunk + opt_.chunk_blocks, total);
+      index_t b = chunk;
+      index_t pos = map.task_of_block(b);
+      while (b < chunk_end) {
+        const index_t e = std::min(chunk_end, map.start_of(pos + 1));
+        const Mode m = mode[static_cast<std::size_t>(pos)];
+        if (m != Mode::kSkip && m != Mode::kSerial) {
+          const Task& t = *tasks[static_cast<std::size_t>(pos)];
+          const index_t l0 = b - map.start_of(pos);
+          const index_t l1 = e - map.start_of(pos);
+          real_t* into =
+              m == Mode::kScratch
+                  ? scratch_.data() + scratch_at[static_cast<std::size_t>(pos)]
+                  : nullptr;
+          if (backend.run_blocks(t, l0, l1, m == Mode::kAtomic, into)) {
+            ++slices;
+          } else if (l0 == 0) {
+            // No block-level body: the lane holding the task's first block
+            // runs it whole; lanes holding later slices of it fall through.
+            TH_ASSERT(into == nullptr);  // scratch implies block support
+            backend.run_task(t, m == Mode::kAtomic);
+            fallbacks.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        b = e;
+        ++pos;
+      }
+    }
+    lane_busy_[static_cast<std::size_t>(lane)] = thread_cpu_seconds() - t0;
+    lane_slices_[static_cast<std::size_t>(lane)] = slices;
+  });
+
+  // Ordered epilogue, one fixed order regardless of thread count: fold
+  // det-mode scratch and run serialised members in batch position order.
+  long det_reds = 0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (mode[i] == Mode::kScratch) {
+      backend.apply_scratch(*tasks[i], scratch_.data() + scratch_at[i]);
+      ++det_reds;
+    } else if (mode[i] == Mode::kSerial) {
+      backend.run_task(*tasks[i], false);
+      fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  real_t busy = 0;
+  real_t span_max = 0;
+  for (int l = 0; l < pool_.width(); ++l) {
+    const real_t lb = lane_busy_[static_cast<std::size_t>(l)];
+    busy += lb;
+    span_max = std::max(span_max, lb);
+    stats_.slices += lane_slices_[static_cast<std::size_t>(l)];
+  }
+  // The caller's CPU time minus its lane-0 share isolates the serial
+  // prologue + epilogue, which sits on the critical path at any width.
+  const real_t serial_s = std::max<real_t>(
+      0.0, (thread_cpu_seconds() - caller_t0) - lane_busy_[0]);
+  stats_.busy_s += busy + serial_s;
+  stats_.span_s += span_max + serial_s;
+  stats_.wall_s += wall.seconds();
+  stats_.fallback_tasks += fallbacks.load(std::memory_order_relaxed);
+  stats_.det_reductions += det_reds;
+  stats_.workers = pool_.width();
+  ++stats_.batches;
+}
+
+}  // namespace th::exec

@@ -1,0 +1,75 @@
+// BatchExecutor — the paper's Executor (§3.4) realised on host threads:
+// one heterogeneous batch becomes one "kernel launch" on a persistent
+// WorkerPool, with each worker playing a set of CUDA blocks. The global
+// block range is cut into chunks owned round-robin by lane (the host
+// analogue of the kernel's static blockIdx assignment) and every block is
+// routed to its owning task through the BlockMap's binary search
+// (Figure 7); a task whose backend has no block-level body runs whole on
+// the worker that owns its first block.
+//
+// Write-conflicting SSSSM members accumulate either atomically in place
+// (AccumMode::kAtomic, paper-faithful) or into per-task scratch buffers
+// folded serially in batch order after the parallel phase
+// (AccumMode::kDeterministic, bit-reproducible across thread counts).
+#pragma once
+
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "exec/block_map.hpp"
+#include "exec/worker_pool.hpp"
+
+namespace th::exec {
+
+/// Aggregate counters over every batch executed by one BatchExecutor.
+struct ExecStats {
+  real_t wall_s = 0;  // wall-clock spent inside execute()
+  real_t busy_s = 0;  // summed per-lane CPU time (thread CPU clock) plus
+                      // the serial prologue/epilogue share
+  real_t span_s = 0;  // critical path: serial prologue/epilogue plus the
+                      // slowest lane of each batch. Measured with the
+                      // per-thread CPU clock, so it stays meaningful when
+                      // the machine has fewer cores than lanes.
+  long slices = 0;          // block-range slices executed via run_blocks
+  long fallback_tasks = 0;  // members executed whole via run_task
+  long det_reductions = 0;  // scratch buffers folded in the ordered epilogue
+  int workers = 1;          // pool width
+  int batches = 0;          // execute() calls
+};
+
+struct BatchExecOptions {
+  int n_threads = 1;
+  AccumMode accum = AccumMode::kAtomic;
+  /// Blocks per round-robin chunk: small enough to interleave the
+  /// heterogeneous batch evenly across lanes, large enough that one lane
+  /// usually covers a whole task (a task split across lanes pays for its
+  /// L/U inputs once per lane).
+  index_t chunk_blocks = 32;
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(const BatchExecOptions& opt);
+
+  int n_threads() const { return pool_.width(); }
+  AccumMode accum() const { return opt_.accum; }
+  const ExecStats& stats() const { return stats_; }
+
+  /// Execute one batch. tasks[i] runs with atomic accumulation when
+  /// atomic_flags[i] is set (write conflict with another member); members
+  /// flagged in `skip` are not executed — their simulated kernel crashed,
+  /// so they are priced but re-run by the scheduler on a later attempt.
+  void execute(NumericBackend& backend, const std::vector<const Task*>& tasks,
+               const std::vector<char>& atomic_flags,
+               const std::vector<char>* skip);
+
+ private:
+  BatchExecOptions opt_;
+  WorkerPool pool_;
+  ExecStats stats_;
+  std::vector<real_t> scratch_;     // det-mode buffers, one batch at a time
+  std::vector<real_t> lane_busy_;   // per-lane CPU seconds, last batch
+  std::vector<long> lane_slices_;
+};
+
+}  // namespace th::exec

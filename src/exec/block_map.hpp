@@ -1,0 +1,92 @@
+// BlockMap — the paper's CUDA-block -> task dispatch structure (Figure 7):
+// prefix sums of per-task block counts; a block finds its owning task by
+// binary search over the starting-block array. The same map drives both
+// sides of the reproduction:
+//
+//   * the analytic kernel model (sim/device.cpp) derives batch occupancy
+//     from total_blocks(), and
+//   * the real batch runtime (exec/batch_executor.cpp) routes worker
+//     threads — each playing a CUDA block — to their task bodies,
+//
+// so the cost model and the executed schedule agree on the block layout by
+// construction. Header-only: th::sim uses it without linking th_exec.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace th::exec {
+
+class BlockMap {
+ public:
+  /// Empty map (zero tasks, zero blocks).
+  BlockMap() { starts_.push_back(0); }
+
+  /// Build from per-task block counts; every count must be positive (a
+  /// zero-block task could never be reached by any CUDA block).
+  explicit BlockMap(const std::vector<index_t>& blocks_per_task) {
+    starts_.reserve(blocks_per_task.size() + 1);
+    starts_.push_back(0);
+    for (const index_t b : blocks_per_task) {
+      TH_CHECK(b > 0);
+      starts_.push_back(starts_.back() + b);
+    }
+  }
+
+  /// Build from a batch of Task pointers (anything with ->cost.cuda_blocks).
+  template <class TaskPtrRange>
+  static BlockMap from_tasks(const TaskPtrRange& batch) {
+    std::vector<index_t> blocks;
+    blocks.reserve(batch.size());
+    for (const auto* t : batch) blocks.push_back(t->cost.cuda_blocks);
+    return BlockMap(blocks);
+  }
+
+  /// Build from TaskCost values (the cost model's view of the same batch).
+  template <class TaskCostRange>
+  static BlockMap from_costs(const TaskCostRange& costs) {
+    std::vector<index_t> blocks;
+    blocks.reserve(costs.size());
+    for (const auto& c : costs) blocks.push_back(c.cuda_blocks);
+    return BlockMap(blocks);
+  }
+
+  /// Number of tasks (batch positions).
+  index_t size() const { return static_cast<index_t>(starts_.size()) - 1; }
+  index_t total_blocks() const { return starts_.back(); }
+
+  /// Which batch position owns this 0-based CUDA block id (binary search,
+  /// exactly as the paper's kernel prologue does).
+  index_t task_of_block(index_t block) const {
+    TH_CHECK(block >= 0 && block < total_blocks());
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), block);
+    return static_cast<index_t>(it - starts_.begin()) - 1;
+  }
+
+  /// Starting block of a batch position; start_of(size()) == total_blocks().
+  index_t start_of(index_t pos) const {
+    TH_CHECK(pos >= 0 && pos <= size());
+    return starts_[static_cast<std::size_t>(pos)];
+  }
+
+  /// Block count of a batch position.
+  index_t blocks_of(index_t pos) const {
+    return start_of(pos + 1) - start_of(pos);
+  }
+
+  /// Fraction of `resident` machine-wide block slots this batch fills,
+  /// clamped to 1 — the occupancy term of the analytic kernel model.
+  real_t occupancy(offset_t resident) const {
+    TH_CHECK(resident > 0);
+    return std::min<real_t>(1.0, static_cast<real_t>(total_blocks()) /
+                                     static_cast<real_t>(resident));
+  }
+
+ private:
+  std::vector<index_t> starts_;  // size() + 1 entries, starts_[0] = 0
+};
+
+}  // namespace th::exec

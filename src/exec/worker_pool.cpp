@@ -1,0 +1,85 @@
+#include "exec/worker_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace th::exec {
+
+struct WorkerPool::Impl {
+  explicit Impl(int spawned) {
+    threads.reserve(static_cast<std::size_t>(spawned));
+    for (int lane = 1; lane <= spawned; ++lane) {
+      threads.emplace_back([this, lane] { loop(lane); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void loop(int lane) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(int)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        body = job;  // set under the same lock as generation: never stale
+      }
+      (*body)(lane);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::condition_variable done_cv;
+  const std::function<void(int)>* job = nullptr;
+  std::atomic<int> remaining{0};
+  std::uint64_t generation = 0;
+  bool stop = false;
+};
+
+WorkerPool::WorkerPool(int width) : width_(width) {
+  TH_CHECK(width >= 1);
+  if (width > 1) impl_ = std::make_unique<Impl>(width - 1);
+}
+
+WorkerPool::~WorkerPool() = default;
+
+void WorkerPool::run(const std::function<void(int)>& body) {
+  if (!impl_) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job = &body;
+    impl_->remaining.store(width_ - 1, std::memory_order_relaxed);
+    ++impl_->generation;
+  }
+  impl_->cv.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->done_cv.wait(lk, [&] { return impl_->remaining.load() == 0; });
+  impl_->job = nullptr;  // still under the lock: workers read it locked
+}
+
+}  // namespace th::exec

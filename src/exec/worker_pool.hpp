@@ -1,0 +1,34 @@
+// WorkerPool — persistent execution lanes for the batch runtime. Lane 0 is
+// the calling thread; lanes 1..width-1 are pool threads woken per batch by
+// a generation broadcast, so one batch costs one condition-variable round
+// trip rather than per-task thread churn (the host analogue of the paper's
+// single persistent kernel launch).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace th::exec {
+
+class WorkerPool {
+ public:
+  /// `width` total lanes including the caller; width 1 spawns no threads.
+  explicit WorkerPool(int width);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int width() const { return width_; }
+
+  /// Run body(lane) exactly once on every lane and block until all lanes
+  /// have finished. The caller participates as lane 0.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  struct Impl;
+  int width_;
+  std::unique_ptr<Impl> impl_;  // null when width == 1
+};
+
+}  // namespace th::exec

@@ -179,17 +179,17 @@ void tile_geesm(Tile& target, const Tile& diag_factored) {
 
 namespace {
 
-// Sparse-L SSSSM: C -= L_sparse * U_dense via the column-column method the
-// paper's Executor uses — each column p of sparse L scaled by U(p, j)
-// accumulates into C(:, j).
+// Sparse-L SSSSM on columns [c0, c1): C -= L_sparse * U_dense via the
+// column-column method the paper's Executor uses — each column p of sparse
+// L scaled by U(p, j) accumulates into C(:, j). Columns are independent,
+// so a slice is bitwise identical to that part of the whole-tile kernel.
 template <bool kAtomic>
-void ssssm_sparse_l(Tile& c, const Tile& l, const Tile& u) {
+void ssssm_sparse_l(real_t* cd, index_t ldc, const Tile& l, const Tile& u,
+                    index_t c0, index_t c1) {
   const real_t* ud = u.dense_data();
-  real_t* cd = c.dense_data();
-  const index_t un = u.cols();
-  for (index_t j = 0; j < un; ++j) {
+  for (index_t j = c0; j < c1; ++j) {
     const real_t* ucol = ud + static_cast<offset_t>(j) * u.ld();
-    real_t* ccol = cd + static_cast<offset_t>(j) * c.ld();
+    real_t* ccol = cd + static_cast<offset_t>(j) * ldc;
     for (index_t p = 0; p < l.cols(); ++p) {
       const real_t upj = ucol[p];
       if (upj == 0.0) continue;
@@ -207,29 +207,70 @@ void ssssm_sparse_l(Tile& c, const Tile& l, const Tile& u) {
 
 }  // namespace
 
-void tile_ssssm(Tile& c, const Tile& l, const Tile& u, bool atomic) {
+void tile_ssssm_cols(real_t* c_data, index_t ldc, const Tile& l,
+                     const Tile& u, bool atomic, index_t c0, index_t c1) {
   TH_CHECK(l.cols() == u.rows());
-  TH_CHECK(c.rows() == l.rows() && c.cols() == u.cols());
-  c.densify();
   // The U operand is consumed dense in both paths (the paper gathers the
   // right operand into dense shared memory).
   TH_CHECK_MSG(u.storage() == Tile::Storage::kDense,
                "SSSSM requires a factored (dense) U operand");
+  TH_CHECK(c0 >= 0 && c0 <= c1 && c1 <= u.cols());
+  if (c0 == c1) return;
   if (l.storage() == Tile::Storage::kSparse) {
     if (atomic) {
-      ssssm_sparse_l<true>(c, l, u);
+      ssssm_sparse_l<true>(c_data, ldc, l, u, c0, c1);
     } else {
-      ssssm_sparse_l<false>(c, l, u);
+      ssssm_sparse_l<false>(c_data, ldc, l, u, c0, c1);
     }
     return;
   }
+  real_t* cs = c_data + static_cast<offset_t>(c0) * ldc;
+  const real_t* us = u.dense_data() + static_cast<offset_t>(c0) * u.ld();
   if (atomic) {
-    gemm_minus_atomic(c.rows(), c.cols(), l.cols(), l.dense_data(), l.ld(),
-                      u.dense_data(), u.ld(), c.dense_data(), c.ld());
+    gemm_minus_atomic(l.rows(), c1 - c0, l.cols(), l.dense_data(), l.ld(),
+                      us, u.ld(), cs, ldc);
   } else {
-    gemm_minus(c.rows(), c.cols(), l.cols(), l.dense_data(), l.ld(),
-               u.dense_data(), u.ld(), c.dense_data(), c.ld());
+    gemm_minus(l.rows(), c1 - c0, l.cols(), l.dense_data(), l.ld(), us,
+               u.ld(), cs, ldc);
   }
+}
+
+void tile_ssssm(Tile& c, const Tile& l, const Tile& u, bool atomic) {
+  TH_CHECK(l.cols() == u.rows());
+  TH_CHECK(c.rows() == l.rows() && c.cols() == u.cols());
+  c.densify();
+  tile_ssssm_cols(c.dense_data(), c.ld(), l, u, atomic, 0, c.cols());
+}
+
+void tile_tstrf_rows(Tile& target, const Tile& diag_factored, index_t r0,
+                     index_t r1) {
+  TH_CHECK(diag_factored.storage() == Tile::Storage::kDense);
+  TH_CHECK_MSG(target.storage() == Tile::Storage::kDense,
+               "sliced TSTRF needs a prepared (dense) target");
+  TH_CHECK(target.cols() == diag_factored.rows());
+  TH_CHECK(r0 >= 0 && r0 <= r1 && r1 <= target.rows());
+  if (r0 == r1) return;
+  // trsm_upper_right treats rows independently: offsetting the base
+  // pointer by r0 rows solves exactly those rows, bitwise identical to the
+  // whole-tile call.
+  trsm_upper_right(r1 - r0, target.cols(), diag_factored.dense_data(),
+                   diag_factored.ld(), target.dense_data() + r0,
+                   target.ld());
+}
+
+void tile_geesm_cols(Tile& target, const Tile& diag_factored, index_t c0,
+                     index_t c1) {
+  TH_CHECK(diag_factored.storage() == Tile::Storage::kDense);
+  TH_CHECK_MSG(target.storage() == Tile::Storage::kDense,
+               "sliced GEESM needs a prepared (dense) target");
+  TH_CHECK(target.rows() == diag_factored.cols());
+  TH_CHECK(c0 >= 0 && c0 <= c1 && c1 <= target.cols());
+  if (c0 == c1) return;
+  trsm_lower_left_unit(
+      target.rows(), c1 - c0, diag_factored.dense_data(),
+      diag_factored.ld(),
+      target.dense_data() + static_cast<offset_t>(c0) * target.ld(),
+      target.ld());
 }
 
 }  // namespace th

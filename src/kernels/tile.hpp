@@ -108,4 +108,28 @@ void tile_geesm(Tile& target, const Tile& diag_factored);
 /// updates may run concurrently within a batch.
 void tile_ssssm(Tile& c, const Tile& l, const Tile& u, bool atomic);
 
+// ---- Block-sliced (re-entrant) kernel forms ----------------------------
+//
+// One CUDA block per target row (TSTRF) or column (GEESM/SSSSM), as priced
+// in Task::cost.cuda_blocks. Each kernel iterates its rows/columns
+// independently, so executing a slice [b0, b1) is bitwise identical to the
+// corresponding part of the whole-tile kernel — concurrent slices of one
+// task need no synchronisation beyond a densified target.
+
+/// TSTRF restricted to target rows [r0, r1). Target must already be dense
+/// (NumericBackend::prepare_task densifies it once, serially).
+void tile_tstrf_rows(Tile& target, const Tile& diag_factored, index_t r0,
+                     index_t r1);
+
+/// GEESM restricted to target columns [c0, c1). Target must be dense.
+void tile_geesm_cols(Tile& target, const Tile& diag_factored, index_t c0,
+                     index_t c1);
+
+/// SSSSM on target columns [c0, c1), accumulating into `c_data` (leading
+/// dimension ldc, same shape as the target tile) — either the target's
+/// dense storage or a deterministic-mode scratch buffer. `atomic` selects
+/// atomic accumulation for write-conflicting batch members.
+void tile_ssssm_cols(real_t* c_data, index_t ldc, const Tile& l,
+                     const Tile& u, bool atomic, index_t c0, index_t c1);
+
 }  // namespace th

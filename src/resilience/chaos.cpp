@@ -42,7 +42,7 @@ Outcome run_scenario(const TaskGraph& graph, ScheduleOptions so,
                      std::string* what) {
   so.faults = plan;
   so.checkpoint = ckpt;
-  so.validate = true;
+  so.validate_schedule = true;
   try {
     simulate(graph, so, nullptr);
     return Outcome::kValidated;
@@ -285,7 +285,7 @@ ChaosReport run_chaos(const std::vector<const TaskGraph*>& graphs,
       base.policy = policy;
       base.n_ranks = opt.n_ranks;
       base.cluster = opt.cluster;
-      base.validate = true;
+      base.validate_schedule = true;
       // Fault-free baseline: validates the clean schedule and sets the
       // horizon that failure times scale against.
       base.faults = FaultPlan{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "exec/block_map.hpp"
 #include "support/error.hpp"
 
 namespace th {
@@ -74,9 +75,13 @@ KernelTiming KernelCostModel::batch_timing(
 
   offset_t total_flops = 0;
   offset_t total_bytes = 0;
-  offset_t total_blocks = 0;
   real_t weighted_eff_flops = 0;  // flops weighted by per-task efficiency
   real_t max_block_seconds = 0;
+
+  // The same prefix-sum block layout the batch runtime dispatches through
+  // (exec::BatchExecutor): cost model and executed schedule agree on block
+  // counts by construction. Also validates every count is positive.
+  const exec::BlockMap map = exec::BlockMap::from_costs(tasks);
 
   // A single CUDA block can at best use one SM slot: its throughput share.
   const real_t per_block_gflops =
@@ -84,10 +89,8 @@ KernelTiming KernelCostModel::batch_timing(
       static_cast<real_t>(spec_.resident_blocks());
 
   for (const TaskCost& t : tasks) {
-    TH_CHECK(t.cuda_blocks > 0);
     total_flops += t.flops;
     total_bytes += t.bytes;
-    total_blocks += t.cuda_blocks;
     const real_t eff =
         t.sparse ? spec_.sparse_efficiency : spec_.dense_efficiency;
     weighted_eff_flops += static_cast<real_t>(t.flops) * eff;
@@ -105,9 +108,7 @@ KernelTiming KernelCostModel::batch_timing(
                       : spec_.dense_efficiency;
 
   // Occupancy: fraction of resident block slots this kernel fills.
-  const real_t occupancy = std::min<real_t>(
-      1.0, static_cast<real_t>(total_blocks) /
-               static_cast<real_t>(spec_.resident_blocks()));
+  const real_t occupancy = map.occupancy(spec_.resident_blocks());
 
   const real_t compute_s =
       static_cast<real_t>(total_flops) /

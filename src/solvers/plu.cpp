@@ -44,6 +44,58 @@ class PluFactorization::Backend : public NumericBackend {
     }
   }
 
+  // ---- Block-level API (exec::BatchExecutor) ----------------------------
+
+  void prepare_task(const Task& t) override {
+    // Densify the output tile once, serially, so concurrent slices write
+    // disjoint rows/columns of a stable buffer. GETRF has no block body
+    // (sequential elimination) — its whole-task fallback densifies itself.
+    if (t.type != TaskType::kGetrf) tiles_.tile(t.row, t.col)->densify();
+  }
+
+  bool run_blocks(const Task& t, index_t b0, index_t b1, bool atomic,
+                  real_t* into) override {
+    switch (t.type) {
+      case TaskType::kGetrf:
+        return false;  // within-tile elimination is sequential
+      case TaskType::kTstrf:
+        // cuda_blocks = target rows (one block per row).
+        tile_tstrf_rows(*tiles_.tile(t.row, t.col), *tiles_.tile(t.k, t.k),
+                        b0, b1);
+        return true;
+      case TaskType::kGeesm:
+        // cuda_blocks = target columns.
+        tile_geesm_cols(*tiles_.tile(t.row, t.col), *tiles_.tile(t.k, t.k),
+                        b0, b1);
+        return true;
+      case TaskType::kSsssm: {
+        // cuda_blocks = target columns. `into` (deterministic mode) is a
+        // zeroed scratch of the target's shape: the slice accumulates
+        // -L*U there and apply_scratch folds it in batch order.
+        Tile& c = *tiles_.tile(t.row, t.col);
+        real_t* out = into != nullptr ? into : c.dense_data();
+        tile_ssssm_cols(out, c.ld(), *tiles_.tile(t.row, t.k),
+                        *tiles_.tile(t.k, t.col),
+                        into == nullptr && atomic, b0, b1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  offset_t scratch_size(const Task& t) override {
+    if (t.type != TaskType::kSsssm) return 0;
+    const Tile& c = *tiles_.tile(t.row, t.col);
+    return static_cast<offset_t>(c.rows()) * c.cols();
+  }
+
+  void apply_scratch(const Task& t, const real_t* scratch) override {
+    Tile& c = *tiles_.tile(t.row, t.col);
+    real_t* d = c.dense_data();  // prepare_task densified it
+    const offset_t n = static_cast<offset_t>(c.rows()) * c.cols();
+    for (offset_t i = 0; i < n; ++i) d[i] += scratch[i];
+  }
+
   bool inject_fault(const Task& t, NumericFaultKind kind) override {
     Tile* tile = tiles_.tile(t.row, t.col);
     if (tile == nullptr) return false;

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <random>
+#include <utility>
 
 #include "core/collector.hpp"
 #include "core/container.hpp"
@@ -192,7 +196,7 @@ TEST(BlockTaskMap, BinarySearchDispatch) {
   Task c = make_task(TaskType::kGeesm, 0, 0, 1, 11);
   Task d = make_task(TaskType::kSsssm, 0, 1, 1, 15);
   const std::vector<const Task*> batch{&a, &b, &c, &d};
-  const BlockTaskMap map(batch);
+  const exec::BlockMap map = exec::BlockMap::from_tasks(batch);
   // The exact Figure-7 example: 10 + 9 + 11 + 15 = 45 blocks.
   EXPECT_EQ(map.total_blocks(), 45);
   EXPECT_EQ(map.task_of_block(0), 0);
@@ -264,6 +268,126 @@ TEST(Executor, NullBackendTimesOnly) {
   Executor ex(KernelCostModel(DeviceSpec{}), nullptr);
   const BatchResult r = ex.execute(g, {0}, {0});
   EXPECT_GT(r.seconds, 0);
+}
+
+// ---- Collector capacity bounds (property-style) -------------------------
+
+TEST(Collector, BatchRespectsBlockAndShmemBudget) {
+  // Whatever the task mix, a closed multi-task batch respects BOTH device
+  // resources; only a single oversized task may exceed them (it runs alone,
+  // in waves).
+  DeviceSpec d;
+  d.sm_count = 4;
+  d.max_blocks_per_sm = 8;  // 32 resident blocks machine-wide
+  d.shmem_per_sm_kib = 2;   // 8192 bytes machine-wide
+  std::minstd_rand rng(20260805);
+  for (int trial = 0; trial < 100; ++trial) {
+    Collector c(d);
+    offset_t blocks = 0;
+    offset_t shmem = 0;
+    int admitted = 0;
+    for (index_t i = 0; i < 64; ++i) {
+      Task t = make_task(TaskType::kSsssm, 0, i + 1, 0,
+                         1 + static_cast<index_t>(rng() % 12));
+      t.cost.shmem_per_block = static_cast<offset_t>(rng() % 600);
+      t.id = i;
+      if (!c.try_add(t)) break;
+      blocks += t.cost.cuda_blocks;
+      shmem += t.cost.shmem_per_block * t.cost.cuda_blocks;
+      ++admitted;
+    }
+    ASSERT_GE(admitted, 1);
+    if (admitted > 1) {
+      EXPECT_LE(blocks, d.resident_blocks());
+      EXPECT_LE(shmem, d.total_shmem_bytes());
+    }
+  }
+}
+
+TEST(Collector, OversizedTaskShipsAlone) {
+  DeviceSpec d;
+  d.sm_count = 1;
+  d.max_blocks_per_sm = 4;  // 4 resident blocks
+  Collector c(d);
+  Task big = make_task(TaskType::kSsssm, 0, 1, 0, /*blocks=*/64);
+  big.id = 0;
+  EXPECT_TRUE(c.try_add(big));  // first task always admitted
+  EXPECT_TRUE(c.full());
+  Task small = make_task(TaskType::kSsssm, 0, 2, 0, /*blocks=*/1);
+  small.id = 1;
+  EXPECT_FALSE(c.try_add(small));  // budget already blown
+  EXPECT_EQ(c.take().size(), 1u);
+}
+
+// ---- Container ordering --------------------------------------------------
+
+TEST(Container, HeapPopsInPriorityKeyOrder) {
+  Container c(Container::Discipline::kHeap);
+  std::minstd_rand rng(7);
+  std::vector<Task> tasks;
+  for (index_t i = 0; i < 100; ++i) {
+    Task t = make_task(TaskType::kSsssm, static_cast<index_t>(rng() % 16),
+                       static_cast<index_t>(rng() % 32),
+                       static_cast<index_t>(rng() % 32));
+    t.id = i;
+    tasks.push_back(t);
+  }
+  for (const Task& t : tasks) c.push(t);
+  std::uint64_t prev = 0;
+  while (!c.empty()) {
+    const index_t id = c.pop();
+    const std::uint64_t key =
+        Prioritizer::priority_key(tasks[static_cast<std::size_t>(id)]);
+    EXPECT_GE(key, prev) << "heap popped task " << id << " out of order";
+    prev = key;
+  }
+}
+
+TEST(Container, FifoPopsInArrivalOrder) {
+  Container c(Container::Discipline::kFifo);
+  // Deliberately adversarial keys: FIFO must ignore them.
+  for (index_t i = 0; i < 10; ++i) {
+    c.push(/*key=*/static_cast<std::uint64_t>(1000 - i), /*id=*/i);
+  }
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(c.pop(), i);
+}
+
+TEST(Container, UrgentDrainsBeforeDeferredAtEqualReadiness) {
+  // The scheduler's two-phase batch formation: everything the Prioritizer
+  // marks urgent ships before anything parked in the Container, however
+  // attractive the parked keys are. Replayed here at module level with all
+  // tasks ready at the same instant.
+  const Prioritizer pr;
+  Container container;
+  std::vector<std::pair<std::uint64_t, index_t>> urgent;  // (key, id)
+  std::vector<Task> tasks;
+  for (index_t i = 0; i < 40; ++i) {
+    // Diagonal distance cycles 0..7: distances <= urgent_window are urgent.
+    Task t = make_task(TaskType::kSsssm, 0, i % 8, 0);
+    t.id = i;
+    tasks.push_back(t);
+  }
+  for (const Task& t : tasks) {
+    if (pr.is_urgent(t)) {
+      urgent.emplace_back(pr.key(t), t.id);
+    } else {
+      container.push(pr.key(t), t.id);
+    }
+  }
+  std::sort(urgent.begin(), urgent.end());
+  std::vector<index_t> batch;
+  for (const auto& [key, id] : urgent) batch.push_back(id);
+  const std::size_t n_urgent = batch.size();
+  EXPECT_GT(n_urgent, 0u);
+  EXPECT_LT(n_urgent, tasks.size());
+  while (!container.empty()) batch.push_back(container.pop());
+  ASSERT_EQ(batch.size(), tasks.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const bool is_urgent =
+        pr.is_urgent(tasks[static_cast<std::size_t>(batch[i])]);
+    EXPECT_EQ(is_urgent, i < n_urgent)
+        << "urgent/deferred boundary violated at position " << i;
+  }
 }
 
 }  // namespace

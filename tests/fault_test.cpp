@@ -95,7 +95,7 @@ ScheduleOptions cluster_options(int ranks) {
   o.policy = Policy::kTrojanHorse;
   o.n_ranks = ranks;
   o.cluster = cluster_h100();
-  o.validate = true;  // schedule invariants checked on every timeline
+  o.validate_schedule = true;  // schedule invariants checked on every timeline
   return o;
 }
 

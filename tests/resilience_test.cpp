@@ -74,7 +74,7 @@ ScheduleOptions cluster_options(int ranks,
   o.policy = p;
   o.n_ranks = ranks;
   o.cluster = cluster_h100();
-  o.validate = true;
+  o.validate_schedule = true;
   return o;
 }
 
@@ -463,7 +463,7 @@ TEST(Validator, PassesEveryPolicyUnderFaults) {
 TEST(Validator, FlagsTamperedTimelines) {
   const TaskGraph g = panel_chain(8, 8, 4);
   ScheduleOptions o = cluster_options(4);
-  o.validate = false;
+  o.validate_schedule = false;
   o.collect_batches = true;
   ScheduleResult r = simulate(g, o, nullptr);
   ASSERT_TRUE(validate_schedule(g, o, r).ok());

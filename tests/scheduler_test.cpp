@@ -107,7 +107,7 @@ ScheduleOptions base_options(Policy p, int ranks = 1) {
   o.policy = p;
   o.n_ranks = ranks;
   o.cluster = single_gpu(device_a100());
-  o.validate = true;  // schedule invariants checked on every timeline
+  o.validate_schedule = true;  // schedule invariants checked on every timeline
   return o;
 }
 

@@ -17,7 +17,7 @@ ScheduleOptions th_opts() {
   ScheduleOptions o;
   o.policy = Policy::kTrojanHorse;
   o.cluster = single_gpu(device_a100());
-  o.validate = true;  // schedule invariants checked on every timeline
+  o.validate_schedule = true;  // schedule invariants checked on every timeline
   return o;
 }
 
@@ -127,7 +127,7 @@ TEST(BatchAnatomy, RequiresCollectedBatches) {
   io.block = 8;
   SolverInstance inst(a, io);
   ScheduleOptions o = th_opts();
-  o.validate = false;  // validate implies batch collection
+  o.validate_schedule = false;  // validate implies batch collection
   const ScheduleResult r = inst.run_timing(o);  // not collected
   EXPECT_THROW(analyze_batches(inst.graph(), r), Error);
 }
