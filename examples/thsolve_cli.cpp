@@ -23,6 +23,12 @@
 //     --block <int>              tile size / max supernode (default core's)
 //     --ordering <mindeg|rcm|nd|natural>              (default mindeg)
 //     --refine <iters>           iterative-refinement steps (default 0)
+//     --abft                     checksum-verify every executed task
+//                                (Huang–Abraham row/col sums); corrupt tasks
+//                                roll back and retry, then escalate to
+//                                iterative refinement
+//     --abft-retries <n>         re-runs per corrupt task before escalating
+//                                (default: the fault plan's retry budget)
 //     --trace <out.json>         write a Chrome trace of the schedule
 //     --faults <spec>            fault-injection plan (see below)
 //     --ckpt-interval <sec|auto> coordinated checkpoints every <sec> of
@@ -51,6 +57,10 @@
 //   degrade=A-B@F    links between nodes A and B lose Fx bandwidth
 //   nan=ID | inf=ID | tinypivot=ID
 //                    corrupt task ID's target block (enables guards)
+//   bitflip=ID | scale=ID | snan=ID
+//                    *silently* corrupt task ID's output after it runs —
+//                    invisible to the guards; detected (and retried) only
+//                    when --abft is on
 //   guards=1         scan GETRF/SSSSM outputs: scrub NaN/Inf, perturb tiny
 //                    pivots, escalate the solve to iterative refinement
 //   seed=S retries=N backoff=SEC
@@ -61,6 +71,7 @@
 //
 //   thsolve_cli --gen grid2d --n 10000 --ranks 16 \
 //       --faults transient=0.001,kill=3@0.002,guards=1
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -90,13 +101,29 @@ using namespace th;
                "[--device a100|h100|5090|5060ti|mi50] [--ranks R] "
                "[--threads N] [--accum atomic|det] "
                "[--block B] [--ordering mindeg|rcm|nd|natural] "
-               "[--refine I] [--trace out.json] "
+               "[--refine I] [--abft] [--abft-retries N] [--trace out.json] "
                "[--faults transient=P,kill=R@T,cpu=R@T,restart=R@T,"
-               "degrade=A-B@F,nan=ID,inf=ID,tinypivot=ID,guards=1,seed=S,"
-               "retries=N,backoff=SEC] "
+               "degrade=A-B@F,nan=ID,inf=ID,tinypivot=ID,bitflip=ID,"
+               "scale=ID,snan=ID,guards=1,seed=S,retries=N,backoff=SEC] "
                "[--ckpt-interval SEC|auto] [--ckpt-write SEC] "
                "[--ckpt-out f.thck] [--resume f.thck] [--validate]\n");
   std::exit(2);
+}
+
+// Strict integer parse for flag/env values: the whole token must be a
+// base-10 integer >= lo ("4x", "", "-2" all exit 2 with a message; atoi
+// would silently truncate or zero them).
+int parse_int_strict(const char* what, const char* val, int lo) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(val, &end, 10);
+  if (end == val || *end != '\0' || errno == ERANGE || v < lo ||
+      v > 1000000000L) {
+    usage((std::string(what) + " wants an integer >= " + std::to_string(lo) +
+           ", got \"" + val + "\"")
+              .c_str());
+  }
+  return static_cast<int>(v);
 }
 
 Csr make_generated(const std::string& kind, index_t n) {
@@ -179,6 +206,15 @@ FaultPlan parse_faults(const std::string& spec) {
                               : NumericFaultKind::kTinyPivot;
       plan.numeric_faults.push_back(f);
       plan.numeric_guards = true;  // corruption without guards is pointless
+    } else if (key == "bitflip" || key == "scale" || key == "snan") {
+      // Silent kinds: invisible to the guards by design, so they do NOT
+      // flip numeric_guards on — only --abft can catch them.
+      NumericFault f;
+      f.task_id = std::atoi(val.c_str());
+      f.kind = key == "bitflip" ? NumericFaultKind::kBitFlip
+               : key == "scale" ? NumericFaultKind::kScaledEntry
+                                : NumericFaultKind::kSilentNaN;
+      plan.numeric_faults.push_back(f);
     } else if (key == "guards") {
       plan.numeric_guards = std::atoi(val.c_str()) != 0;
     } else if (key == "seed") {
@@ -216,12 +252,13 @@ int main(int argc, char** argv) {
   bool validate = false;
   index_t n = 1600, block = 0;
   int ranks = 1, refine_iters = 0;
+  bool abft = false;
+  int abft_retries = -1;  // -1 = inherit the fault plan's retry budget
   // --threads beats TH_THREADS beats the serial default, so scripted
   // environments can set a fleet-wide thread count the flag still overrides.
   int threads = 1;
   if (const char* env = std::getenv("TH_THREADS")) {
-    threads = std::atoi(env);
-    if (threads < 1) usage("TH_THREADS must be a positive integer");
+    threads = parse_int_strict("TH_THREADS", env, 1);
   }
 
   for (int i = 1; i < argc; ++i) {
@@ -244,8 +281,7 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--ranks")) {
       ranks = std::atoi(need("--ranks"));
     } else if (!std::strcmp(argv[i], "--threads")) {
-      threads = std::atoi(need("--threads"));
-      if (threads < 1) usage("--threads wants a positive integer");
+      threads = parse_int_strict("--threads", need("--threads"), 1);
     } else if (!std::strcmp(argv[i], "--accum")) {
       accum = need("--accum");
       if (accum != "atomic" && accum != "det") {
@@ -257,6 +293,11 @@ int main(int argc, char** argv) {
       ordering = need("--ordering");
     } else if (!std::strcmp(argv[i], "--refine")) {
       refine_iters = std::atoi(need("--refine"));
+    } else if (!std::strcmp(argv[i], "--abft")) {
+      abft = true;
+    } else if (!std::strcmp(argv[i], "--abft-retries")) {
+      abft_retries =
+          parse_int_strict("--abft-retries", need("--abft-retries"), 0);
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = need("--trace");
     } else if (!std::strcmp(argv[i], "--faults")) {
@@ -321,6 +362,8 @@ int main(int argc, char** argv) {
     if (!faults_spec.empty()) so.faults = parse_faults(faults_spec);
     so.exec_workers = threads;
     so.exec_accum = exec::accum_mode_by_name(accum);
+    so.abft.enabled = abft;
+    so.abft.max_retries = abft_retries;
     so.validate_schedule = validate;
     so.validate();  // reject bad thread/rank combinations before building
     if (!ckpt_interval_spec.empty()) {
@@ -378,6 +421,16 @@ int main(int argc, char** argv) {
                   r.exec.span_s * 1e3, r.exec.busy_s * 1e3, r.exec.slices,
                   r.exec.fallback_tasks);
     }
+    if (r.abft.enabled) {
+      std::printf("abft: %lld task(s) verified, %lld corrupt detected, "
+                  "%lld retried, %lld accepted after budget, overhead "
+                  "%.1f ms capture + %.1f ms verify\n",
+                  static_cast<long long>(r.abft.tasks_verified),
+                  static_cast<long long>(r.abft.corrupt_detected),
+                  static_cast<long long>(r.abft.retries),
+                  static_cast<long long>(r.abft.exhausted),
+                  r.abft.capture_s * 1e3, r.abft.verify_s * 1e3);
+    }
 
     if (r.faults.any()) {
       const real_t clean = inst.run_timing([&] {
@@ -412,9 +465,11 @@ int main(int argc, char** argv) {
                     static_cast<long long>(r.faults.tasks_restarted));
       }
       if (r.faults.escalate_refinement && refine_iters == 0) {
-        refine_iters = 8;  // guards repaired the factors; polish the solve
-        std::printf("faults: numeric guards fired -> escalating to %d "
-                    "refinement step(s)\n",
+        // Guards repaired factors in place, or ABFT accepted a corrupt
+        // tile after exhausting retries; polish the solve either way.
+        refine_iters = 8;
+        std::printf("faults: factors degraded (guards fired or abft budget "
+                    "spent) -> escalating to %d refinement step(s)\n",
                     refine_iters);
       }
     }

@@ -1,0 +1,173 @@
+#include "abft/checksum.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace th::abft {
+
+void add_matvec(const Tile& a, const real_t* x, real_t* y, real_t alpha) {
+  const index_t rows = a.rows();
+  const index_t cols = a.cols();
+  if (a.storage() == Tile::Storage::kDense) {
+    const real_t* d = a.dense_data();
+    for (index_t j = 0; j < cols; ++j) {
+      const real_t ax = alpha * x[j];
+      for (index_t i = 0; i < rows; ++i) y[i] += d[i + j * rows] * ax;
+    }
+    return;
+  }
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_idx();
+  const auto& vv = a.values();
+  for (index_t j = 0; j < cols; ++j) {
+    const real_t ax = alpha * x[j];
+    for (offset_t p = cp[j]; p < cp[j + 1]; ++p) y[ri[p]] += vv[p] * ax;
+  }
+}
+
+void add_vecmat(const Tile& a, const real_t* x, real_t* y, real_t alpha) {
+  const index_t rows = a.rows();
+  const index_t cols = a.cols();
+  if (a.storage() == Tile::Storage::kDense) {
+    const real_t* d = a.dense_data();
+    for (index_t j = 0; j < cols; ++j) {
+      real_t s = 0;
+      for (index_t i = 0; i < rows; ++i) s += x[i] * d[i + j * rows];
+      y[j] += alpha * s;
+    }
+    return;
+  }
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_idx();
+  const auto& vv = a.values();
+  for (index_t j = 0; j < cols; ++j) {
+    real_t s = 0;
+    for (offset_t p = cp[j]; p < cp[j + 1]; ++p) s += x[ri[p]] * vv[p];
+    y[j] += alpha * s;
+  }
+}
+
+void row_sums_into(const Tile& a, std::vector<real_t>& out) {
+  const index_t rows = a.rows();
+  const index_t cols = a.cols();
+  out.assign(static_cast<std::size_t>(rows), real_t{0});
+  if (a.storage() == Tile::Storage::kDense) {
+    const real_t* d = a.dense_data();
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i < rows; ++i) out[i] += d[i + j * rows];
+    return;
+  }
+  const auto& cp = a.col_ptr();
+  const auto& ri = a.row_idx();
+  const auto& vv = a.values();
+  for (offset_t p = 0; p < cp[cols]; ++p) out[ri[p]] += vv[p];
+}
+
+void col_sums_into(const Tile& a, std::vector<real_t>& out) {
+  const index_t rows = a.rows();
+  const index_t cols = a.cols();
+  out.assign(static_cast<std::size_t>(cols), real_t{0});
+  if (a.storage() == Tile::Storage::kDense) {
+    const real_t* d = a.dense_data();
+    for (index_t j = 0; j < cols; ++j) {
+      real_t s = 0;
+      for (index_t i = 0; i < rows; ++i) s += d[i + j * rows];
+      out[j] = s;
+    }
+    return;
+  }
+  const auto& cp = a.col_ptr();
+  const auto& vv = a.values();
+  for (index_t j = 0; j < cols; ++j) {
+    real_t s = 0;
+    for (offset_t p = cp[j]; p < cp[j + 1]; ++p) s += vv[p];
+    out[j] = s;
+  }
+}
+
+std::vector<real_t> row_sums(const Tile& a) {
+  std::vector<real_t> r;
+  row_sums_into(a, r);
+  return r;
+}
+
+std::vector<real_t> col_sums(const Tile& a) {
+  std::vector<real_t> c;
+  col_sums_into(a, c);
+  return c;
+}
+
+std::vector<real_t> upper_row_sums(const Tile& lu) {
+  TH_CHECK_MSG(lu.storage() == Tile::Storage::kDense,
+               "packed LU tile must be dense");
+  const index_t n = lu.rows();
+  const index_t cols = lu.cols();
+  const real_t* d = lu.dense_data();
+  std::vector<real_t> u(n, real_t{0});
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i <= j && i < n; ++i) u[i] += d[i + j * n];
+  return u;
+}
+
+std::vector<real_t> unit_lower_col_sums(const Tile& lu) {
+  TH_CHECK_MSG(lu.storage() == Tile::Storage::kDense,
+               "packed LU tile must be dense");
+  const index_t n = lu.rows();
+  const index_t cols = lu.cols();
+  std::vector<real_t> v(n, real_t{1});
+  const real_t* d = lu.dense_data();
+  for (index_t j = 0; j < cols && j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) v[j] += d[i + j * n];
+  return v;
+}
+
+std::vector<real_t> unit_lower_matvec(const Tile& lu,
+                                      const std::vector<real_t>& x) {
+  TH_CHECK_MSG(lu.storage() == Tile::Storage::kDense,
+               "packed LU tile must be dense");
+  const index_t n = lu.rows();
+  const real_t* d = lu.dense_data();
+  std::vector<real_t> y(x);  // unit diagonal
+  for (index_t j = 0; j + 1 < n && j < lu.cols(); ++j) {
+    const real_t xj = x[j];
+    for (index_t i = j + 1; i < n; ++i) y[i] += d[i + j * n] * xj;
+  }
+  return y;
+}
+
+std::vector<real_t> upper_vecmat(const Tile& lu, const std::vector<real_t>& x) {
+  TH_CHECK_MSG(lu.storage() == Tile::Storage::kDense,
+               "packed LU tile must be dense");
+  const index_t n = lu.rows();
+  const index_t cols = lu.cols();
+  const real_t* d = lu.dense_data();
+  std::vector<real_t> y(cols, real_t{0});
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i <= j && i < n; ++i) y[j] += x[i] * d[i + j * n];
+  return y;
+}
+
+bool checksums_match(const std::vector<real_t>& a, const std::vector<real_t>& b,
+                     real_t tol) {
+  TH_CHECK(a.size() == b.size());
+  real_t scale = 1;
+  for (const real_t v : a)
+    if (std::abs(v) > scale) scale = std::abs(v);
+  for (const real_t v : b)
+    if (std::abs(v) > scale) scale = std::abs(v);
+  // An overflowed sum makes scale (and hence tol * scale) infinite, and
+  // |diff| <= inf accepts everything — exactly the corruption a bit flip in
+  // the exponent produces. No finite factorization yields infinite
+  // checksums, so treat any non-finite entry as a mismatch outright.
+  if (!std::isfinite(scale)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const real_t diff = std::abs(a[i] - b[i]);
+    // A NaN planted by corruption poisons the sums; NaN comparisons are
+    // false, so test the match direction and fail on anything non-finite.
+    if (!(diff <= tol * scale)) return false;
+  }
+  return true;
+}
+
+}  // namespace th::abft

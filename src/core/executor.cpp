@@ -5,12 +5,13 @@
 namespace th {
 
 Executor::Executor(KernelCostModel model, NumericBackend* backend,
-                   int n_workers, exec::AccumMode accum)
+                   int n_workers, exec::AccumMode accum, real_t watchdog_s)
     : model_(std::move(model)), backend_(backend) {
   TH_CHECK(n_workers >= 1);
   exec::BatchExecOptions opt;
   opt.n_threads = n_workers;
   opt.accum = accum;
+  opt.watchdog_s = watchdog_s;
   batch_exec_ = std::make_unique<exec::BatchExecutor>(opt);
 }
 
@@ -36,7 +37,8 @@ BatchResult Executor::execute(const TaskGraph& graph,
 
   BatchResult r;
   if (backend_ != nullptr) {
-    batch_exec_->execute(*backend_, tasks, atomic_flags, eo.skip_numeric);
+    batch_exec_->execute(*backend_, tasks, atomic_flags, eo.skip_numeric,
+                         eo.verify);
     if (eo.run_guards) {
       // Guards scan freshly written factor/update blocks (GETRF diagonals
       // and SSSSM targets); sequential — tiles are small and GuardReport

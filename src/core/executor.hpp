@@ -38,6 +38,11 @@ struct ExecuteOptions {
   /// members.
   bool run_guards = false;
   GuardPolicy guard;
+  /// ABFT exchange (borrowed): checksum capture/verify controls in,
+  /// per-member corruption outcomes out (exec::BatchVerify). Null on
+  /// unprotected batches. Verification runs before the guards — a guard
+  /// repair on a target that later rolls back is discarded with it.
+  exec::BatchVerify* verify = nullptr;
 };
 
 class Executor {
@@ -45,9 +50,11 @@ class Executor {
   /// `backend` may be null for timing-only replays (the numeric results
   /// were already validated in an earlier run). `n_workers > 1` executes
   /// batch members block-sliced on a persistent thread pool; `accum`
-  /// selects how write-conflicting members fold their updates.
+  /// selects how write-conflicting members fold their updates;
+  /// `watchdog_s` (0 = off) arms the pool's hung-lane watchdog.
   Executor(KernelCostModel model, NumericBackend* backend, int n_workers = 1,
-           exec::AccumMode accum = exec::AccumMode::kAtomic);
+           exec::AccumMode accum = exec::AccumMode::kAtomic,
+           real_t watchdog_s = 0);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -65,6 +72,9 @@ class Executor {
   /// Aggregate runtime counters (wall/busy/span time, slices, fallbacks)
   /// over every batch executed so far. Zeros on timing-only replays.
   const exec::ExecStats& exec_stats() const { return batch_exec_->stats(); }
+
+  /// The underlying batch executor (tests: pool hang injection).
+  exec::BatchExecutor& batch_executor() { return *batch_exec_; }
 
  private:
   KernelCostModel model_;

@@ -130,6 +130,9 @@ void ScheduleOptions::validate() const {
   }
   opt.faults.validate(opt.n_ranks);
   opt.checkpoint.validate();
+  opt.abft.validate();
+  TH_CHECK_MSG(opt.exec_watchdog_s >= 0,
+               "exec_watchdog_s must be >= 0, got " << opt.exec_watchdog_s);
 }
 
 ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
@@ -140,7 +143,8 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
 
   const Prioritizer prioritizer(opt.prioritizer);
   KernelCostModel model(opt.cluster.gpu);
-  Executor executor(model, backend, opt.exec_workers, opt.exec_accum);
+  Executor executor(model, backend, opt.exec_workers, opt.exec_accum,
+                    opt.exec_watchdog_s);
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opt.n_ranks));
   for (auto& r : ranks) {
@@ -206,6 +210,16 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   std::size_t next_failure = 0;
   // One-shot consumption markers for planted numeric corruptions.
   std::vector<char> numeric_pending(plan.numeric_faults.size(), 1);
+
+  // ---- ABFT state (src/abft) -------------------------------------------
+  // Checksum protection only makes sense when numerics actually execute;
+  // on timing-only replays the option is inert.
+  const bool abft_mode = opt.abft.enabled && backend != nullptr;
+  const int abft_budget =
+      opt.abft.max_retries >= 0 ? opt.abft.max_retries : plan.max_retries;
+  result.abft.enabled = abft_mode;
+  std::vector<int> abft_attempts;  // corrupt re-runs per task
+  if (abft_mode) abft_attempts.assign(static_cast<std::size_t>(n), 0);
 
   // ---- Checkpoint/restart state (src/resilience) -----------------------
   const CheckpointPolicy& ckpt = opt.checkpoint;
@@ -794,9 +808,15 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       }
     }
 
-    // Plant pending numeric corruptions into targets that are about to
-    // execute successfully (a corruption on a crashing attempt would be
-    // wiped by the retry anyway).
+    // Plant pending numeric corruptions: guard-visible kinds go into the
+    // target before it runs; silent (ABFT) kinds are deferred to the
+    // runtime, which plants them after the kernels wrote their output but
+    // before checksum verification. A corruption on a crashing attempt
+    // stays pending — the retry would wipe it anyway.
+    exec::BatchVerify bv;
+    bv.abft = abft_mode;
+    bv.rel_tol = opt.abft.rel_tol;
+    bool use_bv = abft_mode;
     if (fault_mode && backend != nullptr && !plan.numeric_faults.empty()) {
       for (std::size_t f = 0; f < plan.numeric_faults.size(); ++f) {
         if (!numeric_pending[f]) continue;
@@ -804,7 +824,10 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
         for (std::size_t i = 0; i < batch.size(); ++i) {
           if (batch[i] != nf.task_id) continue;
           if (any_failed && failed[i]) break;  // keep pending for the retry
-          if (backend->inject_fault(graph.task(batch[i]), nf.kind)) {
+          if (silent_fault_kind(nf.kind)) {
+            bv.sabotage.emplace_back(i, nf.kind);
+            use_bv = true;
+          } else if (backend->inject_fault(graph.task(batch[i]), nf.kind)) {
             ++freport.numeric_faults_injected;
           }
           numeric_pending[f] = 0;
@@ -830,10 +853,76 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     }
     eo.run_guards = fault_mode && plan.numeric_guards && backend != nullptr;
     eo.guard = plan.guard;
+    if (use_bv && backend != nullptr) eo.verify = &bv;
     const BatchResult br = executor.execute(graph, batch, atomic, eo);
+
+    // ---- ABFT outcome processing (detect -> retry -> escalate) ----------
+    std::vector<char> corrupt_retry;  // members rolled back & re-queued
+    if (eo.verify != nullptr) {
+      freport.numeric_faults_injected += bv.sabotaged;
+      result.abft.silent_injected += bv.sabotaged;
+      result.abft.tasks_verified += bv.verified;
+      result.abft.capture_s += bv.capture_s;
+      result.abft.verify_s += bv.verify_s;
+      // Silent corruption planted without the checksum layer armed is, by
+      // construction, never caught — record it as fatal so the fault
+      // balance (injected == handled + fatal) still closes.
+      if (!abft_mode) freport.fatal_faults += bv.sabotaged;
+    }
+    if (abft_mode && !bv.outcome.empty()) {
+      // Group corrupt members by target tile: SSSSM members sharing a
+      // corrupt target share one verdict and one rollback, and they must
+      // all re-run (a re-run member's update would otherwise be lost for
+      // the others).
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!bv.outcome[i]) continue;
+        const Task& t = graph.task(batch[i]);
+        const std::uint64_t tk =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.row))
+             << 32) |
+            static_cast<std::uint32_t>(t.col);
+        groups[tk].push_back(i);
+      }
+      for (auto& [tk, members] : groups) {
+        (void)tk;
+        bool any_within = false;
+        for (const std::size_t i : members) {
+          const int att = ++abft_attempts[batch[i]];
+          if (att <= abft_budget) any_within = true;
+        }
+        result.abft.corrupt_detected +=
+            static_cast<offset_t>(members.size());
+        if (any_within) {
+          if (corrupt_retry.empty()) corrupt_retry.assign(batch.size(), 0);
+          backend->abft_rollback(graph.task(batch[members.front()]));
+          for (const std::size_t i : members) {
+            corrupt_retry[i] = 1;
+            ++result.abft.retries;
+            ++freport.abft_corrected;
+          }
+        } else {
+          // Budget spent on every member touching this target: accept the
+          // corrupt output and flag post-solve iterative refinement as the
+          // last rung of the escalation ladder.
+          result.abft.exhausted += static_cast<offset_t>(members.size());
+          freport.abft_corrected += static_cast<offset_t>(members.size());
+          freport.escalate_refinement = true;
+        }
+      }
+      if (collect && !corrupt_retry.empty()) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (corrupt_retry[i]) result.batch_status.back()[i] = 3;
+        }
+      }
+    }
+    if (abft_mode) backend->abft_reset();
+
     if (!numerics_ran.empty()) {
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (!(any_failed && failed[i])) numerics_ran[batch[i]] = 1;
+        if (any_failed && failed[i]) continue;
+        if (!corrupt_retry.empty() && corrupt_retry[i]) continue;
+        numerics_ran[batch[i]] = 1;
       }
     }
     if (br.guards.fired()) {
@@ -900,6 +989,14 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
         enqueue_ready(id, end + backoff);
         continue;
       }
+      if (!corrupt_retry.empty() && corrupt_retry[i]) {
+        // Corrupt output (ABFT): the target was rolled back; re-run the
+        // task after the same exponential backoff a transient fault pays.
+        const real_t backoff = plan.backoff_s(abft_attempts[id]);
+        freport.backoff_delay_s += backoff;
+        enqueue_ready(id, end + backoff);
+        continue;
+      }
       finish_time[id] = end;
       task_done[id] = 1;
       ++completed;
@@ -910,6 +1007,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (any_failed && failed[i]) continue;
+      if (!corrupt_retry.empty() && corrupt_retry[i]) continue;
       const index_t id = batch[i];
       auto [sb, se] = graph.successors(id);
       for (const index_t* sp = sb; sp != se; ++sp) {

@@ -21,6 +21,7 @@
 // timing only — used by the parameter sweeps after one validated run.
 #pragma once
 
+#include "abft/abft.hpp"
 #include "core/collector.hpp"
 #include "core/container.hpp"
 #include "core/executor.hpp"
@@ -72,6 +73,17 @@ struct ScheduleOptions {
   /// empty: simulate() takes the exact fault-free path and its output is
   /// unchanged (zero-overhead off switch).
   FaultPlan faults;
+  /// ABFT checksum protection for the executed numeric path (src/abft):
+  /// detect corrupt task output, roll the target back and re-run the task
+  /// in a later batch (batch_status 3), escalating to post-solve iterative
+  /// refinement when the retry budget runs out. Inert on timing-only
+  /// replays (null backend). thsolve_cli --abft / --abft-retries.
+  abft::AbftOptions abft;
+  /// WorkerPool hung-lane watchdog period for the batch executor, in
+  /// seconds (0 disables): a lane that never starts within the period is
+  /// taken over by the caller and the pool degrades to the responsive
+  /// width for subsequent batches.
+  real_t exec_watchdog_s = 0;
   /// Periodic coordinated checkpointing (src/resilience/checkpoint.hpp).
   /// Off by default — fault-free runs with checkpointing off are
   /// bit-identical to a build without the subsystem.
@@ -123,11 +135,16 @@ struct ScheduleResult {
   /// Per-member outcome of each batch, parallel to batch_members:
   /// 0 = completed, 1 = transient fault (a retry appears later), 2 = had
   /// completed but the work was lost to a rank restart and re-executed
-  /// later. The schedule validator keys its completion accounting on this.
+  /// later, 3 = output failed its ABFT checksum — rolled back, a retry
+  /// appears later. The schedule validator keys its completion accounting
+  /// on this.
   std::vector<std::vector<char>> batch_status;
   /// Resilience accounting: faults injected, retries/backoff priced,
   /// tasks migrated off dead ranks, guard firings (src/fault).
   FaultReport faults;
+  /// ABFT detect-and-retry accounting (src/abft). enabled only when the
+  /// run actually executed numerics under checksum protection.
+  abft::AbftStats abft;
   /// Host-runtime counters from the parallel batch executor (wall/busy/
   /// span seconds, slices, whole-task fallbacks). Zeros on timing-only
   /// replays — simulated time never depends on them.

@@ -73,6 +73,52 @@ class NumericBackend {
     return {};
   }
 
+  // ---- ABFT extension (src/abft, DESIGN.md §11) -------------------------
+  //
+  // Checksum-protected execution: before the parallel phase the
+  // BatchExecutor calls abft_capture_plan() serially for every member and
+  // then drains abft_capture_run() jobs on its worker lanes (the heavy
+  // snapshot/checksum work, one job per distinct target); after the phase
+  // it calls abft_verify() grouped by target — concurrently for different
+  // targets — and reports mismatches upward. The *scheduler* then decides
+  // whether to abft_rollback() (re-run later) or accept, and drops the
+  // per-batch context with abft_reset(). The defaults make every backend
+  // trivially ABFT-transparent: capture degrades to the serial
+  // abft_capture() and verify always passes.
+
+  /// Snapshot the task's target block and record its pre-execution
+  /// row/column checksums. Serial, after prepare_task().
+  virtual void abft_capture(const Task& t) { (void)t; }
+
+  /// Cheap serial half of capture: register the member and queue its
+  /// target's heavy capture work. Backends without a parallel split do the
+  /// whole capture here.
+  virtual void abft_capture_plan(const Task& t) { abft_capture(t); }
+
+  /// Number of heavy capture jobs queued by abft_capture_plan() calls.
+  virtual std::size_t abft_capture_jobs() { return 0; }
+
+  /// Run queued capture job `job`. Must be safe to call concurrently for
+  /// distinct job indices.
+  virtual void abft_capture_run(std::size_t job) { (void)job; }
+
+  /// Check the kernel-type checksum invariant on the freshly written
+  /// target; returns false when the output is corrupt. Called after the
+  /// parallel phase, possibly concurrently for members of DIFFERENT
+  /// targets (the executor serialises members sharing one target).
+  virtual bool abft_verify(const Task& t, real_t rel_tol) {
+    (void)t;
+    (void)rel_tol;
+    return true;
+  }
+
+  /// Restore the task's target to its pre-batch snapshot (for a re-run in
+  /// a later batch). Only valid between capture and reset.
+  virtual void abft_rollback(const Task& t) { (void)t; }
+
+  /// Drop the per-batch ABFT context (end of outcome processing).
+  virtual void abft_reset() {}
+
   // ---- Block-level extension (exec::BatchExecutor) ----------------------
 
   /// Serial prologue run once per task before any of its blocks execute —

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <ctime>
+#include <unordered_map>
 
 #include "support/stopwatch.hpp"
 
@@ -33,6 +35,10 @@ enum class Mode : char {
 BatchExecutor::BatchExecutor(const BatchExecOptions& opt)
     : opt_(opt), pool_(opt.n_threads) {
   TH_CHECK(opt.chunk_blocks > 0);
+  TH_CHECK(opt.watchdog_s >= 0);
+  pool_.set_watchdog(opt.watchdog_s);
+  // Sized for the full width: the watchdog may shrink the pool later, but
+  // every batch indexes lanes [0, width-at-dispatch).
   lane_busy_.assign(static_cast<std::size_t>(pool_.width()), 0.0);
   lane_slices_.assign(static_cast<std::size_t>(pool_.width()), 0);
 }
@@ -40,7 +46,8 @@ BatchExecutor::BatchExecutor(const BatchExecOptions& opt)
 void BatchExecutor::execute(NumericBackend& backend,
                             const std::vector<const Task*>& tasks,
                             const std::vector<char>& atomic_flags,
-                            const std::vector<char>* skip) {
+                            const std::vector<char>* skip,
+                            BatchVerify* verify) {
   TH_CHECK(!tasks.empty());
   TH_CHECK(atomic_flags.size() == tasks.size());
   TH_CHECK(skip == nullptr || skip->size() == tasks.size());
@@ -76,6 +83,28 @@ void BatchExecutor::execute(NumericBackend& backend,
   for (std::size_t i = 0; i < nb; ++i) {
     if (mode[i] == Mode::kSkip || mode[i] == Mode::kSerial) continue;
     backend.prepare_task(*tasks[i]);
+  }
+
+  // ABFT capture: snapshot + pre-execution checksums for every member that
+  // will run (including epilogue-serialised ones). Planning is serial and
+  // cheap; the heavy per-target jobs (snapshot, sums, SSSSM delta folds)
+  // drain on the worker lanes — distinct jobs touch distinct targets, so
+  // they need no coordination.
+  if (verify != nullptr && verify->abft) {
+    const Stopwatch cap;
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (mode[i] == Mode::kSkip) continue;
+      backend.abft_capture_plan(*tasks[i]);
+    }
+    if (const std::size_t jobs = backend.abft_capture_jobs(); jobs > 0) {
+      const std::size_t cw = static_cast<std::size_t>(pool_.width());
+      pool_.run([&](int lane) {
+        for (std::size_t j = static_cast<std::size_t>(lane); j < jobs;
+             j += cw)
+          backend.abft_capture_run(j);
+      });
+    }
+    verify->capture_s += cap.seconds();
   }
 
   // Parallel phase: the block range is cut into fixed chunks owned
@@ -140,9 +169,56 @@ void BatchExecutor::execute(NumericBackend& backend,
     }
   }
 
+  if (verify != nullptr) {
+    // Plant silent corruption into the outputs the kernels just wrote —
+    // after execution, before verification, exactly where a real SDC would
+    // sit when the checksum pass reaches the tile.
+    for (const auto& [member, kind] : verify->sabotage) {
+      TH_CHECK(member < nb);
+      if (mode[member] == Mode::kSkip) continue;
+      if (backend.inject_fault(*tasks[member], kind)) ++verify->sabotaged;
+    }
+    verify->outcome.assign(nb, 0);
+    if (verify->abft) {
+      const Stopwatch ver;
+      // Verification is independent per target, so group members by their
+      // target tile and check the groups on the worker lanes. Members
+      // sharing a target stay in one group (the backend memoizes the
+      // verdict per target, and concurrent verify of one target would
+      // race on it). Outcome slots are per member — no write conflicts.
+      std::unordered_map<std::uint64_t, std::size_t> gidx;
+      std::vector<std::vector<std::size_t>> groups;
+      for (std::size_t i = 0; i < nb; ++i) {
+        if (mode[i] == Mode::kSkip) continue;
+        ++verify->verified;
+        const Task& t = *tasks[i];
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.row))
+             << 32) |
+            static_cast<std::uint32_t>(t.col);
+        const auto [it, fresh] = gidx.try_emplace(k, groups.size());
+        if (fresh) groups.emplace_back();
+        groups[it->second].push_back(i);
+      }
+      if (!groups.empty()) {
+        const std::size_t vw = static_cast<std::size_t>(pool_.width());
+        pool_.run([&](int lane) {
+          for (std::size_t g = static_cast<std::size_t>(lane);
+               g < groups.size(); g += vw) {
+            for (const std::size_t i : groups[g]) {
+              if (!backend.abft_verify(*tasks[i], verify->rel_tol))
+                verify->outcome[i] = 1;
+            }
+          }
+        });
+      }
+      verify->verify_s += ver.seconds();
+    }
+  }
+
   real_t busy = 0;
   real_t span_max = 0;
-  for (int l = 0; l < pool_.width(); ++l) {
+  for (index_t l = 0; l < width; ++l) {
     const real_t lb = lane_busy_[static_cast<std::size_t>(l)];
     busy += lb;
     span_max = std::max(span_max, lb);
@@ -157,7 +233,9 @@ void BatchExecutor::execute(NumericBackend& backend,
   stats_.wall_s += wall.seconds();
   stats_.fallback_tasks += fallbacks.load(std::memory_order_relaxed);
   stats_.det_reductions += det_reds;
-  stats_.workers = pool_.width();
+  stats_.workers = pool_.width();  // post-batch: reflects watchdog degrades
+  stats_.lanes_degraded = pool_.lanes_degraded();
+  stats_.stragglers = pool_.stragglers();
   ++stats_.batches;
 }
 

@@ -13,6 +13,8 @@
 // (AccumMode::kDeterministic, bit-reproducible across thread counts).
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "exec/backend.hpp"
@@ -33,8 +35,29 @@ struct ExecStats {
   long slices = 0;          // block-range slices executed via run_blocks
   long fallback_tasks = 0;  // members executed whole via run_task
   long det_reductions = 0;  // scratch buffers folded in the ordered epilogue
-  int workers = 1;          // pool width
+  int workers = 1;          // current (responsive) pool width
   int batches = 0;          // execute() calls
+  int lanes_degraded = 0;   // lanes the watchdog wrote off as hung
+  long stragglers = 0;      // batches that waited out a slow claimed lane
+};
+
+/// Optional per-batch ABFT exchange for execute(): the scheduler fills the
+/// inputs (enable flag, tolerance, silent corruptions to plant after the
+/// kernels run but before verification — the test stand-in for an SDC
+/// mid-kernel); the executor fills the outputs. Members skipped via `skip`
+/// are neither sabotaged nor verified.
+struct BatchVerify {
+  bool abft = false;    // capture + verify checksums this batch
+  real_t rel_tol = 1e-8;
+  /// (member index, kind) silent corruptions to plant post-execution.
+  std::vector<std::pair<std::size_t, NumericFaultKind>> sabotage;
+
+  // Outputs.
+  std::vector<char> outcome;  // per member: 1 = checksum mismatch (corrupt)
+  offset_t sabotaged = 0;     // corruptions actually planted
+  offset_t verified = 0;      // members checksum-verified
+  real_t capture_s = 0;       // serial capture time (host)
+  real_t verify_s = 0;        // serial verification time (host)
 };
 
 struct BatchExecOptions {
@@ -45,6 +68,10 @@ struct BatchExecOptions {
   /// usually covers a whole task (a task split across lanes pays for its
   /// L/U inputs once per lane).
   index_t chunk_blocks = 32;
+  /// WorkerPool hung-lane watchdog period in seconds; 0 disables. A lane
+  /// that never starts its work within the period is taken over by the
+  /// caller and the pool degrades to the responsive width.
+  real_t watchdog_s = 0;
 };
 
 class BatchExecutor {
@@ -59,9 +86,16 @@ class BatchExecutor {
   /// atomic_flags[i] is set (write conflict with another member); members
   /// flagged in `skip` are not executed — their simulated kernel crashed,
   /// so they are priced but re-run by the scheduler on a later attempt.
+  /// With `verify` non-null the batch runs checksum-protected (and/or
+  /// sabotaged): outcomes land in verify->outcome for the scheduler's
+  /// detect-and-retry pass. Rethrows the first exception a lane's job
+  /// body threw (WorkerPool containment).
   void execute(NumericBackend& backend, const std::vector<const Task*>& tasks,
                const std::vector<char>& atomic_flags,
-               const std::vector<char>* skip);
+               const std::vector<char>* skip, BatchVerify* verify = nullptr);
+
+  /// Direct pool access (tests: hang injection, degrade inspection).
+  WorkerPool& pool() { return pool_; }
 
  private:
   BatchExecOptions opt_;

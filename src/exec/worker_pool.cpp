@@ -1,8 +1,10 @@
 #include "exec/worker_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,9 +15,15 @@ namespace th::exec {
 
 struct WorkerPool::Impl {
   explicit Impl(int spawned) {
+    alive.assign(static_cast<std::size_t>(spawned), 1);
+    hang_requested.assign(static_cast<std::size_t>(spawned), 0);
+    logical.resize(static_cast<std::size_t>(spawned));
+    for (int w = 0; w < spawned; ++w) logical[w] = w + 1;
+    claimed = std::make_unique<std::atomic<char>[]>(
+        static_cast<std::size_t>(spawned));
     threads.reserve(static_cast<std::size_t>(spawned));
-    for (int lane = 1; lane <= spawned; ++lane) {
-      threads.emplace_back([this, lane] { loop(lane); });
+    for (int w = 0; w < spawned; ++w) {
+      threads.emplace_back([this, w] { loop(w); });
     }
   }
 
@@ -28,18 +36,42 @@ struct WorkerPool::Impl {
     for (auto& t : threads) t.join();
   }
 
-  void loop(int lane) {
+  void record_error() {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!first_error) first_error = std::current_exception();
+  }
+
+  void loop(int w) {
     std::uint64_t seen = 0;
     while (true) {
       const std::function<void(int)>* body = nullptr;
+      int lane = -1;
       {
         std::unique_lock<std::mutex> lk(mu);
         cv.wait(lk, [&] { return stop || generation != seen; });
         if (stop) return;
         seen = generation;
+        if (hang_requested[w]) {
+          // Test hook: wedge before claiming, so the watchdog can take the
+          // lane over; wake only for pool shutdown.
+          hang_requested[w] = false;
+          cv.wait(lk, [&] { return stop; });
+          return;
+        }
+        lane = logical[w];
         body = job;  // set under the same lock as generation: never stale
       }
-      (*body)(lane);
+      if (lane < 0) continue;  // written off: not dispatched this batch
+      if (claimed[lane - 1].exchange(1, std::memory_order_acq_rel) != 0)
+        continue;  // the watchdog stole this lane; it owns the decrement
+      try {
+        (*body)(lane);
+      } catch (...) {
+        // Never let a body exception escape the thread (std::terminate) or
+        // skip the decrement below (a wedged barrier): capture the first
+        // one for run() to rethrow at the caller.
+        record_error();
+      }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lk(mu);
         done_cv.notify_all();
@@ -55,31 +87,119 @@ struct WorkerPool::Impl {
   std::atomic<int> remaining{0};
   std::uint64_t generation = 0;
   bool stop = false;
+  std::exception_ptr first_error;  // under mu; first lane to throw wins
+  // Lane bookkeeping, all under mu: which physical workers still count
+  // (watchdog write-offs stick), the logical lane each was dispatched as
+  // this generation (-1 = sidelined), and the per-lane started/stolen
+  // claim flags (index lane-1).
+  std::vector<char> alive;
+  std::vector<char> hang_requested;
+  std::vector<int> logical;
+  std::unique_ptr<std::atomic<char>[]> claimed;
 };
 
-WorkerPool::WorkerPool(int width) : width_(width) {
+WorkerPool::WorkerPool(int width) : width_(width), spawned_(width - 1) {
   TH_CHECK(width >= 1);
   if (width > 1) impl_ = std::make_unique<Impl>(width - 1);
 }
 
 WorkerPool::~WorkerPool() = default;
 
+void WorkerPool::inject_hang(int lane) {
+  TH_CHECK_MSG(impl_ != nullptr && lane >= 1, "inject_hang wants a worker lane");
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (int w = 0; w < spawned_; ++w) {
+    if (impl_->logical[w] == lane) {
+      impl_->hang_requested[w] = 1;
+      return;
+    }
+  }
+  TH_CHECK_MSG(false, "inject_hang: no worker holds that lane");
+}
+
 void WorkerPool::run(const std::function<void(int)>& body) {
   if (!impl_) {
-    body(0);
+    body(0);  // width 1: the caller's exception propagates directly
     return;
   }
+  Impl& im = *impl_;
+  int dispatched = 0;
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
-    impl_->job = &body;
-    impl_->remaining.store(width_ - 1, std::memory_order_relaxed);
-    ++impl_->generation;
+    std::lock_guard<std::mutex> lk(im.mu);
+    // Remap logical lanes contiguously over the workers still alive, so
+    // the body always sees lanes [0, width()).
+    int lane = 1;
+    for (int w = 0; w < spawned_; ++w)
+      im.logical[w] = im.alive[w] ? lane++ : -1;
+    dispatched = lane - 1;
+    for (int l = 1; l <= dispatched; ++l)
+      im.claimed[l - 1].store(0, std::memory_order_relaxed);
+    im.job = &body;
+    im.remaining.store(dispatched, std::memory_order_relaxed);
+    ++im.generation;
   }
-  impl_->cv.notify_all();
-  body(0);
-  std::unique_lock<std::mutex> lk(impl_->mu);
-  impl_->done_cv.wait(lk, [&] { return impl_->remaining.load() == 0; });
-  impl_->job = nullptr;  // still under the lock: workers read it locked
+  im.cv.notify_all();
+  try {
+    body(0);
+  } catch (...) {
+    im.record_error();
+  }
+  std::unique_lock<std::mutex> lk(im.mu);
+  if (watchdog_s_ <= 0) {
+    im.done_cv.wait(lk, [&] { return im.remaining.load() == 0; });
+  } else {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(watchdog_s_));
+    if (!im.done_cv.wait_until(lk, deadline,
+                               [&] { return im.remaining.load() == 0; })) {
+      // Deadline passed with lanes outstanding. A lane whose claim flag is
+      // still clear never started: steal it (the exchange is the same one
+      // the worker would perform, so exactly one side runs the body) and
+      // write its worker off for subsequent batches.
+      std::vector<int> steal;
+      for (int l = 1; l <= dispatched; ++l) {
+        if (im.claimed[l - 1].exchange(1, std::memory_order_acq_rel) == 0)
+          steal.push_back(l);
+      }
+      for (int w = 0; w < spawned_; ++w) {
+        if (im.alive[w] && im.logical[w] > 0) {
+          for (const int l : steal) {
+            if (im.logical[w] == l) {
+              im.alive[w] = 0;
+              ++degraded_;
+              --width_;
+              break;
+            }
+          }
+        }
+      }
+      lk.unlock();
+      for (const int l : steal) {
+        try {
+          body(l);
+        } catch (...) {
+          im.record_error();
+        }
+        im.remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      lk.lock();
+      if (im.remaining.load() != 0) {
+        // Claimed but still running: a straggler, not a hang — its work
+        // cannot be re-run safely, so flag it and wait it out.
+        ++stragglers_;
+        im.done_cv.wait(lk, [&] { return im.remaining.load() == 0; });
+      }
+    }
+  }
+  im.job = nullptr;  // still under the lock: workers read it locked
+  if (im.first_error) {
+    std::exception_ptr err = im.first_error;
+    im.first_error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 }  // namespace th::exec

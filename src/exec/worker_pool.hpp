@@ -3,10 +3,25 @@
 // a generation broadcast, so one batch costs one condition-variable round
 // trip rather than per-task thread churn (the host analogue of the paper's
 // single persistent kernel launch).
+//
+// Robustness contract (DESIGN.md §11):
+//  - An exception thrown by the job body on any lane is captured (first
+//    wins), the barrier still drains, and run() rethrows it on the caller
+//    after every lane has finished — a throwing body can never terminate
+//    the process or wedge `remaining`.
+//  - With a watchdog period set, a lane that has not *started* its work
+//    within the period of the caller beginning to wait is written off: the
+//    caller claims the lane's work (a per-lane atomic claim means worker
+//    and caller cannot both run it), executes it itself, and the pool
+//    degrades to the responsive width for subsequent batches. A lane that
+//    started but is merely slow is counted as a straggler and waited for —
+//    its work cannot be stolen safely mid-flight.
 #pragma once
 
 #include <functional>
 #include <memory>
+
+#include "support/types.hpp"
 
 namespace th::exec {
 
@@ -19,15 +34,36 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  /// Current responsive width (shrinks when the watchdog writes lanes off;
+  /// never below 1 — the caller always participates).
   int width() const { return width_; }
+  int spawned_width() const { return spawned_; }
 
-  /// Run body(lane) exactly once on every lane and block until all lanes
-  /// have finished. The caller participates as lane 0.
+  /// Hung-lane detection period in seconds (monotonic clock); 0 disables.
+  void set_watchdog(real_t seconds) { watchdog_s_ = seconds; }
+  /// Lanes written off by the watchdog over the pool's lifetime.
+  int lanes_degraded() const { return degraded_; }
+  /// Batches during which some claimed lane outlived the watchdog period
+  /// (flagged and waited for, not stolen).
+  long stragglers() const { return stragglers_; }
+
+  /// Run body(lane) exactly once for every lane in [0, width()) and block
+  /// until all lanes have finished. The caller participates as lane 0.
+  /// Rethrows the first exception any lane's body threw.
   void run(const std::function<void(int)>& body);
+
+  /// Test hook: the worker currently assigned logical lane `lane` (>= 1)
+  /// wedges until pool shutdown on its next dispatch instead of running
+  /// the body — exercises the watchdog takeover path.
+  void inject_hang(int lane);
 
  private:
   struct Impl;
   int width_;
+  int spawned_;
+  int degraded_ = 0;
+  long stragglers_ = 0;
+  real_t watchdog_s_ = 0;
   std::unique_ptr<Impl> impl_;  // null when width == 1
 };
 

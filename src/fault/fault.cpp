@@ -10,6 +10,12 @@ const char* numeric_fault_name(NumericFaultKind k) {
       return "inf";
     case NumericFaultKind::kTinyPivot:
       return "tiny-pivot";
+    case NumericFaultKind::kBitFlip:
+      return "bitflip";
+    case NumericFaultKind::kScaledEntry:
+      return "scale";
+    case NumericFaultKind::kSilentNaN:
+      return "snan";
   }
   return "?";
 }

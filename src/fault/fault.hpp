@@ -33,12 +33,26 @@ namespace th {
 // ---- Numeric faults & guards --------------------------------------------
 
 enum class NumericFaultKind : std::uint8_t {
-  kNaN,       // plant a quiet NaN in the task's target block
-  kInf,       // plant an Inf in the task's target block
-  kTinyPivot  // shrink a diagonal entry toward singularity (GETRF targets)
+  kNaN,        // plant a quiet NaN in the task's target block
+  kInf,        // plant an Inf in the task's target block
+  kTinyPivot,  // shrink a diagonal entry toward singularity (GETRF targets)
+  // Silent-data-corruption kinds (src/abft). Unlike the three above, which
+  // are planted *before* the task runs and caught by the executor's
+  // NaN/Inf guards, these are planted into the task's freshly written
+  // output — the stand-in for a bit flip mid-kernel. Guards never see
+  // them; only the ABFT checksum verifier can.
+  kBitFlip,      // flip a sign/exponent bit of one output entry
+  kScaledEntry,  // scale the largest output entry by a large factor
+  kSilentNaN,    // overwrite one output entry with a quiet NaN
 };
 
 const char* numeric_fault_name(NumericFaultKind k);
+
+/// Kinds planted post-execution (detected by ABFT, not by the guards).
+inline bool silent_fault_kind(NumericFaultKind k) {
+  return k == NumericFaultKind::kBitFlip || k == NumericFaultKind::kScaledEntry ||
+         k == NumericFaultKind::kSilentNaN;
+}
 
 /// Guard thresholds applied by the Executor after GETRF/SSSSM tasks.
 struct GuardPolicy {
@@ -101,8 +115,8 @@ struct LinkDegrade {
   real_t bw_factor = 1.0;
 };
 
-/// Corruption planted into one task's target block just before the task's
-/// (successful) execution attempt. Caught by the executor guards.
+/// Corruption planted into one task's target block: pre-execution for the
+/// guard-visible kinds, post-execution for the silent (ABFT) kinds.
 struct NumericFault {
   index_t task_id = -1;
   NumericFaultKind kind = NumericFaultKind::kNaN;
@@ -207,8 +221,12 @@ struct FaultReport {
   real_t restore_s = 0;            // restore pauses priced by restarts
   int ranks_restarted = 0;         // kRestartFromCheckpoint recoveries
   offset_t tasks_restarted = 0;    // completed work lost & re-executed
+  /// Corrupt tasks the ABFT layer absorbed: rolled back + re-queued, or
+  /// accepted with refinement escalation after the retry budget ran out.
+  offset_t abft_corrected = 0;
   /// Faults that no recovery absorbed (populated by harnesses that catch
-  /// an aborted run, e.g. retry-budget exhaustion under chaos soak).
+  /// an aborted run, e.g. retry-budget exhaustion under chaos soak — and
+  /// by the scheduler for silent corruption planted with ABFT disabled).
   offset_t fatal_faults = 0;
 
   offset_t injected() const {
@@ -217,16 +235,20 @@ struct FaultReport {
   }
   offset_t handled() const {
     return retries + tasks_migrated + cpu_fallback_tasks + tasks_restarted +
-           guards.tasks_fired;
+           guards.tasks_fired + abft_corrected;
   }
   bool fully_accounted() const {
-    return injected() == handled() + fatal_faults;
+    // One-sided on purpose: recovery may legitimately over-count (a guard
+    // firing on genuine breakdown, or ABFT flagging every member of a
+    // corrupt shared SSSSM target from one injection); what must never
+    // happen is an injected fault nothing absorbed.
+    return injected() <= handled() + fatal_faults;
   }
   bool any() const {
     return transient_faults > 0 || ranks_failed > 0 || tasks_migrated > 0 ||
            cpu_fallback_tasks > 0 || numeric_faults_injected > 0 ||
            tasks_restarted > 0 || ranks_restarted > 0 || fatal_faults > 0 ||
-           guards.fired();
+           abft_corrected > 0 || guards.fired();
   }
   /// Extra makespan attributable to faults (requires fault_free_makespan_s).
   real_t overhead_s(real_t faulted_makespan_s) const {

@@ -81,15 +81,14 @@ CheckpointPolicy scenario_checkpoint(std::uint64_t& s, real_t horizon_s) {
   return ck;
 }
 
-// One greedy delta-debugging pass: drop any single ingredient whose
-// removal keeps the scenario failing, until no removal does (a 1-minimal
-// plan). Bounded by a rerun budget so soak time stays predictable.
-FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
-                      const CheckpointPolicy& ckpt, FaultPlan plan) {
-  int budget = 200;
-  auto still_fails = [&](const FaultPlan& p) {
+}  // namespace
+
+FaultPlan shrink_fault_plan(
+    FaultPlan plan, const std::function<bool(const FaultPlan&)>& still_fails,
+    int budget) {
+  auto try_fails = [&](const FaultPlan& p) {
     if (budget-- <= 0) return false;
-    return run_scenario(graph, base, p, ckpt, nullptr) == Outcome::kFailed;
+    return still_fails(p);
   };
   bool changed = true;
   while (changed && budget > 0) {
@@ -98,7 +97,7 @@ FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
       FaultPlan c = plan;
       c.rank_failures.erase(c.rank_failures.begin() +
                             static_cast<std::ptrdiff_t>(i));
-      if (still_fails(c)) {
+      if (try_fails(c)) {
         plan = std::move(c);
         changed = true;
         break;
@@ -109,7 +108,7 @@ FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
       FaultPlan c = plan;
       c.link_degrades.erase(c.link_degrades.begin() +
                             static_cast<std::ptrdiff_t>(i));
-      if (still_fails(c)) {
+      if (try_fails(c)) {
         plan = std::move(c);
         changed = true;
         break;
@@ -120,7 +119,7 @@ FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
       FaultPlan c = plan;
       c.numeric_faults.erase(c.numeric_faults.begin() +
                              static_cast<std::ptrdiff_t>(i));
-      if (still_fails(c)) {
+      if (try_fails(c)) {
         plan = std::move(c);
         changed = true;
         break;
@@ -130,7 +129,7 @@ FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
     if (plan.has_transient()) {
       FaultPlan c = plan;
       c.set_transient_all(0);
-      if (still_fails(c)) {
+      if (try_fails(c)) {
         plan = std::move(c);
         changed = true;
       }
@@ -139,7 +138,7 @@ FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
     if (plan.numeric_guards) {
       FaultPlan c = plan;
       c.numeric_guards = false;
-      if (still_fails(c)) {
+      if (try_fails(c)) {
         plan = std::move(c);
         changed = true;
       }
@@ -147,8 +146,6 @@ FaultPlan shrink_plan(const TaskGraph& graph, const ScheduleOptions& base,
   }
   return plan;
 }
-
-}  // namespace
 
 FaultPlan random_fault_plan(std::uint64_t seed, const TaskGraph& graph,
                             int n_ranks, real_t horizon_s) {
@@ -200,20 +197,54 @@ FaultPlan random_fault_plan(std::uint64_t seed, const TaskGraph& graph,
     plan.link_degrades.push_back(ld);
   }
 
-  // Corruption bursts: a clutch of numeric faults on random tasks (the
-  // guards path is numeric-only; in timing-only soak these exercise the
-  // plan bookkeeping).
+  // Corruption bursts: a clutch of numeric faults on random tasks. Mixes
+  // guard-visible kinds with the silent (ABFT-only) kinds; in timing-only
+  // soak both merely exercise the plan bookkeeping.
   if (graph.size() > 0 && unit(s) < 0.3) {
     const int burst = 1 + below(s, 4);
     for (int b = 0; b < burst; ++b) {
       NumericFault nf;
       nf.task_id = below(s, static_cast<int>(graph.size()));
-      const int k = below(s, 3);
-      nf.kind = k == 0   ? NumericFaultKind::kNaN
-                : k == 1 ? NumericFaultKind::kInf
-                         : NumericFaultKind::kTinyPivot;
+      switch (below(s, 6)) {
+        case 0: nf.kind = NumericFaultKind::kNaN; break;
+        case 1: nf.kind = NumericFaultKind::kInf; break;
+        case 2: nf.kind = NumericFaultKind::kTinyPivot; break;
+        case 3: nf.kind = NumericFaultKind::kBitFlip; break;
+        case 4: nf.kind = NumericFaultKind::kScaledEntry; break;
+        default: nf.kind = NumericFaultKind::kSilentNaN; break;
+      }
       plan.numeric_faults.push_back(nf);
     }
+  }
+  return plan;
+}
+
+FaultPlan random_corruption_plan(std::uint64_t seed, const TaskGraph& graph,
+                                 int max_faults) {
+  TH_CHECK_MSG(graph.size() > 0 && max_faults >= 1,
+               "corruption plan needs a non-empty graph and max_faults >= 1");
+  std::uint64_t s = seed ^ 0x2545f4914f6cdd1dULL;
+  FaultPlan plan;
+  plan.seed = mix64(s);
+  const int n = 1 + below(s, max_faults);
+  for (int b = 0; b < n; ++b) {
+    NumericFault nf;
+    // Spread faults across the graph (and thus across all four kernel
+    // types — early ids are factor-panel heavy, late ids update-heavy).
+    nf.task_id = below(s, static_cast<int>(graph.size()));
+    switch (below(s, 3)) {
+      case 0: nf.kind = NumericFaultKind::kBitFlip; break;
+      case 1: nf.kind = NumericFaultKind::kScaledEntry; break;
+      default: nf.kind = NumericFaultKind::kSilentNaN; break;
+    }
+    // One fault per task: a second corruption of the same tile in the
+    // same batch would still be detected but muddies injected/handled
+    // accounting in the soak's assertions.
+    bool dup = false;
+    for (const NumericFault& prev : plan.numeric_faults) {
+      if (prev.task_id == nf.task_id) dup = true;
+    }
+    if (!dup) plan.numeric_faults.push_back(nf);
   }
   return plan;
 }
@@ -239,10 +270,7 @@ std::string fault_plan_spec(const FaultPlan& plan) {
     os << ",degrade=" << d.node_a << "-" << d.node_b << "@" << d.bw_factor;
   }
   for (const NumericFault& nf : plan.numeric_faults) {
-    const char* key = nf.kind == NumericFaultKind::kNaN   ? "nan"
-                      : nf.kind == NumericFaultKind::kInf ? "inf"
-                                                          : "tinypivot";
-    os << "," << key << "=" << nf.task_id;
+    os << "," << numeric_fault_name(nf.kind) << "=" << nf.task_id;
   }
   if (plan.numeric_guards) os << ",guards=1";
   return os.str();
@@ -325,8 +353,15 @@ ChaosReport run_chaos(const std::vector<const TaskGraph*>& graphs,
         fail.scenario_seed = scenario_seed;
         fail.checkpointing = ckpt.enabled();
         fail.what = what;
-        fail.plan = opt.shrink ? shrink_plan(graph, base, ckpt, plan)
-                               : plan;
+        if (opt.shrink) {
+          fail.plan = shrink_fault_plan(
+              std::move(plan), [&](const FaultPlan& p) {
+                return run_scenario(graph, base, p, ckpt, nullptr) ==
+                       Outcome::kFailed;
+              });
+        } else {
+          fail.plan = std::move(plan);
+        }
         fail.repro = fault_plan_spec(fail.plan);
         report.failures.push_back(std::move(fail));
       }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,23 @@ struct ChaosReport {
 /// (use the fault-free makespan). Never kills every rank.
 FaultPlan random_fault_plan(std::uint64_t seed, const TaskGraph& graph,
                             int n_ranks, real_t horizon_s);
+
+/// Deterministically expand a seed into a silent-corruption campaign:
+/// 1..max_faults bit-flip / scaled-entry / silent-NaN faults spread across
+/// the graph's task types (the ABFT detect-and-retry target set). The plan
+/// carries no transients, rank failures, or guards — corruption soak
+/// isolates the checksum path.
+FaultPlan random_corruption_plan(std::uint64_t seed, const TaskGraph& graph,
+                                 int max_faults);
+
+/// One greedy delta-debugging pass over a plan's ingredients (rank
+/// failures, link degrades, numeric faults, transients, guards): drop any
+/// single ingredient whose removal keeps `still_fails` true, until no
+/// removal does (a 1-minimal plan). `budget` caps still_fails invocations
+/// so shrink time stays predictable.
+FaultPlan shrink_fault_plan(
+    FaultPlan plan, const std::function<bool(const FaultPlan&)>& still_fails,
+    int budget = 200);
 
 /// Render a plan as a `thsolve_cli --faults` spec string (the repro line
 /// attached to chaos failures).

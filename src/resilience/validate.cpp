@@ -32,7 +32,8 @@ constexpr real_t kEps = 1e-12;
 // One task execution attempt in the trace: record index + outcome status.
 struct Appearance {
   index_t record = 0;
-  char status = 0;  // 0 completed, 1 transient fault, 2 lost to restart
+  char status = 0;  // 0 completed, 1 transient fault, 2 lost to restart,
+                    // 3 corrupt output (ABFT) — rolled back, retried later
 };
 
 }  // namespace
@@ -89,7 +90,7 @@ ValidationReport validate_schedule(const TaskGraph& graph,
 
   std::vector<std::vector<Appearance>> apps(static_cast<std::size_t>(n));
   std::vector<index_t> batch_stamp(static_cast<std::size_t>(n), -1);
-  offset_t status1 = 0, status2 = 0;
+  offset_t status1 = 0, status2 = 0, status3 = 0;
 
   for (std::size_t k = 0; k < nrec; ++k) {
     const KernelRecord& r = recs[k];
@@ -127,7 +128,7 @@ ValidationReport validate_schedule(const TaskGraph& graph,
         continue;
       }
       batch_stamp[id] = static_cast<index_t>(k);
-      if (status[i] != 0 && status[i] != 1 && status[i] != 2) {
+      if (status[i] < 0 || status[i] > 3) {
         TH_VALIDATE_ISSUE(rep, "kernel " << k << " member " << id
                                          << " has unknown status "
                                          << static_cast<int>(status[i]));
@@ -135,6 +136,7 @@ ValidationReport validate_schedule(const TaskGraph& graph,
       }
       status1 += (status[i] == 1);
       status2 += (status[i] == 2);
+      status3 += (status[i] == 3);
       apps[id].push_back({static_cast<index_t>(k), status[i]});
     }
   }
@@ -153,7 +155,10 @@ ValidationReport validate_schedule(const TaskGraph& graph,
       continue;
     }
     int completions = 0;
-    for (const Appearance& a : apps[id]) completions += (a.status != 1);
+    // Status 1 (faulted) and status 3 (corrupt, rolled back) attempts are
+    // non-completions — their output never survived.
+    for (const Appearance& a : apps[id])
+      completions += (a.status != 1 && a.status != 3);
     if (completions == 0) {
       TH_VALIDATE_ISSUE(rep, "task " << id << " never completed");
       continue;
@@ -198,7 +203,8 @@ ValidationReport validate_schedule(const TaskGraph& graph,
                       ar.start_s + kEps;
         }
         for (std::size_t j = 0; !satisfied && j < apps[p].size(); ++j) {
-          if (apps[p][j].status == 1) continue;  // faulted attempt: no output
+          if (apps[p][j].status == 1 || apps[p][j].status == 3)
+            continue;  // faulted / rolled-back attempt: no surviving output
           const KernelRecord& prr = recs[apps[p][j].record];
           satisfied = prr.end_s + comm_lb(prr.rank, ar.rank, bytes) <=
                       ar.start_s + kEps;
@@ -347,6 +353,23 @@ ValidationReport validate_schedule(const TaskGraph& graph,
                                << fr.tasks_restarted - b.tasks_restarted
                                << " restarted tasks, trace shows "
                                << status2 << " lost executions");
+  }
+  // ABFT balance: every status-3 appearance is a rolled-back-and-retried
+  // corrupt member, and vice versa (resumed runs replay timing only, so no
+  // base offset exists — status3 is 0 there).
+  if (result.abft.retries != status3) {
+    TH_VALIDATE_ISSUE(rep, "report claims " << result.abft.retries
+                                            << " abft retries, trace shows "
+                                            << status3
+                                            << " corrupt-retried members");
+  }
+  if (result.abft.corrupt_detected <
+      result.abft.retries + result.abft.exhausted) {
+    TH_VALIDATE_ISSUE(rep,
+                      "abft accounting out of balance: detected "
+                          << result.abft.corrupt_detected << " < retried "
+                          << result.abft.retries << " + exhausted "
+                          << result.abft.exhausted);
   }
   if (fr.checkpoints_taken - b.checkpoints_taken > 0 &&
       !opt.checkpoint.enabled()) {

@@ -112,6 +112,9 @@ DriverReport run_solver(const Csr& a, const DriverOptions& opt) {
     clean.checkpoint = CheckpointPolicy{};  // no write pauses in the baseline
     clean.resume = nullptr;
     clean.checkpoint_out = nullptr;
+    // ABFT is already inert on timing-only replays (no backend to verify);
+    // disable it explicitly so the baseline never depends on that detail.
+    clean.abft = abft::AbftOptions{};
     rep.numeric.faults.fault_free_makespan_s =
         inst.run_timing(clean).makespan_s;
   }
@@ -122,8 +125,9 @@ DriverReport run_solver(const Csr& a, const DriverOptions& opt) {
     for (real_t& v : x_true) v = rng.uniform(-1.0, 1.0);
     const std::vector<real_t> b = spmv(a, x_true);
     if (rep.numeric.faults.escalate_refinement) {
-      // Guards repaired the factors in place (scrubbed NaN/Inf, perturbed
-      // tiny pivots); the factorisation is now approximate, so polish the
+      // The factorisation is approximate: either the guards repaired the
+      // factors in place (scrubbed NaN/Inf, perturbed tiny pivots) or ABFT
+      // exhausted its retry budget and accepted a corrupt tile — polish the
       // solution with iterative refinement against the original matrix.
       RefineOptions ro;
       ro.max_iterations = opt.refine_max_iterations;

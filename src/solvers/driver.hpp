@@ -87,9 +87,10 @@ struct DriverOptions {
   ScheduleOptions sched;
   bool check_residual = true;
   std::uint64_t rhs_seed = 1234;
-  /// Iterative-refinement budget when the fault model's numeric guards
-  /// fired (NaN scrubs / pivot perturbations degrade the factors, so the
-  /// driver escalates the plain solve to refinement; solvers/refine.hpp).
+  /// Iterative-refinement budget when the numeric phase escalates: the
+  /// fault model's guards fired (NaN scrubs / pivot perturbations degrade
+  /// the factors) or ABFT accepted a corrupt tile after exhausting its
+  /// retry budget (solvers/refine.hpp).
   int refine_max_iterations = 8;
   real_t refine_tolerance = 1e-12;
 };

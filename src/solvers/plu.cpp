@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "abft/tile_guard.hpp"
 #include "kernels/flops.hpp"
 #include "support/error.hpp"
 
@@ -13,7 +15,7 @@ namespace th {
 
 class PluFactorization::Backend : public NumericBackend {
  public:
-  explicit Backend(TileMatrix& tiles) : tiles_(tiles) {}
+  explicit Backend(TileMatrix& tiles) : tiles_(tiles), abft_guard_(tiles) {}
 
   void run_task(const Task& t, bool atomic) override {
     switch (t.type) {
@@ -102,6 +104,42 @@ class PluFactorization::Backend : public NumericBackend {
     tile->densify();
     real_t* d = tile->dense_data();
     const auto ld = static_cast<offset_t>(tile->ld());
+    if (silent_fault_kind(kind)) {
+      // Silent corruption in the freshly written output (the runtime calls
+      // this post-execution). Target the largest entry so the damage is
+      // unambiguously above the checksum tolerance — an SDC in a tiny
+      // mantissa bit is numerically indistinguishable from roundoff and
+      // not worth a retry in the first place.
+      const offset_t n = static_cast<offset_t>(tile->rows()) * tile->cols();
+      offset_t at = 0;
+      real_t maxabs = 0;
+      for (offset_t i = 0; i < n; ++i) {
+        if (std::abs(d[i]) > maxabs) {
+          maxabs = std::abs(d[i]);
+          at = i;
+        }
+      }
+      switch (kind) {
+        case NumericFaultKind::kBitFlip: {
+          if (maxabs == 0) {
+            d[at] = 2.0;  // bit 62 of +0.0 flipped
+            break;
+          }
+          std::uint64_t bits = 0;
+          std::memcpy(&bits, &d[at], sizeof(bits));
+          bits ^= (1ULL << 62);  // high exponent bit: a large, visible hit
+          std::memcpy(&d[at], &bits, sizeof(bits));
+          break;
+        }
+        case NumericFaultKind::kScaledEntry:
+          d[at] = maxabs == 0 ? 1.0 : d[at] * 1024.0;
+          break;
+        default:  // kSilentNaN
+          d[at] = std::numeric_limits<real_t>::quiet_NaN();
+          break;
+      }
+      return true;
+    }
     if (kind == NumericFaultKind::kTinyPivot) {
       // Sever the last in-tile row/column and leave a near-zero pivot.
       // Elimination keeps a zero column zero, so the tiny value survives
@@ -157,12 +195,46 @@ class PluFactorization::Backend : public NumericBackend {
         }
       }
     }
+    // The scrub rewrote tile entries behind the checksum carry's back;
+    // drop any banked sums so the next capture re-derives them.
+    if (g.nonfinite_scrubbed > 0 || g.pivots_perturbed > 0) {
+      abft_guard_.invalidate(t);
+    }
     return g;
   }
+
+  // ---- ABFT hooks (src/abft/tile_guard.hpp) -----------------------------
+  // Planning, rollback and reset are called serially by the runtime/
+  // scheduler; capture jobs and verify run on the executor's lanes but
+  // only ever concurrently for distinct targets, which is exactly the
+  // TileGuard contract — so the guard needs no locking of its own.
+
+  void abft_capture(const Task& t) override { abft_guard_.capture(t); }
+
+  void abft_capture_plan(const Task& t) override {
+    abft_guard_.capture_plan(t);
+  }
+
+  std::size_t abft_capture_jobs() override {
+    return abft_guard_.capture_jobs();
+  }
+
+  void abft_capture_run(std::size_t job) override {
+    abft_guard_.capture_run(job);
+  }
+
+  bool abft_verify(const Task& t, real_t rel_tol) override {
+    return abft_guard_.verify(t, rel_tol);
+  }
+
+  void abft_rollback(const Task& t) override { abft_guard_.rollback(t); }
+
+  void abft_reset() override { abft_guard_.reset(); }
 
  private:
   static constexpr std::size_t kMutexes = 64;
   TileMatrix& tiles_;
+  abft::TileGuard abft_guard_;
   std::mutex densify_mu_[kMutexes];
 };
 

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -71,6 +72,64 @@ TEST(WorkerPool, EveryLaneRunsExactlyOncePerBatch) {
     for (int l = 0; l < 4; ++l) EXPECT_EQ(hits[l].load(), 1) << "lane " << l;
     EXPECT_EQ(caller_lane.load(), 0);  // the caller participates as lane 0
   }
+}
+
+TEST(WorkerPool, BodyExceptionDrainsBarrierAndRethrows) {
+  // A throwing body used to escape the worker thread (std::terminate) and
+  // leak the `remaining` count. Loop to give tsan / the claim protocol
+  // race coverage; rotate the throwing lane so caller and workers both hit
+  // the capture path.
+  exec::WorkerPool pool(4);
+  for (int round = 0; round < 64; ++round) {
+    std::atomic<int> ran{0};
+    bool caught = false;
+    try {
+      pool.run([&](int lane) {
+        ran.fetch_add(1);
+        if (lane == round % 4) throw std::runtime_error("lane boom");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "lane boom");
+    }
+    EXPECT_TRUE(caught) << "round " << round;
+    EXPECT_EQ(ran.load(), 4);  // the barrier drained: every lane still ran
+  }
+  // The pool survives and stays reusable after every exception.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+  EXPECT_EQ(pool.lanes_degraded(), 0);
+}
+
+TEST(WorkerPool, FirstExceptionWinsWhenEveryLaneThrows) {
+  exec::WorkerPool pool(3);
+  for (int round = 0; round < 16; ++round) {
+    EXPECT_THROW(pool.run([&](int) { throw std::runtime_error("all boom"); }),
+                 std::runtime_error);
+  }
+}
+
+TEST(WorkerPool, WatchdogStealsHungLaneAndDegradesWidth) {
+  exec::WorkerPool pool(4);
+  pool.set_watchdog(0.05);
+  pool.inject_hang(2);  // lane 2's worker wedges before claiming its work
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.run([&](int lane) { hits[static_cast<std::size_t>(lane)].fetch_add(1); });
+  // The caller claimed and ran the hung lane's work: nothing was lost.
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(hits[l].load(), 1) << "lane " << l;
+  EXPECT_EQ(pool.lanes_degraded(), 1);
+  EXPECT_EQ(pool.width(), 3);
+  // Subsequent batches run at the degraded (responsive) width, and the
+  // dead worker is never dispatched to again.
+  std::atomic<int> ran{0};
+  pool.run([&](int lane) {
+    EXPECT_LT(lane, 3);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(pool.lanes_degraded(), 1);
 }
 
 TEST(WorkerPool, WidthOneSpawnsNoThreads) {
@@ -261,6 +320,92 @@ TEST(BatchExecutor, DeterministicModeWithoutScratchSerialises) {
   EXPECT_FALSE(mock.whole_atomic_[0]);
   EXPECT_EQ(mock.coverage(1), 0);  // and never sliced in parallel
   EXPECT_EQ(ex.stats().fallback_tasks, 1);
+}
+
+TEST(BatchExecutor, DeterministicSkipContributesNoScratchFolds) {
+  // Deterministic accumulation with a non-null skip vector: members the
+  // scheduler marked skipped (crashed attempts) must neither slice nor
+  // fold their scratch, while surviving conflicted members still fold in
+  // batch order.
+  std::vector<Task> storage;
+  for (index_t i = 0; i < 5; ++i) {
+    storage.push_back(make_task(TaskType::kSsssm, i, 3 + i));
+  }
+  std::vector<const Task*> batch;
+  for (const Task& t : storage) batch.push_back(&t);
+  MockBackend mock(5, /*with_scratch=*/true);
+  exec::BatchExecOptions opt;
+  opt.n_threads = 4;
+  opt.accum = exec::AccumMode::kDeterministic;
+  opt.chunk_blocks = 2;
+  exec::BatchExecutor ex(opt);
+  const std::vector<char> skip = {0, 1, 0, 1, 0};
+  ex.execute(mock, batch, std::vector<char>(5, 1), &skip);
+  // Only the surviving members 0, 2, 4 folded, in batch order.
+  ASSERT_EQ(mock.folded_.size(), 3u);
+  EXPECT_EQ(mock.folded_[0].first, 0);
+  EXPECT_EQ(mock.folded_[1].first, 2);
+  EXPECT_EQ(mock.folded_[2].first, 4);
+  for (const auto& [id, sum] : mock.folded_) {
+    EXPECT_DOUBLE_EQ(sum, static_cast<real_t>(storage[id].cost.cuda_blocks));
+  }
+  EXPECT_EQ(mock.coverage(1), 0);
+  EXPECT_EQ(mock.coverage(3), 0);
+  EXPECT_EQ(mock.prepared_.count(1), 0u);
+  EXPECT_EQ(mock.prepared_.count(3), 0u);
+  EXPECT_FALSE(mock.saw_atomic_.load());
+  EXPECT_EQ(ex.stats().det_reductions, 3);
+  EXPECT_EQ(ex.stats().fallback_tasks, 0);
+}
+
+TEST(BatchExecutor, VerifyCountsNonSkippedMembers) {
+  // The ABFT exchange at the exec layer: with a backend whose default
+  // abft hooks accept everything, every non-skipped member is verified
+  // and no outcome is flagged.
+  std::vector<Task> storage = {make_task(TaskType::kSsssm, 0, 4),
+                               make_task(TaskType::kSsssm, 1, 4),
+                               make_task(TaskType::kSsssm, 2, 4)};
+  std::vector<const Task*> batch = {&storage[0], &storage[1], &storage[2]};
+  MockBackend mock(3);
+  exec::BatchExecutor ex(exec::BatchExecOptions{});
+  exec::BatchVerify bv;
+  bv.abft = true;
+  const std::vector<char> skip = {0, 1, 0};
+  ex.execute(mock, batch, std::vector<char>(3, 0), &skip, &bv);
+  EXPECT_EQ(bv.verified, 2);
+  ASSERT_EQ(bv.outcome.size(), 3u);
+  for (const char c : bv.outcome) EXPECT_EQ(c, 0);
+  EXPECT_EQ(bv.sabotaged, 0);
+}
+
+TEST(BatchExecutor, WatchdogDegradesHungLaneMidBatch) {
+  std::vector<Task> storage;
+  for (index_t i = 0; i < 6; ++i) {
+    storage.push_back(make_task(TaskType::kSsssm, i, 4));
+  }
+  std::vector<const Task*> batch;
+  for (const Task& t : storage) batch.push_back(&t);
+  MockBackend mock(6);
+  exec::BatchExecOptions opt;
+  opt.n_threads = 4;
+  opt.chunk_blocks = 2;
+  opt.watchdog_s = 0.05;
+  exec::BatchExecutor ex(opt);
+  ex.pool().inject_hang(1);
+  ex.execute(mock, batch, std::vector<char>(6, 0), nullptr);
+  // Every block still ran exactly once (the caller claimed the hung
+  // lane's chunks) and the pool shrank instead of hanging.
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(mock.coverage(i), storage[i].cost.cuda_blocks) << "task " << i;
+  }
+  EXPECT_EQ(ex.stats().lanes_degraded, 1);
+  EXPECT_EQ(ex.pool().width(), 3);
+  // The next batch runs at the degraded width without further loss.
+  MockBackend mock2(6);
+  ex.execute(mock2, batch, std::vector<char>(6, 0), nullptr);
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(mock2.coverage(i), storage[i].cost.cuda_blocks);
+  }
 }
 
 TEST(BatchExecutor, SkippedMembersNeverExecute) {
