@@ -6,10 +6,57 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "order/reorder.hpp"
 #include "support/error.hpp"
 
 namespace th::bench {
+
+namespace {
+
+// TH_TRACE_OUT / TH_METRICS_OUT observe the whole bench process: banner()
+// flips the obs switch on when either is set, and an atexit hook dumps the
+// unified host-span trace (benches keep no single sim timeline, so the
+// sim track is omitted) and the metrics snapshot when the process ends.
+std::string g_obs_process_name = "bench";
+
+void dump_obs_outputs() {
+  const char* t = std::getenv("TH_TRACE_OUT");
+  const char* m = std::getenv("TH_METRICS_OUT");
+  try {
+    if (t != nullptr && t[0] != '\0') {
+      obs::write_unified_trace_file(t, nullptr, obs::Recorder::global(),
+                                    g_obs_process_name);
+      std::printf("[trace written to %s]\n", t);
+    }
+    if (m != nullptr && m[0] != '\0') {
+      obs::write_metrics_file(m);
+      std::printf("[metrics written to %s]\n", m);
+    }
+  } catch (const Error& e) {
+    // atexit must not throw; a failed dump is a warning, not a crash.
+    std::printf("[warning: obs dump failed: %s]\n", e.what());
+  }
+}
+
+void maybe_enable_obs(const std::string& what) {
+  static bool armed = false;
+  if (armed) return;
+  armed = true;
+  const char* t = std::getenv("TH_TRACE_OUT");
+  const char* m = std::getenv("TH_METRICS_OUT");
+  if ((t == nullptr || t[0] == '\0') && (m == nullptr || m[0] == '\0')) return;
+  g_obs_process_name = "bench: " + what;
+  obs::set_enabled(true);
+  obs::Registry::global().reset_values();
+  obs::Recorder::global().clear();
+  std::atexit(dump_obs_outputs);
+}
+
+}  // namespace
 
 bool fast_mode() {
   const char* v = std::getenv("TH_FAST");
@@ -157,6 +204,7 @@ void emit(const Table& table, const std::string& stem) {
 }
 
 void banner(const std::string& what, const std::string& detail) {
+  maybe_enable_obs(what);
   std::printf("================================================================\n");
   std::printf("Reproducing %s\n", what.c_str());
   std::printf("%s\n", detail.c_str());

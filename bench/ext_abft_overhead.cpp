@@ -39,7 +39,7 @@ ScheduleOptions exec_options(bool abft) {
   ScheduleOptions o;
   o.policy = Policy::kTrojanHorse;
   o.cluster = single_gpu(device_a100());
-  o.exec_workers = kThreads;
+  o.exec.workers = kThreads;
   o.abft.enabled = abft;
   return o;
 }
@@ -76,10 +76,10 @@ Measurement measure(const Csr& a, index_t block, int min_reps = 1) {
     const ScheduleResult r = fresh.run_numeric(exec_options(abft));
     const real_t s = sw.seconds();
     if (abft) {
-      m.verified = r.abft.tasks_verified;
-      m.detected = r.abft.corrupt_detected;
-      m.capture_s = r.abft.capture_s;
-      m.verify_s = r.abft.verify_s;
+      m.verified = r.stats().abft.tasks_verified;
+      m.detected = r.stats().abft.corrupt_detected;
+      m.capture_s = r.stats().abft.capture_s;
+      m.verify_s = r.stats().abft.verify_s;
     }
     return s;
   };

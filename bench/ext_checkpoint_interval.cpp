@@ -83,9 +83,9 @@ int main() {
                              const CheckpointPolicy& ck) {
     const ScheduleResult r =
         run_with(RankRecovery::kRestartFromCheckpoint, ck);
-    t.add_row({label, std::to_string(r.faults.checkpoints_taken),
-               fmt_fixed(r.faults.checkpoint_write_s * 1e3, 3),
-               std::to_string(r.faults.tasks_restarted),
+    t.add_row({label, std::to_string(r.stats().faults.checkpoints_taken),
+               fmt_fixed(r.stats().faults.checkpoint_write_s * 1e3, 3),
+               std::to_string(r.stats().faults.tasks_restarted),
                fmt_fixed(r.makespan_s * 1e3, 3),
                fmt_fixed((r.makespan_s / clean - 1) * 100, 2) + "%",
                fmt_fixed(r.makespan_s / migrate.makespan_s, 2) + "x"});

@@ -12,11 +12,14 @@
 //
 // Gate: span speedup at 4 threads must be >= 2x over the 1-thread run
 // (ISSUE acceptance criterion); the binary exits non-zero otherwise.
+#include <algorithm>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "common/bench_common.hpp"
 #include "gen/generators.hpp"
+#include "obs/obs.hpp"
 #include "support/stopwatch.hpp"
 
 using namespace th;
@@ -70,16 +73,16 @@ int main() {
             ScheduleOptions so;
             so.policy = Policy::kTrojanHorse;
             so.cluster = single_gpu(device_a100());
-            so.exec_workers = threads;
-            so.exec_accum = accum;
+            so.exec.workers = threads;
+            so.exec.accum = accum;
             const Stopwatch sw;
             const ScheduleResult r = inst.run_numeric(so);
             run.wall_s = sw.seconds();
-            run.busy_s = r.exec.busy_s;
-            run.slices = r.exec.slices;
-            run.fallbacks = r.exec.fallback_tasks;
-            run.det_reductions = r.exec.det_reductions;
-            return r.exec.span_s;
+            run.busy_s = r.stats().exec.busy_s;
+            run.slices = r.stats().exec.slices;
+            run.fallbacks = r.stats().exec.fallback_tasks;
+            run.det_reductions = r.stats().exec.det_reductions;
+            return r.stats().exec.span_s;
           },
           /*warmup=*/fast_mode() ? 0 : 1);
       run.span_s = span.median;
@@ -109,7 +112,78 @@ int main() {
     }
   }
   emit(t, "ext_exec_scaling");
+
+  // Gate 2: observability overhead (DESIGN.md §12 budget). The same
+  // 4-thread numeric factorisation with obs fully recording — live
+  // aggregate counters, per-lane spans, end-of-run metric publication —
+  // must cost at most 1% more lane CPU time than with the switch off.
+  // Busy time (summed per-thread CPU clock over all lanes) is the gate
+  // metric: it charges every recorded event to the lane that paid for it
+  // while being insensitive to which lane happened to be slowest and to
+  // wall-clock co-tenancy, so it holds to 1% even on oversubscribed CI
+  // hosts where wall and span wander by several percent.
+  {
+    // Fixed-size gate workload, independent of TH_FAST: per-event cost is
+    // constant, so the fast-mode matrix would overstate the relative
+    // overhead (fewer flops per recorded span) and flap near the 1% line.
+    const Csr ga = finalize_system(grid2d_laplacian(64, 64), 1);
+    const auto sample = [&](bool obs_on) {
+      const obs::Session session(obs_on);
+      SolverInstance inst(ga, io);
+      ScheduleOptions so;
+      so.policy = Policy::kTrojanHorse;
+      so.cluster = single_gpu(device_a100());
+      so.exec.workers = 4;
+      return inst.run_numeric(so).stats().exec.busy_s;
+    };
+    // One untimed pair soaks up cold caches/allocator warmup (the 1-thread
+    // sweep above helps, but the obs-on path touches fresh registry and
+    // ring state); then the overhead estimate is the median of per-pair
+    // on/off ratios — each pair alternates which side runs first (a fixed
+    // order would bias every pair the same way under monotone ambient-load
+    // drift) and the median discards the odd descheduled sample.
+    (void)sample(false);
+    (void)sample(true);
+    const auto estimate = [&]() {
+      const int reps = 15;
+      std::vector<real_t> ratios;
+      real_t busy_off = 0, busy_on = 0;
+      for (int i = 0; i < reps; ++i) {
+        const bool on_first = (i % 2) != 0;
+        const real_t first = sample(on_first);
+        const real_t second = sample(!on_first);
+        const real_t off = on_first ? second : first;
+        const real_t on = on_first ? first : second;
+        if (off > 0) ratios.push_back(on / off);
+        busy_off = i == 0 ? off : std::min(busy_off, off);
+        busy_on = i == 0 ? on : std::min(busy_on, on);
+      }
+      std::sort(ratios.begin(), ratios.end());
+      const real_t overhead =
+          ratios.empty() ? 0 : ratios[ratios.size() / 2] - 1;
+      std::printf("obs overhead: lane CPU %.1f ms off, %.1f ms on (best of "
+                  "%d), median pair ratio %+.2f%%\n",
+                  busy_off * 1e3, busy_on * 1e3, reps, overhead * 100);
+      return overhead;
+    };
+    real_t overhead = estimate();
+    if (overhead > 0.01) {
+      // One independent re-measurement before declaring failure: a single
+      // median estimate still carries ~1% sampling noise on a heavily
+      // co-tenanted host, and the budget line sits exactly there.
+      std::printf("over budget once, confirming with a fresh estimate...\n");
+      overhead = estimate();
+    }
+    if (overhead > 0.01) {
+      std::printf("GATE FAILED: obs-on lane CPU overhead %.2f%% "
+                  "(need <= 1%%)\n",
+                  overhead * 100);
+      gate_ok = false;
+    }
+  }
+
   if (!gate_ok) return 1;
-  std::printf("gate passed: span speedup >= 2x at 4 threads in both modes\n");
+  std::printf("gate passed: span speedup >= 2x at 4 threads in both modes, "
+              "obs overhead <= 1%%\n");
   return 0;
 }

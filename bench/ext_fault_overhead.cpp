@@ -51,12 +51,12 @@ int main() {
     plan.max_retries = 50;
     const ScheduleResult r =
         mb.run_custom(SolverCore::kPlu, fault_options(plan));
-    t.add_row({fmt_fixed(p, 4), std::to_string(r.faults.transient_faults),
-               std::to_string(r.faults.retries),
-               fmt_fixed(r.faults.backoff_delay_s * 1e3, 3),
+    t.add_row({fmt_fixed(p, 4), std::to_string(r.stats().faults.transient_faults),
+               std::to_string(r.stats().faults.retries),
+               fmt_fixed(r.stats().faults.backoff_delay_s * 1e3, 3),
                fmt_fixed(r.makespan_s * 1e3, 3),
                fmt_fixed((r.makespan_s / clean.makespan_s - 1) * 100, 2) + "%",
-               r.faults.fully_accounted() ? "yes" : "NO"});
+               r.stats().faults.fully_accounted() ? "yes" : "NO"});
   }
   emit(t, "ext_fault_transient");
 
@@ -73,8 +73,8 @@ int main() {
       const ScheduleResult r =
           mb.run_custom(SolverCore::kPlu, fault_options(plan));
       const offset_t moved = rec == RankRecovery::kMigrate
-                                 ? r.faults.tasks_migrated
-                                 : r.faults.cpu_fallback_tasks;
+                                 ? r.stats().faults.tasks_migrated
+                                 : r.stats().faults.cpu_fallback_tasks;
       d.add_row({fmt_fixed(f, 1) + " x clean", std::to_string(moved),
                  fmt_fixed(r.makespan_s * 1e3, 3),
                  fmt_fixed((r.makespan_s / clean.makespan_s - 1) * 100, 2) +
@@ -98,8 +98,8 @@ int main() {
     plan.link_degrades.push_back({0, 1, 4.0});
     const ScheduleResult r =
         mb.run_custom(SolverCore::kPlu, fault_options(plan));
-    c.add_row({"storm", std::to_string(r.faults.injected()),
-               std::to_string(r.faults.handled()),
+    c.add_row({"storm", std::to_string(r.stats().faults.injected()),
+               std::to_string(r.stats().faults.handled()),
                fmt_fixed(r.makespan_s * 1e3, 3),
                fmt_fixed((r.makespan_s / clean.makespan_s - 1) * 100, 2) +
                    "%"});

@@ -30,6 +30,14 @@
 //     --abft-retries <n>         re-runs per corrupt task before escalating
 //                                (default: the fault plan's retry budget)
 //     --trace <out.json>         write a Chrome trace of the schedule
+//     --trace-out <out.json>     write the *unified* observability trace:
+//                                simulated kernel timeline plus host
+//                                runtime/exec-lane spans and aggregate-
+//                                stage instants on separate tracks
+//                                (enables the obs layer for the run)
+//     --metrics-out <m.json>     snapshot the obs metrics registry after
+//                                the run (.csv for CSV, else JSON);
+//                                enables the obs layer for the run
 //     --faults <spec>            fault-injection plan (see below)
 //     --ckpt-interval <sec|auto> coordinated checkpoints every <sec> of
 //                                simulated time ("auto" = Young/Daly from
@@ -79,6 +87,10 @@
 #include <string>
 
 #include "gen/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "resilience/checkpoint.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace_export.hpp"
@@ -102,6 +114,7 @@ using namespace th;
                "[--threads N] [--accum atomic|det] "
                "[--block B] [--ordering mindeg|rcm|nd|natural] "
                "[--refine I] [--abft] [--abft-retries N] [--trace out.json] "
+               "[--trace-out unified.json] [--metrics-out m.json|m.csv] "
                "[--faults transient=P,kill=R@T,cpu=R@T,restart=R@T,"
                "degrade=A-B@F,nan=ID,inf=ID,tinypivot=ID,bitflip=ID,"
                "scale=ID,snan=ID,guards=1,seed=S,retries=N,backoff=SEC] "
@@ -244,6 +257,7 @@ int main(int argc, char** argv) {
   using namespace th;
 
   std::string matrix_path, gen_kind = "grid2d", trace_path, faults_spec;
+  std::string trace_out_path, metrics_out_path;
   std::string core = "plu", policy = "th", device = "a100";
   std::string ordering = "mindeg";
   std::string ckpt_interval_spec, ckpt_out_path, resume_path;
@@ -300,6 +314,14 @@ int main(int argc, char** argv) {
           parse_int_strict("--abft-retries", need("--abft-retries"), 0);
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = need("--trace");
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out_path = need("--trace-out");
+    } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
+      trace_out_path = argv[i] + 12;
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out_path = need("--metrics-out");
+    } else if (!std::strncmp(argv[i], "--metrics-out=", 14)) {
+      metrics_out_path = argv[i] + 14;
     } else if (!std::strcmp(argv[i], "--faults")) {
       faults_spec = need("--faults");
     } else if (!std::strcmp(argv[i], "--ckpt-interval")) {
@@ -360,8 +382,8 @@ int main(int argc, char** argv) {
                                                 : single_gpu(device_by_name(device));
     if (ranks > 1) so.cluster.gpu = device_by_name(device);
     if (!faults_spec.empty()) so.faults = parse_faults(faults_spec);
-    so.exec_workers = threads;
-    so.exec_accum = exec::accum_mode_by_name(accum);
+    so.exec.workers = threads;
+    so.exec.accum = exec::accum_mode_by_name(accum);
     so.abft.enabled = abft;
     so.abft.max_retries = abft_retries;
     so.validate_schedule = validate;
@@ -375,14 +397,17 @@ int main(int argc, char** argv) {
       }
       if (ckpt_write > 0) so.checkpoint.write_cost_s = ckpt_write;
     }
-    CheckpointState ckpt_captured;
-    if (!ckpt_out_path.empty()) so.checkpoint_out = &ckpt_captured;
+    // Either observability output turns the obs layer on for the run;
+    // constructing the Session also resets the registry and recorder so
+    // the files hold exactly this run.
+    const bool obs_on = !trace_out_path.empty() || !metrics_out_path.empty();
+    const obs::Session obs_session(obs_on);
 
     if (!resume_path.empty()) {
       // Resume is a timing replay: numeric state is not checkpointed, only
       // schedule progress, so the remaining timeline is reproduced
       // bit-identically without re-running kernels.
-      so.resume = &resume_state;
+      so.resume = resume_state;
       const ScheduleResult r = inst.run_timing(so);
       std::printf("resume from %s at t=%.6f s: remaining schedule %.3f ms, "
                   "%lld kernels (%s policy on %d x %s)\n",
@@ -394,8 +419,16 @@ int main(int argc, char** argv) {
         if (!trace_path.empty()) {
           write_chrome_trace_file(trace_path, r.trace, "thsolve " + policy);
         }
-        if (!ckpt_out_path.empty() && !ckpt_captured.empty()) {
-          save_checkpoint_file(ckpt_out_path, ckpt_captured);
+        if (!trace_out_path.empty()) {
+          obs::write_unified_trace_file(trace_out_path, &r.trace,
+                                        obs::Recorder::global(),
+                                        "thsolve " + policy);
+        }
+        if (!metrics_out_path.empty()) {
+          obs::write_metrics_file(metrics_out_path);
+        }
+        if (!ckpt_out_path.empty() && !r.stats().checkpoint.empty()) {
+          save_checkpoint_file(ckpt_out_path, r.stats().checkpoint);
         }
       } catch (const Error& e) {
         std::fprintf(stderr, "thsolve: %s\n", e.what());
@@ -417,27 +450,32 @@ int main(int argc, char** argv) {
       std::printf("exec: %d host threads (%s accum): wall %.1f ms, span "
                   "%.1f ms, busy %.1f ms, %ld slices, %ld whole-task "
                   "fallbacks\n",
-                  r.exec.workers, accum.c_str(), r.exec.wall_s * 1e3,
-                  r.exec.span_s * 1e3, r.exec.busy_s * 1e3, r.exec.slices,
-                  r.exec.fallback_tasks);
+                  r.stats().exec.workers, accum.c_str(),
+                  r.stats().exec.wall_s * 1e3, r.stats().exec.span_s * 1e3,
+                  r.stats().exec.busy_s * 1e3, r.stats().exec.slices,
+                  r.stats().exec.fallback_tasks);
     }
-    if (r.abft.enabled) {
+    if (r.stats().abft.enabled) {
       std::printf("abft: %lld task(s) verified, %lld corrupt detected, "
                   "%lld retried, %lld accepted after budget, overhead "
                   "%.1f ms capture + %.1f ms verify\n",
-                  static_cast<long long>(r.abft.tasks_verified),
-                  static_cast<long long>(r.abft.corrupt_detected),
-                  static_cast<long long>(r.abft.retries),
-                  static_cast<long long>(r.abft.exhausted),
-                  r.abft.capture_s * 1e3, r.abft.verify_s * 1e3);
+                  static_cast<long long>(r.stats().abft.tasks_verified),
+                  static_cast<long long>(r.stats().abft.corrupt_detected),
+                  static_cast<long long>(r.stats().abft.retries),
+                  static_cast<long long>(r.stats().abft.exhausted),
+                  r.stats().abft.capture_s * 1e3,
+                  r.stats().abft.verify_s * 1e3);
     }
 
-    if (r.faults.any()) {
+    const FaultReport& fr = r.stats().faults;
+    if (fr.any()) {
+      // The clean baseline is a pricing detail: keep it out of the obs
+      // registry and recorder so the outputs describe the real run only.
+      const obs::ScopedDisable no_obs;
       const real_t clean = inst.run_timing([&] {
                              ScheduleOptions c = so;
                              c.faults = FaultPlan{};
                              c.checkpoint = CheckpointPolicy{};
-                             c.checkpoint_out = nullptr;
                              return c;
                            }())
                                .makespan_s;
@@ -446,25 +484,25 @@ int main(int argc, char** argv) {
           "cpu-fallback, %lld numeric), %lld retries, %d rank(s) failed, "
           "guards scrubbed %lld / perturbed %lld, overhead %.3f ms "
           "(+%.1f%%)\n",
-          static_cast<long long>(r.faults.injected()),
-          static_cast<long long>(r.faults.transient_faults),
-          static_cast<long long>(r.faults.tasks_migrated),
-          static_cast<long long>(r.faults.cpu_fallback_tasks),
-          static_cast<long long>(r.faults.numeric_faults_injected),
-          static_cast<long long>(r.faults.retries), r.faults.ranks_failed,
-          static_cast<long long>(r.faults.guards.nonfinite_scrubbed),
-          static_cast<long long>(r.faults.guards.pivots_perturbed),
+          static_cast<long long>(fr.injected()),
+          static_cast<long long>(fr.transient_faults),
+          static_cast<long long>(fr.tasks_migrated),
+          static_cast<long long>(fr.cpu_fallback_tasks),
+          static_cast<long long>(fr.numeric_faults_injected),
+          static_cast<long long>(fr.retries), fr.ranks_failed,
+          static_cast<long long>(fr.guards.nonfinite_scrubbed),
+          static_cast<long long>(fr.guards.pivots_perturbed),
           (r.makespan_s - clean) * 1e3,
           clean > 0 ? (r.makespan_s / clean - 1.0) * 100.0 : 0.0);
-      if (r.faults.checkpoints_taken > 0 || r.faults.tasks_restarted > 0) {
+      if (fr.checkpoints_taken > 0 || fr.tasks_restarted > 0) {
         std::printf("ckpt: %lld checkpoint(s) written (%.3f ms of pauses), "
                     "%d rank restart(s), %lld task(s) re-executed\n",
-                    static_cast<long long>(r.faults.checkpoints_taken),
-                    r.faults.checkpoint_write_s * 1e3,
-                    r.faults.ranks_restarted,
-                    static_cast<long long>(r.faults.tasks_restarted));
+                    static_cast<long long>(fr.checkpoints_taken),
+                    fr.checkpoint_write_s * 1e3,
+                    fr.ranks_restarted,
+                    static_cast<long long>(fr.tasks_restarted));
       }
-      if (r.faults.escalate_refinement && refine_iters == 0) {
+      if (fr.escalate_refinement && refine_iters == 0) {
         // Guards repaired factors in place, or ABFT accepted a corrupt
         // tile after exhausting retries; polish the solve either way.
         refine_iters = 8;
@@ -494,7 +532,20 @@ int main(int argc, char** argv) {
         std::printf("schedule trace written to %s (open in chrome://tracing)\n",
                     trace_path.c_str());
       }
+      if (!trace_out_path.empty()) {
+        obs::write_unified_trace_file(trace_out_path, &r.trace,
+                                      obs::Recorder::global(),
+                                      "thsolve " + policy);
+        std::printf("unified obs trace written to %s (open in ui.perfetto.dev "
+                    "or chrome://tracing)\n",
+                    trace_out_path.c_str());
+      }
+      if (!metrics_out_path.empty()) {
+        obs::write_metrics_file(metrics_out_path);
+        std::printf("obs metrics written to %s\n", metrics_out_path.c_str());
+      }
       if (!ckpt_out_path.empty()) {
+        const CheckpointState& ckpt_captured = r.stats().checkpoint;
         if (ckpt_captured.empty()) {
           std::fprintf(stderr,
                        "thsolve: no checkpoint captured (did the run outlast "

@@ -1,0 +1,18 @@
+#include "abft/abft.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace th::abft {
+
+void AbftStats::publish_metrics() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("th.abft.verified").add(tasks_verified);
+  reg.counter("th.abft.detected").add(corrupt_detected);
+  reg.counter("th.abft.retries").add(retries);
+  reg.counter("th.abft.exhausted").add(exhausted);
+  reg.counter("th.abft.silent_injected").add(silent_injected);
+  reg.gauge("th.abft.capture_s").add(capture_s);
+  reg.gauge("th.abft.verify_s").add(verify_s);
+}
+
+}  // namespace th::abft

@@ -57,6 +57,11 @@ struct AbftStats {
     return tasks_verified > 0 || corrupt_detected > 0 || retries > 0 ||
            exhausted > 0 || silent_injected > 0;
   }
+
+  /// Mirror these counters into the obs metrics registry under th.abft.*
+  /// (called by the scheduler at the end of every observed run, so
+  /// registry snapshots reconcile with ScheduleResult by construction).
+  void publish_metrics() const;
 };
 
 }  // namespace th::abft

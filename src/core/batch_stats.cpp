@@ -8,15 +8,14 @@ namespace th {
 
 BatchAnatomy analyze_batches(const TaskGraph& graph,
                              const ScheduleResult& result) {
-  TH_CHECK_MSG(!result.batch_members.empty() ||
-                   result.trace.kernel_count() == 0,
+  const BatchLog& blog = result.stats().batches;
+  TH_CHECK_MSG(!blog.empty() || result.trace.kernel_count() == 0,
                "analyze_batches needs ScheduleOptions::collect_batches");
-  TH_CHECK(result.batch_had_conflict.size() == result.batch_members.size());
 
   BatchAnatomy a;
-  a.batches = static_cast<offset_t>(result.batch_members.size());
-  for (std::size_t b = 0; b < result.batch_members.size(); ++b) {
-    const std::vector<index_t>& members = result.batch_members[b];
+  a.batches = static_cast<offset_t>(blog.size());
+  for (std::size_t b = 0; b < blog.size(); ++b) {
+    const std::vector<index_t>& members = blog[b].members;
     TH_CHECK(!members.empty());
     a.tasks += static_cast<offset_t>(members.size());
     a.max_batch_size = std::max<offset_t>(
@@ -43,7 +42,7 @@ BatchAnatomy analyze_batches(const TaskGraph& graph,
     if (max_blocks > 2 * std::max<index_t>(min_blocks, 1)) {
       ++a.mixed_size_batches;
     }
-    if (result.batch_had_conflict[b]) ++a.conflict_batches;
+    if (blog[b].had_conflict) ++a.conflict_batches;
   }
   if (a.batches > 0) {
     a.mean_batch_size =

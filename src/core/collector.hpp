@@ -23,6 +23,12 @@ struct CollectorOptions {
 
 class Collector {
  public:
+  /// Which capacity bound rejected the last try_add() — the reason a batch
+  /// closed. kNone when the last admission succeeded (the batch closed
+  /// because the queues drained, not because a resource ran out). Feeds
+  /// the obs aggregate-stage events (DESIGN.md §12).
+  enum class RejectReason : char { kNone, kCount, kBlocks, kShmem };
+
   Collector(const DeviceSpec& device, CollectorOptions opts = {})
       : device_(device), opts_(opts) {}
 
@@ -37,11 +43,16 @@ class Collector {
     if (!batch_.empty()) {
       if (opts_.capacity == CollectorOptions::Capacity::kCountOnly) {
         if (static_cast<index_t>(batch_.size()) >= opts_.max_task_count) {
+          last_reject_ = RejectReason::kCount;
           return false;
         }
       } else {
-        if (used_blocks_ + blocks > device_.resident_blocks() ||
-            used_shmem_ + shmem > device_.total_shmem_bytes()) {
+        if (used_blocks_ + blocks > device_.resident_blocks()) {
+          last_reject_ = RejectReason::kBlocks;
+          return false;
+        }
+        if (used_shmem_ + shmem > device_.total_shmem_bytes()) {
+          last_reject_ = RejectReason::kShmem;
           return false;
         }
       }
@@ -49,8 +60,11 @@ class Collector {
     batch_.push_back(t.id);
     used_blocks_ += blocks;
     used_shmem_ += shmem;
+    last_reject_ = RejectReason::kNone;
     return true;
   }
+
+  RejectReason last_reject() const { return last_reject_; }
 
   bool full() const {
     if (opts_.capacity == CollectorOptions::Capacity::kCountOnly) {
@@ -69,6 +83,7 @@ class Collector {
     batch_ = {};
     used_blocks_ = 0;
     used_shmem_ = 0;
+    last_reject_ = RejectReason::kNone;
     return out;
   }
 
@@ -78,6 +93,7 @@ class Collector {
   std::vector<index_t> batch_;
   offset_t used_blocks_ = 0;
   offset_t used_shmem_ = 0;
+  RejectReason last_reject_ = RejectReason::kNone;
 };
 
 }  // namespace th

@@ -6,6 +6,7 @@
 // bench swaps this for a FIFO to quantify the heap's contribution.
 #pragma once
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
@@ -27,6 +28,7 @@ class Container {
     } else {
       fifo_.push_back(id);
     }
+    peak_ = std::max(peak_, size());
   }
 
   /// Convenience: store under the paper's default priority key.
@@ -51,10 +53,14 @@ class Container {
   std::size_t size() const {
     return discipline_ == Discipline::kHeap ? heap_.size() : fifo_.size();
   }
+  /// High-water mark of buffered tasks over the Container's lifetime —
+  /// the "container depth" the obs layer reports per rank.
+  std::size_t peak_size() const { return peak_; }
 
  private:
   using Entry = std::pair<std::uint64_t, index_t>;  // (key, task id)
   Discipline discipline_;
+  std::size_t peak_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::vector<index_t> fifo_;
 };

@@ -5,14 +5,14 @@
 namespace th {
 
 Executor::Executor(KernelCostModel model, NumericBackend* backend,
-                   int n_workers, exec::AccumMode accum, real_t watchdog_s)
+                   const ExecOptions& opt)
     : model_(std::move(model)), backend_(backend) {
-  TH_CHECK(n_workers >= 1);
-  exec::BatchExecOptions opt;
-  opt.n_threads = n_workers;
-  opt.accum = accum;
-  opt.watchdog_s = watchdog_s;
-  batch_exec_ = std::make_unique<exec::BatchExecutor>(opt);
+  TH_CHECK(opt.workers >= 1);
+  exec::BatchExecOptions bopt;
+  bopt.n_threads = opt.workers;
+  bopt.accum = opt.accum;
+  bopt.watchdog_s = opt.watchdog_s;
+  batch_exec_ = std::make_unique<exec::BatchExecutor>(bopt);
 }
 
 Executor::~Executor() = default;

@@ -20,6 +20,23 @@
 
 namespace th {
 
+/// Host-side numeric batch-execution knobs (exec::BatchExecutor), grouped
+/// the way `faults`/`abft`/`checkpoint` already are on ScheduleOptions
+/// (which nests one of these as `.exec`).
+struct ExecOptions {
+  /// Host threads for numeric batch execution (exec::BatchExecutor lanes,
+  /// each playing a CUDA block). thsolve_cli --threads / TH_THREADS.
+  int workers = 1;
+  /// How write-conflicting SSSSM members accumulate when workers > 1:
+  /// atomic fetch-add in place (paper-faithful) or per-task scratch folded
+  /// in batch order (bit-reproducible). thsolve_cli --accum.
+  exec::AccumMode accum = exec::AccumMode::kAtomic;
+  /// WorkerPool hung-lane watchdog period in seconds (0 disables): a lane
+  /// that never starts within the period is taken over by the caller and
+  /// the pool degrades to the responsive width for subsequent batches.
+  real_t watchdog_s = 0;
+};
+
 struct BatchResult {
   real_t seconds = 0;   // simulated total duration (host + device)
   real_t host_s = 0;    // host-side share (launch + per-task preparation)
@@ -48,13 +65,12 @@ struct ExecuteOptions {
 class Executor {
  public:
   /// `backend` may be null for timing-only replays (the numeric results
-  /// were already validated in an earlier run). `n_workers > 1` executes
-  /// batch members block-sliced on a persistent thread pool; `accum`
+  /// were already validated in an earlier run). `opt.workers > 1` executes
+  /// batch members block-sliced on a persistent thread pool; `opt.accum`
   /// selects how write-conflicting members fold their updates;
-  /// `watchdog_s` (0 = off) arms the pool's hung-lane watchdog.
-  Executor(KernelCostModel model, NumericBackend* backend, int n_workers = 1,
-           exec::AccumMode accum = exec::AccumMode::kAtomic,
-           real_t watchdog_s = 0);
+  /// `opt.watchdog_s` (0 = off) arms the pool's hung-lane watchdog.
+  Executor(KernelCostModel model, NumericBackend* backend,
+           const ExecOptions& opt = {});
   ~Executor();
 
   Executor(const Executor&) = delete;

@@ -8,6 +8,8 @@
 #pragma once
 
 #include "core/task.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace th {
 
@@ -31,8 +33,21 @@ class Prioritizer {
 
   /// True iff the task should bypass the Container.
   bool is_urgent(const Task& t) const {
-    if (t.type == TaskType::kGetrf) return true;
-    return t.diag_distance() <= opts_.urgent_window;
+    const bool urgent = t.type == TaskType::kGetrf ||
+                        t.diag_distance() <= opts_.urgent_window;
+    if (obs::enabled()) {
+      // Urgency decisions are the first aggregate-stage signal: the
+      // urgent/deferred split explains the batch shapes downstream.
+      // Registry references are stable, so the lookups amortise to two
+      // relaxed increments per decision.
+      static obs::Counter& decisions =
+          obs::Registry::global().counter("th.agg.urgency_decisions");
+      static obs::Counter& urgent_yes =
+          obs::Registry::global().counter("th.agg.urgent_tasks");
+      decisions.add(1);
+      if (urgent) urgent_yes.add(1);
+    }
+    return urgent;
   }
 
   /// Instance priority key under the configured metric; strictly smaller =

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "resilience/validate.hpp"
 #include "support/error.hpp"
 
@@ -24,6 +27,33 @@ const char* policy_name(Policy p) {
       return "trojan-horse";
   }
   return "?";
+}
+
+std::vector<std::vector<index_t>> ScheduleResult::batch_members() const {
+  std::vector<std::vector<index_t>> out;
+  out.reserve(stats_.batches.size());
+  for (const BatchLog::Batch& b : stats_.batches.batches) {
+    out.push_back(b.members);
+  }
+  return out;
+}
+
+std::vector<char> ScheduleResult::batch_had_conflict() const {
+  std::vector<char> out;
+  out.reserve(stats_.batches.size());
+  for (const BatchLog::Batch& b : stats_.batches.batches) {
+    out.push_back(b.had_conflict ? 1 : 0);
+  }
+  return out;
+}
+
+std::vector<std::vector<char>> ScheduleResult::batch_status() const {
+  std::vector<std::vector<char>> out;
+  out.reserve(stats_.batches.size());
+  for (const BatchLog::Batch& b : stats_.batches.batches) {
+    out.push_back(b.status);
+  }
+  return out;
 }
 
 namespace {
@@ -111,8 +141,8 @@ void ScheduleOptions::validate() const {
                "n_streams must be >= 1, got " << opt.n_streams);
   // Bounded above as well: a worker is an OS thread, and a thread count in
   // the thousands is a mistyped flag, not a machine.
-  TH_CHECK_MSG(opt.exec_workers >= 1 && opt.exec_workers <= 256,
-               "exec_workers must be in [1, 256], got " << opt.exec_workers);
+  TH_CHECK_MSG(opt.exec.workers >= 1 && opt.exec.workers <= 256,
+               "exec.workers must be in [1, 256], got " << opt.exec.workers);
   const ClusterSpec& c = opt.cluster;
   TH_CHECK_MSG(c.gpus_per_node >= 1,
                "cluster '" << c.name << "' needs gpus_per_node >= 1");
@@ -131,8 +161,8 @@ void ScheduleOptions::validate() const {
   opt.faults.validate(opt.n_ranks);
   opt.checkpoint.validate();
   opt.abft.validate();
-  TH_CHECK_MSG(opt.exec_watchdog_s >= 0,
-               "exec_watchdog_s must be >= 0, got " << opt.exec_watchdog_s);
+  TH_CHECK_MSG(opt.exec.watchdog_s >= 0,
+               "exec.watchdog_s must be >= 0, got " << opt.exec.watchdog_s);
 }
 
 ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
@@ -143,8 +173,12 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
 
   const Prioritizer prioritizer(opt.prioritizer);
   KernelCostModel model(opt.cluster.gpu);
-  Executor executor(model, backend, opt.exec_workers, opt.exec_accum,
-                    opt.exec_watchdog_s);
+  Executor executor(model, backend, opt.exec);
+
+  // One observability gate per run: with the switch off every
+  // instrumentation site below folds to a dead branch and the simulated
+  // output is bit-identical to an uninstrumented build.
+  const bool obs_on = obs::enabled();
 
   std::vector<RankState> ranks(static_cast<std::size_t>(opt.n_ranks));
   for (auto& r : ranks) {
@@ -178,13 +212,14 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   };
 
   ScheduleResult result;
-  result.ranks.assign(static_cast<std::size_t>(opt.n_ranks), RankStats{});
+  ScheduleStats& rstats = result.stats();
+  rstats.ranks.assign(static_cast<std::size_t>(opt.n_ranks), RankStats{});
   std::unordered_set<std::uint64_t> comm_pairs;  // (producer, dest rank)
 
   // ---- Fault-model state -----------------------------------------------
   const FaultPlan& plan = opt.faults;
   const bool fault_mode = !plan.empty();
-  FaultReport& freport = result.faults;
+  FaultReport& freport = rstats.faults;
   // Effective owner of each task; rank-death migration rewrites entries
   // (fault-free runs never touch it, so routing is byte-identical).
   std::vector<int> eff_owner(static_cast<std::size_t>(n));
@@ -217,7 +252,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   const bool abft_mode = opt.abft.enabled && backend != nullptr;
   const int abft_budget =
       opt.abft.max_retries >= 0 ? opt.abft.max_retries : plan.max_retries;
-  result.abft.enabled = abft_mode;
+  rstats.abft.enabled = abft_mode;
   std::vector<int> abft_attempts;  // corrupt re-runs per task
   if (abft_mode) abft_attempts.assign(static_cast<std::size_t>(n), 0);
 
@@ -232,7 +267,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
                "checkpoint interval " << ckpt_interval
                                       << "s must exceed the write cost "
                                       << ckpt.write_cost_s << "s");
-  bool restart_mode = opt.resume != nullptr;
+  bool restart_mode = opt.resume.has_value();
   for (const RankFailure& f : failures) {
     restart_mode |= f.recovery == RankRecovery::kRestartFromCheckpoint;
   }
@@ -295,7 +330,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   };
 
   index_t completed = 0;
-  if (opt.resume != nullptr) {
+  if (opt.resume.has_value()) {
     // Restore the snapshot: the remaining schedule replays bit-identically
     // to the trace suffix of the run that captured it.
     const CheckpointState& snap = *opt.resume;
@@ -355,6 +390,11 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     if (ckpt_mode) {
       next_ckpt_t = ckpt_interval;
       while (next_ckpt_t <= snap.time_s) next_ckpt_t += ckpt_interval;
+    }
+    if (obs_on) {
+      obs::Recorder::global().instant(
+          obs::Domain::kSim, -1, "resume from checkpoint", "recovery",
+          snap.time_s, "tasks_done", static_cast<std::int64_t>(completed));
     }
   } else {
     for (index_t id = 0; id < n; ++id) {
@@ -431,9 +471,8 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       --completed;
       ++freport.tasks_restarted;
       if (!done_app.empty() && done_app[id].first >= 0) {
-        result
-            .batch_status[static_cast<std::size_t>(done_app[id].first)]
-                         [static_cast<std::size_t>(done_app[id].second)] = 2;
+        rstats.batches[static_cast<std::size_t>(done_app[id].first)]
+            .status[static_cast<std::size_t>(done_app[id].second)] = 2;
       }
     }
     // 2) Re-derive readiness; entries whose dependencies reopened are now
@@ -498,6 +537,15 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     const std::size_t fr = static_cast<std::size_t>(f.rank);
     if (rank_dead[fr] || rank_cpu[fr]) return;  // already degraded
     ++freport.ranks_failed;
+    if (obs_on) {
+      const char* what = f.recovery == RankRecovery::kCpuFallback
+                             ? "rank failure: cpu-fallback"
+                         : f.recovery == RankRecovery::kRestartFromCheckpoint
+                             ? "rank failure: restart"
+                             : "rank failure: migrate";
+      obs::Recorder::global().instant(obs::Domain::kSim, f.rank, what,
+                                      "recovery", f.time_s, "rank", f.rank);
+    }
     if (f.recovery == RankRecovery::kCpuFallback) {
       rank_cpu[fr] = 1;  // keeps launching; priced on the CPU model
       return;
@@ -570,6 +618,11 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     }
     ++freport.checkpoints_taken;
     freport.checkpoint_write_s += ckpt.write_cost_s * alive;
+    if (obs_on) {
+      obs::Recorder::global().instant(
+          obs::Domain::kSim, -1, "checkpoint", "recovery", t_c, "tasks_done",
+          static_cast<std::int64_t>(completed), "alive_ranks", alive);
+    }
 
     CheckpointState s;
     s.time_s = t_c;
@@ -605,11 +658,22 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   };
 
   // ---- Batch formation -----------------------------------------------
+  // Aggregate-stage anatomy of the most recent form_batch call (TH policy
+  // only): how many members came straight from the urgent heap vs. topped
+  // up from the Container, how many conflicts were deferred, and which
+  // capacity bound closed the batch. Feeds the obs aggregate events.
+  int agg_urgent = 0;
+  int agg_topup = 0;
+  int agg_deferred = 0;
+  Collector::RejectReason agg_close = Collector::RejectReason::kNone;
+
   // Returns task ids + per-task atomic flags.
   auto form_batch = [&](RankState& st)
       -> std::pair<std::vector<index_t>, std::vector<char>> {
     std::vector<index_t> batch;
     std::vector<char> atomic;
+    agg_urgent = agg_topup = agg_deferred = 0;
+    agg_close = Collector::RejectReason::kNone;
 
     if (opt.cpu_mode) {
       // CPU solvers keep all cores busy with whatever is ready: consume the
@@ -698,6 +762,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
         if (!admit(id)) break;  // Collector full; id stays urgent
         st.urgent.pop();
       }
+      agg_urgent = static_cast<int>(batch.size());
       // Phase 2: top up from the Container.
       while (!collector.full() && !st.container.empty()) {
         const index_t id = st.container.pop();
@@ -707,6 +772,9 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
           break;
         }
       }
+      agg_topup = static_cast<int>(batch.size()) - agg_urgent;
+      agg_deferred = static_cast<int>(deferred.size());
+      agg_close = collector.last_reject();
       for (index_t id : deferred) {
         st.container.push(th_key(graph.task(id)), id);
       }
@@ -777,6 +845,43 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       any_conflict |= (a != 0);
     }
 
+    if (obs_on && opt.policy == Policy::kTrojanHorse && !opt.cpu_mode) {
+      auto& rec = obs::Recorder::global();
+      auto& reg = obs::Registry::global();
+      rec.instant(obs::Domain::kSim, best_rank, "batch formed", "aggregate",
+                  t0, "urgent", agg_urgent, "topup", agg_topup);
+      rec.instant(obs::Domain::kSim, best_rank, "container depth",
+                  "aggregate", t0, "depth",
+                  static_cast<std::int64_t>(st.container.size()), "deferred",
+                  agg_deferred);
+      switch (agg_close) {
+        case Collector::RejectReason::kBlocks:
+          rec.instant(obs::Domain::kSim, best_rank,
+                      "collector full: blocks", "aggregate", t0);
+          reg.counter("th.agg.close_blocks").add(1);
+          break;
+        case Collector::RejectReason::kShmem:
+          rec.instant(obs::Domain::kSim, best_rank, "collector full: shmem",
+                      "aggregate", t0);
+          reg.counter("th.agg.close_shmem").add(1);
+          break;
+        case Collector::RejectReason::kCount:
+          rec.instant(obs::Domain::kSim, best_rank, "collector full: count",
+                      "aggregate", t0);
+          reg.counter("th.agg.close_count").add(1);
+          break;
+        case Collector::RejectReason::kNone:
+          reg.counter("th.agg.close_drained").add(1);
+          break;
+      }
+      reg.counter("th.agg.topup_tasks").add(agg_topup);
+      reg.counter("th.agg.deferred_conflicts").add(agg_deferred);
+      reg.histogram("th.agg.container_depth")
+          .record(static_cast<double>(st.container.size()));
+      reg.histogram("th.sched.batch_size")
+          .record(static_cast<double>(batch.size()));
+    }
+
     // Decide transient kernel faults for this attempt *before* numerics
     // run: faulted members are priced (the kernel ran and its results were
     // discarded) but their numeric bodies are deferred to the retry, so
@@ -793,18 +898,24 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
           failed[i] = 1;
           any_failed = true;
           ++freport.transient_faults;
+          if (obs_on) {
+            obs::Recorder::global().instant(
+                obs::Domain::kSim, best_rank, "transient fault", "recovery",
+                t0, "task", batch[i]);
+          }
         }
       }
     }
     if (collect) {
-      result.batch_members.push_back(batch);
-      result.batch_had_conflict.push_back(any_conflict ? 1 : 0);
+      BatchLog::Batch& blog = rstats.batches.batches.emplace_back();
+      blog.members = batch;
+      blog.had_conflict = any_conflict;
       // Per-member outcome: transient faults are known now; lost-to-restart
       // (status 2) is flipped retroactively when a restart discards work.
       if (failed.empty()) {
-        result.batch_status.emplace_back(batch.size(), 0);
+        blog.status.assign(batch.size(), 0);
       } else {
-        result.batch_status.emplace_back(failed.begin(), failed.end());
+        blog.status.assign(failed.begin(), failed.end());
       }
     }
 
@@ -860,10 +971,10 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     std::vector<char> corrupt_retry;  // members rolled back & re-queued
     if (eo.verify != nullptr) {
       freport.numeric_faults_injected += bv.sabotaged;
-      result.abft.silent_injected += bv.sabotaged;
-      result.abft.tasks_verified += bv.verified;
-      result.abft.capture_s += bv.capture_s;
-      result.abft.verify_s += bv.verify_s;
+      rstats.abft.silent_injected += bv.sabotaged;
+      rstats.abft.tasks_verified += bv.verified;
+      rstats.abft.capture_s += bv.capture_s;
+      rstats.abft.verify_s += bv.verify_s;
       // Silent corruption planted without the checksum layer armed is, by
       // construction, never caught — record it as fatal so the fault
       // balance (injected == handled + fatal) still closes.
@@ -891,28 +1002,40 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
           const int att = ++abft_attempts[batch[i]];
           if (att <= abft_budget) any_within = true;
         }
-        result.abft.corrupt_detected +=
+        rstats.abft.corrupt_detected +=
             static_cast<offset_t>(members.size());
         if (any_within) {
           if (corrupt_retry.empty()) corrupt_retry.assign(batch.size(), 0);
           backend->abft_rollback(graph.task(batch[members.front()]));
           for (const std::size_t i : members) {
             corrupt_retry[i] = 1;
-            ++result.abft.retries;
+            ++rstats.abft.retries;
             ++freport.abft_corrected;
+          }
+          if (obs_on) {
+            obs::Recorder::global().instant(
+                obs::Domain::kSim, best_rank, "abft rollback", "recovery", t0,
+                "members", static_cast<std::int64_t>(members.size()), "task",
+                batch[members.front()]);
           }
         } else {
           // Budget spent on every member touching this target: accept the
           // corrupt output and flag post-solve iterative refinement as the
           // last rung of the escalation ladder.
-          result.abft.exhausted += static_cast<offset_t>(members.size());
+          rstats.abft.exhausted += static_cast<offset_t>(members.size());
           freport.abft_corrected += static_cast<offset_t>(members.size());
           freport.escalate_refinement = true;
+          if (obs_on) {
+            obs::Recorder::global().instant(
+                obs::Domain::kSim, best_rank, "abft budget exhausted",
+                "recovery", t0, "members",
+                static_cast<std::int64_t>(members.size()));
+          }
         }
       }
       if (collect && !corrupt_retry.empty()) {
         for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (corrupt_retry[i]) result.batch_status.back()[i] = 3;
+          if (corrupt_retry[i]) rstats.batches.back().status[i] = 3;
         }
       }
     }
@@ -966,7 +1089,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
 
     result.trace.record({best_rank, start, end, host_share, br.flops,
                          static_cast<int>(batch.size())});
-    auto& rs = result.ranks[static_cast<std::size_t>(best_rank)];
+    auto& rs = rstats.ranks[static_cast<std::size_t>(best_rank)];
     ++rs.kernels;
     rs.busy_s += end - start;
     rs.flops += br.flops;
@@ -1001,7 +1124,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       task_done[id] = 1;
       ++completed;
       if (!done_app.empty()) {
-        done_app[id] = {static_cast<index_t>(result.batch_members.size() - 1),
+        done_app[id] = {static_cast<index_t>(rstats.batches.size() - 1),
                         static_cast<index_t>(i)};
       }
     }
@@ -1046,8 +1169,39 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   result.makespan_s = result.trace.makespan_seconds();
   result.kernel_count = result.trace.kernel_count();
   result.mean_batch_size = result.trace.mean_batch_size();
-  if (opt.checkpoint_out != nullptr) *opt.checkpoint_out = last_ckpt;
-  result.exec = executor.exec_stats();
+  rstats.checkpoint = std::move(last_ckpt);
+  rstats.exec = executor.exec_stats();
+
+  if (obs_on) {
+    // Mirror the run's authoritative accounting into the metrics registry
+    // — snapshots reconcile with this ScheduleResult by construction
+    // (DESIGN.md §12 lists the name mapping).
+    auto& reg = obs::Registry::global();
+    reg.counter("th.sched.kernels").add(result.kernel_count);
+    reg.counter("th.sched.batches").add(result.kernel_count);
+    reg.counter("th.sched.tasks").add(n);
+    reg.counter("th.sched.atomic_tasks").add(result.atomic_tasks);
+    reg.counter("th.sched.deferred_tasks").add(result.deferred_tasks);
+    reg.counter("th.sched.comm_bytes").add(result.comm_bytes);
+    reg.counter("th.sched.comm_messages").add(result.comm_messages);
+    reg.gauge("th.sched.makespan_s").set(result.makespan_s);
+    reg.gauge("th.sched.mean_batch_size").set(result.mean_batch_size);
+    std::size_t container_peak = 0;
+    for (const RankState& st : ranks) {
+      container_peak = std::max(container_peak, st.container.peak_size());
+    }
+    reg.gauge("th.agg.container_peak")
+        .set(static_cast<double>(container_peak));
+    for (const RankStats& rsr : rstats.ranks) {
+      reg.histogram("th.rank.busy_s").record(rsr.busy_s);
+      reg.histogram("th.rank.kernels")
+          .record(static_cast<double>(rsr.kernels));
+    }
+    rstats.faults.publish_metrics();
+    rstats.abft.publish_metrics();
+    rstats.exec.publish_metrics();
+  }
+
   if (opt.validate_schedule) check_schedule(graph, opt, result);
   return result;
 }

@@ -21,6 +21,8 @@
 // timing only — used by the parameter sweeps after one validated run.
 #pragma once
 
+#include <optional>
+
 #include "abft/abft.hpp"
 #include "core/collector.hpp"
 #include "core/container.hpp"
@@ -54,13 +56,6 @@ struct ScheduleOptions {
   /// Allow write-conflicting SSSSM tasks inside one batch via atomic
   /// accumulation (paper §2.3); disabling serialises them (ablation).
   bool allow_atomic_batching = true;
-  /// Host threads for numeric batch execution (exec::BatchExecutor lanes,
-  /// each playing a CUDA block). thsolve_cli --threads / TH_THREADS.
-  int exec_workers = 1;
-  /// How write-conflicting SSSSM members accumulate when exec_workers > 1:
-  /// atomic fetch-add in place (paper-faithful) or per-task scratch folded
-  /// in batch order (bit-reproducible). thsolve_cli --accum.
-  exec::AccumMode exec_accum = exec::AccumMode::kAtomic;
   /// Price execution with the CPU model instead of the GPU (Table 7
   /// CPU baselines). The CPU executes ready tasks in bulk per step.
   bool cpu_mode = false;
@@ -79,25 +74,19 @@ struct ScheduleOptions {
   /// refinement when the retry budget runs out. Inert on timing-only
   /// replays (null backend). thsolve_cli --abft / --abft-retries.
   abft::AbftOptions abft;
-  /// WorkerPool hung-lane watchdog period for the batch executor, in
-  /// seconds (0 disables): a lane that never starts within the period is
-  /// taken over by the caller and the pool degrades to the responsive
-  /// width for subsequent batches.
-  real_t exec_watchdog_s = 0;
+  /// Host-side numeric batch-execution knobs (workers/accum/watchdog).
+  ExecOptions exec;
   /// Periodic coordinated checkpointing (src/resilience/checkpoint.hpp).
   /// Off by default — fault-free runs with checkpointing off are
   /// bit-identical to a build without the subsystem.
   CheckpointPolicy checkpoint;
-  /// Resume a run from a snapshot instead of starting at t=0: the
+  /// Resume a run from this snapshot instead of starting at t=0: the
   /// remaining schedule replays bit-identically to the trace suffix of the
   /// original run (heap container discipline). Timing-only — the backend
-  /// must be null, since pre-checkpoint numeric state is not stored.
-  /// Borrowed pointer; must outlive the simulate() call.
-  const CheckpointState* resume = nullptr;
-  /// When non-null, receives the last coordinated checkpoint taken (left
-  /// empty() if checkpointing never triggered) for `thsolve_cli --resume`
-  /// style workflows. Borrowed pointer.
-  CheckpointState* checkpoint_out = nullptr;
+  /// must be null, since pre-checkpoint numeric state is not stored. The
+  /// last checkpoint a run takes comes back on
+  /// ScheduleResult::stats().checkpoint.
+  std::optional<CheckpointState> resume;
   /// Run the post-hoc schedule validator (resilience/validate.hpp) on the
   /// result before returning; throws th::Error on any invariant violation.
   /// Implies collect_batches.
@@ -116,6 +105,57 @@ struct RankStats {
   offset_t flops = 0;
 };
 
+/// Per-batch anatomy, one entry per launched batch in launch order.
+/// Replaces the three parallel batch_members/batch_had_conflict/
+/// batch_status vectors the result used to carry.
+struct BatchLog {
+  struct Batch {
+    /// Member task ids in batch position order.
+    std::vector<index_t> members;
+    /// Per-member outcome, parallel to members: 0 = completed, 1 =
+    /// transient fault (a retry appears later), 2 = had completed but the
+    /// work was lost to a rank restart and re-executed later, 3 = output
+    /// failed its ABFT checksum — rolled back, a retry appears later. The
+    /// schedule validator keys its completion accounting on this.
+    std::vector<char> status;
+    /// Whether the batch contained an atomic (write-conflicting) member.
+    bool had_conflict = false;
+  };
+
+  std::vector<Batch> batches;
+
+  std::size_t size() const { return batches.size(); }
+  bool empty() const { return batches.empty(); }
+  Batch& operator[](std::size_t i) { return batches[i]; }
+  const Batch& operator[](std::size_t i) const { return batches[i]; }
+  Batch& back() { return batches.back(); }
+  const Batch& back() const { return batches.back(); }
+};
+
+/// The result's non-scalar accounting, gathered on one surface: per-rank
+/// totals, the batch log, and the per-subsystem reports. The obs metrics
+/// registry mirrors these counters at the end of an observed run
+/// (DESIGN.md §12 lists the name mapping).
+struct ScheduleStats {
+  /// Per-rank kernel/busy/flop totals.
+  std::vector<RankStats> ranks;
+  /// Batch anatomy (only when ScheduleOptions::collect_batches was set).
+  BatchLog batches;
+  /// Resilience accounting: faults injected, retries/backoff priced,
+  /// tasks migrated off dead ranks, guard firings (src/fault).
+  FaultReport faults;
+  /// Last coordinated checkpoint the run took — empty() unless a
+  /// CheckpointPolicy triggered. Replaces ScheduleOptions::checkpoint_out.
+  CheckpointState checkpoint;
+  /// ABFT detect-and-retry accounting (src/abft). enabled only when the
+  /// run actually executed numerics under checksum protection.
+  abft::AbftStats abft;
+  /// Host-runtime counters from the parallel batch executor (wall/busy/
+  /// span seconds, slices, whole-task fallbacks). Zeros on timing-only
+  /// replays — simulated time never depends on them.
+  exec::ExecStats exec;
+};
+
 struct ScheduleResult {
   Trace trace;
   real_t makespan_s = 0;
@@ -125,30 +165,11 @@ struct ScheduleResult {
   offset_t comm_messages = 0;
   offset_t atomic_tasks = 0;    // SSSSM tasks batched with a write conflict
   offset_t deferred_tasks = 0;  // conflicting tasks pushed back (atomic off)
-  std::vector<RankStats> ranks;
-  /// Per-batch member ids, in launch order (only when
-  /// ScheduleOptions::collect_batches was set).
-  std::vector<std::vector<index_t>> batch_members;
-  /// Whether the corresponding batch contained an atomic (conflicting)
-  /// member; parallel to batch_members.
-  std::vector<char> batch_had_conflict;
-  /// Per-member outcome of each batch, parallel to batch_members:
-  /// 0 = completed, 1 = transient fault (a retry appears later), 2 = had
-  /// completed but the work was lost to a rank restart and re-executed
-  /// later, 3 = output failed its ABFT checksum — rolled back, a retry
-  /// appears later. The schedule validator keys its completion accounting
-  /// on this.
-  std::vector<std::vector<char>> batch_status;
-  /// Resilience accounting: faults injected, retries/backoff priced,
-  /// tasks migrated off dead ranks, guard firings (src/fault).
-  FaultReport faults;
-  /// ABFT detect-and-retry accounting (src/abft). enabled only when the
-  /// run actually executed numerics under checksum protection.
-  abft::AbftStats abft;
-  /// Host-runtime counters from the parallel batch executor (wall/busy/
-  /// span seconds, slices, whole-task fallbacks). Zeros on timing-only
-  /// replays — simulated time never depends on them.
-  exec::ExecStats exec;
+
+  /// All non-scalar accounting (ranks, batch log, fault/abft/exec reports,
+  /// last checkpoint).
+  ScheduleStats& stats() { return stats_; }
+  const ScheduleStats& stats() const { return stats_; }
 
   /// Aggregate delivered GFLOPS = total flops / makespan.
   real_t achieved_gflops() const {
@@ -156,6 +177,21 @@ struct ScheduleResult {
                ? static_cast<real_t>(trace.total_flops()) / makespan_s / 1e9
                : 0;
   }
+
+  // --- Deprecated thin accessors (migration shims) -----------------------
+  // Prefer stats().*; these exist so out-of-tree callers of the pre-obs
+  // field API migrate incrementally and will be removed in a later PR.
+  const std::vector<RankStats>& ranks() const { return stats_.ranks; }
+  const FaultReport& faults() const { return stats_.faults; }
+  const th::abft::AbftStats& abft() const { return stats_.abft; }
+  const th::exec::ExecStats& exec() const { return stats_.exec; }
+  /// Materialised copies of the legacy parallel batch_* vectors.
+  std::vector<std::vector<index_t>> batch_members() const;
+  std::vector<char> batch_had_conflict() const;
+  std::vector<std::vector<char>> batch_status() const;
+
+ private:
+  ScheduleStats stats_;
 };
 
 /// Simulate (and optionally numerically execute) the task graph.

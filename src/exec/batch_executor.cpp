@@ -6,6 +6,9 @@
 #include <ctime>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "support/stopwatch.hpp"
 
 namespace th::exec {
@@ -51,6 +54,9 @@ void BatchExecutor::execute(NumericBackend& backend,
   TH_CHECK(!tasks.empty());
   TH_CHECK(atomic_flags.size() == tasks.size());
   TH_CHECK(skip == nullptr || skip->size() == tasks.size());
+  const bool obs_on = obs::enabled();
+  obs::Recorder& rec = obs::Recorder::global();
+  const real_t batch_t0 = obs_on ? rec.host_now() : 0;
   const Stopwatch wall;
   const real_t caller_t0 = thread_cpu_seconds();
 
@@ -98,11 +104,13 @@ void BatchExecutor::execute(NumericBackend& backend,
     }
     if (const std::size_t jobs = backend.abft_capture_jobs(); jobs > 0) {
       const std::size_t cw = static_cast<std::size_t>(pool_.width());
-      pool_.run([&](int lane) {
-        for (std::size_t j = static_cast<std::size_t>(lane); j < jobs;
-             j += cw)
-          backend.abft_capture_run(j);
-      });
+      pool_.run(
+          [&](int lane) {
+            for (std::size_t j = static_cast<std::size_t>(lane); j < jobs;
+                 j += cw)
+              backend.abft_capture_run(j);
+          },
+          "abft capture");
     }
     verify->capture_s += cap.seconds();
   }
@@ -154,7 +162,7 @@ void BatchExecutor::execute(NumericBackend& backend,
     }
     lane_busy_[static_cast<std::size_t>(lane)] = thread_cpu_seconds() - t0;
     lane_slices_[static_cast<std::size_t>(lane)] = slices;
-  });
+  }, "exec blocks");
 
   // Ordered epilogue, one fixed order regardless of thread count: fold
   // det-mode scratch and run serialised members in batch position order.
@@ -202,15 +210,17 @@ void BatchExecutor::execute(NumericBackend& backend,
       }
       if (!groups.empty()) {
         const std::size_t vw = static_cast<std::size_t>(pool_.width());
-        pool_.run([&](int lane) {
-          for (std::size_t g = static_cast<std::size_t>(lane);
-               g < groups.size(); g += vw) {
-            for (const std::size_t i : groups[g]) {
-              if (!backend.abft_verify(*tasks[i], verify->rel_tol))
-                verify->outcome[i] = 1;
-            }
-          }
-        });
+        pool_.run(
+            [&](int lane) {
+              for (std::size_t g = static_cast<std::size_t>(lane);
+                   g < groups.size(); g += vw) {
+                for (const std::size_t i : groups[g]) {
+                  if (!backend.abft_verify(*tasks[i], verify->rel_tol))
+                    verify->outcome[i] = 1;
+                }
+              }
+            },
+            "abft verify");
       }
       verify->verify_s += ver.seconds();
     }
@@ -233,10 +243,36 @@ void BatchExecutor::execute(NumericBackend& backend,
   stats_.wall_s += wall.seconds();
   stats_.fallback_tasks += fallbacks.load(std::memory_order_relaxed);
   stats_.det_reductions += det_reds;
+  const int prev_degraded = stats_.lanes_degraded;
   stats_.workers = pool_.width();  // post-batch: reflects watchdog degrades
   stats_.lanes_degraded = pool_.lanes_degraded();
   stats_.stragglers = pool_.stragglers();
   ++stats_.batches;
+  if (obs_on) {
+    if (stats_.lanes_degraded > prev_degraded) {
+      rec.instant(obs::Domain::kHost, -1, "watchdog degraded lane", "recovery",
+                  rec.host_now(), "lanes",
+                  stats_.lanes_degraded - prev_degraded, "width",
+                  stats_.workers);
+    }
+    rec.span(obs::Domain::kHost, -1, "exec batch", "exec", batch_t0,
+             rec.host_now(), "tasks", static_cast<std::int64_t>(nb), "blocks",
+             static_cast<std::int64_t>(total));
+  }
+}
+
+void ExecStats::publish_metrics() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("th.exec.wall_s").add(wall_s);
+  reg.gauge("th.exec.busy_s").add(busy_s);
+  reg.gauge("th.exec.span_s").add(span_s);
+  reg.counter("th.exec.slices").add(slices);
+  reg.counter("th.exec.fallback_tasks").add(fallback_tasks);
+  reg.counter("th.exec.det_reductions").add(det_reductions);
+  reg.gauge("th.exec.workers").set(workers);
+  reg.counter("th.exec.batches").add(batches);
+  reg.counter("th.exec.lanes_degraded").add(lanes_degraded);
+  reg.counter("th.exec.stragglers").add(stragglers);
 }
 
 }  // namespace th::exec

@@ -39,6 +39,11 @@ struct ExecStats {
   int batches = 0;          // execute() calls
   int lanes_degraded = 0;   // lanes the watchdog wrote off as hung
   long stragglers = 0;      // batches that waited out a slow claimed lane
+
+  /// Mirror these counters into the obs metrics registry under th.exec.*
+  /// (called by the scheduler at the end of every observed run, so
+  /// registry snapshots reconcile with ScheduleResult by construction).
+  void publish_metrics() const;
 };
 
 /// Optional per-batch ABFT exchange for execute(): the scheduler fills the

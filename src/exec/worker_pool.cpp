@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 
 namespace th::exec {
@@ -115,6 +117,38 @@ void WorkerPool::inject_hang(int lane) {
     }
   }
   TH_CHECK_MSG(false, "inject_hang: no worker holds that lane");
+}
+
+void WorkerPool::run(const std::function<void(int)>& body, const char* label) {
+  if (label == nullptr || !obs::enabled()) {
+    run(body);
+    return;
+  }
+  obs::Recorder& rec = obs::Recorder::global();
+  // Lanes stamp start/end into their own slot — no shared recorder state
+  // (and no mutex) on the lane hot path; the caller emits the spans after
+  // the pool drains. run() blocks until every lane finished and nulls
+  // Impl::job before returning, so both the wrapped function and `times`
+  // outlive all lane accesses, and the join orders the writes before the
+  // caller's reads. A lane that threw leaves its slot unstamped (t1 < t0)
+  // and emits no span.
+  struct Stamp {
+    real_t t0 = 0;
+    real_t t1 = -1;
+  };
+  std::vector<Stamp> times(static_cast<std::size_t>(width_));
+  const std::function<void(int)> wrapped = [&body, &rec, &times](int lane) {
+    Stamp& s = times[static_cast<std::size_t>(lane)];
+    s.t0 = rec.host_now();
+    body(lane);
+    s.t1 = rec.host_now();
+  };
+  run(wrapped);
+  for (std::size_t lane = 0; lane < times.size(); ++lane) {
+    if (times[lane].t1 < times[lane].t0) continue;
+    rec.span(obs::Domain::kHost, static_cast<int>(lane), label, "exec",
+             times[lane].t0, times[lane].t1);
+  }
 }
 
 void WorkerPool::run(const std::function<void(int)>& body) {

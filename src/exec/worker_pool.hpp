@@ -52,6 +52,15 @@ class WorkerPool {
   /// Rethrows the first exception any lane's body threw.
   void run(const std::function<void(int)>& body);
 
+  /// As run(body), but with obs enabled each lane's execution is recorded
+  /// as a host-domain span named `label` (a string literal — the recorder
+  /// stores the pointer) on track = lane. Costs one relaxed load when obs
+  /// is off; when on, lanes only stamp clock reads into private slots and
+  /// the caller publishes the spans after the barrier, so the lane hot
+  /// path stays lock-free. If any lane throws, the call's spans are
+  /// dropped along with the rethrown exception.
+  void run(const std::function<void(int)>& body, const char* label);
+
   /// Test hook: the worker currently assigned logical lane `lane` (>= 1)
   /// wedges until pool shutdown on its next dispatch instead of running
   /// the body — exercises the watchdog takeover path.

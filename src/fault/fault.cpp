@@ -1,5 +1,7 @@
 #include "fault/fault.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace th {
 
 const char* numeric_fault_name(NumericFaultKind k) {
@@ -120,6 +122,27 @@ bool transient_fault_fires(const FaultPlan& plan, index_t task_id,
   h = mix64(h ^ (static_cast<std::uint64_t>(attempt) << 32));
   const real_t u = static_cast<real_t>(h >> 11) * 0x1.0p-53;
   return u < p;
+}
+
+void FaultReport::publish_metrics() const {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("th.fault.transient").add(transient_faults);
+  reg.counter("th.fault.retries").add(retries);
+  reg.gauge("th.fault.backoff_s").add(backoff_delay_s);
+  reg.counter("th.fault.ranks_failed").add(ranks_failed);
+  reg.counter("th.fault.tasks_migrated").add(tasks_migrated);
+  reg.counter("th.fault.cpu_fallback_tasks").add(cpu_fallback_tasks);
+  reg.counter("th.fault.numeric_injected").add(numeric_faults_injected);
+  reg.counter("th.fault.guard_scrubs").add(guards.nonfinite_scrubbed);
+  reg.counter("th.fault.guard_pivots").add(guards.pivots_perturbed);
+  reg.counter("th.fault.guard_tasks").add(guards.tasks_fired);
+  reg.counter("th.fault.abft_corrected").add(abft_corrected);
+  reg.counter("th.fault.fatal").add(fatal_faults);
+  reg.counter("th.ckpt.taken").add(checkpoints_taken);
+  reg.gauge("th.ckpt.write_s").add(checkpoint_write_s);
+  reg.gauge("th.ckpt.restore_s").add(restore_s);
+  reg.counter("th.ckpt.ranks_restarted").add(ranks_restarted);
+  reg.counter("th.ckpt.tasks_restarted").add(tasks_restarted);
 }
 
 int remap_owner(index_t row, index_t col, const std::vector<int>& survivors) {

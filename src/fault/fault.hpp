@@ -256,6 +256,12 @@ struct FaultReport {
                ? faulted_makespan_s - fault_free_makespan_s
                : -1;
   }
+
+  /// Mirror these counters into the process-wide obs metrics registry
+  /// under th.fault.* / th.ckpt.* (the scheduler calls this at the end of
+  /// every observed run, so registry snapshots reconcile with the
+  /// ScheduleResult by construction).
+  void publish_metrics() const;
 };
 
 }  // namespace th

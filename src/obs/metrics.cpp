@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace th::obs {
+namespace {
+
+/// Bucket index for a positive sample: frexp exponent shifted so that
+/// seconds-scale values (1e-9 .. 1e9) land inside [1, kBuckets).
+int bucket_of(double v) {
+  if (!(v > 0) || !std::isfinite(v)) return 0;
+  int e = 0;
+  std::frexp(v, &e);
+  return std::clamp(e + 31, 1, Histogram::kBuckets - 1);
+}
+
+/// fetch_min/fetch_max via CAS — atomic<double> has no built-in.
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";
+    return;
+  }
+  // Round-trippable and integer-friendly (counts print without exponent).
+  const auto old = out.precision(17);
+  out << v;
+  out.precision(old);
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0;
+}
+
+double Histogram::max() const {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0;
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+const char* metric_type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // never destroyed: references outlive
+  return *r;                          // any static teardown order
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricType::kCounter;
+    s.count = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricType::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricType::kHistogram;
+    s.count = h->count();
+    s.value = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name != b.name ? a.name < b.name : a.type < b.type;
+            });
+  return out;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void write_metrics_json(std::ostream& out,
+                        const std::vector<MetricSample>& samples) {
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << R"({"name":")" << s.name << R"(","type":")"
+        << metric_type_name(s.type) << "\"";
+    switch (s.type) {
+      case MetricType::kCounter:
+        out << ",\"value\":" << s.count;
+        break;
+      case MetricType::kGauge:
+        out << ",\"value\":";
+        json_number(out, s.value);
+        break;
+      case MetricType::kHistogram:
+        out << ",\"count\":" << s.count << ",\"sum\":";
+        json_number(out, s.value);
+        out << ",\"min\":";
+        json_number(out, s.min);
+        out << ",\"max\":";
+        json_number(out, s.max);
+        break;
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+void write_metrics_csv(std::ostream& out,
+                       const std::vector<MetricSample>& samples) {
+  out << "name,type,count,value,min,max\n";
+  const auto old = out.precision(17);
+  for (const MetricSample& s : samples) {
+    out << s.name << "," << metric_type_name(s.type) << "," << s.count << ","
+        << s.value << "," << s.min << "," << s.max << "\n";
+  }
+  out.precision(old);
+}
+
+void write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  TH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const std::vector<MetricSample> samples = Registry::global().snapshot();
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    write_metrics_csv(out, samples);
+  } else {
+    write_metrics_json(out, samples);
+  }
+  TH_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace th::obs

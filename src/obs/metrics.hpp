@@ -1,0 +1,133 @@
+// Metrics registry — named counters, gauges and histograms with cheap
+// thread-safe updates and a deterministic JSON/CSV snapshot.
+//
+// This is the unified accounting surface for the numeric path: the
+// scattered per-subsystem structs (FaultReport, AbftStats, ExecStats,
+// RankStats) publish their totals here at the end of an observed run, and
+// hot-path modules (Prioritizer, Collector, WorkerPool) feed live counters
+// the structs never carried. Metric objects are created on first use and
+// NEVER deallocated or moved — call sites may cache the returned reference
+// (including across Registry::reset_values(), which zeroes values but
+// keeps identities).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace th::obs {
+
+/// Monotonic event count. Relaxed atomics: totals are exact, cross-metric
+/// ordering is not promised.
+class Counter {
+ public:
+  void add(std::int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-writer-wins scalar (also supports add() for accumulated seconds).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Streaming distribution: count/sum/min/max plus power-of-two buckets
+/// (bucket 0 holds non-positive samples). Good enough for per-rank busy
+/// time and per-batch sizes; not a reservoir.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double v);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  double min() const;
+  double max() const;
+  double mean() const;
+  std::int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+};
+
+enum class MetricType : char { kCounter, kGauge, kHistogram };
+
+const char* metric_type_name(MetricType t);
+
+/// One row of a snapshot. Counters fill `count`; gauges fill `value`;
+/// histograms fill count/value(=sum)/min/max.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::int64_t count = 0;
+  double value = 0;
+  double min = 0;
+  double max = 0;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry all instrumentation publishes into.
+  static Registry& global();
+
+  /// Find-or-create. Stable references for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics, sorted by (name, type) — deterministic output order.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Zero every metric's value. Identities (and cached references)
+  /// survive; used when an obs::Session begins a fresh observed run.
+  void reset_values();
+
+  std::size_t size() const;
+
+ private:
+  template <class T>
+  using NameMap = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  mutable std::mutex mu_;
+  NameMap<Counter> counters_;
+  NameMap<Gauge> gauges_;
+  NameMap<Histogram> histograms_;
+};
+
+void write_metrics_json(std::ostream& out,
+                        const std::vector<MetricSample>& samples);
+void write_metrics_csv(std::ostream& out,
+                       const std::vector<MetricSample>& samples);
+/// Snapshot `Registry::global()` and write it; throws th::Error on I/O
+/// failure. Format picked by name: ".csv" suffix writes CSV, else JSON.
+void write_metrics_file(const std::string& path);
+
+}  // namespace th::obs

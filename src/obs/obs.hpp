@@ -1,0 +1,60 @@
+// Observability switch — the single process-wide gate for the metrics
+// registry (obs/metrics.hpp) and the event recorder (obs/recorder.hpp).
+//
+// Contract (DESIGN.md §12): with the switch off, instrumented code paths
+// are a single relaxed atomic load away from the uninstrumented build —
+// no events are recorded, no end-of-run metrics are published, and every
+// numeric/scheduling output is bit-identical to a build without the
+// subsystem. Instrumentation sites therefore guard on enabled() *before*
+// evaluating event arguments.
+#pragma once
+
+#include <atomic>
+
+namespace th::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Is observability on? Cheap enough for per-task call sites.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip the process-wide switch. Turning it on does not clear previously
+/// collected data — use Session for scoped collect-and-reset lifecycles.
+void set_enabled(bool on);
+
+/// RAII scope for one observed run: enabling resets the global registry
+/// values and clears the recorder so the scope observes only itself; the
+/// destructor restores the previous switch state (collected data is kept
+/// for the caller to export).
+class Session {
+ public:
+  explicit Session(bool on = true);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// RAII scope that forces observability *off* — used around internal
+/// shadow computations (e.g. the driver's fault-free baseline replay)
+/// that must not pollute the observed run's counters or timeline.
+class ScopedDisable {
+ public:
+  ScopedDisable();
+  ~ScopedDisable();
+
+  ScopedDisable(const ScopedDisable&) = delete;
+  ScopedDisable& operator=(const ScopedDisable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace th::obs

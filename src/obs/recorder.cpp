@@ -1,0 +1,158 @@
+#include "obs/recorder.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+
+namespace th::obs {
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Session::Session(bool on) : prev_(enabled()) {
+  if (on && !prev_) {
+    // A fresh observed run: what this scope collects is only itself.
+    Registry::global().reset_values();
+    Recorder::global().clear();
+  }
+  set_enabled(on);
+}
+
+Session::~Session() { set_enabled(prev_); }
+
+ScopedDisable::ScopedDisable() : prev_(enabled()) { set_enabled(false); }
+
+ScopedDisable::~ScopedDisable() { set_enabled(prev_); }
+
+Recorder& Recorder::global() {
+  static Recorder* r = new Recorder;  // never destroyed (see Registry)
+  return *r;
+}
+
+Recorder::Recorder(std::size_t capacity) {
+  TH_CHECK(capacity > 0);
+  ring_.resize(capacity);
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+void Recorder::set_capacity(std::size_t capacity) {
+  TH_CHECK(capacity > 0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity, Event{});
+  ring_.shrink_to_fit();
+  head_ = 0;
+  n_ = 0;
+  recorded_ = 0;
+}
+
+std::size_t Recorder::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Recorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  n_ = 0;
+  recorded_ = 0;
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+std::size_t Recorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return n_;
+}
+
+std::uint64_t Recorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t Recorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - n_;
+}
+
+real_t Recorder::host_now() const {
+  const std::int64_t ns =
+      steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+  return 1e-9 * static_cast<real_t>(ns);
+}
+
+void Recorder::push(const Event& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  n_ = std::min(n_ + 1, ring_.size());
+  ++recorded_;
+}
+
+void Recorder::instant(Domain domain, int track, const char* name,
+                       const char* cat, real_t t, const char* arg_name0,
+                       std::int64_t arg0, const char* arg_name1,
+                       std::int64_t arg1) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.domain = domain;
+  e.kind = EventKind::kInstant;
+  e.track = track;
+  e.t0 = t;
+  e.t1 = t;
+  e.arg_name0 = arg_name0;
+  e.arg0 = arg0;
+  e.arg_name1 = arg_name1;
+  e.arg1 = arg1;
+  push(e);
+}
+
+void Recorder::span(Domain domain, int track, const char* name,
+                    const char* cat, real_t t0, real_t t1,
+                    const char* arg_name0, std::int64_t arg0,
+                    const char* arg_name1, std::int64_t arg1) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.domain = domain;
+  e.kind = EventKind::kSpan;
+  e.track = track;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.arg_name0 = arg_name0;
+  e.arg0 = arg0;
+  e.arg_name1 = arg_name1;
+  e.arg1 = arg1;
+  push(e);
+}
+
+std::vector<Event> Recorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(n_);
+  const std::size_t cap = ring_.size();
+  const std::size_t first = (head_ + cap - n_) % cap;
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.push_back(ring_[(first + i) % cap]);
+  }
+  return out;
+}
+
+}  // namespace th::obs

@@ -1,0 +1,11 @@
+#include "obs/testing.hpp"
+
+#include "sim/trace.hpp"
+
+namespace th::obs::testing {
+
+std::vector<KernelRecord>& mutable_records(Trace& trace) {
+  return trace.records_;
+}
+
+}  // namespace th::obs::testing

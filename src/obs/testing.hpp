@@ -1,0 +1,20 @@
+// Test-only hooks. Production code must not include this header: the one
+// hook here exists so validator/export tests can tamper with recorded
+// timelines to prove the checks bite, without Trace exposing mutable
+// records to every caller (DESIGN.md §12).
+#pragma once
+
+#include <vector>
+
+namespace th {
+struct KernelRecord;
+class Trace;
+}  // namespace th
+
+namespace th::obs::testing {
+
+/// Mutable view of a Trace's kernel records. Friend of Trace; the only
+/// sanctioned way to edit a timeline after the fact.
+std::vector<KernelRecord>& mutable_records(Trace& trace);
+
+}  // namespace th::obs::testing

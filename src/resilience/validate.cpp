@@ -55,20 +55,19 @@ ValidationReport validate_schedule(const TaskGraph& graph,
   const std::size_t nrec = recs.size();
   rep.checked_batches = static_cast<offset_t>(nrec);
 
-  // ---- Structure: trace and batch arrays must agree --------------------
-  if (result.batch_members.size() != nrec ||
-      result.batch_status.size() != nrec ||
-      result.batch_had_conflict.size() != nrec) {
+  // ---- Structure: trace and batch log must agree -----------------------
+  const ScheduleStats& stats = result.stats();
+  const BatchLog& blog = stats.batches;
+  if (blog.size() != nrec) {
     TH_VALIDATE_ISSUE(
-        rep, "batch arrays do not match the trace ("
-                 << nrec << " kernels, " << result.batch_members.size()
-                 << " member lists, " << result.batch_status.size()
-                 << " status lists) — was the schedule produced with "
+        rep, "batch log does not match the trace ("
+                 << nrec << " kernels, " << blog.size()
+                 << " logged batches) — was the schedule produced with "
                     "collect_batches/validate on?");
     return rep;  // everything below keys off batch membership
   }
 
-  const CheckpointState* base = opt.resume;
+  const CheckpointState* base = opt.resume ? &*opt.resume : nullptr;
   if (base != nullptr && base->n_tasks != n) {
     TH_VALIDATE_ISSUE(rep, "resume snapshot is for " << base->n_tasks
                                                      << " tasks, graph has "
@@ -94,8 +93,8 @@ ValidationReport validate_schedule(const TaskGraph& graph,
 
   for (std::size_t k = 0; k < nrec; ++k) {
     const KernelRecord& r = recs[k];
-    const auto& members = result.batch_members[k];
-    const auto& status = result.batch_status[k];
+    const auto& members = blog[k].members;
+    const auto& status = blog[k].status;
     if (r.rank < 0 || r.rank >= opt.n_ranks) {
       TH_VALIDATE_ISSUE(rep, "kernel " << k << " on out-of-range rank "
                                        << r.rank);
@@ -301,7 +300,7 @@ ValidationReport validate_schedule(const TaskGraph& graph,
     TH_VALIDATE_ISSUE(rep, "kernel_count " << result.kernel_count << " != "
                                            << nrec << " trace records");
   }
-  if (result.ranks.size() == static_cast<std::size_t>(opt.n_ranks)) {
+  if (stats.ranks.size() == static_cast<std::size_t>(opt.n_ranks)) {
     std::vector<offset_t> kernels(static_cast<std::size_t>(opt.n_ranks), 0);
     for (const KernelRecord& r : recs) {
       if (r.rank >= 0 && r.rank < opt.n_ranks) {
@@ -309,23 +308,23 @@ ValidationReport validate_schedule(const TaskGraph& graph,
       }
     }
     for (int r = 0; r < opt.n_ranks; ++r) {
-      if (result.ranks[static_cast<std::size_t>(r)].kernels !=
+      if (stats.ranks[static_cast<std::size_t>(r)].kernels !=
           kernels[static_cast<std::size_t>(r)]) {
         TH_VALIDATE_ISSUE(
             rep, "rank " << r << " stats claim "
-                         << result.ranks[static_cast<std::size_t>(r)].kernels
+                         << stats.ranks[static_cast<std::size_t>(r)].kernels
                          << " kernels, trace has "
                          << kernels[static_cast<std::size_t>(r)]);
       }
     }
   } else {
-    TH_VALIDATE_ISSUE(rep, "per-rank stats sized " << result.ranks.size()
+    TH_VALIDATE_ISSUE(rep, "per-rank stats sized " << stats.ranks.size()
                                                    << ", expected "
                                                    << opt.n_ranks);
   }
 
   // ---- Fault accounting balances ----------------------------------------
-  const FaultReport& fr = result.faults;
+  const FaultReport& fr = stats.faults;
   const FaultReport zero;
   const FaultReport& b = base != nullptr ? base->report : zero;
   // Guards also catch *genuine* numerical breakdowns (not just planted
@@ -357,19 +356,19 @@ ValidationReport validate_schedule(const TaskGraph& graph,
   // ABFT balance: every status-3 appearance is a rolled-back-and-retried
   // corrupt member, and vice versa (resumed runs replay timing only, so no
   // base offset exists — status3 is 0 there).
-  if (result.abft.retries != status3) {
-    TH_VALIDATE_ISSUE(rep, "report claims " << result.abft.retries
+  if (stats.abft.retries != status3) {
+    TH_VALIDATE_ISSUE(rep, "report claims " << stats.abft.retries
                                             << " abft retries, trace shows "
                                             << status3
                                             << " corrupt-retried members");
   }
-  if (result.abft.corrupt_detected <
-      result.abft.retries + result.abft.exhausted) {
+  if (stats.abft.corrupt_detected <
+      stats.abft.retries + stats.abft.exhausted) {
     TH_VALIDATE_ISSUE(rep,
                       "abft accounting out of balance: detected "
-                          << result.abft.corrupt_detected << " < retried "
-                          << result.abft.retries << " + exhausted "
-                          << result.abft.exhausted);
+                          << stats.abft.corrupt_detected << " < retried "
+                          << stats.abft.retries << " + exhausted "
+                          << stats.abft.exhausted);
   }
   if (fr.checkpoints_taken - b.checkpoints_taken > 0 &&
       !opt.checkpoint.enabled()) {

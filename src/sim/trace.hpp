@@ -18,14 +18,20 @@ struct KernelRecord {
   int tasks = 0;  // batch size of this kernel
 };
 
+class Trace;
+
+namespace obs::testing {
+/// Test-only timeline tampering hook (obs/testing.hpp): the validator and
+/// export tests edit records to prove the checks bite. Production code
+/// sees only the const records() view.
+std::vector<KernelRecord>& mutable_records(Trace& trace);
+}  // namespace obs::testing
+
 class Trace {
  public:
   void record(KernelRecord r) { records_.push_back(r); }
 
   const std::vector<KernelRecord>& records() const { return records_; }
-  /// Mutable access for tooling that edits timelines (the validator tests
-  /// tamper with records to prove the checks bite).
-  std::vector<KernelRecord>& mutable_records() { return records_; }
 
   offset_t kernel_count() const {
     return static_cast<offset_t>(records_.size());
@@ -47,6 +53,9 @@ class Trace {
   std::vector<real_t> gflops_series(int bins) const;
 
  private:
+  friend std::vector<KernelRecord>& obs::testing::mutable_records(
+      Trace& trace);
+
   std::vector<KernelRecord> records_;
 };
 

@@ -1,5 +1,6 @@
 #include "solvers/driver.hpp"
 
+#include "obs/obs.hpp"
 #include "solvers/refine.hpp"
 #include "sparse/ops.hpp"
 #include "support/rng.hpp"
@@ -110,12 +111,15 @@ DriverReport run_solver(const Csr& a, const DriverOptions& opt) {
     ScheduleOptions clean = opt.sched;
     clean.faults = FaultPlan{};
     clean.checkpoint = CheckpointPolicy{};  // no write pauses in the baseline
-    clean.resume = nullptr;
-    clean.checkpoint_out = nullptr;
+    clean.resume.reset();
     // ABFT is already inert on timing-only replays (no backend to verify);
     // disable it explicitly so the baseline never depends on that detail.
     clean.abft = abft::AbftOptions{};
-    rep.numeric.faults.fault_free_makespan_s =
+    // The baseline replay is an internal pricing detail: keep it out of the
+    // metrics registry and the event recorder (it would double every
+    // th.sched.* counter and interleave a second run's spans).
+    const obs::ScopedDisable no_obs;
+    rep.numeric.stats().faults.fault_free_makespan_s =
         inst.run_timing(clean).makespan_s;
   }
 
@@ -124,7 +128,7 @@ DriverReport run_solver(const Csr& a, const DriverOptions& opt) {
     std::vector<real_t> x_true(static_cast<std::size_t>(a.n_rows));
     for (real_t& v : x_true) v = rng.uniform(-1.0, 1.0);
     const std::vector<real_t> b = spmv(a, x_true);
-    if (rep.numeric.faults.escalate_refinement) {
+    if (rep.numeric.stats().faults.escalate_refinement) {
       // The factorisation is approximate: either the guards repaired the
       // factors in place (scrubbed NaN/Inf, perturbed tiny pivots) or ABFT
       // exhausted its retry budget and accepted a corrupt tile — polish the

@@ -116,10 +116,10 @@ ScheduleOptions abft_sched(bool abft) {
   ScheduleOptions so;
   so.policy = Policy::kTrojanHorse;
   so.cluster = single_gpu(device_a100());
-  so.exec_workers = 3;
+  so.exec.workers = 3;
   // Deterministic accumulation: a rolled-back-and-retried run must land on
   // the clean run's residual to 1e-12, so fold order may not wobble.
-  so.exec_accum = exec::AccumMode::kDeterministic;
+  so.exec.accum = exec::AccumMode::kDeterministic;
   so.abft.enabled = abft;
   so.validate_schedule = true;  // exercises the status-3 bookkeeping checks
   return so;
@@ -155,13 +155,13 @@ TEST(AbftEndToEnd, CleanRunVerifiesEveryTaskFlagsNothing) {
   io.block = 16;
   SolverInstance inst(a, io);
   const ScheduleResult r = inst.run_numeric(abft_sched(true));
-  EXPECT_TRUE(r.abft.enabled);
-  EXPECT_EQ(r.abft.tasks_verified,
+  EXPECT_TRUE(r.stats().abft.enabled);
+  EXPECT_EQ(r.stats().abft.tasks_verified,
             static_cast<offset_t>(inst.graph().size()));
-  EXPECT_EQ(r.abft.corrupt_detected, 0);
-  EXPECT_EQ(r.abft.retries, 0);
-  EXPECT_EQ(r.abft.exhausted, 0);
-  EXPECT_GT(r.abft.capture_s + r.abft.verify_s, 0);
+  EXPECT_EQ(r.stats().abft.corrupt_detected, 0);
+  EXPECT_EQ(r.stats().abft.retries, 0);
+  EXPECT_EQ(r.stats().abft.exhausted, 0);
+  EXPECT_GT(r.stats().abft.capture_s + r.stats().abft.verify_s, 0);
   EXPECT_LT(residual_of(inst, a), 1e-10);
 }
 
@@ -183,12 +183,12 @@ TEST(AbftEndToEnd, DetectsAndRetriesOnEveryKernelType) {
     nf.kind = NumericFaultKind::kBitFlip;
     so.faults.numeric_faults.push_back(nf);
     const ScheduleResult r = inst.run_numeric(so);
-    EXPECT_EQ(r.abft.silent_injected, 1) << "type " << static_cast<int>(ty);
-    EXPECT_GE(r.abft.corrupt_detected, 1) << "type " << static_cast<int>(ty);
-    EXPECT_GE(r.abft.retries, 1) << "type " << static_cast<int>(ty);
-    EXPECT_EQ(r.abft.exhausted, 0);
-    EXPECT_FALSE(r.faults.escalate_refinement);
-    EXPECT_TRUE(r.faults.fully_accounted());
+    EXPECT_EQ(r.stats().abft.silent_injected, 1) << "type " << static_cast<int>(ty);
+    EXPECT_GE(r.stats().abft.corrupt_detected, 1) << "type " << static_cast<int>(ty);
+    EXPECT_GE(r.stats().abft.retries, 1) << "type " << static_cast<int>(ty);
+    EXPECT_EQ(r.stats().abft.exhausted, 0);
+    EXPECT_FALSE(r.stats().faults.escalate_refinement);
+    EXPECT_TRUE(r.stats().faults.fully_accounted());
     // The retried factorisation is the clean one: rollback restored the
     // pre-batch tile and the re-run saw identical inputs.
     EXPECT_NEAR(residual_of(inst, a), res_clean, 1e-12)
@@ -213,10 +213,10 @@ TEST(AbftEndToEnd, DetectsEverySilentKind) {
     nf.kind = kind;
     so.faults.numeric_faults.push_back(nf);
     const ScheduleResult r = inst.run_numeric(so);
-    EXPECT_EQ(r.abft.silent_injected, 1) << numeric_fault_name(kind);
-    EXPECT_GE(r.abft.corrupt_detected, 1) << numeric_fault_name(kind);
-    EXPECT_GE(r.abft.retries, 1) << numeric_fault_name(kind);
-    EXPECT_EQ(r.abft.exhausted, 0);
+    EXPECT_EQ(r.stats().abft.silent_injected, 1) << numeric_fault_name(kind);
+    EXPECT_GE(r.stats().abft.corrupt_detected, 1) << numeric_fault_name(kind);
+    EXPECT_GE(r.stats().abft.retries, 1) << numeric_fault_name(kind);
+    EXPECT_EQ(r.stats().abft.exhausted, 0);
     EXPECT_NEAR(residual_of(inst, a), res_clean, 1e-12)
         << numeric_fault_name(kind);
   }
@@ -235,11 +235,11 @@ TEST(AbftEndToEnd, BudgetExhaustionEscalatesToRefinement) {
   nf.kind = NumericFaultKind::kScaledEntry;  // finite corruption
   so.faults.numeric_faults.push_back(nf);
   const ScheduleResult r = inst.run_numeric(so);
-  EXPECT_GE(r.abft.corrupt_detected, 1);
-  EXPECT_EQ(r.abft.retries, 0);
-  EXPECT_GE(r.abft.exhausted, 1);
-  EXPECT_TRUE(r.faults.escalate_refinement);
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_GE(r.stats().abft.corrupt_detected, 1);
+  EXPECT_EQ(r.stats().abft.retries, 0);
+  EXPECT_GE(r.stats().abft.exhausted, 1);
+  EXPECT_TRUE(r.stats().faults.escalate_refinement);
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
   // The driver's escalation path: the corrupt factors were accepted, so
   // refinement must actually run against the original matrix.
   const std::vector<real_t> b(static_cast<std::size_t>(a.n_rows), 1.0);
@@ -264,10 +264,10 @@ TEST(AbftEndToEnd, SilentFaultsWithAbftOffAreFatal) {
   nf.kind = NumericFaultKind::kScaledEntry;
   so.faults.numeric_faults.push_back(nf);
   const ScheduleResult r = inst.run_numeric(so);
-  EXPECT_FALSE(r.abft.enabled);
-  EXPECT_EQ(r.abft.corrupt_detected, 0);
-  EXPECT_EQ(r.faults.fatal_faults, 1);  // undetectable by construction
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_FALSE(r.stats().abft.enabled);
+  EXPECT_EQ(r.stats().abft.corrupt_detected, 0);
+  EXPECT_EQ(r.stats().faults.fatal_faults, 1);  // undetectable by construction
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
 }
 
 // ---- Seeded corruption soak --------------------------------------------
@@ -295,15 +295,15 @@ SoakOutcome run_corruption_scenario(const Csr& a, const FaultPlan& plan,
     const ScheduleResult r = inst.run_numeric(so);
     const offset_t injected =
         static_cast<offset_t>(plan.numeric_faults.size());
-    if (r.abft.silent_injected != injected) fail("injection count mismatch");
-    if (r.abft.corrupt_detected < r.abft.silent_injected) {
+    if (r.stats().abft.silent_injected != injected) fail("injection count mismatch");
+    if (r.stats().abft.corrupt_detected < r.stats().abft.silent_injected) {
       fail("corruption escaped detection");
     }
-    if (r.abft.retries != r.abft.corrupt_detected) {
+    if (r.stats().abft.retries != r.stats().abft.corrupt_detected) {
       fail("a detected task was not retried");
     }
-    if (r.abft.exhausted != 0) fail("retry budget unexpectedly spent");
-    if (!r.faults.fully_accounted()) fail("fault accounting does not close");
+    if (r.stats().abft.exhausted != 0) fail("retry budget unexpectedly spent");
+    if (!r.stats().faults.fully_accounted()) fail("fault accounting does not close");
     const real_t res = residual_of(inst, a);
     if (!(std::abs(res - res_clean) <= 1e-12)) {
       fail("residual differs from the clean run");

@@ -233,7 +233,7 @@ TEST(Executor, ExecutesEveryBatchMemberOnce) {
   }
   g.finalize();
   CountingBackend backend;
-  Executor ex(KernelCostModel(DeviceSpec{}), &backend, /*n_workers=*/1);
+  Executor ex(KernelCostModel(DeviceSpec{}), &backend, ExecOptions{.workers = 1});
   std::vector<index_t> batch;
   for (index_t i = 0; i < 20; ++i) batch.push_back(i);
   const BatchResult r = ex.execute(g, batch, std::vector<char>(20, 0));
@@ -251,7 +251,7 @@ TEST(Executor, WorkerPoolExecutesAll) {
   }
   g.finalize();
   CountingBackend backend;
-  Executor ex(KernelCostModel(DeviceSpec{}), &backend, /*n_workers=*/4);
+  Executor ex(KernelCostModel(DeviceSpec{}), &backend, ExecOptions{.workers = 4});
   std::vector<index_t> batch(n);
   for (index_t i = 0; i < n; ++i) batch[i] = i;
   // Two consecutive batches exercise pool reuse.

@@ -433,8 +433,8 @@ ScheduleResult factor(SolverInstance& inst, int threads,
   ScheduleOptions so;
   so.policy = Policy::kTrojanHorse;
   so.cluster = single_gpu(device_a100());
-  so.exec_workers = threads;
-  so.exec_accum = accum;
+  so.exec.workers = threads;
+  so.exec.accum = accum;
   return inst.run_numeric(so);
 }
 
@@ -453,8 +453,8 @@ TEST(ParallelFactor, AtomicMatchesSerialResidual) {
     SolverInstance inst(a, io);
     const ScheduleResult r = factor(inst, threads, exec::AccumMode::kAtomic);
     EXPECT_LT(solve_residual(inst, a), 1e-10) << threads << " threads";
-    EXPECT_EQ(r.exec.workers, threads);
-    EXPECT_GT(r.exec.slices, 0);
+    EXPECT_EQ(r.stats().exec.workers, threads);
+    EXPECT_GT(r.stats().exec.slices, 0);
     EXPECT_GT(r.atomic_tasks, 0);  // the conflict path was actually exercised
   }
 }
@@ -469,7 +469,7 @@ TEST(ParallelFactor, DeterministicMatchesSerialResidual) {
     const ScheduleResult r =
         factor(inst, threads, exec::AccumMode::kDeterministic);
     EXPECT_LT(solve_residual(inst, a), 1e-10) << threads << " threads";
-    EXPECT_GT(r.exec.det_reductions, 0);  // scratch folds actually happened
+    EXPECT_GT(r.stats().exec.det_reductions, 0);  // scratch folds actually happened
   }
 }
 
@@ -516,8 +516,8 @@ TEST(ParallelFactor, SluBackendFallsBackWholeTaskDeterministically) {
   SolverInstance inst(a, io);
   const ScheduleResult r =
       factor(inst, 4, exec::AccumMode::kDeterministic);
-  EXPECT_GT(r.exec.fallback_tasks, 0);
-  EXPECT_EQ(r.exec.slices, 0);
+  EXPECT_GT(r.stats().exec.fallback_tasks, 0);
+  EXPECT_EQ(r.stats().exec.slices, 0);
   EXPECT_LT(solve_residual(inst, a), 1e-10);
 }
 
@@ -528,13 +528,13 @@ TEST(ParallelFactor, ExecStatsAreCoherent) {
   io.block = 16;
   SolverInstance inst(a, io);
   const ScheduleResult r = factor(inst, 4, exec::AccumMode::kAtomic);
-  EXPECT_EQ(r.exec.workers, 4);
-  EXPECT_GT(r.exec.batches, 0);
-  EXPECT_GT(r.exec.wall_s, 0);
-  EXPECT_GT(r.exec.busy_s, 0);
-  EXPECT_GT(r.exec.span_s, 0);
+  EXPECT_EQ(r.stats().exec.workers, 4);
+  EXPECT_GT(r.stats().exec.batches, 0);
+  EXPECT_GT(r.stats().exec.wall_s, 0);
+  EXPECT_GT(r.stats().exec.busy_s, 0);
+  EXPECT_GT(r.stats().exec.span_s, 0);
   // The critical path can never exceed the total work.
-  EXPECT_LE(r.exec.span_s, r.exec.busy_s + 1e-12);
+  EXPECT_LE(r.stats().exec.span_s, r.stats().exec.busy_s + 1e-12);
 }
 
 // ---- Scheduler-level batching invariant --------------------------------
@@ -555,10 +555,10 @@ TEST(ParallelFactor, UrgentTasksFormAPrefixOfEveryBatch) {
   so.collect_batches = true;
   const ScheduleResult r = inst.run_timing(so);
   const Prioritizer pr(so.prioritizer);
-  ASSERT_FALSE(r.batch_members.empty());
-  for (std::size_t b = 0; b < r.batch_members.size(); ++b) {
+  ASSERT_FALSE(r.stats().batches.empty());
+  for (std::size_t b = 0; b < r.stats().batches.size(); ++b) {
     bool seen_deferrable = false;
-    for (const index_t id : r.batch_members[b]) {
+    for (const index_t id : r.stats().batches[b].members) {
       const bool urgent = pr.is_urgent(inst.graph().task(id));
       EXPECT_FALSE(urgent && seen_deferrable)
           << "urgent task " << id << " after a deferrable one in batch " << b;

@@ -127,8 +127,8 @@ TEST(FaultPlan, EmptyPlanLeavesScheduleUntouched) {
   const ScheduleResult r = simulate(g, with_plan, nullptr);
 
   expect_identical(clean, r);
-  EXPECT_FALSE(r.faults.any());
-  EXPECT_EQ(r.faults.injected(), 0);
+  EXPECT_FALSE(r.stats().faults.any());
+  EXPECT_EQ(r.stats().faults.injected(), 0);
 }
 
 // ---- Deterministic replay -----------------------------------------------
@@ -148,20 +148,20 @@ TEST(FaultPlan, SameSeedReplaysBitIdentically) {
   const ScheduleResult a = simulate(g, o, nullptr);
   const ScheduleResult b = simulate(g, o, nullptr);
   expect_identical(a, b);
-  EXPECT_EQ(a.faults.transient_faults, b.faults.transient_faults);
-  EXPECT_EQ(a.faults.retries, b.faults.retries);
-  EXPECT_EQ(a.faults.backoff_delay_s, b.faults.backoff_delay_s);
-  EXPECT_EQ(a.faults.tasks_migrated, b.faults.tasks_migrated);
-  EXPECT_EQ(a.faults.ranks_failed, b.faults.ranks_failed);
-  EXPECT_GT(a.faults.transient_faults, 0);
-  EXPECT_GT(a.faults.tasks_migrated, 0);
+  EXPECT_EQ(a.stats().faults.transient_faults, b.stats().faults.transient_faults);
+  EXPECT_EQ(a.stats().faults.retries, b.stats().faults.retries);
+  EXPECT_EQ(a.stats().faults.backoff_delay_s, b.stats().faults.backoff_delay_s);
+  EXPECT_EQ(a.stats().faults.tasks_migrated, b.stats().faults.tasks_migrated);
+  EXPECT_EQ(a.stats().faults.ranks_failed, b.stats().faults.ranks_failed);
+  EXPECT_GT(a.stats().faults.transient_faults, 0);
+  EXPECT_GT(a.stats().faults.tasks_migrated, 0);
 
   // A different seed draws a different fault pattern (with p = 0.15 over
   // ~200 attempts, identical draws are vanishingly unlikely).
   ScheduleOptions o2 = o;
   o2.faults.seed = 43;
   const ScheduleResult c = simulate(g, o2, nullptr);
-  EXPECT_NE(a.faults.transient_faults, c.faults.transient_faults);
+  EXPECT_NE(a.stats().faults.transient_faults, c.stats().faults.transient_faults);
 }
 
 // ---- Transient faults & retry -------------------------------------------
@@ -175,10 +175,10 @@ TEST(TransientFaults, RetriedTasksStillExecuteExactlyOnce) {
   const ScheduleResult r = simulate(g, o, &backend);
 
   backend.expect_exactly_once();
-  EXPECT_GT(r.faults.transient_faults, 0);
-  EXPECT_EQ(r.faults.transient_faults, r.faults.retries);
-  EXPECT_GT(r.faults.backoff_delay_s, 0);
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_GT(r.stats().faults.transient_faults, 0);
+  EXPECT_EQ(r.stats().faults.transient_faults, r.stats().faults.retries);
+  EXPECT_GT(r.stats().faults.backoff_delay_s, 0);
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
 
   // Backoff and re-runs must lengthen the timeline.
   ScheduleOptions clean = cluster_options(2);
@@ -213,9 +213,9 @@ TEST(RankFailure, DeadRankWorkMigratesToSurvivors) {
   const ScheduleResult r = simulate(g, o, &backend);
 
   backend.expect_exactly_once();  // every task still runs, elsewhere
-  EXPECT_EQ(r.faults.ranks_failed, 1);
-  EXPECT_GT(r.faults.tasks_migrated, 0);
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_EQ(r.stats().faults.ranks_failed, 1);
+  EXPECT_GT(r.stats().faults.tasks_migrated, 0);
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
   // The dead rank launches nothing after its failure time.
   for (const auto& rec : r.trace.records()) {
     if (rec.rank == dead) {
@@ -250,8 +250,8 @@ TEST(RankFailure, RestartReexecutionDoesNotRerunNumerics) {
   // already landed (the checkpointed frontier is durable) — running them
   // through the backend again would double-apply updates.
   backend.expect_exactly_once();
-  EXPECT_EQ(r.faults.ranks_restarted, 1);
-  EXPECT_GT(r.faults.tasks_restarted, 0);
+  EXPECT_EQ(r.stats().faults.ranks_restarted, 1);
+  EXPECT_GT(r.stats().faults.tasks_restarted, 0);
 }
 
 TEST(RankFailure, RestartNumericRunKeepsResidualTiny) {
@@ -271,8 +271,8 @@ TEST(RankFailure, RestartNumericRunKeepsResidualTiny) {
   o.faults.rank_failures.push_back(
       {1, 0.45 * m, RankRecovery::kRestartFromCheckpoint});
   const ScheduleResult r = inst.run_numeric(o);
-  EXPECT_EQ(r.faults.ranks_restarted, 1);
-  EXPECT_GT(r.faults.tasks_restarted, 0);
+  EXPECT_EQ(r.stats().faults.ranks_restarted, 1);
+  EXPECT_GT(r.stats().faults.tasks_restarted, 0);
 
   std::vector<real_t> b(static_cast<std::size_t>(a.n_rows), 1.0);
   const std::vector<real_t> x = inst.solve(b);
@@ -300,10 +300,10 @@ TEST(RankFailure, CpuFallbackPricesOnCpuModel) {
   const ScheduleResult r = simulate(g, o, &backend);
 
   backend.expect_exactly_once();
-  EXPECT_EQ(r.faults.ranks_failed, 1);
-  EXPECT_EQ(r.faults.tasks_migrated, 0);  // the rank keeps its work
-  EXPECT_GT(r.faults.cpu_fallback_tasks, 0);
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_EQ(r.stats().faults.ranks_failed, 1);
+  EXPECT_EQ(r.stats().faults.tasks_migrated, 0);  // the rank keeps its work
+  EXPECT_GT(r.stats().faults.cpu_fallback_tasks, 0);
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
   EXPECT_GT(r.makespan_s, clean_makespan);  // CPU pricing is slower
 }
 
@@ -424,10 +424,10 @@ TEST(NumericGuards, NaNInjectionIsScrubbedAndRefinedAway) {
   d.sched.faults.numeric_guards = true;
   const DriverReport rep = run_solver(a, d);
 
-  EXPECT_EQ(rep.numeric.faults.numeric_faults_injected, 1);
-  EXPECT_GE(rep.numeric.faults.guards.nonfinite_scrubbed, 1);
-  EXPECT_TRUE(rep.numeric.faults.escalate_refinement);
-  EXPECT_TRUE(rep.numeric.faults.fully_accounted());
+  EXPECT_EQ(rep.numeric.stats().faults.numeric_faults_injected, 1);
+  EXPECT_GE(rep.numeric.stats().faults.guards.nonfinite_scrubbed, 1);
+  EXPECT_TRUE(rep.numeric.stats().faults.escalate_refinement);
+  EXPECT_TRUE(rep.numeric.stats().faults.fully_accounted());
   EXPECT_GE(rep.refine_iterations, 1);
   // Refinement recovers the single-entry corruption on this diagonally
   // dominant system.
@@ -452,9 +452,9 @@ TEST(NumericGuards, TinyPivotIsPerturbedAndRefinedAway) {
   d.refine_max_iterations = 60;
   const DriverReport rep = run_solver(a, d);
 
-  EXPECT_EQ(rep.numeric.faults.numeric_faults_injected, 1);
-  EXPECT_GE(rep.numeric.faults.guards.pivots_perturbed, 1);
-  EXPECT_TRUE(rep.numeric.faults.escalate_refinement);
+  EXPECT_EQ(rep.numeric.stats().faults.numeric_faults_injected, 1);
+  EXPECT_GE(rep.numeric.stats().faults.guards.pivots_perturbed, 1);
+  EXPECT_TRUE(rep.numeric.stats().faults.escalate_refinement);
   EXPECT_GE(rep.refine_iterations, 1);
   EXPECT_LT(rep.residual, 1e-6);
 }
@@ -466,7 +466,7 @@ TEST(NumericGuards, CleanRunFiresNoGuards) {
   d.sched = cluster_options(2);
   d.sched.faults.numeric_guards = true;  // guards on, nothing injected
   const DriverReport rep = run_solver(a, d);
-  EXPECT_FALSE(rep.numeric.faults.guards.fired());
+  EXPECT_FALSE(rep.numeric.stats().faults.guards.fired());
   EXPECT_EQ(rep.refine_iterations, 0);
   EXPECT_LT(rep.residual, 1e-10);
 }
@@ -493,7 +493,7 @@ TEST(FaultAcceptance, SixteenRankRunSurvivesAndAccounts) {
       {5, 0.3 * clean, RankRecovery::kMigrate});
   const DriverReport rep = run_solver(a, d);
 
-  const FaultReport& f = rep.numeric.faults;
+  const FaultReport& f = rep.numeric.stats().faults;
   EXPECT_GT(f.transient_faults, 0);
   EXPECT_EQ(f.ranks_failed, 1);
   EXPECT_GT(f.tasks_migrated, 0);

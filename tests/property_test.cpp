@@ -157,7 +157,7 @@ TEST(SchedulerProperties, RankStatsPartitionTasks) {
     o.cluster = cluster_h100();
     const ScheduleResult r = inst.run_timing(o);
     offset_t total = 0;
-    for (const auto& rs : r.ranks) total += rs.kernels;
+    for (const auto& rs : r.stats().ranks) total += rs.kernels;
     EXPECT_EQ(total, inst.graph().size());
   }
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "obs/testing.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/validate.hpp"
 #include "sim/cluster.hpp"
@@ -281,12 +282,10 @@ TEST(Checkpoint, DisabledPolicyLeavesScheduleUntouched) {
   tracked.checkpoint.mode = CheckpointPolicy::Mode::kInterval;
   tracked.checkpoint.interval_s = base.makespan_s * 10;
   tracked.checkpoint.write_cost_s = base.makespan_s * 0.01;
-  CheckpointState out;
-  tracked.checkpoint_out = &out;
   const ScheduleResult r = simulate(g, tracked, nullptr);
   expect_identical(base, r);
-  EXPECT_EQ(r.faults.checkpoints_taken, 0);
-  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(r.stats().faults.checkpoints_taken, 0);
+  EXPECT_TRUE(r.stats().checkpoint.empty());
 }
 
 TEST(Checkpoint, WritePausesArePricedAndAccounted) {
@@ -297,14 +296,12 @@ TEST(Checkpoint, WritePausesArePricedAndAccounted) {
   o.checkpoint.mode = CheckpointPolicy::Mode::kInterval;
   o.checkpoint.interval_s = base.makespan_s / 5;
   o.checkpoint.write_cost_s = base.makespan_s / 100;
-  CheckpointState out;
-  o.checkpoint_out = &out;
   const ScheduleResult r = simulate(g, o, nullptr);
-  EXPECT_GE(r.faults.checkpoints_taken, 4);
-  EXPECT_GT(r.faults.checkpoint_write_s, 0);
+  EXPECT_GE(r.stats().faults.checkpoints_taken, 4);
+  EXPECT_GT(r.stats().faults.checkpoint_write_s, 0);
   EXPECT_GT(r.makespan_s, base.makespan_s);  // writes cost simulated time
-  EXPECT_FALSE(out.empty());
-  EXPECT_EQ(out.n_tasks, g.size());
+  EXPECT_FALSE(r.stats().checkpoint.empty());
+  EXPECT_EQ(r.stats().checkpoint.n_tasks, g.size());
 }
 
 TEST(Restart, RecoversAndReexecutesLostWork) {
@@ -323,10 +320,10 @@ TEST(Restart, RecoversAndReexecutesLostWork) {
   o.faults.rank_failures.push_back(
       {1, m * 0.55, RankRecovery::kRestartFromCheckpoint});
   const ScheduleResult r = simulate(g, o, nullptr);  // validator runs
-  EXPECT_EQ(r.faults.ranks_restarted, 1);
-  EXPECT_GT(r.faults.tasks_restarted, 0);
-  EXPECT_GT(r.faults.restore_s, 0);
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_EQ(r.stats().faults.ranks_restarted, 1);
+  EXPECT_GT(r.stats().faults.tasks_restarted, 0);
+  EXPECT_GT(r.stats().faults.restore_s, 0);
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
   EXPECT_GT(r.makespan_s, m);
 }
 
@@ -338,10 +335,10 @@ TEST(Restart, WithoutAnyCheckpointRollsBackToStart) {
   o.faults.rank_failures.push_back(
       {0, m * 0.6, RankRecovery::kRestartFromCheckpoint});
   const ScheduleResult r = simulate(g, o, nullptr);
-  EXPECT_EQ(r.faults.ranks_restarted, 1);
+  EXPECT_EQ(r.stats().faults.ranks_restarted, 1);
   // Everything rank 0 had completed by 0.6*m is lost and re-executed.
-  EXPECT_GT(r.faults.tasks_restarted, 0);
-  EXPECT_TRUE(r.faults.fully_accounted());
+  EXPECT_GT(r.stats().faults.tasks_restarted, 0);
+  EXPECT_TRUE(r.stats().faults.fully_accounted());
 }
 
 TEST(Restart, BeatsMigrationOnLongFactorisations) {
@@ -377,9 +374,8 @@ TEST(Resume, ReplaysTheRemainingScheduleBitIdentically) {
   o.checkpoint.mode = CheckpointPolicy::Mode::kInterval;
   o.checkpoint.interval_s = m / 4;
   o.checkpoint.write_cost_s = m / 100;
-  CheckpointState snap;
-  o.checkpoint_out = &snap;
   const ScheduleResult full = simulate(g, o, nullptr);
+  const CheckpointState& snap = full.stats().checkpoint;
   ASSERT_FALSE(snap.empty());
 
   // Round-trip the snapshot through the on-disk format first: the resumed
@@ -390,8 +386,7 @@ TEST(Resume, ReplaysTheRemainingScheduleBitIdentically) {
 
   ScheduleOptions ro = cluster_options(4);
   ro.checkpoint = o.checkpoint;
-  ro.checkpoint_out = nullptr;
-  ro.resume = &loaded;
+  ro.resume = loaded;
   const ScheduleResult tail = simulate(g, ro, nullptr);
 
   // The full trace splits at the snapshot instant: every launch before it
@@ -415,7 +410,8 @@ TEST(Resume, ReplaysTheRemainingScheduleBitIdentically) {
   }
   EXPECT_EQ(tail.makespan_s, full.makespan_s);
   // Counters continue from the snapshot, so the final reports agree.
-  EXPECT_EQ(tail.faults.checkpoints_taken, full.faults.checkpoints_taken);
+  EXPECT_EQ(tail.stats().faults.checkpoints_taken,
+            full.stats().faults.checkpoints_taken);
 }
 
 TEST(Resume, RejectsMismatchedShapes) {
@@ -425,18 +421,16 @@ TEST(Resume, RejectsMismatchedShapes) {
   const real_t m = simulate(g, cluster_options(2), nullptr).makespan_s;
   o.checkpoint.interval_s = m / 4;
   o.checkpoint.write_cost_s = m / 100;
-  CheckpointState snap;
-  o.checkpoint_out = &snap;
-  simulate(g, o, nullptr);
+  const CheckpointState snap = simulate(g, o, nullptr).stats().checkpoint;
   ASSERT_FALSE(snap.empty());
 
   ScheduleOptions wrong = cluster_options(4);  // rank count differs
-  wrong.resume = &snap;
+  wrong.resume = snap;
   EXPECT_THROW(simulate(g, wrong, nullptr), Error);
 
   const TaskGraph other = panel_chain(4, 4, 2);  // task count differs
   ScheduleOptions ro = cluster_options(2);
-  ro.resume = &snap;
+  ro.resume = snap;
   EXPECT_THROW(simulate(other, ro, nullptr), Error);
 }
 
@@ -470,7 +464,7 @@ TEST(Validator, FlagsTamperedTimelines) {
 
   // A launch pulled earlier than its predecessors' data can arrive.
   ScheduleResult early = r;
-  auto& recs = early.trace.mutable_records();
+  auto& recs = obs::testing::mutable_records(early.trace);
   ASSERT_GT(recs.size(), 4u);
   recs[recs.size() / 2].start_s = 0;
   recs[recs.size() / 2].end_s = 1e-9;
@@ -478,13 +472,13 @@ TEST(Validator, FlagsTamperedTimelines) {
 
   // A cooked fault report (claims a retry that never happened).
   ScheduleResult cooked = r;
-  cooked.faults.transient_faults = 1;
-  cooked.faults.retries = 1;
+  cooked.stats().faults.transient_faults = 1;
+  cooked.stats().faults.retries = 1;
   EXPECT_FALSE(validate_schedule(g, o, cooked).ok());
 
   // A dropped execution (task never completes).
   ScheduleResult dropped = r;
-  dropped.batch_status.back().back() = 1;  // pretend it faulted, no retry
+  dropped.stats().batches.back().status.back() = 1;  // faulted, no retry
   EXPECT_FALSE(validate_schedule(g, o, dropped).ok());
 }
 

@@ -257,7 +257,7 @@ TEST(Scheduler, RejectsInvalidOptions) {
   };
   EXPECT_THROW(run([](ScheduleOptions& o) { o.n_ranks = 0; }), Error);
   EXPECT_THROW(run([](ScheduleOptions& o) { o.n_streams = 0; }), Error);
-  EXPECT_THROW(run([](ScheduleOptions& o) { o.exec_workers = 0; }), Error);
+  EXPECT_THROW(run([](ScheduleOptions& o) { o.exec.workers = 0; }), Error);
   EXPECT_THROW(run([](ScheduleOptions& o) { o.cluster.gpus_per_node = 0; }),
                Error);
   EXPECT_THROW(run([](ScheduleOptions& o) { o.cluster.intra_node_bw_bps = 0; }),
@@ -283,11 +283,11 @@ TEST(Scheduler, RanksStatsConsistent) {
   g.finalize();
   ScheduleOptions o = base_options(Policy::kTrojanHorse, 2);
   const ScheduleResult r = simulate(g, o, nullptr);
-  ASSERT_EQ(r.ranks.size(), 2u);
+  ASSERT_EQ(r.stats().ranks.size(), 2u);
   offset_t kernels = 0;
-  for (const auto& rs : r.ranks) kernels += rs.kernels;
+  for (const auto& rs : r.stats().ranks) kernels += rs.kernels;
   EXPECT_EQ(kernels, r.kernel_count);
-  EXPECT_EQ(r.ranks[0].flops + r.ranks[1].flops, g.total_flops());
+  EXPECT_EQ(r.stats().ranks[0].flops + r.stats().ranks[1].flops, g.total_flops());
 }
 
 }  // namespace

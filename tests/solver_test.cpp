@@ -169,7 +169,7 @@ TEST(SolverEquivalence, WorkerPoolMatchesSequential) {
     opt.instance.core = SolverCore::kPlu;
     opt.instance.block = 16;
     opt.sched.policy = Policy::kTrojanHorse;
-    opt.sched.exec_workers = workers;
+    opt.sched.exec.workers = workers;
     opt.sched.cluster = single_gpu(device_a100());
     SolverInstance inst(a, opt.instance);
     inst.run_numeric(opt.sched);
