@@ -1,11 +1,14 @@
 #include "common/bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -171,22 +174,30 @@ ScheduleResult MatrixBench::run_custom(SolverCore core,
 }
 
 FactorFootprint factor_footprint(const TaskGraph& g, int n_ranks) {
-  std::vector<offset_t> bytes(static_cast<std::size_t>(n_ranks), 0);
-  for (const Task& t : g.tasks()) {
-    if (t.type == TaskType::kSsssm) continue;  // Schur tasks are transient
-    bytes[static_cast<std::size_t>(t.owner_rank)] += t.out_bytes;
-  }
+  // Delegates to the src/mem accounting API so benches project exactly what
+  // the scheduler's ledgers charge — one source of truth for footprints.
+  const mem::FootprintProjection p = mem::project_footprint(g, n_ranks);
   FactorFootprint f;
-  offset_t total = 0;
-  for (offset_t b : bytes) {
-    f.max_rank_bytes = std::max(f.max_rank_bytes, b);
-    total += b;
-  }
-  if (total > 0) {
-    f.imbalance = static_cast<real_t>(f.max_rank_bytes) * n_ranks /
-                  static_cast<real_t>(total);
-  }
+  f.max_rank_bytes = p.peak_rank_bytes;
+  f.imbalance = p.imbalance;
   return f;
+}
+
+offset_t peak_rss_bytes() {
+  // Linux: VmHWM from /proc/self/status is the authoritative high-water
+  // mark. Fall back to getrusage (ru_maxrss is KiB on Linux) elsewhere.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<offset_t>(std::atoll(line.c_str() + 6)) * 1024;
+    }
+  }
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<offset_t>(ru.ru_maxrss) * 1024;
+  }
+  return 0;
 }
 
 void emit(const Table& table, const std::string& stem) {
@@ -203,8 +214,27 @@ void emit(const Table& table, const std::string& stem) {
   }
 }
 
+namespace {
+
+void print_peak_rss() {
+  const offset_t rss = peak_rss_bytes();
+  if (rss > 0) {
+    std::printf("[peak RSS %.1f MiB]\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+  }
+}
+
+}  // namespace
+
 void banner(const std::string& what, const std::string& detail) {
   maybe_enable_obs(what);
+  // Every bench reports its own host memory high-water mark next to its
+  // timings; registered here so each binary gets it without boilerplate.
+  static bool rss_armed = false;
+  if (!rss_armed) {
+    rss_armed = true;
+    std::atexit(print_peak_rss);
+  }
   std::printf("================================================================\n");
   std::printf("Reproducing %s\n", what.c_str());
   std::printf("%s\n", detail.c_str());

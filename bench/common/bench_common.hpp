@@ -105,4 +105,9 @@ struct FactorFootprint {
 };
 FactorFootprint factor_footprint(const TaskGraph& g, int n_ranks);
 
+/// Process peak resident-set size in bytes (VmHWM on Linux, getrusage
+/// fallback; 0 if unavailable). banner() registers an atexit hook that
+/// prints it, so every bench reports host memory next to its timings.
+offset_t peak_rss_bytes();
+
 }  // namespace th::bench

@@ -39,6 +39,17 @@
 //                                the run (.csv for CSV, else JSON);
 //                                enables the obs layer for the run
 //     --faults <spec>            fault-injection plan (see below)
+//     --mem-gib <G>              modelled per-rank device-memory budget in
+//                                GiB; every factor tile, batch scratch,
+//                                ABFT buffer and checkpoint staging buffer
+//                                is charged against it (0 = accounting off)
+//     --spill-dir <dir>          spill cold factor tiles to <dir> as THTS
+//                                files when the budget is exceeded; without
+//                                it spilling is priced in the model only
+//     --mem-policy <failfast|shrink|spill>
+//                                degradation ladder on a budget overrun:
+//                                fail immediately, shrink the batch width,
+//                                or shrink then spill cold tiles (default)
 //     --ckpt-interval <sec|auto> coordinated checkpoints every <sec> of
 //                                simulated time ("auto" = Young/Daly from
 //                                the fault plan's failure rate)
@@ -71,6 +82,12 @@
 //                    when --abft is on
 //   guards=1         scan GETRF/SSSSM outputs: scrub NaN/Inf, perturb tiny
 //                    pivots, escalate the solve to iterative refinement
+//   memramp=R@T@F    rank R's (R=-1: every rank's) modelled memory capacity
+//                    shrinks to Fx its size T seconds in (requires
+//                    --mem-gib; the degradation ladder absorbs the residue)
+//   memfail=P        every batch allocation spuriously fails with
+//                    probability P (deterministic per seed; under the spill
+//                    policy a failure evicts the coldest tile and retries)
 //   seed=S retries=N backoff=SEC
 //                    plan seed / retry budget / base backoff
 //
@@ -87,6 +104,7 @@
 #include <string>
 
 #include "gen/generators.hpp"
+#include "mem/mem.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -117,7 +135,10 @@ using namespace th;
                "[--trace-out unified.json] [--metrics-out m.json|m.csv] "
                "[--faults transient=P,kill=R@T,cpu=R@T,restart=R@T,"
                "degrade=A-B@F,nan=ID,inf=ID,tinypivot=ID,bitflip=ID,"
-               "scale=ID,snan=ID,guards=1,seed=S,retries=N,backoff=SEC] "
+               "scale=ID,snan=ID,guards=1,memramp=R@T@F,memfail=P,"
+               "seed=S,retries=N,backoff=SEC] "
+               "[--mem-gib G] [--spill-dir DIR] "
+               "[--mem-policy failfast|shrink|spill] "
                "[--ckpt-interval SEC|auto] [--ckpt-write SEC] "
                "[--ckpt-out f.thck] [--resume f.thck] [--validate]\n");
   std::exit(2);
@@ -228,6 +249,20 @@ FaultPlan parse_faults(const std::string& spec) {
                : key == "scale" ? NumericFaultKind::kScaledEntry
                                 : NumericFaultKind::kSilentNaN;
       plan.numeric_faults.push_back(f);
+    } else if (key == "memramp") {
+      const std::size_t at1 = val.find('@');
+      const std::size_t at2 =
+          at1 == std::string::npos ? at1 : val.find('@', at1 + 1);
+      if (at1 == std::string::npos || at2 == std::string::npos) {
+        usage("--faults memramp wants R@T@F");
+      }
+      MemPressure p;
+      p.rank = std::atoi(val.substr(0, at1).c_str());
+      p.time_s = std::atof(val.substr(at1 + 1, at2 - at1 - 1).c_str());
+      p.capacity_factor = std::atof(val.substr(at2 + 1).c_str());
+      plan.mem_pressure.push_back(p);
+    } else if (key == "memfail") {
+      plan.mem_alloc_fail_prob = std::atof(val.c_str());
     } else if (key == "guards") {
       plan.numeric_guards = std::atoi(val.c_str()) != 0;
     } else if (key == "seed") {
@@ -262,6 +297,8 @@ int main(int argc, char** argv) {
   std::string ordering = "mindeg";
   std::string ckpt_interval_spec, ckpt_out_path, resume_path;
   std::string accum = "atomic";
+  std::string spill_dir, mem_policy = "spill";
+  real_t mem_gib = 0;
   real_t ckpt_write = 0;
   bool validate = false;
   index_t n = 1600, block = 0;
@@ -324,6 +361,17 @@ int main(int argc, char** argv) {
       metrics_out_path = argv[i] + 14;
     } else if (!std::strcmp(argv[i], "--faults")) {
       faults_spec = need("--faults");
+    } else if (!std::strcmp(argv[i], "--mem-gib")) {
+      mem_gib = std::atof(need("--mem-gib"));
+      if (mem_gib < 0) usage("--mem-gib wants a non-negative GiB count");
+    } else if (!std::strcmp(argv[i], "--spill-dir")) {
+      spill_dir = need("--spill-dir");
+    } else if (!std::strcmp(argv[i], "--mem-policy")) {
+      mem_policy = need("--mem-policy");
+      if (mem_policy != "failfast" && mem_policy != "shrink" &&
+          mem_policy != "spill") {
+        usage("--mem-policy wants failfast, shrink or spill");
+      }
     } else if (!std::strcmp(argv[i], "--ckpt-interval")) {
       ckpt_interval_spec = need("--ckpt-interval");
     } else if (!std::strcmp(argv[i], "--ckpt-write")) {
@@ -382,6 +430,9 @@ int main(int argc, char** argv) {
                                                 : single_gpu(device_by_name(device));
     if (ranks > 1) so.cluster.gpu = device_by_name(device);
     if (!faults_spec.empty()) so.faults = parse_faults(faults_spec);
+    so.mem.budget_bytes = mem::MemOptions::gib(mem_gib);
+    so.mem.spill_dir = spill_dir;
+    so.mem.policy = mem::mem_policy_by_name(mem_policy);
     so.exec.workers = threads;
     so.exec.accum = exec::accum_mode_by_name(accum);
     so.abft.enabled = abft;
@@ -465,6 +516,23 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.stats().abft.exhausted),
                   r.stats().abft.capture_s * 1e3,
                   r.stats().abft.verify_s * 1e3);
+    }
+    if (r.stats().mem.any()) {
+      const mem::MemStats& ms = r.stats().mem;
+      std::printf("mem: high water %.2f / %.2f GiB, %lld tile(s) spilled "
+                  "(%.1f MiB) / %lld reloaded, %lld batch shrink(s) "
+                  "displacing %lld task(s), %lld pressure ramp(s), %lld "
+                  "alloc failure(s), stalls %.3f ms spill + %.3f ms reload\n",
+                  ms.high_water_bytes / (1024.0 * 1024.0 * 1024.0),
+                  ms.budget_bytes / (1024.0 * 1024.0 * 1024.0),
+                  static_cast<long long>(ms.tiles_spilled),
+                  ms.bytes_spilled / (1024.0 * 1024.0),
+                  static_cast<long long>(ms.tiles_reloaded),
+                  static_cast<long long>(ms.batch_shrinks),
+                  static_cast<long long>(ms.tasks_displaced),
+                  static_cast<long long>(ms.pressure_events),
+                  static_cast<long long>(ms.alloc_failures),
+                  ms.spill_s * 1e3, ms.reload_s * 1e3);
     }
 
     const FaultReport& fr = r.stats().faults;

@@ -1,10 +1,12 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "mem/tile_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
@@ -161,6 +163,12 @@ void ScheduleOptions::validate() const {
   opt.faults.validate(opt.n_ranks);
   opt.checkpoint.validate();
   opt.abft.validate();
+  opt.mem.validate();
+  // A checkpoint snapshot carries no memory-ledger or spill-set state, so
+  // a budgeted run cannot resume mid-stream — rerun it from t=0 instead.
+  TH_CHECK_MSG(!(opt.resume.has_value() && opt.mem.enabled()),
+               "resume and a memory budget cannot be combined: snapshots "
+               "carry no ledger/spill state");
   TH_CHECK_MSG(opt.exec.watchdog_s >= 0,
                "exec.watchdog_s must be >= 0, got " << opt.exec.watchdog_s);
 }
@@ -255,6 +263,90 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   rstats.abft.enabled = abft_mode;
   std::vector<int> abft_attempts;  // corrupt re-runs per task
   if (abft_mode) abft_attempts.assign(static_cast<std::size_t>(n), 0);
+
+  // ---- Memory-model state (src/mem, DESIGN.md §13) ---------------------
+  // With no budget every site below is a dead branch and the run takes the
+  // exact unaccounted path (zero-overhead off switch). CPU-mode runs have
+  // no device memory to model.
+  const mem::MemOptions& mopt = opt.mem;
+  const bool mem_mode = mopt.enabled() && !opt.cpu_mode;
+  mem::MemStats& mstats = rstats.mem;
+  mstats.enabled = mem_mode;
+  mstats.budget_bytes = mem_mode ? mopt.budget_bytes : 0;
+  std::vector<mem::RankLedger> ledgers;
+  if (mem_mode) {
+    ledgers.reserve(static_cast<std::size_t>(opt.n_ranks));
+    for (int r = 0; r < opt.n_ranks; ++r) {
+      ledgers.emplace_back(mopt.budget_bytes);
+    }
+  }
+  // Payload spilling needs somewhere to write and a backend to extract
+  // from; otherwise evictions are priced in the model only.
+  const bool spill_io =
+      mem_mode && !mopt.spill_dir.empty() && backend != nullptr;
+  mem::TileStore store =
+      spill_io ? mem::TileStore(mopt.spill_dir) : mem::TileStore();
+  std::vector<char> payload_out;  // block's authoritative payload on disk
+  if (spill_io) payload_out.assign(static_cast<std::size_t>(n), 0);
+  // Pressure ramps replay in deterministic (time, rank, factor) order
+  // regardless of plan listing order, like rank failures.
+  std::vector<MemPressure> pressures;
+  std::size_t next_pressure = 0;
+  std::vector<offset_t> alloc_seq;  // per-rank batch-allocation counters
+  if (mem_mode) {
+    pressures = plan.mem_pressure;
+    std::sort(pressures.begin(), pressures.end(), mem_pressure_order_less);
+    alloc_seq.assign(static_cast<std::size_t>(opt.n_ranks), 0);
+  }
+
+  // Apply every capacity ramp whose time has come. Launch instants are
+  // non-decreasing, so calling this at each launch replays ramps in order.
+  auto apply_pressure = [&](real_t t) {
+    while (next_pressure < pressures.size() &&
+           pressures[next_pressure].time_s <= t) {
+      const MemPressure& p = pressures[next_pressure++];
+      for (int r = 0; r < opt.n_ranks; ++r) {
+        if (p.rank != -1 && p.rank != r) continue;
+        MemBudget& b = ledgers[static_cast<std::size_t>(r)].budget();
+        b.set_capacity(static_cast<offset_t>(
+            static_cast<real_t>(b.capacity()) * p.capacity_factor));
+      }
+      ++mstats.pressure_events;
+      if (obs_on) {
+        obs::Recorder::global().instant(
+            obs::Domain::kSim, p.rank, "memory pressure", "mem", p.time_s,
+            "factor_pct",
+            static_cast<std::int64_t>(p.capacity_factor * 100));
+      }
+    }
+  };
+
+  // Evict the coldest unpinned factor block on `rank` out of core: release
+  // its bytes from the ledger and (when spilling I/O is armed) persist its
+  // payload to the tile store. Returns the bytes freed, 0 when nothing is
+  // evictable. The modelled transfer time lands in mstats.spill_s; callers
+  // on the launch path also stall the batch by it.
+  auto spill_coldest = [&](int rank) -> offset_t {
+    mem::RankLedger& led = ledgers[static_cast<std::size_t>(rank)];
+    const index_t victim = led.coldest();
+    if (victim < 0) return 0;
+    const offset_t bytes = led.bytes_of(victim);
+    led.mark_spilled(victim);
+    if (spill_io && payload_out[victim] == 0) {
+      std::vector<real_t> payload = backend->extract_block(graph.task(victim));
+      if (!payload.empty()) {
+        store.spill(victim, payload);
+        payload_out[victim] = 1;
+      }
+    }
+    ++mstats.tiles_spilled;
+    mstats.bytes_spilled += bytes;
+    mstats.spill_s += static_cast<real_t>(bytes) / mopt.spill_bw_bytes_per_s;
+    if (obs_on) {
+      obs::Registry::global().counter("th.mem.spill_events").add(1);
+    }
+    return bytes;
+  };
 
   // ---- Checkpoint/restart state (src/resilience) -----------------------
   const CheckpointPolicy& ckpt = opt.checkpoint;
@@ -470,6 +562,10 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       finish_time[id] = kNever;
       --completed;
       ++freport.tasks_restarted;
+      // The rolled-back producer's factor block leaves the device; its
+      // re-completion re-registers it (any spilled payload stays valid on
+      // disk — the numerics themselves are not re-executed).
+      if (mem_mode) ledgers[fr].remove_block(id);
       if (!done_app.empty() && done_app[id].first >= 0) {
         rstats.batches[static_cast<std::size_t>(done_app[id].first)]
             .status[static_cast<std::size_t>(done_app[id].second)] = 2;
@@ -610,6 +706,24 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       const auto rr = static_cast<std::size_t>(r);
       if (rank_dead[rr]) continue;
       ++alive;
+      if (mem_mode) {
+        // The checkpoint writer stages the largest resident block through
+        // a device-side bounce buffer; charge it so a budget sized to the
+        // bare factor storage is caught rather than silently exceeded.
+        mem::RankLedger& led = ledgers[rr];
+        const offset_t stage = led.largest_resident_bytes();
+        while (!led.budget().fits(stage)) {
+          if (mopt.policy == mem::MemPolicy::kSpill &&
+              spill_coldest(r) > 0) {
+            continue;
+          }
+          throw mem::OomError(r, stage, led.budget().capacity(),
+                              led.budget().used(),
+                              "checkpoint staging buffer");
+        }
+        led.budget().charge(stage);
+        led.budget().release(stage);
+      }
       ranks[rr].rank_free =
           std::max(ranks[rr].rank_free, t_c) + ckpt.write_cost_s;
       for (real_t& lane : ranks[rr].stream_free) {
@@ -835,10 +949,233 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
                  "deadlock: " << n - completed << " tasks unreachable");
     RankState& st = ranks[static_cast<std::size_t>(best_rank)];
     const real_t t0 = best_time;
+    if (mem_mode) apply_pressure(t0);
     drain_arrivals(st, best_rank, t0);
 
     auto [batch, atomic] = form_batch(st);
     if (batch.empty()) continue;  // only stale entries were pending
+
+    // ---- Memory-budget enforcement (src/mem, DESIGN.md §13) ------------
+    // Before the batch launches its rank must hold: the batch members'
+    // resident inputs (pinned; spilled ones reloaded at the modelled
+    // bandwidth), plus transient launch demand — output staging, det-mode
+    // scratch, ABFT snapshot+checksum buffers. When that does not fit the
+    // degradation ladder escalates: shrink the batch width, then spill
+    // cold tiles out of core, then fail with a typed OomError.
+    real_t mem_stall_s = 0;
+    offset_t mem_demand = 0;
+    if (mem_mode &&
+        !(fault_mode && rank_cpu[static_cast<std::size_t>(best_rank)])) {
+      mem::RankLedger& led = ledgers[static_cast<std::size_t>(best_rank)];
+      // Tracked predecessor blocks the leading `keep` members read,
+      // deduplicated and ascending so pinning and reload order are
+      // deterministic.
+      auto input_set = [&](std::size_t keep) {
+        std::vector<index_t> in;
+        for (std::size_t i = 0; i < keep; ++i) {
+          auto [pb, pe] = graph.predecessors(batch[i]);
+          for (const index_t* pp = pb; pp != pe; ++pp) {
+            if (led.tracked(*pp)) in.push_back(*pp);
+          }
+        }
+        std::sort(in.begin(), in.end());
+        in.erase(std::unique(in.begin(), in.end()), in.end());
+        return in;
+      };
+      // Pins track the candidate width: only blocks the current width still
+      // reads are immovable, so narrowing the batch frees the tail members'
+      // inputs for eviction.
+      const std::vector<index_t> all_inputs = input_set(batch.size());
+      auto set_pins = [&](const std::vector<index_t>& in) {
+        for (index_t id : all_inputs) led.unpin(id);
+        for (index_t id : in) {
+          if (!led.spilled(id)) led.pin(id);
+        }
+      };
+      set_pins(all_inputs);
+      // A capacity ramp may have left the ledger over its shrunken
+      // capacity; work the residue off before admitting new demand.
+      while (led.budget().over_capacity()) {
+        if (mopt.policy == mem::MemPolicy::kSpill) {
+          const offset_t freed = spill_coldest(best_rank);
+          if (freed > 0) {
+            mem_stall_s +=
+                static_cast<real_t>(freed) / mopt.spill_bw_bytes_per_s;
+            continue;
+          }
+        }
+        throw mem::OomError(
+            best_rank, led.budget().used() - led.budget().capacity(),
+            led.budget().capacity(), led.budget().used(),
+            "working off a capacity-ramp residue");
+      }
+      // Injected transient allocation failure: the batch's first scratch
+      // allocation fails once and the runtime reacts by evicting a cold
+      // tile before retrying (absorbed when nothing is evictable).
+      if (fault_mode && plan.mem_alloc_fail_prob > 0 &&
+          mem_alloc_fails(plan, best_rank,
+                          alloc_seq[static_cast<std::size_t>(best_rank)]++)) {
+        ++mstats.alloc_failures;
+        if (obs_on) {
+          obs::Recorder::global().instant(obs::Domain::kSim, best_rank,
+                                          "transient alloc failure", "mem",
+                                          t0);
+        }
+        if (mopt.policy == mem::MemPolicy::kSpill) {
+          const offset_t freed = spill_coldest(best_rank);
+          mem_stall_s +=
+              static_cast<real_t>(freed) / mopt.spill_bw_bytes_per_s;
+        }
+      }
+      // Transient launch demand of the leading `keep` members.
+      auto batch_demand = [&](std::size_t keep) -> offset_t {
+        offset_t d = 0;
+        for (std::size_t i = 0; i < keep; ++i) {
+          const Task& t = graph.task(batch[i]);
+          d += t.out_bytes;  // output staging for the launch
+          if (atomic[i] != 0 &&
+              opt.exec.accum == exec::AccumMode::kDeterministic) {
+            d += t.out_bytes;  // private det-mode accumulation scratch
+          }
+          if (abft_mode) {
+            // Target snapshot plus row+column checksum vectors
+            // (~2*sqrt(elems) doubles).
+            d += t.out_bytes;
+            d += static_cast<offset_t>(
+                16.0 * std::sqrt(static_cast<real_t>(t.out_bytes) / 8.0));
+          }
+        }
+        return d;
+      };
+      // The ladder picks the widest launch that fits: the spilled inputs
+      // the width must reload plus its transient demand, beside what is
+      // already resident. Narrowing the width shrinks both terms.
+      std::size_t keep = batch.size();
+      std::vector<index_t> inputs = all_inputs;
+      offset_t reload_bytes = 0;
+      for (;;) {
+        reload_bytes = 0;
+        for (index_t id : inputs) {
+          if (led.spilled(id)) reload_bytes += led.bytes_of(id);
+        }
+        mem_demand = batch_demand(keep);
+        if (led.budget().fits(reload_bytes + mem_demand)) break;
+        // Rung 1: narrow the batch — but never below half its width while
+        // spilling is still available; paying eviction I/O beats degrading
+        // the batching this whole design exists to preserve.
+        const std::size_t min_keep =
+            mopt.policy == mem::MemPolicy::kSpill
+                ? std::max<std::size_t>(1, batch.size() / 2)
+                : 1;
+        if (mopt.policy != mem::MemPolicy::kFailFast && keep > min_keep) {
+          --keep;
+          inputs = input_set(keep);
+          set_pins(inputs);
+          continue;
+        }
+        if (mopt.policy == mem::MemPolicy::kSpill) {
+          // Rung 2: evict cold tiles. The eviction I/O is being paid
+          // anyway, so recover the full batch width — the run narrows its
+          // batches only once nothing is left to spill.
+          const offset_t freed = spill_coldest(best_rank);
+          if (freed > 0) {
+            mem_stall_s +=
+                static_cast<real_t>(freed) / mopt.spill_bw_bytes_per_s;
+            keep = batch.size();
+            inputs = all_inputs;
+            set_pins(inputs);
+            continue;
+          }
+          if (keep > 1) {
+            --keep;  // nothing left to evict: narrow the rest of the way
+            inputs = input_set(keep);
+            set_pins(inputs);
+            continue;
+          }
+        }
+        throw mem::OomError(best_rank, reload_bytes + mem_demand,
+                            led.budget().capacity(), led.budget().used(),
+                            "batch launch working set");
+      }
+      // Reload the admitted width's spilled inputs at the modelled
+      // bandwidth (the fits() above guaranteed the room).
+      for (index_t id : inputs) {
+        if (!led.spilled(id)) continue;
+        const offset_t bytes = led.bytes_of(id);
+        led.mark_resident(id, t0);
+        led.pin(id);
+        ++mstats.tiles_reloaded;
+        mstats.bytes_reloaded += bytes;
+        const real_t stall =
+            static_cast<real_t>(bytes) / mopt.spill_bw_bytes_per_s;
+        mstats.reload_s += stall;
+        mem_stall_s += stall;
+      }
+      if (keep < batch.size()) {
+        ++mstats.batch_shrinks;
+        mstats.tasks_displaced += static_cast<offset_t>(batch.size() - keep);
+        if (obs_on) {
+          obs::Recorder::global().instant(
+              obs::Domain::kSim, best_rank, "batch shrunk", "mem", t0,
+              "kept", static_cast<std::int64_t>(keep), "displaced",
+              static_cast<std::int64_t>(batch.size() - keep));
+        }
+        // Displaced members go back to the pools they came from and ride a
+        // later batch.
+        for (std::size_t i = keep; i < batch.size(); ++i) {
+          const index_t id = batch[i];
+          const Task& t = graph.task(id);
+          if (track_pending) in_queue[id] = 1;
+          if (opt.policy == Policy::kTrojanHorse) {
+            if (prioritizer.is_urgent(t)) {
+              st.urgent.push({th_key(t), id});
+            } else {
+              st.container.push(th_key(t), id);
+            }
+          } else {
+            st.pool.push({order_key(opt.policy, graph, t), id});
+          }
+        }
+        batch.resize(keep);
+        atomic.resize(keep);
+        // Conflicts may have left with the tail; recompute atomic flags.
+        std::fill(atomic.begin(), atomic.end(), 0);
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>> tgt;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const Task& t = graph.task(batch[i]);
+          if (t.type != TaskType::kSsssm) continue;
+          auto& v = tgt[(static_cast<std::uint64_t>(t.row) << 32) |
+                        static_cast<std::uint32_t>(t.col)];
+          v.push_back(i);
+          if (v.size() > 1) {
+            for (std::size_t s : v) atomic[s] = 1;
+          }
+        }
+      }
+      // Any input whose authoritative payload sits in the tile store gets
+      // its exact bytes restored before a member reads it — including
+      // producer blocks owned by other ranks (host storage is shared).
+      if (spill_io) {
+        std::vector<index_t> preds;
+        for (index_t id : batch) {
+          auto [pb, pe] = graph.predecessors(id);
+          for (const index_t* pp = pb; pp != pe; ++pp) {
+            if (payload_out[*pp] != 0) preds.push_back(*pp);
+          }
+        }
+        std::sort(preds.begin(), preds.end());
+        preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+        for (index_t id : preds) {
+          backend->restore_block(graph.task(id), store.reload(id));
+          payload_out[id] = 0;
+        }
+      }
+      led.budget().charge(mem_demand);  // released after pricing
+      for (index_t id : all_inputs) led.unpin(id);
+      for (index_t id : inputs) {
+        led.touch(id, t0);  // LRU freshness: these inputs were just read
+      }
+    }
     bool any_conflict = false;
     for (char a : atomic) {
       result.atomic_tasks += (a != 0);
@@ -1053,7 +1390,10 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       freport.escalate_refinement = true;
     }
 
-    real_t start = t0, end = t0;
+    // Spill/reload transfers stall the launch; with no budget the stall is
+    // identically zero and t_launch == t0 (bit-identical off switch).
+    const real_t t_launch = mem_mode ? t0 + mem_stall_s : t0;
+    real_t start = t_launch, end = t_launch;
     real_t host_share = br.host_s;
     const bool cpu_price =
         opt.cpu_mode ||
@@ -1074,7 +1414,7 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     } else if (opt.policy == Policy::kMultiStream) {
       // Host serialises launches; kernels overlap across streams.
       const real_t launch_s = opt.cluster.gpu.launch_latency_us * 1e-6;
-      const real_t host_done = t0 + launch_s;
+      const real_t host_done = t_launch + launch_s;
       auto it = std::min_element(st.stream_free.begin(),
                                  st.stream_free.end());
       start = std::max(host_done, *it);
@@ -1093,6 +1433,12 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     ++rs.kernels;
     rs.busy_s += end - start;
     rs.flops += br.flops;
+    if (mem_mode && mem_demand > 0) {
+      // The launch's transient demand drains; the members' factor blocks
+      // are registered permanently at completion below.
+      ledgers[static_cast<std::size_t>(best_rank)].budget().release(
+          mem_demand);
+    }
 
     // Completion: wake successors; faulted members instead schedule their
     // retry with exponential backoff priced into the timeline.
@@ -1123,6 +1469,27 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
       finish_time[id] = end;
       task_done[id] = 1;
       ++completed;
+      if (mem_mode &&
+          !(fault_mode && rank_cpu[static_cast<std::size_t>(best_rank)])) {
+        // The completed task's factor block becomes permanently resident
+        // on its rank (SSSSM updates an already-counted block in place).
+        const offset_t fb = mem::factor_bytes(graph.task(id));
+        if (fb > 0) {
+          mem::RankLedger& led = ledgers[static_cast<std::size_t>(best_rank)];
+          if (!led.tracked(id)) {
+            while (!led.budget().fits(fb)) {
+              if (mopt.policy == mem::MemPolicy::kSpill &&
+                  spill_coldest(best_rank) > 0) {
+                continue;
+              }
+              throw mem::OomError(best_rank, fb, led.budget().capacity(),
+                                  led.budget().used(),
+                                  "registering a completed factor block");
+            }
+          }
+          led.add_block(id, fb, end);
+        }
+      }
       if (!done_app.empty()) {
         done_app[id] = {static_cast<index_t>(rstats.batches.size() - 1),
                         static_cast<index_t>(i)};
@@ -1172,6 +1539,25 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
   rstats.checkpoint = std::move(last_ckpt);
   rstats.exec = executor.exec_stats();
 
+  if (mem_mode) {
+    for (const mem::RankLedger& led : ledgers) {
+      mstats.high_water_bytes =
+          std::max(mstats.high_water_bytes, led.budget().high_water());
+      mstats.allocs += led.budget().allocs();
+      mstats.frees += led.budget().frees();
+    }
+    if (spill_io) {
+      // Blocks still cold at the end of the factorization stream back in
+      // for the solve phase; restoring them here proves every spilled
+      // payload round-trips byte-exact through the THTS store.
+      for (index_t id = 0; id < n; ++id) {
+        if (payload_out[id] == 0) continue;
+        backend->restore_block(graph.task(id), store.reload(id));
+        payload_out[id] = 0;
+      }
+    }
+  }
+
   if (obs_on) {
     // Mirror the run's authoritative accounting into the metrics registry
     // — snapshots reconcile with this ScheduleResult by construction
@@ -1200,6 +1586,13 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
     rstats.faults.publish_metrics();
     rstats.abft.publish_metrics();
     rstats.exec.publish_metrics();
+    rstats.mem.publish_metrics();
+    if (mem_mode) {
+      for (const mem::RankLedger& led : ledgers) {
+        reg.histogram("th.mem.rank_high_water_bytes")
+            .record(static_cast<double>(led.budget().high_water()));
+      }
+    }
   }
 
   if (opt.validate_schedule) check_schedule(graph, opt, result);

@@ -29,6 +29,7 @@
 #include "core/executor.hpp"
 #include "core/prioritizer.hpp"
 #include "core/task_graph.hpp"
+#include "mem/mem.hpp"
 #include "resilience/checkpoint.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
@@ -44,6 +45,8 @@ enum class Policy {
 };
 
 const char* policy_name(Policy p);
+
+using MemOptions = th::mem::MemOptions;
 
 struct ScheduleOptions {
   Policy policy = Policy::kTrojanHorse;
@@ -76,6 +79,12 @@ struct ScheduleOptions {
   abft::AbftOptions abft;
   /// Host-side numeric batch-execution knobs (workers/accum/watchdog).
   ExecOptions exec;
+  /// Memory-pressure robustness (src/mem): byte-accurate per-rank budget
+  /// enforcement with the shrink-batch -> spill-cold-tiles -> OomError
+  /// degradation ladder. budget_bytes == 0 (the default) keeps the exact
+  /// unaccounted path — output is bit-identical to a build without the
+  /// subsystem. thsolve_cli --mem-gib / --spill-dir / --mem-policy.
+  MemOptions mem;
   /// Periodic coordinated checkpointing (src/resilience/checkpoint.hpp).
   /// Off by default — fault-free runs with checkpointing off are
   /// bit-identical to a build without the subsystem.
@@ -154,6 +163,10 @@ struct ScheduleStats {
   /// span seconds, slices, whole-task fallbacks). Zeros on timing-only
   /// replays — simulated time never depends on them.
   exec::ExecStats exec;
+  /// Memory-robustness accounting (budget high water, tiles spilled and
+  /// reloaded, batches shrunk, pressure events). enabled only when the run
+  /// carried a memory budget.
+  mem::MemStats mem;
 };
 
 struct ScheduleResult {

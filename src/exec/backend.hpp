@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/task.hpp"
 #include "fault/fault.hpp"
@@ -118,6 +119,30 @@ class NumericBackend {
 
   /// Drop the per-batch ABFT context (end of outcome processing).
   virtual void abft_reset() {}
+
+  // ---- Out-of-core extension (src/mem, DESIGN.md §13) -------------------
+  //
+  // When the scheduler spills a cold factor tile out of core it asks the
+  // backend for the tile's dense payload (written to a TileStore "THTS"
+  // file) and hands the exact bytes back before a consumer batch runs.
+  // Reload restores the identical payload, so det-mode accumulation stays
+  // bit-reproducible with spilling on or off. The defaults opt out: an
+  // empty payload means "nothing to persist" and the scheduler prices the
+  // spill in the model only.
+
+  /// The task's target-block payload in dense column-major order, or empty
+  /// when the backend has no storage for it. Serial.
+  virtual std::vector<real_t> extract_block(const Task& t) {
+    (void)t;
+    return {};
+  }
+
+  /// Restore a payload previously returned by extract_block(). Serial,
+  /// before any batch member touches the block.
+  virtual void restore_block(const Task& t, const std::vector<real_t>& data) {
+    (void)t;
+    (void)data;
+  }
 
   // ---- Block-level extension (exec::BatchExecutor) ----------------------
 

@@ -94,6 +94,18 @@ void FaultPlan::validate(int n_ranks) const {
     TH_CHECK_MSG(f.task_id >= 0,
                  "numeric fault needs a non-negative task id");
   }
+  for (const MemPressure& m : mem_pressure) {
+    TH_CHECK_MSG(m.rank >= -1 && m.rank < n_ranks,
+                 "mem pressure targets rank " << m.rank << " but only "
+                                              << n_ranks << " ranks exist");
+    TH_CHECK_MSG(m.time_s >= 0, "mem pressure time must be >= 0");
+    TH_CHECK_MSG(m.capacity_factor > 0 && m.capacity_factor <= 1.0,
+                 "mem pressure capacity factor "
+                     << m.capacity_factor << " outside (0, 1]");
+  }
+  TH_CHECK_MSG(mem_alloc_fail_prob >= 0 && mem_alloc_fail_prob <= 1,
+               "mem alloc failure probability " << mem_alloc_fail_prob
+                                                << " outside [0, 1]");
   TH_CHECK_MSG(max_retries >= 0, "max_retries must be >= 0");
   TH_CHECK_MSG(backoff_base_s >= 0, "backoff_base_s must be >= 0");
   TH_CHECK_MSG(backoff_multiplier >= 1.0, "backoff_multiplier must be >= 1");
@@ -120,6 +132,17 @@ bool transient_fault_fires(const FaultPlan& plan, index_t task_id,
   std::uint64_t h = mix64(plan.seed);
   h = mix64(h ^ static_cast<std::uint64_t>(task_id));
   h = mix64(h ^ (static_cast<std::uint64_t>(attempt) << 32));
+  const real_t u = static_cast<real_t>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+bool mem_alloc_fails(const FaultPlan& plan, int rank, offset_t alloc_seq) {
+  const real_t p = plan.mem_alloc_fail_prob;
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  std::uint64_t h = mix64(plan.seed ^ 0x6d656d616c6c6fULL);  // "memallo"
+  h = mix64(h ^ static_cast<std::uint64_t>(rank));
+  h = mix64(h ^ (static_cast<std::uint64_t>(alloc_seq) << 16));
   const real_t u = static_cast<real_t>(h >> 11) * 0x1.0p-53;
   return u < p;
 }

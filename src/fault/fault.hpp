@@ -122,6 +122,27 @@ struct NumericFault {
   NumericFaultKind kind = NumericFaultKind::kNaN;
 };
 
+/// Memory-pressure event (the `mem_pressure` fault kind, src/mem): at
+/// `time_s` the modelled device capacity of `rank` (or every rank, -1)
+/// shrinks to `capacity_factor` of its current value — the stand-in for a
+/// co-tenant allocation, fragmentation, or a driver reserving memory.
+/// Multiple ramps on one rank compound. Only meaningful when the run has a
+/// memory budget (ScheduleOptions::mem); otherwise inert.
+struct MemPressure {
+  int rank = -1;          // -1 = every rank
+  real_t time_s = 0;
+  real_t capacity_factor = 1.0;  // in (0, 1]: multiplies the capacity
+};
+
+/// Deterministic replay order for same-timestamp pressure events,
+/// mirroring fault_order_less for rank failures.
+inline bool mem_pressure_order_less(const MemPressure& a,
+                                    const MemPressure& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.capacity_factor < b.capacity_factor;
+}
+
 /// A deterministic, seeded description of everything that goes wrong
 /// during one simulated factorisation. Default-constructed plans are
 /// empty: the scheduler takes the exact fault-free code path and produces
@@ -136,6 +157,12 @@ struct FaultPlan {
   std::vector<RankFailure> rank_failures;
   std::vector<LinkDegrade> link_degrades;
   std::vector<NumericFault> numeric_faults;
+
+  /// Memory-pressure ramps (shrinking modelled capacity; src/mem) and the
+  /// per-allocation transient failure probability — the mem_pressure fault
+  /// kind. Both are inert unless the run has a memory budget.
+  std::vector<MemPressure> mem_pressure;
+  real_t mem_alloc_fail_prob = 0;
 
   /// Enable the executor's NaN/Inf + tiny-pivot guards (automatically
   /// exercised by planted numeric faults, but genuine overflow/breakdown
@@ -157,11 +184,16 @@ struct FaultPlan {
     return false;
   }
 
+  bool has_mem_pressure() const {
+    return !mem_pressure.empty() || mem_alloc_fail_prob > 0;
+  }
+
   /// True when the plan injects nothing and enables no guards; the
   /// scheduler's zero-overhead off switch.
   bool empty() const {
     return !has_transient() && rank_failures.empty() &&
-           link_degrades.empty() && numeric_faults.empty() && !numeric_guards;
+           link_degrades.empty() && numeric_faults.empty() &&
+           !has_mem_pressure() && !numeric_guards;
   }
 
   real_t transient_p(TaskType t) const {
@@ -189,6 +221,12 @@ struct FaultPlan {
 /// of one task. Pure function of (plan.seed, task_id, attempt).
 bool transient_fault_fires(const FaultPlan& plan, index_t task_id,
                            int attempt, TaskType type);
+
+/// Deterministic transient-allocation-failure draw for allocation number
+/// `alloc_seq` on `rank` (each rank counts its batch allocations). Pure
+/// function of (plan.seed, rank, alloc_seq), so two simulations of one
+/// plan fail the identical allocations.
+bool mem_alloc_fails(const FaultPlan& plan, int rank, offset_t alloc_seq);
 
 /// Re-run 2-D block-cyclic ownership of block (row, col) over the ordered
 /// surviving-rank list (the most-square grid factorisation of

@@ -83,6 +83,24 @@ void Tile::densify() {
   values_.shrink_to_fit();
 }
 
+std::vector<real_t> Tile::release_dense() {
+  TH_CHECK(storage_ == Storage::kDense);
+  std::vector<real_t> out = std::move(dense_);
+  dense_.clear();
+  return out;
+}
+
+void Tile::adopt_dense(std::vector<real_t> data) {
+  TH_CHECK_MSG(data.size() == static_cast<std::size_t>(rows_) * cols_,
+               "adopt_dense: got " << data.size() << " elements for a "
+                                   << rows_ << "x" << cols_ << " tile");
+  dense_ = std::move(data);
+  storage_ = Storage::kDense;
+  col_ptr_.clear();
+  row_idx_.clear();
+  values_.clear();
+}
+
 real_t* Tile::dense_data() {
   TH_CHECK(storage_ == Storage::kDense);
   return dense_.data();

@@ -45,6 +45,15 @@ class Tile {
   const real_t* dense_data() const;
   index_t ld() const { return rows_; }
 
+  /// Move the dense buffer out (out-of-core spill, src/mem). Requires
+  /// dense storage; the tile keeps its shape but every dense access until
+  /// the matching adopt_dense() is invalid.
+  std::vector<real_t> release_dense();
+  /// Install a rows()*cols() column-major buffer as the dense storage —
+  /// the inverse of release_dense(), also used to restore a spilled
+  /// payload byte-exact.
+  void adopt_dense(std::vector<real_t> data);
+
   /// Sparse view; requires sparse storage.
   const std::vector<offset_t>& col_ptr() const { return col_ptr_; }
   const std::vector<index_t>& row_idx() const { return row_idx_; }

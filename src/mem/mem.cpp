@@ -1,0 +1,187 @@
+#include "mem/mem.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace th::mem {
+
+const char* mem_policy_name(MemPolicy p) {
+  switch (p) {
+    case MemPolicy::kFailFast:
+      return "fail";
+    case MemPolicy::kShrink:
+      return "shrink";
+    case MemPolicy::kSpill:
+      return "spill";
+  }
+  return "?";
+}
+
+MemPolicy mem_policy_by_name(const std::string& name) {
+  if (name == "fail" || name == "failfast") return MemPolicy::kFailFast;
+  if (name == "shrink") return MemPolicy::kShrink;
+  if (name == "spill") return MemPolicy::kSpill;
+  throw Error("unknown memory policy: " + name + " (want fail|shrink|spill)");
+}
+
+void MemOptions::validate() const {
+  TH_CHECK_MSG(budget_bytes >= 0,
+               "mem budget_bytes must be >= 0, got " << budget_bytes);
+  TH_CHECK_MSG(spill_bw_bytes_per_s > 0,
+               "mem spill bandwidth must be positive, got "
+                   << spill_bw_bytes_per_s);
+  TH_CHECK_MSG(spill_dir.empty() || enabled(),
+               "a spill directory needs a memory budget (--mem-gib)");
+}
+
+OomError::OomError(int rank, offset_t requested_bytes, offset_t capacity_bytes,
+                   offset_t used_bytes, const std::string& context)
+    : Error([&] {
+        std::ostringstream os;
+        os << "out of device memory on rank " << rank << ": " << context
+           << " needs " << requested_bytes << " byte(s) but only "
+           << capacity_bytes - used_bytes << " of " << capacity_bytes
+           << " remain and nothing further can be shrunk or spilled — the "
+              "request exceeds the memory budget";
+        return os.str();
+      }()),
+      rank_(rank),
+      requested_bytes_(requested_bytes),
+      capacity_bytes_(capacity_bytes) {}
+
+void MemStats::publish_metrics() const {
+  if (!enabled) return;
+  auto& reg = obs::Registry::global();
+  reg.gauge("th.mem.budget_bytes").set(static_cast<double>(budget_bytes));
+  reg.gauge("th.mem.high_water_bytes")
+      .set(static_cast<double>(high_water_bytes));
+  reg.counter("th.mem.allocs").add(allocs);
+  reg.counter("th.mem.frees").add(frees);
+  reg.counter("th.mem.tiles_spilled").add(tiles_spilled);
+  reg.counter("th.mem.bytes_spilled").add(bytes_spilled);
+  reg.counter("th.mem.tiles_reloaded").add(tiles_reloaded);
+  reg.counter("th.mem.bytes_reloaded").add(bytes_reloaded);
+  reg.counter("th.mem.batch_shrinks").add(batch_shrinks);
+  reg.counter("th.mem.tasks_displaced").add(tasks_displaced);
+  reg.counter("th.mem.alloc_failures").add(alloc_failures);
+  reg.counter("th.mem.pressure_events").add(pressure_events);
+  reg.gauge("th.mem.spill_s").set(spill_s);
+  reg.gauge("th.mem.reload_s").set(reload_s);
+}
+
+FootprintProjection project_footprint(const TaskGraph& g, int n_ranks) {
+  TH_CHECK_MSG(n_ranks >= 1, "project_footprint needs n_ranks >= 1");
+  std::vector<offset_t> bytes(static_cast<std::size_t>(n_ranks), 0);
+  for (const Task& t : g.tasks()) {
+    TH_CHECK_MSG(t.owner_rank >= 0 && t.owner_rank < n_ranks,
+                 "task " << t.id << " owner " << t.owner_rank
+                         << " out of range for " << n_ranks << " ranks");
+    bytes[static_cast<std::size_t>(t.owner_rank)] += factor_bytes(t);
+  }
+  FootprintProjection f;
+  for (offset_t b : bytes) {
+    f.peak_rank_bytes = std::max(f.peak_rank_bytes, b);
+    f.total_bytes += b;
+  }
+  if (f.total_bytes > 0) {
+    f.imbalance = static_cast<real_t>(f.peak_rank_bytes) * n_ranks /
+                  static_cast<real_t>(f.total_bytes);
+  }
+  return f;
+}
+
+// ---- RankLedger -----------------------------------------------------------
+
+bool RankLedger::spilled(index_t id) const {
+  auto it = blocks_.find(id);
+  return it != blocks_.end() && !it->second.resident;
+}
+
+offset_t RankLedger::bytes_of(index_t id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? 0 : it->second.bytes;
+}
+
+offset_t RankLedger::resident_blocks() const {
+  offset_t n = 0;
+  for (const auto& [id, b] : blocks_) n += b.resident ? 1 : 0;
+  return n;
+}
+
+offset_t RankLedger::largest_resident_bytes() const {
+  offset_t m = 0;
+  for (const auto& [id, b] : blocks_) {
+    if (b.resident) m = std::max(m, b.bytes);
+  }
+  return m;
+}
+
+void RankLedger::add_block(index_t id, offset_t bytes, real_t now_s) {
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    it->second.last_use_s = now_s;
+    return;
+  }
+  budget_.charge(bytes);
+  blocks_.emplace(id, Block{bytes, now_s, /*resident=*/true,
+                            /*pinned=*/false});
+}
+
+void RankLedger::remove_block(index_t id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  if (it->second.resident) budget_.release(it->second.bytes);
+  blocks_.erase(it);
+}
+
+void RankLedger::touch(index_t id, real_t now_s) {
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) it->second.last_use_s = now_s;
+}
+
+void RankLedger::pin(index_t id) {
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) it->second.pinned = true;
+}
+
+void RankLedger::unpin(index_t id) {
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) it->second.pinned = false;
+}
+
+index_t RankLedger::coldest() const {
+  index_t victim = -1;
+  real_t coldest_use = 0;
+  for (const auto& [id, b] : blocks_) {
+    if (!b.resident || b.pinned) continue;
+    // Ascending-id iteration makes the (last_use_s, id) tie-break
+    // automatic: only a strictly colder block replaces the current victim.
+    if (victim < 0 || b.last_use_s < coldest_use) {
+      victim = id;
+      coldest_use = b.last_use_s;
+    }
+  }
+  return victim;
+}
+
+void RankLedger::mark_spilled(index_t id) {
+  auto it = blocks_.find(id);
+  TH_CHECK_MSG(it != blocks_.end() && it->second.resident,
+               "cannot spill untracked or already-spilled block " << id);
+  TH_CHECK_MSG(!it->second.pinned, "cannot spill pinned block " << id);
+  budget_.release(it->second.bytes);
+  it->second.resident = false;
+}
+
+void RankLedger::mark_resident(index_t id, real_t now_s) {
+  auto it = blocks_.find(id);
+  TH_CHECK_MSG(it != blocks_.end() && !it->second.resident,
+               "cannot reload untracked or resident block " << id);
+  budget_.charge(it->second.bytes);
+  it->second.resident = true;
+  it->second.last_use_s = now_s;
+}
+
+}  // namespace th::mem

@@ -1,0 +1,207 @@
+// Memory-pressure robustness (`th::mem`): byte-accurate accounting,
+// graceful degradation and out-of-core spilling for the numeric path.
+//
+// Real factorizations at the paper's scale are bound by device memory
+// before they are bound by flops (the Figure 12 footnote reproduces runs
+// that *cannot* complete on 16 GiB MI50s); task-based solver runtimes
+// survive this by evicting cold factor blocks to slower storage and
+// replaying them on demand. This module gives the schedule simulator the
+// same machinery:
+//
+//   * MemOptions / MemStats  — the ScheduleOptions::mem knob set and the
+//     per-run accounting mirrored into the obs registry as th.mem.*,
+//   * OomError               — the typed failure at the bottom of the
+//     degradation ladder (shrink batch -> spill cold tiles -> fail),
+//   * project_footprint()    — the byte-accurate per-rank factor-storage
+//     projection; the single source of truth shared by the scheduler's
+//     enforcement and the bench OOM annotations (fig12),
+//   * RankLedger             — one rank's MemBudget plus its resident
+//     factor-block registry with LRU eviction and pinning,
+//   * TileStore              — the "THTS" on-disk format cold tiles spill
+//     to (src/mem/tile_store.hpp).
+//
+// Zero-overhead off switch: a default-constructed MemOptions (budget 0)
+// keeps the scheduler on the exact unaccounted path and its output
+// bit-identical to a build without this subsystem.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace th::mem {
+
+/// Workspace overhead over raw factor bytes (pivot/index arrays, comm
+/// staging, kernel scratch) used by footprint projections. One constant so
+/// the bench OOM annotations and any capacity planning agree.
+inline constexpr real_t kWorkspaceFactor = 1.8;
+
+/// How far the scheduler escalates when a batch's projected footprint
+/// exceeds the remaining budget. Each value enables the rungs above it:
+/// the full ladder is shrink-batch-width -> spill-cold-tiles -> fail with
+/// OomError.
+enum class MemPolicy : std::uint8_t {
+  kFailFast,  // no degradation: throw OomError on the first overrun
+  kShrink,    // shrink the batch width, then fail
+  kSpill,     // shrink, then spill cold tiles out of core, then fail
+};
+
+const char* mem_policy_name(MemPolicy p);
+MemPolicy mem_policy_by_name(const std::string& name);
+
+/// ScheduleOptions::mem — the memory-robustness knob set (thsolve_cli
+/// --mem-gib / --spill-dir / --mem-policy). budget_bytes == 0 disables
+/// accounting entirely (the zero-overhead default).
+struct MemOptions {
+  /// Modelled per-rank device-memory budget in bytes; 0 = accounting off.
+  offset_t budget_bytes = 0;
+  /// Directory spilled tile payloads are written to ("THTS" files). Empty
+  /// means spilling is priced in the model only — tile payloads stay in
+  /// host memory. Payload spilling also requires an executing backend.
+  std::string spill_dir;
+  MemPolicy policy = MemPolicy::kSpill;
+  /// Modelled spill/reload bandwidth (bytes/s) between device memory and
+  /// the backing store; stalls of bytes/bandwidth are priced into the
+  /// simulated timeline. Default is NVMe-class staging through the host.
+  real_t spill_bw_bytes_per_s = 25e9;
+
+  bool enabled() const { return budget_bytes > 0; }
+
+  /// Convenience: GiB -> bytes for the CLI/bench flags.
+  static offset_t gib(real_t g) {
+    return static_cast<offset_t>(g * 1024.0 * 1024.0 * 1024.0);
+  }
+
+  /// Throws th::Error on negative budgets/bandwidths or a spill directory
+  /// without a budget.
+  void validate() const;
+};
+
+/// Typed out-of-memory failure: the degradation ladder ran out of rungs.
+/// Carries the shortfall so harnesses (chaos soak, CLI) can report and
+/// classify it without parsing the message.
+class OomError : public Error {
+ public:
+  OomError(int rank, offset_t requested_bytes, offset_t capacity_bytes,
+           offset_t used_bytes, const std::string& context);
+  int rank() const { return rank_; }
+  offset_t requested_bytes() const { return requested_bytes_; }
+  offset_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  int rank_;
+  offset_t requested_bytes_;
+  offset_t capacity_bytes_;
+};
+
+/// Per-run memory accounting on ScheduleResult::stats().mem; every counter
+/// mirrors the rank ledgers, so obs registry snapshots reconcile with this
+/// struct by construction.
+struct MemStats {
+  bool enabled = false;
+  offset_t budget_bytes = 0;      // configured per-rank budget
+  offset_t high_water_bytes = 0;  // max over ranks of ledger high water
+  offset_t allocs = 0;            // ledger charges, all ranks
+  offset_t frees = 0;             // ledger releases, all ranks
+  offset_t tiles_spilled = 0;     // cold factor tiles evicted out of core
+  offset_t bytes_spilled = 0;
+  offset_t tiles_reloaded = 0;    // spilled tiles brought back on demand
+  offset_t bytes_reloaded = 0;
+  offset_t batch_shrinks = 0;     // batches narrowed by the ladder
+  offset_t tasks_displaced = 0;   // members pushed out of shrunk batches
+  offset_t alloc_failures = 0;    // injected transient allocation failures
+  offset_t pressure_events = 0;   // capacity-ramp fault events applied
+  real_t spill_s = 0;             // spill stalls priced into the timeline
+  real_t reload_s = 0;            // reload stalls priced into the timeline
+
+  bool any() const {
+    return tiles_spilled > 0 || tiles_reloaded > 0 || batch_shrinks > 0 ||
+           alloc_failures > 0 || pressure_events > 0;
+  }
+
+  /// Mirror these counters into the obs metrics registry under th.mem.*
+  /// (called by the scheduler at the end of every observed run).
+  void publish_metrics() const;
+};
+
+/// Byte-accurate projection of per-rank factor storage: the sum of factor
+/// block outputs (GETRF/TSTRF/GEESM — SSSSM updates blocks in place and
+/// leaves nothing new resident) per owner rank. This is exactly what the
+/// scheduler's ledgers charge at task completion, so projection and
+/// enforcement cannot drift apart.
+struct FootprintProjection {
+  offset_t peak_rank_bytes = 0;  // max over ranks
+  offset_t total_bytes = 0;      // all ranks
+  real_t imbalance = 1.0;        // peak / mean
+
+  /// Peak per-rank demand including the modelled workspace overhead.
+  offset_t peak_rank_with_workspace() const {
+    return static_cast<offset_t>(kWorkspaceFactor *
+                                 static_cast<real_t>(peak_rank_bytes));
+  }
+};
+
+FootprintProjection project_footprint(const TaskGraph& g, int n_ranks);
+
+/// Bytes a completed task leaves resident on its rank (its factor block;
+/// 0 for SSSSM, which updates an already-counted block in place).
+inline offset_t factor_bytes(const Task& t) {
+  return t.type == TaskType::kSsssm ? 0 : t.out_bytes;
+}
+
+/// One rank's device-memory state: the MemBudget ledger plus a registry of
+/// the factor blocks resident on (or spilled from) the device, keyed by
+/// producing task id. Eviction is LRU with deterministic ties — the victim
+/// is the unpinned resident block with the smallest (last_use_s, task id),
+/// so two identical runs spill identical tiles in identical order.
+class RankLedger {
+ public:
+  RankLedger() = default;
+  explicit RankLedger(offset_t capacity_bytes) : budget_(capacity_bytes) {}
+
+  MemBudget& budget() { return budget_; }
+  const MemBudget& budget() const { return budget_; }
+
+  bool tracked(index_t id) const { return blocks_.count(id) > 0; }
+  bool spilled(index_t id) const;
+  offset_t bytes_of(index_t id) const;
+  offset_t resident_blocks() const;
+  offset_t largest_resident_bytes() const;
+
+  /// Register (and charge) a freshly produced factor block. Idempotent: a
+  /// re-completion after a checkpoint restart just refreshes last use.
+  void add_block(index_t id, offset_t bytes, real_t now_s);
+  /// Forget a block (checkpoint restart rolled its producer back);
+  /// releases its bytes if resident.
+  void remove_block(index_t id);
+
+  void touch(index_t id, real_t now_s);
+  void pin(index_t id);
+  void unpin(index_t id);
+
+  /// The eviction victim: coldest unpinned resident block, ties broken by
+  /// task id. Returns -1 when nothing is evictable.
+  index_t coldest() const;
+  /// Evict: release the block's bytes, keep it registered as spilled.
+  void mark_spilled(index_t id);
+  /// Reload: charge the block's bytes again (caller ensures fits()).
+  void mark_resident(index_t id, real_t now_s);
+
+ private:
+  struct Block {
+    offset_t bytes = 0;
+    real_t last_use_s = 0;
+    bool resident = true;
+    bool pinned = false;
+  };
+  MemBudget budget_;
+  // std::map: deterministic iteration order for eviction scans.
+  std::map<index_t, Block> blocks_;
+};
+
+}  // namespace th::mem

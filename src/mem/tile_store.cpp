@@ -1,0 +1,80 @@
+#include "mem/tile_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/binio.hpp"
+#include "support/error.hpp"
+
+namespace th::mem {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'H', 'T', 'S'};
+constexpr std::uint32_t kVersion = 1;
+// Plausibility bound on a tile payload: 2^31 doubles (16 GiB) dwarfs any
+// modelled tile; a longer length prefix means the file is corrupt.
+constexpr std::uint64_t kMaxPayload = 1ULL << 31;
+
+}  // namespace
+
+TileStore::TileStore(std::string dir) : dir_(std::move(dir)) {
+  TH_CHECK_MSG(!dir_.empty(), "tile store directory must not be empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  TH_CHECK_MSG(!ec, "cannot create spill directory '" << dir_
+                                                      << "': " << ec.message());
+}
+
+std::string TileStore::path_of(index_t tile_id) const {
+  std::ostringstream os;
+  os << dir_ << "/tile_" << tile_id << ".thts";
+  return os.str();
+}
+
+void TileStore::save_tile(std::ostream& out, index_t tile_id,
+                          const std::vector<real_t>& payload) {
+  bin::put_header(out, kMagic, kVersion);
+  bin::put<std::int32_t>(out, tile_id);
+  bin::put_vector(out, payload);
+}
+
+std::pair<index_t, std::vector<real_t>> TileStore::load_tile(
+    std::istream& in) {
+  bin::check_header(in, kMagic, kVersion, "tile store");
+  const auto id = bin::get<std::int32_t>(in, "tile id");
+  auto payload = bin::get_vector<real_t>(in, kMaxPayload, "tile payload");
+  return {id, std::move(payload)};
+}
+
+void TileStore::spill(index_t tile_id, const std::vector<real_t>& payload) {
+  TH_CHECK_MSG(io(), "payload spill on a model-only tile store");
+  const std::string path = path_of(tile_id);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TH_CHECK_MSG(out.good(), "cannot open spill file '" << path << "'");
+  save_tile(out, tile_id, payload);
+  TH_CHECK_MSG(out.good(), "short write to spill file '" << path << "'");
+  ++files_written_;
+  bytes_written_ += static_cast<offset_t>(payload.size() * sizeof(real_t));
+}
+
+bool TileStore::contains(index_t tile_id) const {
+  if (!io()) return false;
+  std::error_code ec;
+  return std::filesystem::exists(path_of(tile_id), ec) && !ec;
+}
+
+std::vector<real_t> TileStore::reload(index_t tile_id) const {
+  TH_CHECK_MSG(io(), "payload reload on a model-only tile store");
+  const std::string path = path_of(tile_id);
+  std::ifstream in(path, std::ios::binary);
+  TH_CHECK_MSG(in.good(), "spilled tile " << tile_id << " missing: '" << path
+                                          << "'");
+  auto [id, payload] = load_tile(in);
+  TH_CHECK_MSG(id == tile_id, "spill file '" << path << "' holds tile " << id
+                                             << ", expected " << tile_id);
+  return std::move(payload);
+}
+
+}  // namespace th::mem

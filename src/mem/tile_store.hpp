@@ -1,0 +1,55 @@
+// TileStore — the out-of-core backing store cold factor tiles spill to.
+//
+// One "THTS" file per spilled tile (4-byte magic, u32 version, the
+// producing task id, then the tile's dense column-major payload as a
+// length-prefixed vector — the same support/binio framing as the factor
+// ("THFC") and checkpoint ("THCK") formats). Reload restores the exact
+// bytes that were spilled, so det-mode accumulation stays bit-identical
+// with spilling on or off. Readers throw bin::IoError with a byte offset
+// on truncated or corrupt files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace th::mem {
+
+class TileStore {
+ public:
+  /// Payload-less store: contains() is always false and spill()/reload()
+  /// are invalid — the scheduler prices spills in the model only.
+  TileStore() = default;
+  /// Payload store rooted at `dir` (created if missing).
+  explicit TileStore(std::string dir);
+
+  bool io() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Write one tile's payload; overwrites any previous spill of the id.
+  void spill(index_t tile_id, const std::vector<real_t>& payload);
+  bool contains(index_t tile_id) const;
+  /// Read a spilled payload back (the file stays until overwritten, so a
+  /// crashed run leaves its spill set inspectable). Throws bin::IoError on
+  /// a truncated/corrupt file, th::Error when the id was never spilled.
+  std::vector<real_t> reload(index_t tile_id) const;
+
+  offset_t files_written() const { return files_written_; }
+  offset_t bytes_written() const { return bytes_written_; }
+
+  /// Stream-level THTS codec (used directly by the round-trip tests).
+  static void save_tile(std::ostream& out, index_t tile_id,
+                        const std::vector<real_t>& payload);
+  static std::pair<index_t, std::vector<real_t>> load_tile(std::istream& in);
+
+  std::string path_of(index_t tile_id) const;
+
+ private:
+  std::string dir_;
+  offset_t files_written_ = 0;
+  offset_t bytes_written_ = 0;
+};
+
+}  // namespace th::mem

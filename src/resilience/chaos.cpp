@@ -34,7 +34,8 @@ enum class Outcome { kValidated, kAborted, kFailed };
 // recovery machinery; everything else a scenario throws is a finding.
 bool is_legitimate_abort(const std::string& what) {
   return what.find("exhausted its retry budget") != std::string::npos ||
-         what.find("every rank has failed") != std::string::npos;
+         what.find("every rank has failed") != std::string::npos ||
+         what.find("exceeds the memory budget") != std::string::npos;
 }
 
 Outcome run_scenario(const TaskGraph& graph, ScheduleOptions so,
@@ -123,6 +124,26 @@ FaultPlan shrink_fault_plan(
         plan = std::move(c);
         changed = true;
         break;
+      }
+    }
+    if (changed) continue;
+    for (std::size_t i = 0; i < plan.mem_pressure.size(); ++i) {
+      FaultPlan c = plan;
+      c.mem_pressure.erase(c.mem_pressure.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      if (try_fails(c)) {
+        plan = std::move(c);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    if (plan.mem_alloc_fail_prob > 0) {
+      FaultPlan c = plan;
+      c.mem_alloc_fail_prob = 0;
+      if (try_fails(c)) {
+        plan = std::move(c);
+        changed = true;
       }
     }
     if (changed) continue;
@@ -216,6 +237,23 @@ FaultPlan random_fault_plan(std::uint64_t seed, const TaskGraph& graph,
       plan.numeric_faults.push_back(nf);
     }
   }
+
+  // Memory-pressure ramps (the mem_pressure fault kind, src/mem): a
+  // quarter of the scenarios shrink one rank's — or every rank's —
+  // modelled capacity mid-run, some with transient allocation failures on
+  // top. Inert unless the scenario also arms a memory budget (run_chaos
+  // does whenever the plan carries pressure).
+  if (unit(s) < 0.25) {
+    const int ramps = 1 + below(s, 3);
+    for (int m = 0; m < ramps; ++m) {
+      MemPressure mp;
+      mp.rank = unit(s) < 0.3 ? -1 : below(s, n_ranks);
+      mp.time_s = horizon_s * (0.05 + 1.1 * unit(s));
+      mp.capacity_factor = 0.5 + 0.45 * unit(s);
+      plan.mem_pressure.push_back(mp);
+    }
+    if (unit(s) < 0.3) plan.mem_alloc_fail_prob = 0.001 + 0.02 * unit(s);
+  }
   return plan;
 }
 
@@ -272,6 +310,13 @@ std::string fault_plan_spec(const FaultPlan& plan) {
   for (const NumericFault& nf : plan.numeric_faults) {
     os << "," << numeric_fault_name(nf.kind) << "=" << nf.task_id;
   }
+  for (const MemPressure& mp : plan.mem_pressure) {
+    os << ",memramp=" << mp.rank << "@" << mp.time_s << "@"
+       << mp.capacity_factor;
+  }
+  if (plan.mem_alloc_fail_prob > 0) {
+    os << ",memfail=" << plan.mem_alloc_fail_prob;
+  }
   if (plan.numeric_guards) os << ",guards=1";
   return os.str();
 }
@@ -284,8 +329,11 @@ std::string ChaosReport::summary() const {
   for (const ChaosFailure& f : failures) {
     os << "\n  graph " << f.graph_index << " / " << policy_name(f.policy)
        << " / seed " << f.scenario_seed
-       << (f.checkpointing ? " (checkpointing)" : "") << ": " << f.what
-       << "\n    repro: --faults " << f.repro;
+       << (f.checkpointing ? " (checkpointing)" : "");
+    if (f.mem_budget_bytes > 0) {
+      os << " (mem budget " << f.mem_budget_bytes << " B)";
+    }
+    os << ": " << f.what << "\n    repro: --faults " << f.repro;
   }
   return os.str();
 }
@@ -335,10 +383,25 @@ ChaosReport run_chaos(const std::vector<const TaskGraph*>& graphs,
         if (opt.exercise_checkpointing) {
           ckpt = scenario_checkpoint(s, horizon);
         }
+        // A plan carrying memory pressure needs a budget to press against:
+        // size it off the byte-accurate footprint projection, scaled so
+        // some scenarios ride comfortably and others are forced through
+        // the whole shrink -> spill -> OomError ladder (an OomError is a
+        // legitimate abort, like an exhausted retry budget).
+        ScheduleOptions so = base;
+        if (plan.has_mem_pressure()) {
+          const mem::FootprintProjection fp =
+              mem::project_footprint(graph, opt.n_ranks);
+          const offset_t peak = std::max<offset_t>(fp.peak_rank_bytes, 1);
+          so.mem.budget_bytes = std::max<offset_t>(
+              1024, static_cast<offset_t>(
+                        (0.7 + 0.8 * unit(s)) * mem::kWorkspaceFactor *
+                        static_cast<real_t>(peak)));
+        }
 
         ++report.scenarios_run;
         std::string what;
-        const Outcome o = run_scenario(graph, base, plan, ckpt, &what);
+        const Outcome o = run_scenario(graph, so, plan, ckpt, &what);
         if (o == Outcome::kValidated) {
           ++report.validated;
           continue;
@@ -352,11 +415,14 @@ ChaosReport run_chaos(const std::vector<const TaskGraph*>& graphs,
         fail.policy = policy;
         fail.scenario_seed = scenario_seed;
         fail.checkpointing = ckpt.enabled();
+        fail.mem_budget_bytes = so.mem.budget_bytes;
         fail.what = what;
         if (opt.shrink) {
+          // The budget stays fixed while the plan shrinks, so each
+          // candidate replays under the scenario's exact memory regime.
           fail.plan = shrink_fault_plan(
               std::move(plan), [&](const FaultPlan& p) {
-                return run_scenario(graph, base, p, ckpt, nullptr) ==
+                return run_scenario(graph, so, p, ckpt, nullptr) ==
                        Outcome::kFailed;
               });
         } else {

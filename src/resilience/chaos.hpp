@@ -44,6 +44,9 @@ struct ChaosFailure {
   /// The failing plan, shrunk to a minimal repro when shrinking is on.
   FaultPlan plan;
   bool checkpointing = false;  // scenario ran with a checkpoint policy
+  /// Per-rank memory budget the scenario armed (0 = no budget); plans
+  /// carrying mem_pressure always run budgeted.
+  offset_t mem_budget_bytes = 0;
   std::string what;            // validator / scheduler error message
   std::string repro;           // thsolve_cli --faults spec for the plan
 };

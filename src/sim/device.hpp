@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "support/error.hpp"
 #include "support/types.hpp"
 
 namespace th {
@@ -47,6 +48,68 @@ struct DeviceSpec {
   offset_t total_shmem_bytes() const {
     return static_cast<offset_t>(sm_count) * shmem_per_sm_kib * 1024;
   }
+  /// Device memory capacity in bytes (memory_gib, exactly).
+  offset_t memory_bytes() const {
+    return static_cast<offset_t>(memory_gib * 1024.0 * 1024.0 * 1024.0);
+  }
+};
+
+/// Byte-accurate ledger of one device's memory: every factor tile, batch
+/// scratch buffer, ABFT checksum buffer and checkpoint staging buffer the
+/// simulation models is charged here, so `used()` is the exact modelled
+/// residency and `high_water()` the exact peak. charge() refuses to
+/// overcommit (callers consult fits() and degrade first — src/mem);
+/// set_capacity() models shrinking-capacity fault ramps and may leave the
+/// ledger transiently over capacity, which callers work off by spilling.
+class MemBudget {
+ public:
+  MemBudget() = default;
+  explicit MemBudget(offset_t capacity_bytes) : capacity_(capacity_bytes) {
+    TH_CHECK_MSG(capacity_bytes >= 0,
+                 "memory capacity must be >= 0, got " << capacity_bytes);
+  }
+
+  offset_t capacity() const { return capacity_; }
+  offset_t used() const { return used_; }
+  offset_t high_water() const { return high_water_; }
+  offset_t allocs() const { return allocs_; }
+  offset_t frees() const { return frees_; }
+
+  bool fits(offset_t bytes) const { return used_ + bytes <= capacity_; }
+  bool over_capacity() const { return used_ > capacity_; }
+
+  void charge(offset_t bytes) {
+    TH_CHECK_MSG(bytes >= 0, "cannot charge " << bytes << " bytes");
+    TH_CHECK_MSG(fits(bytes), "memory ledger overcommit: " << used_ << " + "
+                                                           << bytes << " > "
+                                                           << capacity_);
+    used_ += bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    ++allocs_;
+  }
+
+  void release(offset_t bytes) {
+    TH_CHECK_MSG(bytes >= 0 && bytes <= used_,
+                 "memory ledger underflow: releasing " << bytes << " of "
+                                                       << used_ << " used");
+    used_ -= bytes;
+    ++frees_;
+  }
+
+  /// Pressure ramps shrink (or restore) the capacity without touching the
+  /// charges; over_capacity() then reports the residue to work off.
+  void set_capacity(offset_t capacity_bytes) {
+    TH_CHECK_MSG(capacity_bytes >= 0,
+                 "memory capacity must be >= 0, got " << capacity_bytes);
+    capacity_ = capacity_bytes;
+  }
+
+ private:
+  offset_t capacity_ = 0;
+  offset_t used_ = 0;
+  offset_t high_water_ = 0;
+  offset_t allocs_ = 0;
+  offset_t frees_ = 0;
 };
 
 /// The paper's five GPU platforms (Tables 1 and 3).

@@ -231,6 +231,24 @@ class PluFactorization::Backend : public NumericBackend {
 
   void abft_reset() override { abft_guard_.reset(); }
 
+  // ---- Out-of-core hooks (src/mem) --------------------------------------
+
+  std::vector<real_t> extract_block(const Task& t) override {
+    const Tile* tile = tiles_.tile(t.row, t.col);
+    if (tile == nullptr || tile->storage() != Tile::Storage::kDense) {
+      return {};  // sparse factor blocks are not spilled
+    }
+    const real_t* d = tile->dense_data();
+    return std::vector<real_t>(
+        d, d + static_cast<offset_t>(tile->rows()) * tile->cols());
+  }
+
+  void restore_block(const Task& t, const std::vector<real_t>& data) override {
+    Tile* tile = tiles_.tile(t.row, t.col);
+    if (tile == nullptr || data.empty()) return;
+    tile->adopt_dense(data);  // byte-exact: det-mode output is unchanged
+  }
+
  private:
   static constexpr std::size_t kMutexes = 64;
   TileMatrix& tiles_;

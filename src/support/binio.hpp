@@ -1,18 +1,20 @@
 // Shared binary stream helpers for the on-disk formats (factor files,
-// schedule checkpoints, fault reports).
+// schedule checkpoints, fault reports, spilled tiles).
 //
 // Every format follows the same conventions, factored out of
 // solvers/serialize.cpp so new formats inherit them instead of reinventing
 // framing: a 4-byte magic, a u32 version, then native-endian POD fields
-// and length-prefixed vectors. Readers fail with a descriptive th::Error
-// on truncation, bad magic or a version mismatch — never by silently
-// producing garbage.
+// and length-prefixed vectors. Readers fail with a typed IoError carrying
+// the byte offset of the offending field on truncation, bad magic, an
+// implausible length or a version mismatch — never by silently producing
+// garbage or a short read.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <type_traits>
 #include <vector>
 
@@ -20,18 +22,52 @@
 
 namespace th::bin {
 
+/// Typed read failure: what went wrong and where. byte_offset() is the
+/// stream position of the field the reader was consuming (-1 when the
+/// stream is not seekable), so a corrupt file can be inspected with a hex
+/// dump at exactly the reported offset.
+class IoError : public Error {
+ public:
+  IoError(const std::string& what, std::int64_t byte_offset)
+      : Error(what), byte_offset_(byte_offset) {}
+  std::int64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::int64_t byte_offset_;
+};
+
+namespace detail {
+
+inline std::int64_t offset_of(std::istream& in) {
+  // tellg() fails (returns -1) on an already-bad stream; report "unknown".
+  return in.good() ? static_cast<std::int64_t>(in.tellg()) : -1;
+}
+
+[[noreturn]] inline void throw_truncated(const char* what, std::size_t bytes,
+                                         std::int64_t at) {
+  std::ostringstream os;
+  os << "truncated stream: expected " << bytes << " byte(s) of " << what
+     << " at byte offset " << at;
+  throw IoError(os.str(), at);
+}
+
+}  // namespace detail
+
 template <typename T>
 void put(std::ostream& out, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
+/// Read one POD field; `what` names it in the error ("version", "task id",
+/// ...) so a truncation report points at the exact field.
 template <typename T>
-T get(std::istream& in) {
+T get(std::istream& in, const char* what = "field") {
   static_assert(std::is_trivially_copyable_v<T>);
+  const std::int64_t at = detail::offset_of(in);
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  TH_CHECK_MSG(in.good(), "truncated stream");
+  if (!in.good()) detail::throw_truncated(what, sizeof(T), at);
   return v;
 }
 
@@ -44,16 +80,28 @@ void put_vector(std::ostream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-std::vector<T> get_vector(std::istream& in, std::uint64_t max_size) {
+std::vector<T> get_vector(std::istream& in, std::uint64_t max_size,
+                          const char* what = "vector") {
   static_assert(std::is_trivially_copyable_v<T>);
-  const auto size = get<std::uint64_t>(in);
-  TH_CHECK_MSG(size <= max_size,
-               "implausible vector length " << size << " (max " << max_size
-                                            << ")");
+  const std::int64_t len_at = detail::offset_of(in);
+  const auto size = get<std::uint64_t>(in, what);
+  if (size > max_size) {
+    // A plausibility bound (format-specific) on the length prefix: a value
+    // above it means the stream is corrupt, and failing here beats
+    // attempting a multi-terabyte allocation.
+    std::ostringstream os;
+    os << "corrupt stream: implausible " << what << " length " << size
+       << " (max " << max_size << ") at byte offset " << len_at;
+    throw IoError(os.str(), len_at);
+  }
+  const std::int64_t at = detail::offset_of(in);
   std::vector<T> v(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(v.size() * sizeof(T)));
-  TH_CHECK_MSG(in.good(), "truncated vector of " << size << " elements");
+  if (!in.good() && size > 0) {
+    detail::throw_truncated(what, static_cast<std::size_t>(size) * sizeof(T),
+                            at);
+  }
   return v;
 }
 
@@ -64,17 +112,28 @@ inline void put_header(std::ostream& out, const char magic[4],
 }
 
 /// Reads and checks the 4-byte magic and u32 version; `what` names the
-/// format in error messages ("factor", "checkpoint", ...).
+/// format in error messages ("factor", "checkpoint", "tile store", ...).
 inline void check_header(std::istream& in, const char magic[4],
                          std::uint32_t version, const char* what) {
+  const std::int64_t at = detail::offset_of(in);
   char m[4];
   in.read(m, 4);
-  TH_CHECK_MSG(in.good() && std::memcmp(m, magic, 4) == 0,
-               "not a Trojan Horse " << what << " stream (bad magic)");
-  const auto v = get<std::uint32_t>(in);
-  TH_CHECK_MSG(v == version, "unsupported " << what << " version " << v
-                                            << " (this build reads version "
-                                            << version << ")");
+  if (!in.good()) detail::throw_truncated("magic", 4, at);
+  if (std::memcmp(m, magic, 4) != 0) {
+    std::ostringstream os;
+    os << "not a Trojan Horse " << what
+       << " stream (bad magic at byte offset " << at << ")";
+    throw IoError(os.str(), at);
+  }
+  const std::int64_t vat = detail::offset_of(in);
+  const auto v = get<std::uint32_t>(in, "version");
+  if (v != version) {
+    std::ostringstream os;
+    os << "unsupported " << what << " version " << v
+       << " (this build reads version " << version << ") at byte offset "
+       << vat;
+    throw IoError(os.str(), vat);
+  }
 }
 
 }  // namespace th::bin

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "mem/mem.hpp"
 #include "resilience/chaos.hpp"
 #include "sim/cluster.hpp"
 
@@ -136,6 +137,82 @@ TEST(ChaosSpec, RendersAReproLine) {
   EXPECT_NE(spec.find("degrade=0-1@"), std::string::npos) << spec;
   EXPECT_NE(spec.find("nan=3"), std::string::npos) << spec;
   EXPECT_NE(spec.find("guards=1"), std::string::npos) << spec;
+}
+
+TEST(ChaosMem, SpecRendersMemPressureKeys) {
+  FaultPlan p;
+  p.seed = 5;
+  p.mem_pressure.push_back({-1, 0.25, 0.5});
+  p.mem_pressure.push_back({2, 0.75, 0.8});
+  p.mem_alloc_fail_prob = 0.01;
+  const std::string spec = fault_plan_spec(p);
+  EXPECT_NE(spec.find("memramp=-1@"), std::string::npos) << spec;
+  EXPECT_NE(spec.find("memramp=2@"), std::string::npos) << spec;
+  EXPECT_NE(spec.find("memfail=0.01"), std::string::npos) << spec;
+}
+
+TEST(ChaosMem, ShrinkerReducesMemPressureToOneMinimalPlan) {
+  // A composed plan with two ramps, injected allocation failures and a
+  // transient storm, where only the *second* ramp matters: the shrinker
+  // must strip everything else and keep exactly that ramp.
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.set_transient_all(0.01);
+  plan.mem_pressure.push_back({-1, 0.1, 0.9});
+  plan.mem_pressure.push_back({1, 0.5, 0.25});
+  plan.mem_alloc_fail_prob = 0.02;
+  int calls = 0;
+  const FaultPlan min = shrink_fault_plan(
+      plan,
+      [&](const FaultPlan& p) {
+        ++calls;
+        for (const MemPressure& m : p.mem_pressure) {
+          if (m.rank == 1 && m.capacity_factor < 0.5) return true;
+        }
+        return false;
+      });
+  ASSERT_EQ(min.mem_pressure.size(), 1u);
+  EXPECT_EQ(min.mem_pressure[0].rank, 1);
+  EXPECT_DOUBLE_EQ(min.mem_pressure[0].capacity_factor, 0.25);
+  EXPECT_EQ(min.mem_alloc_fail_prob, 0);
+  EXPECT_FALSE(min.has_transient());
+  EXPECT_GT(calls, 0);
+}
+
+TEST(ChaosMem, GeneratorArmsRampsAndScenariosReplayBitIdentically) {
+  const TaskGraph g = wide_bush(24, 4);
+  // Scan seeds for generated plans that carry memory pressure, then replay
+  // each one twice under the budgeted regime the chaos harness arms: both
+  // runs must produce the identical timeline and identical mem counters.
+  const mem::FootprintProjection fp = mem::project_footprint(g, 4);
+  int with_mem = 0;
+  for (std::uint64_t s = 0; s < 40 && with_mem < 3; ++s) {
+    const FaultPlan p = random_fault_plan(s, g, 4, 1.0);
+    if (!p.has_mem_pressure()) continue;
+    ++with_mem;
+    ScheduleOptions so;
+    so.cluster = cluster_h100();
+    so.n_ranks = 4;
+    so.policy = Policy::kTrojanHorse;
+    so.faults = p;
+    so.mem.budget_bytes = std::max<offset_t>(
+        1024, static_cast<offset_t>(mem::kWorkspaceFactor *
+                                    static_cast<real_t>(fp.peak_rank_bytes)));
+    so.mem.policy = mem::MemPolicy::kSpill;
+    const ScheduleResult r1 = simulate(g, so, nullptr);
+    const ScheduleResult r2 = simulate(g, so, nullptr);
+    EXPECT_EQ(r1.makespan_s, r2.makespan_s) << "seed " << s;
+    EXPECT_EQ(r1.stats().mem.pressure_events, r2.stats().mem.pressure_events)
+        << "seed " << s;
+    EXPECT_EQ(r1.stats().mem.tiles_spilled, r2.stats().mem.tiles_spilled)
+        << "seed " << s;
+    EXPECT_EQ(r1.stats().mem.alloc_failures, r2.stats().mem.alloc_failures)
+        << "seed " << s;
+    EXPECT_EQ(r1.stats().mem.high_water_bytes,
+              r2.stats().mem.high_water_bytes)
+        << "seed " << s;
+  }
+  EXPECT_GE(with_mem, 1) << "generator never armed memory pressure";
 }
 
 TEST(ChaosPlan, GeneratorNeverKillsEveryRank) {
