@@ -183,22 +183,35 @@ FactorFootprint factor_footprint(const TaskGraph& g, int n_ranks) {
   return f;
 }
 
-offset_t peak_rss_bytes() {
+PeakRss peak_rss() {
+  PeakRss r;
   // Linux: VmHWM from /proc/self/status is the authoritative high-water
-  // mark. Fall back to getrusage (ru_maxrss is KiB on Linux) elsewhere.
+  // mark. A missing file (non-Linux, restricted /proc), a missing line or
+  // a value that does not parse to a positive KiB count all fall through
+  // to getrusage instead of masquerading as a measured zero.
   std::ifstream status("/proc/self/status");
   std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      return static_cast<offset_t>(std::atoll(line.c_str() + 6)) * 1024;
+  while (status.good() && std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    char* end = nullptr;
+    const long long kib = std::strtoll(line.c_str() + 6, &end, 10);
+    if (end != line.c_str() + 6 && kib > 0) {
+      r.bytes = static_cast<offset_t>(kib) * 1024;
+      r.source = "VmHWM";
+      return r;
     }
+    break;  // malformed VmHWM line: try the fallback
   }
   struct rusage ru {};
-  if (getrusage(RUSAGE_SELF, &ru) == 0) {
-    return static_cast<offset_t>(ru.ru_maxrss) * 1024;
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    r.bytes = static_cast<offset_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+    r.source = "getrusage";
+    return r;
   }
-  return 0;
+  return r;  // no usable source; available() == false
 }
+
+offset_t peak_rss_bytes() { return peak_rss().bytes; }
 
 void emit(const Table& table, const std::string& stem) {
   std::fputs(table.to_string().c_str(), stdout);
@@ -217,10 +230,18 @@ void emit(const Table& table, const std::string& stem) {
 namespace {
 
 void print_peak_rss() {
-  const offset_t rss = peak_rss_bytes();
-  if (rss > 0) {
-    std::printf("[peak RSS %.1f MiB]\n",
-                static_cast<double>(rss) / (1024.0 * 1024.0));
+  const PeakRss rss = peak_rss();
+  if (rss.available()) {
+    std::printf("[peak RSS %.1f MiB (%s)]\n",
+                static_cast<double>(rss.bytes) / (1024.0 * 1024.0),
+                rss.source);
+  } else {
+    // Degrade loudly: an unavailable measurement is reported as such, not
+    // as a confusing "0.0 MiB" (no /proc/self/status VmHWM and getrusage
+    // failed — e.g. a stripped-down sandbox).
+    std::printf(
+        "[peak RSS unavailable: no VmHWM in /proc/self/status and "
+        "getrusage failed]\n");
   }
 }
 

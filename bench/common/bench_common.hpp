@@ -105,9 +105,25 @@ struct FactorFootprint {
 };
 FactorFootprint factor_footprint(const TaskGraph& g, int n_ranks);
 
-/// Process peak resident-set size in bytes (VmHWM on Linux, getrusage
-/// fallback; 0 if unavailable). banner() registers an atexit hook that
-/// prints it, so every bench reports host memory next to its timings.
+/// Process peak resident-set size with its provenance. banner() registers
+/// an atexit hook that prints it, so every bench reports host memory next
+/// to its timings; when no source is usable the hook says *why* instead of
+/// printing a bare zero.
+struct PeakRss {
+  offset_t bytes = 0;
+  /// Which source produced the number: "VmHWM" (/proc/self/status) or
+  /// "getrusage". nullptr = no source available; `bytes` is meaningless.
+  const char* source = nullptr;
+
+  bool available() const { return source != nullptr; }
+};
+
+/// VmHWM from /proc/self/status where it exists (Linux), falling back to
+/// getrusage's ru_maxrss; an unparseable or implausible (zero) value from
+/// one source falls through to the next instead of being reported as 0.
+PeakRss peak_rss();
+
+/// Back-compat shim: peak_rss().bytes (0 when unavailable).
 offset_t peak_rss_bytes();
 
 }  // namespace th::bench

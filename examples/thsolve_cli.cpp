@@ -61,6 +61,24 @@
 //     --validate                 run the schedule-invariant validator on
 //                                the resulting timeline (aborts if violated)
 //
+// Serving mode (multi-tenant replay; ignores --matrix/--gen):
+//     --serve                    replay a synthetic multi-tenant workload
+//                                through the src/serve session layer and
+//                                print the overload report (latencies,
+//                                goodput, shed/reject accounting, cache
+//                                hit rate); honours --policy/--device/
+//                                --ranks/--threads/--mem-gib and the obs
+//                                outputs (--trace-out/--metrics-out)
+//     --serve-requests <n>       trace length (default 200)
+//     --serve-tenants <n>        tenant population (default 4)
+//     --serve-patterns <n>       distinct sparsity patterns (default 12)
+//     --serve-load <x>           open-loop arrival rate as a multiple of
+//                                measured capacity (default 1.0; 2 = overload)
+//     --serve-seed <s>           trace seed (default 1)
+//     --serve-chaos <n>          run n tenant-misbehavior chaos scenarios
+//                                instead of a plain replay; exit 4 if any
+//                                scenario finds an invariant violation
+//
 // Exit codes: 0 solved (scaled residual < 1e-9), 1 solved but residual
 // above threshold, 2 usage error, 3 I/O error, 4 solver/scheduler error.
 //
@@ -110,6 +128,9 @@
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
 #include "resilience/checkpoint.hpp"
+#include "serve/chaos.hpp"
+#include "serve/serve.hpp"
+#include "serve/trace.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace_export.hpp"
 #include "solvers/driver.hpp"
@@ -118,6 +139,7 @@
 #include "sparse/io.hpp"
 #include "sparse/ops.hpp"
 #include "support/rng.hpp"
+#include "support/spec.hpp"
 
 namespace {
 
@@ -140,7 +162,10 @@ using namespace th;
                "[--mem-gib G] [--spill-dir DIR] "
                "[--mem-policy failfast|shrink|spill] "
                "[--ckpt-interval SEC|auto] [--ckpt-write SEC] "
-               "[--ckpt-out f.thck] [--resume f.thck] [--validate]\n");
+               "[--ckpt-out f.thck] [--resume f.thck] [--validate] "
+               "[--serve] [--serve-requests N] [--serve-tenants N] "
+               "[--serve-patterns N] [--serve-load X] [--serve-seed S] "
+               "[--serve-chaos N]\n");
   std::exit(2);
 }
 
@@ -192,90 +217,15 @@ Policy parse_policy(const std::string& p) {
   usage(("unknown policy: " + p).c_str());
 }
 
-FaultPlan parse_faults(const std::string& spec) {
-  FaultPlan plan;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string item =
-        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    pos = comma == std::string::npos ? spec.size() : comma + 1;
-    const std::size_t eq = item.find('=');
-    if (eq == std::string::npos) {
-      usage(("bad --faults item (want key=value): " + item).c_str());
-    }
-    const std::string key = item.substr(0, eq);
-    const std::string val = item.substr(eq + 1);
-    if (key == "transient") {
-      plan.set_transient_all(std::atof(val.c_str()));
-    } else if (key == "kill" || key == "cpu" || key == "restart") {
-      const std::size_t at = val.find('@');
-      if (at == std::string::npos) {
-        usage(("--faults " + key + " wants R@T").c_str());
-      }
-      RankFailure f;
-      f.rank = std::atoi(val.substr(0, at).c_str());
-      f.time_s = std::atof(val.substr(at + 1).c_str());
-      f.recovery = key == "kill"  ? RankRecovery::kMigrate
-                   : key == "cpu" ? RankRecovery::kCpuFallback
-                                  : RankRecovery::kRestartFromCheckpoint;
-      plan.rank_failures.push_back(f);
-    } else if (key == "degrade") {
-      const std::size_t dash = val.find('-');
-      const std::size_t at = val.find('@');
-      if (dash == std::string::npos || at == std::string::npos ||
-          at < dash) {
-        usage("--faults degrade wants A-B@F");
-      }
-      LinkDegrade d;
-      d.node_a = std::atoi(val.substr(0, dash).c_str());
-      d.node_b = std::atoi(val.substr(dash + 1, at - dash - 1).c_str());
-      d.bw_factor = std::atof(val.substr(at + 1).c_str());
-      plan.link_degrades.push_back(d);
-    } else if (key == "nan" || key == "inf" || key == "tinypivot") {
-      NumericFault f;
-      f.task_id = std::atoi(val.c_str());
-      f.kind = key == "nan"   ? NumericFaultKind::kNaN
-               : key == "inf" ? NumericFaultKind::kInf
-                              : NumericFaultKind::kTinyPivot;
-      plan.numeric_faults.push_back(f);
-      plan.numeric_guards = true;  // corruption without guards is pointless
-    } else if (key == "bitflip" || key == "scale" || key == "snan") {
-      // Silent kinds: invisible to the guards by design, so they do NOT
-      // flip numeric_guards on — only --abft can catch them.
-      NumericFault f;
-      f.task_id = std::atoi(val.c_str());
-      f.kind = key == "bitflip" ? NumericFaultKind::kBitFlip
-               : key == "scale" ? NumericFaultKind::kScaledEntry
-                                : NumericFaultKind::kSilentNaN;
-      plan.numeric_faults.push_back(f);
-    } else if (key == "memramp") {
-      const std::size_t at1 = val.find('@');
-      const std::size_t at2 =
-          at1 == std::string::npos ? at1 : val.find('@', at1 + 1);
-      if (at1 == std::string::npos || at2 == std::string::npos) {
-        usage("--faults memramp wants R@T@F");
-      }
-      MemPressure p;
-      p.rank = std::atoi(val.substr(0, at1).c_str());
-      p.time_s = std::atof(val.substr(at1 + 1, at2 - at1 - 1).c_str());
-      p.capacity_factor = std::atof(val.substr(at2 + 1).c_str());
-      plan.mem_pressure.push_back(p);
-    } else if (key == "memfail") {
-      plan.mem_alloc_fail_prob = std::atof(val.c_str());
-    } else if (key == "guards") {
-      plan.numeric_guards = std::atoi(val.c_str()) != 0;
-    } else if (key == "seed") {
-      plan.seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
-    } else if (key == "retries") {
-      plan.max_retries = std::atoi(val.c_str());
-    } else if (key == "backoff") {
-      plan.backoff_base_s = std::atof(val.c_str());
-    } else {
-      usage(("unknown --faults key: " + key).c_str());
-    }
+// The spec vocabulary and its strict parsing live in support/spec.hpp
+// (shared with the chaos harnesses' repro lines); the CLI only maps the
+// typed SpecError back onto its usage/exit-2 convention.
+FaultPlan parse_faults(const std::string& s) {
+  try {
+    return spec::parse_fault_spec(s);
+  } catch (const spec::SpecError& e) {
+    usage((std::string("--faults: ") + e.what()).c_str());
   }
-  return plan;
 }
 
 Ordering parse_ordering(const std::string& o) {
@@ -301,6 +251,11 @@ int main(int argc, char** argv) {
   real_t mem_gib = 0;
   real_t ckpt_write = 0;
   bool validate = false;
+  bool serve_mode = false;
+  int serve_requests = 200, serve_tenants = 4, serve_patterns = 12;
+  int serve_chaos_scenarios = 0;
+  double serve_load = 1.0;
+  std::uint64_t serve_seed = 1;
   index_t n = 1600, block = 0;
   int ranks = 1, refine_iters = 0;
   bool abft = false;
@@ -382,8 +337,135 @@ int main(int argc, char** argv) {
       resume_path = need("--resume");
     } else if (!std::strcmp(argv[i], "--validate")) {
       validate = true;
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      serve_mode = true;
+    } else if (!std::strcmp(argv[i], "--serve-requests")) {
+      serve_requests =
+          parse_int_strict("--serve-requests", need("--serve-requests"), 1);
+    } else if (!std::strcmp(argv[i], "--serve-tenants")) {
+      serve_tenants =
+          parse_int_strict("--serve-tenants", need("--serve-tenants"), 1);
+    } else if (!std::strcmp(argv[i], "--serve-patterns")) {
+      serve_patterns =
+          parse_int_strict("--serve-patterns", need("--serve-patterns"), 1);
+    } else if (!std::strcmp(argv[i], "--serve-load")) {
+      serve_load = std::atof(need("--serve-load"));
+      if (serve_load <= 0) usage("--serve-load wants a positive multiple");
+    } else if (!std::strcmp(argv[i], "--serve-seed")) {
+      serve_seed = static_cast<std::uint64_t>(
+          parse_int_strict("--serve-seed", need("--serve-seed"), 0));
+      serve_mode = true;
+    } else if (!std::strcmp(argv[i], "--serve-chaos")) {
+      serve_chaos_scenarios =
+          parse_int_strict("--serve-chaos", need("--serve-chaos"), 1);
+      serve_mode = true;
     } else {
       usage((std::string("unknown flag: ") + argv[i]).c_str());
+    }
+  }
+
+  if (serve_mode) {
+    // Multi-tenant serving replay: synthesize a Zipf-popularity workload
+    // calibrated against this configuration's measured capacity, feed it
+    // through a SolverService, and print the overload report. The obs
+    // outputs reuse the solve path's wiring (serve spans live on the
+    // "service" track; there is no simulated-kernel timeline to merge).
+    try {
+      serve::ServeOptions sopt;
+      sopt.sched.policy = parse_policy(policy);
+      sopt.sched.n_ranks = ranks;
+      sopt.sched.cluster =
+          ranks > 1 && device == "mi50" ? cluster_mi50()
+          : ranks > 1                   ? cluster_h100()
+                                        : single_gpu(device_by_name(device));
+      if (ranks > 1) sopt.sched.cluster.gpu = device_by_name(device);
+      sopt.sched.mem.policy = mem::mem_policy_by_name(mem_policy);
+      sopt.exec_workers = threads;
+      sopt.mem_budget_bytes = mem::MemOptions::gib(mem_gib);
+      sopt.validate();
+
+      serve::TraceOptions topt;
+      topt.seed = serve_seed;
+      topt.n_patterns = serve_patterns;
+      topt.n_tenants = serve_tenants;
+      topt.n_requests = serve_requests;
+      topt.load = serve_load;
+
+      const bool obs_on = !trace_out_path.empty() || !metrics_out_path.empty();
+      const obs::Session obs_session(obs_on);
+
+      if (serve_chaos_scenarios > 0) {
+        serve::ServeChaosOptions copt;
+        copt.seed = serve_seed;
+        copt.scenarios = serve_chaos_scenarios;
+        copt.serve = sopt;
+        copt.trace = topt;
+        const serve::ServeChaosReport report = serve::run_serve_chaos(copt);
+        std::printf("serve chaos: %s\n", report.summary().c_str());
+        return report.ok() ? 0 : 4;
+      }
+
+      topt.mean_service_s = serve::estimate_mean_service_s(sopt, topt);
+      const serve::ServeTrace trace = serve::synth_trace(topt);
+      serve::SolverService svc(sopt);
+      const serve::ReplayReport rep = serve::replay(svc, trace);
+      const serve::ServeStats& st = rep.stats;
+      st.publish_metrics();
+
+      std::printf("serve: %d request(s), %d tenant(s), %d pattern(s), "
+                  "load %.2fx (mean service %.3f ms)\n",
+                  serve_requests, serve_tenants, serve_patterns, serve_load,
+                  topt.mean_service_s * 1e3);
+      std::printf("serve: admitted %lld, rejected %lld (%lld queue-full, "
+                  "%lld deadline, %lld mem)\n",
+                  static_cast<long long>(st.submitted),
+                  static_cast<long long>(rep.rejected_events.size()),
+                  static_cast<long long>(st.rejected_queue_full),
+                  static_cast<long long>(st.rejected_deadline),
+                  static_cast<long long>(st.rejected_mem));
+      std::printf("serve: done %lld (%lld factor / %lld refactor / %lld "
+                  "solve), shed %lld, cancelled %lld, deadline-missed %lld, "
+                  "failed %lld, degraded dispatches %lld\n",
+                  static_cast<long long>(st.completed),
+                  static_cast<long long>(st.factors),
+                  static_cast<long long>(st.refactors),
+                  static_cast<long long>(st.solves),
+                  static_cast<long long>(st.shed),
+                  static_cast<long long>(st.cancelled),
+                  static_cast<long long>(st.deadline_misses),
+                  static_cast<long long>(st.failed),
+                  static_cast<long long>(st.degraded_runs));
+      std::printf("serve: symbolic cache %.0f%% hit (%lld/%lld), queue high "
+                  "water %lld\n",
+                  st.cache_hit_rate() * 100.0,
+                  static_cast<long long>(st.cache_hits),
+                  static_cast<long long>(st.cache_hits + st.cache_misses),
+                  static_cast<long long>(st.queue_high_water));
+      std::printf("serve: makespan %.3f s (virtual), goodput %.2f req/s, "
+                  "done latency p50 %.3f / p90 %.3f / p99 %.3f s\n",
+                  rep.makespan_s, rep.goodput_rps, rep.done_latency.p50,
+                  rep.done_latency.p90, rep.done_latency.p99);
+
+      try {
+        if (!trace_out_path.empty()) {
+          obs::write_unified_trace_file(trace_out_path, nullptr,
+                                        obs::Recorder::global(),
+                                        "thsolve serve");
+          std::printf("unified obs trace written to %s\n",
+                      trace_out_path.c_str());
+        }
+        if (!metrics_out_path.empty()) {
+          obs::write_metrics_file(metrics_out_path);
+          std::printf("obs metrics written to %s\n", metrics_out_path.c_str());
+        }
+      } catch (const Error& e) {
+        std::fprintf(stderr, "thsolve: %s\n", e.what());
+        return 3;
+      }
+      return 0;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "thsolve: %s\n", e.what());
+      return 4;
     }
   }
 

@@ -35,6 +35,12 @@ struct ExecOptions {
   /// that never starts within the period is taken over by the caller and
   /// the pool degrades to the responsive width for subsequent batches.
   real_t watchdog_s = 0;
+  /// Execute batches on this existing pool instead of spawning one per
+  /// simulate() call (`workers` is then ignored — the pool's width rules;
+  /// the pool must outlive the run). The serve layer points every
+  /// session's ScheduleOptions::exec here so all tenants share one
+  /// process-wide lane set (DESIGN.md §14).
+  exec::WorkerPool* pool = nullptr;
 };
 
 struct BatchResult {

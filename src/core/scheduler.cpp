@@ -949,6 +949,18 @@ ScheduleResult simulate(const TaskGraph& graph, const ScheduleOptions& opt,
                  "deadlock: " << n - completed << " tasks unreachable");
     RankState& st = ranks[static_cast<std::size_t>(best_rank)];
     const real_t t0 = best_time;
+    if (opt.cancel != nullptr) {
+      // Batch boundary: no batch in flight, executor lanes parked behind
+      // their barrier, ledgers quiescent — the one point a cooperative
+      // cancellation may unwind from (support/cancel.hpp). The throw
+      // frees every run-local structure by plain stack unwinding.
+      if (obs_on && (opt.cancel->cancel_requested() ||
+                     t0 >= opt.cancel->deadline_s())) {
+        obs::Recorder::global().instant(obs::Domain::kSim, -1, "cancelled",
+                                        "serve", t0, "completed", completed);
+      }
+      opt.cancel->check(t0);
+    }
     if (mem_mode) apply_pressure(t0);
     drain_arrivals(st, best_rank, t0);
 

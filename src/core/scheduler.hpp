@@ -33,6 +33,7 @@
 #include "resilience/checkpoint.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
+#include "support/cancel.hpp"
 
 namespace th {
 
@@ -100,6 +101,14 @@ struct ScheduleOptions {
   /// result before returning; throws th::Error on any invariant violation.
   /// Implies collect_batches.
   bool validate_schedule = false;
+  /// Cooperative cancellation (borrowed; may be shared with a controller
+  /// thread). Polled at every batch boundary — the only points with no
+  /// batch in flight — so a fired token unwinds simulate() with lanes
+  /// drained and the run-local ledgers freed deterministically, throwing
+  /// CancelledError at the first boundary whose simulated time satisfies
+  /// the token. Null (the default) keeps the exact unpolled path. The
+  /// serve layer arms this with per-request deadlines (DESIGN.md §14).
+  const CancelToken* cancel = nullptr;
 
   /// Reject garbage configurations (non-positive rank/stream/worker
   /// counts, broken cluster specs, malformed fault/checkpoint plans) by

@@ -36,14 +36,20 @@ enum class Mode : char {
 }  // namespace
 
 BatchExecutor::BatchExecutor(const BatchExecOptions& opt)
-    : opt_(opt), pool_(opt.n_threads) {
+    : opt_(opt),
+      own_pool_(opt.shared_pool != nullptr
+                    ? nullptr
+                    : std::make_unique<WorkerPool>(opt.n_threads)),
+      pool_(opt.shared_pool != nullptr ? opt.shared_pool : own_pool_.get()) {
   TH_CHECK(opt.chunk_blocks > 0);
   TH_CHECK(opt.watchdog_s >= 0);
-  pool_.set_watchdog(opt.watchdog_s);
+  // A borrowed pool keeps its owner's watchdog configuration — many
+  // executors share it and must not fight over the period.
+  if (own_pool_ != nullptr) pool_->set_watchdog(opt.watchdog_s);
   // Sized for the full width: the watchdog may shrink the pool later, but
   // every batch indexes lanes [0, width-at-dispatch).
-  lane_busy_.assign(static_cast<std::size_t>(pool_.width()), 0.0);
-  lane_slices_.assign(static_cast<std::size_t>(pool_.width()), 0);
+  lane_busy_.assign(static_cast<std::size_t>(pool_->width()), 0.0);
+  lane_slices_.assign(static_cast<std::size_t>(pool_->width()), 0);
 }
 
 void BatchExecutor::execute(NumericBackend& backend,
@@ -103,8 +109,8 @@ void BatchExecutor::execute(NumericBackend& backend,
       backend.abft_capture_plan(*tasks[i]);
     }
     if (const std::size_t jobs = backend.abft_capture_jobs(); jobs > 0) {
-      const std::size_t cw = static_cast<std::size_t>(pool_.width());
-      pool_.run(
+      const std::size_t cw = static_cast<std::size_t>(pool_->width());
+      pool_->run(
           [&](int lane) {
             for (std::size_t j = static_cast<std::size_t>(lane); j < jobs;
                  j += cw)
@@ -123,10 +129,10 @@ void BatchExecutor::execute(NumericBackend& backend,
   // lanes, so the scaling numbers survive core-starved CI machines.
   std::atomic<long> fallbacks{0};
   const index_t total = map.total_blocks();
-  const index_t width = static_cast<index_t>(pool_.width());
+  const index_t width = static_cast<index_t>(pool_->width());
   std::fill(lane_busy_.begin(), lane_busy_.end(), 0.0);
   std::fill(lane_slices_.begin(), lane_slices_.end(), 0);
-  pool_.run([&](int lane) {
+  pool_->run([&](int lane) {
     const real_t t0 = thread_cpu_seconds();
     long slices = 0;
     for (index_t chunk = static_cast<index_t>(lane) * opt_.chunk_blocks;
@@ -209,8 +215,8 @@ void BatchExecutor::execute(NumericBackend& backend,
         groups[it->second].push_back(i);
       }
       if (!groups.empty()) {
-        const std::size_t vw = static_cast<std::size_t>(pool_.width());
-        pool_.run(
+        const std::size_t vw = static_cast<std::size_t>(pool_->width());
+        pool_->run(
             [&](int lane) {
               for (std::size_t g = static_cast<std::size_t>(lane);
                    g < groups.size(); g += vw) {
@@ -244,9 +250,9 @@ void BatchExecutor::execute(NumericBackend& backend,
   stats_.fallback_tasks += fallbacks.load(std::memory_order_relaxed);
   stats_.det_reductions += det_reds;
   const int prev_degraded = stats_.lanes_degraded;
-  stats_.workers = pool_.width();  // post-batch: reflects watchdog degrades
-  stats_.lanes_degraded = pool_.lanes_degraded();
-  stats_.stragglers = pool_.stragglers();
+  stats_.workers = pool_->width();  // post-batch: reflects watchdog degrades
+  stats_.lanes_degraded = pool_->lanes_degraded();
+  stats_.stragglers = pool_->stragglers();
   ++stats_.batches;
   if (obs_on) {
     if (stats_.lanes_degraded > prev_degraded) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -77,13 +78,20 @@ struct BatchExecOptions {
   /// that never starts its work within the period is taken over by the
   /// caller and the pool degrades to the responsive width.
   real_t watchdog_s = 0;
+  /// Borrow an existing pool instead of spawning one (n_threads is then
+  /// ignored; the pool's width rules). The serve layer runs every
+  /// session's batches over ONE process-wide pool this way, so admitting a
+  /// request costs no thread churn and a misbehaving tenant cannot
+  /// multiply OS threads. The pool must outlive the executor; watchdog
+  /// configuration is left to the pool's owner.
+  WorkerPool* shared_pool = nullptr;
 };
 
 class BatchExecutor {
  public:
   explicit BatchExecutor(const BatchExecOptions& opt);
 
-  int n_threads() const { return pool_.width(); }
+  int n_threads() const { return pool_->width(); }
   AccumMode accum() const { return opt_.accum; }
   const ExecStats& stats() const { return stats_; }
 
@@ -100,11 +108,13 @@ class BatchExecutor {
                const std::vector<char>* skip, BatchVerify* verify = nullptr);
 
   /// Direct pool access (tests: hang injection, degrade inspection).
-  WorkerPool& pool() { return pool_; }
+  WorkerPool& pool() { return *pool_; }
+  bool pool_is_shared() const { return own_pool_ == nullptr; }
 
  private:
   BatchExecOptions opt_;
-  WorkerPool pool_;
+  std::unique_ptr<WorkerPool> own_pool_;  // null when borrowing shared_pool
+  WorkerPool* pool_;
   ExecStats stats_;
   std::vector<real_t> scratch_;     // det-mode buffers, one batch at a time
   std::vector<real_t> lane_busy_;   // per-lane CPU seconds, last batch

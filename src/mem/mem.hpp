@@ -144,6 +144,15 @@ struct FootprintProjection {
     return static_cast<offset_t>(kWorkspaceFactor *
                                  static_cast<real_t>(peak_rank_bytes));
   }
+
+  /// Admission predicate: can a run with this projection complete inside a
+  /// per-rank budget of `budget_bytes` without the spill path? The serve
+  /// layer refuses requests that fail this instead of letting them OOM
+  /// mid-run (serve::RejectReason::kMemInfeasible); a budget of 0 means
+  /// accounting is off and everything fits.
+  bool fits(offset_t budget_bytes) const {
+    return budget_bytes <= 0 || peak_rank_with_workspace() <= budget_bytes;
+  }
 };
 
 FootprintProjection project_footprint(const TaskGraph& g, int n_ranks);

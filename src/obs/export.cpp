@@ -11,8 +11,14 @@ namespace {
 constexpr int kSimPid = 1;   // simulated cluster (ranks)
 constexpr int kHostPid = 2;  // host runtime (lanes)
 
-/// tid layout inside kHostPid: 0 = runtime (track -1), lane L = L + 1.
-int host_tid(int track) { return track < 0 ? 0 : track + 1; }
+/// tid layout inside kHostPid: 0 = runtime (track -1), lane L = L + 1,
+/// and the serve layer's session track (kServiceTrack) pinned high so it
+/// renders below the lanes instead of renumbering them.
+constexpr int kServiceTid = 1000;
+int host_tid(int track) {
+  if (track == kServiceTrack) return kServiceTid;
+  return track < 0 ? 0 : track + 1;
+}
 
 void emit_args(std::ostream& out, const Event& e) {
   out << ",\"args\":{";
@@ -72,9 +78,12 @@ void write_unified_trace(std::ostream& out, const Trace* sim,
       max_rank = std::max(max_rank, r.rank);
     }
   }
+  bool service = false;
   for (const Event& e : events) {
     if (e.domain == Domain::kSim) {
       max_rank = std::max(max_rank, e.track);
+    } else if (e.track == kServiceTrack) {
+      service = true;
     } else if (e.track < 0) {
       host_runtime = true;
     } else {
@@ -94,6 +103,7 @@ void write_unified_trace(std::ostream& out, const Trace* sim,
     emit_thread_name(out, kSimPid, rank, "rank " + std::to_string(rank));
   }
   if (host_runtime) emit_thread_name(out, kHostPid, 0, "runtime");
+  if (service) emit_thread_name(out, kHostPid, kServiceTid, "service");
   for (int lane = 0; lane <= max_lane; ++lane) {
     emit_thread_name(out, kHostPid, host_tid(lane),
                      "lane " + std::to_string(lane));

@@ -31,6 +31,12 @@ namespace th::obs {
 enum class Domain : char { kSim, kHost };
 enum class EventKind : char { kInstant, kSpan };
 
+/// Host-domain track for the serve layer's session/request spans (admit,
+/// symbolic miss, factor, solve): a dedicated lane-independent timeline so
+/// request latencies read directly off the trace. The exporter renders it
+/// as a "service" thread next to "runtime" and the lanes.
+constexpr int kServiceTrack = -2;
+
 struct Event {
   const char* name = "";
   const char* cat = "";

@@ -4,29 +4,17 @@
 #include <cmath>
 #include <sstream>
 
+#include "resilience/chaos_rng.hpp"
 #include "support/error.hpp"
+#include "support/spec.hpp"
 
 namespace th {
 
+using chaos_rng::below;
+using chaos_rng::mix64;
+using chaos_rng::unit;
+
 namespace {
-
-// SplitMix64: the same generator family the fault model's deterministic
-// draws use — cross-platform stable, unlike <random> distributions.
-std::uint64_t mix64(std::uint64_t& s) {
-  s += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = s;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-double unit(std::uint64_t& s) {  // uniform in [0, 1)
-  return static_cast<double>(mix64(s) >> 11) * 0x1.0p-53;
-}
-
-int below(std::uint64_t& s, int bound) {
-  return bound <= 1 ? 0 : static_cast<int>(mix64(s) % bound);
-}
 
 enum class Outcome { kValidated, kAborted, kFailed };
 
@@ -288,37 +276,10 @@ FaultPlan random_corruption_plan(std::uint64_t seed, const TaskGraph& graph,
 }
 
 std::string fault_plan_spec(const FaultPlan& plan) {
-  std::ostringstream os;
-  os << "seed=" << plan.seed << ",retries=" << plan.max_retries;
-  if (plan.has_transient()) {
-    // The CLI sets one probability for every kernel class; emit the
-    // largest so the repro is at least as hostile as the plan.
-    real_t p = 0;
-    for (real_t q : plan.transient_prob) p = std::max(p, q);
-    os << ",transient=" << p;
-  }
-  for (const RankFailure& f : plan.rank_failures) {
-    const char* key = f.recovery == RankRecovery::kMigrate ? "kill"
-                      : f.recovery == RankRecovery::kCpuFallback
-                          ? "cpu"
-                          : "restart";
-    os << "," << key << "=" << f.rank << "@" << f.time_s;
-  }
-  for (const LinkDegrade& d : plan.link_degrades) {
-    os << ",degrade=" << d.node_a << "-" << d.node_b << "@" << d.bw_factor;
-  }
-  for (const NumericFault& nf : plan.numeric_faults) {
-    os << "," << numeric_fault_name(nf.kind) << "=" << nf.task_id;
-  }
-  for (const MemPressure& mp : plan.mem_pressure) {
-    os << ",memramp=" << mp.rank << "@" << mp.time_s << "@"
-       << mp.capacity_factor;
-  }
-  if (plan.mem_alloc_fail_prob > 0) {
-    os << ",memfail=" << plan.mem_alloc_fail_prob;
-  }
-  if (plan.numeric_guards) os << ",guards=1";
-  return os.str();
+  // The spec vocabulary (and its round-trip with the CLI's --faults parser)
+  // lives in support/spec.hpp so the CLI, the chaos repro lines and the
+  // serve replay mode cannot drift apart.
+  return spec::render_fault_spec(plan);
 }
 
 std::string ChaosReport::summary() const {

@@ -1,0 +1,31 @@
+// SplitMix64 draw helpers shared by the chaos harnesses (fault-plan chaos
+// in resilience/chaos.cpp, tenant chaos in serve/chaos.cpp).
+//
+// The same generator family the fault model's deterministic draws use —
+// cross-platform stable, unlike <random> distributions, so a scenario seed
+// reproduces the same campaign on every toolchain. All helpers advance the
+// state in place; derive independent streams by XOR-ing the seed with a
+// distinct constant before the first draw.
+#pragma once
+
+#include <cstdint>
+
+namespace th::chaos_rng {
+
+inline std::uint64_t mix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline double unit(std::uint64_t& s) {  // uniform in [0, 1)
+  return static_cast<double>(mix64(s) >> 11) * 0x1.0p-53;
+}
+
+inline int below(std::uint64_t& s, int bound) {
+  return bound <= 1 ? 0 : static_cast<int>(mix64(s) % bound);
+}
+
+}  // namespace th::chaos_rng

@@ -1,0 +1,638 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+#include "solvers/block_cyclic.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace th::serve {
+
+real_t solve_cost_s(offset_t nnz_lu, const DeviceSpec& gpu) {
+  const real_t bytes = 16.0 * static_cast<real_t>(nnz_lu);
+  const real_t bw = gpu.bandwidth_efficiency * gpu.mem_bw_tbs * 1e12;
+  return bytes / bw + 64.0 * gpu.launch_latency_us * 1e-6;
+}
+
+namespace {
+
+InstanceOptions instance_options(const ScheduleOptions& sched) {
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;  // the donor (symbolic-reuse) path is PLU-only
+  io.grid = make_process_grid(sched.n_ranks);
+  return io;
+}
+
+}  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kDeadlineInfeasible:
+      return "deadline-infeasible";
+    case RejectReason::kMemInfeasible:
+      return "mem-infeasible";
+  }
+  return "?";
+}
+
+const char* request_kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::kFactor:
+      return "factor";
+    case RequestKind::kRefactor:
+      return "refactor";
+    case RequestKind::kSolve:
+      return "solve";
+  }
+  return "?";
+}
+
+const char* completion_status_name(Completion::Status s) {
+  switch (s) {
+    case Completion::Status::kDone:
+      return "done";
+    case Completion::Status::kShed:
+      return "shed";
+    case Completion::Status::kCancelled:
+      return "cancelled";
+    case Completion::Status::kDeadlineMiss:
+      return "deadline-miss";
+    case Completion::Status::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+void ServeOptions::validate() const {
+  sched.validate();
+  TH_CHECK_MSG(exec_workers >= 1,
+               "serve needs exec_workers >= 1, got " << exec_workers);
+  TH_CHECK_MSG(max_queued_global >= 1 && max_queued_per_tenant >= 1,
+               "serve queue bounds must be >= 1, got global "
+                   << max_queued_global << " / tenant "
+                   << max_queued_per_tenant);
+  TH_CHECK_MSG(mem_budget_bytes >= 0,
+               "serve mem budget must be >= 0, got " << mem_budget_bytes);
+  TH_CHECK_MSG(degrade_queue_fraction > 0 && degrade_queue_fraction <= 1.0,
+               "degrade_queue_fraction must be in (0, 1], got "
+                   << degrade_queue_fraction);
+  TH_CHECK_MSG(sched.cancel == nullptr,
+               "ServeOptions::sched must not carry a cancel token — the "
+               "service arms its own per-request tokens");
+}
+
+void ServeStats::publish_metrics() const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.counter("th.serve.sessions").add(sessions_opened);
+  reg.counter("th.serve.cache.hits").add(cache_hits);
+  reg.counter("th.serve.cache.misses").add(cache_misses);
+  reg.counter("th.serve.submitted").add(submitted);
+  reg.counter("th.serve.completed").add(completed);
+  reg.counter("th.serve.shed").add(shed);
+  reg.counter("th.serve.cancelled").add(cancelled);
+  reg.counter("th.serve.deadline_misses").add(deadline_misses);
+  reg.counter("th.serve.failed").add(failed);
+  reg.counter("th.serve.rejected.queue_full").add(rejected_queue_full);
+  reg.counter("th.serve.rejected.deadline").add(rejected_deadline);
+  reg.counter("th.serve.rejected.mem").add(rejected_mem);
+  reg.counter("th.serve.factors").add(factors);
+  reg.counter("th.serve.refactors").add(refactors);
+  reg.counter("th.serve.solves").add(solves);
+  reg.counter("th.serve.degraded_runs").add(degraded_runs);
+  reg.gauge("th.serve.queue.depth").set(static_cast<double>(queue_depth));
+  reg.gauge("th.serve.queue.high_water")
+      .set(static_cast<double>(queue_high_water));
+  reg.gauge("th.serve.cache.hit_rate").set(cache_hit_rate());
+  reg.gauge("th.serve.busy_s").set(busy_s);
+}
+
+std::uint64_t pattern_hash(const Csr& a) {
+  // FNV-1a over the structure arrays; values are deliberately excluded.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(a.n_rows));
+  for (const offset_t p : a.row_ptr) mix(static_cast<std::uint64_t>(p));
+  for (const index_t c : a.col_idx) mix(static_cast<std::uint64_t>(c));
+  return h;
+}
+
+SolverService::SolverService(const ServeOptions& opt)
+    : opt_(opt), pool_(opt.exec_workers) {
+  opt_.validate();
+}
+
+SolverService::~SolverService() = default;
+
+SessionId SolverService::open_session(const std::string& tenant,
+                                      const Csr& a) {
+  TH_CHECK_MSG(!tenant.empty(), "serve tenant name must be non-empty");
+  const std::uint64_t hash = pattern_hash(a);
+
+  Session s;
+  s.tenant = tenant;
+  s.a0 = a;
+  s.pattern_hash = hash;
+
+  const auto hit = cache_.find(hash);
+  if (hit != cache_.end()) {
+    // Cache hit: donor construction copies the cached ordering, tile
+    // pattern and task DAG — no reordering, no symbolic analysis. The
+    // donor ctor verifies the structure byte-for-byte, so a hash collision
+    // throws th::Error here instead of corrupting numerics.
+    s.inst = std::make_shared<SolverInstance>(a, instance_options(opt_.sched),
+                                              *hit->second.donor);
+    s.est_factor_s = hit->second.est_factor_s;
+    ++stats_.cache_hits;
+    if (obs::enabled()) {
+      obs::Recorder::global().instant(
+          obs::Domain::kHost, obs::kServiceTrack, "serve cache hit", "serve",
+          now_s_, "session", next_session_);
+    }
+  } else {
+    // Cache miss: the full control-plane pipeline (ordering + symbolic),
+    // wrapped in a host-clock span. The acceptance check for symbolic
+    // reuse greps the trace for this exact span name: it must appear once
+    // per miss and never on a hit.
+    const bool obs_on = obs::enabled();
+    const real_t h0 = obs_on ? obs::Recorder::global().host_now() : 0;
+    s.inst = std::make_shared<SolverInstance>(a, instance_options(opt_.sched));
+    if (obs_on) {
+      obs::Recorder::global().span(obs::Domain::kHost, -1, "serve symbolic",
+                                   "serve", h0,
+                                   obs::Recorder::global().host_now(),
+                                   "session", next_session_);
+    }
+    ++stats_.cache_misses;
+    // First-contact service-time estimate: one timing-only replay. Its
+    // makespan feeds deadline-feasibility admission for every later
+    // session on this pattern (structure determines timing, so the
+    // estimate transfers exactly).
+    ScheduleOptions est = opt_.sched;
+    {
+      const obs::ScopedDisable no_obs;  // pricing detail, not a run
+      s.est_factor_s = s.inst->run_timing(est).makespan_s;
+    }
+    cache_.emplace(hash, CacheEntry{s.inst, s.est_factor_s});
+  }
+  s.projection =
+      mem::project_footprint(s.inst->graph(), opt_.sched.n_ranks);
+  s.est_solve_s = solve_cost_s(s.inst->nnz_lu(), opt_.sched.cluster.gpu);
+
+  if (!s.projection.fits(opt_.mem_budget_bytes)) {
+    ++stats_.rejected_mem;
+    std::ostringstream os;
+    os << "pattern needs " << s.projection.peak_rank_with_workspace()
+       << " B/rank (with workspace), budget is " << opt_.mem_budget_bytes
+       << " B";
+    throw RejectedError(RejectReason::kMemInfeasible, os.str());
+  }
+
+  const SessionId sid = next_session_++;
+  ++stats_.sessions_opened;
+  sessions_.emplace(sid, std::move(s));
+  return sid;
+}
+
+real_t SolverService::estimate_service_s(const Session& s,
+                                         RequestKind kind) const {
+  return kind == RequestKind::kSolve ? s.est_solve_s : s.est_factor_s;
+}
+
+real_t SolverService::backlog_estimate_s() const {
+  real_t sum = 0;
+  for (const auto& [id, p] : pending_) {
+    const auto it = sessions_.find(p.session);
+    if (it != sessions_.end()) {
+      sum += estimate_service_s(it->second, p.req.kind);
+    }
+  }
+  return sum;
+}
+
+RequestId SolverService::submit(SessionId sid, const Request& req) {
+  const auto sit = sessions_.find(sid);
+  TH_CHECK_MSG(sit != sessions_.end(), "serve submit on unknown session "
+                                           << sid);
+  Session& s = sit->second;
+
+  // Admission rung 0 — memory: a factorization that cannot fit the
+  // *current* budget (chaos may have ramped it down mid-session) is
+  // refused before it can OOM mid-run.
+  if (req.kind != RequestKind::kSolve &&
+      !s.projection.fits(opt_.mem_budget_bytes)) {
+    ++stats_.rejected_mem;
+    if (obs::enabled()) {
+      obs::Recorder::global().instant(obs::Domain::kHost, obs::kServiceTrack,
+                                      "serve reject mem", "serve", now_s_,
+                                      "session", sid);
+    }
+    std::ostringstream os;
+    os << "pattern needs " << s.projection.peak_rank_with_workspace()
+       << " B/rank, budget is " << opt_.mem_budget_bytes << " B";
+    throw RejectedError(RejectReason::kMemInfeasible, os.str());
+  }
+
+  // Admission rung 1 — the tenant's own bound; a flooding tenant hits
+  // this before it can touch the global queue.
+  int tenant_queued = 0;
+  for (const auto& [id, p] : pending_) {
+    if (sessions_.at(p.session).tenant == s.tenant) ++tenant_queued;
+  }
+  if (tenant_queued >= opt_.max_queued_per_tenant) {
+    ++stats_.rejected_queue_full;
+    if (obs::enabled()) {
+      obs::Recorder::global().instant(obs::Domain::kHost, obs::kServiceTrack,
+                                      "serve reject queue-full", "serve",
+                                      now_s_, "session", sid);
+    }
+    std::ostringstream os;
+    os << "tenant '" << s.tenant << "' already has " << tenant_queued
+       << " queued (bound " << opt_.max_queued_per_tenant << ")";
+    throw RejectedError(RejectReason::kQueueFull, os.str());
+  }
+
+  // Admission rung 2 — the global bound, with priority shedding: a full
+  // queue sheds its lowest-priority entry for strictly higher-priority
+  // work; equal-or-lower priority is rejected outright.
+  if (queue_depth() >= opt_.max_queued_global) {
+    RequestId victim = -1;
+    Priority victim_prio = Priority::kInteractive;
+    if (opt_.shed_on_full) {
+      for (const auto& [id, p] : pending_) {
+        if (p.req.priority >= req.priority) continue;
+        // Lowest priority first; ties shed the youngest (highest id) so
+        // the oldest admitted work keeps its place.
+        if (victim < 0 || p.req.priority < victim_prio ||
+            (p.req.priority == victim_prio && id > victim)) {
+          victim = id;
+          victim_prio = p.req.priority;
+        }
+      }
+    }
+    if (victim < 0) {
+      ++stats_.rejected_queue_full;
+      if (obs::enabled()) {
+        obs::Recorder::global().instant(obs::Domain::kHost,
+                                        obs::kServiceTrack,
+                                        "serve reject queue-full", "serve",
+                                        now_s_, "session", sid);
+      }
+      std::ostringstream os;
+      os << "global queue full (" << queue_depth() << "/"
+         << opt_.max_queued_global << "), no lower-priority work to shed";
+      throw RejectedError(RejectReason::kQueueFull, os.str());
+    }
+    auto vit = pending_.find(victim);
+    Pending v = std::move(vit->second);
+    pending_.erase(vit);
+    unqueue(v.session, victim);
+    std::ostringstream os;
+    os << "displaced by " << priority_name(req.priority) << " "
+       << request_kind_name(req.kind) << " from tenant '" << s.tenant << "'";
+    finish(std::move(v), Completion::Status::kShed, now_s_, now_s_, -1,
+           os.str());
+  }
+
+  // Admission rung 3 — deadline feasibility against the backlog estimate.
+  if (req.deadline_s < CancelToken::kNoDeadline) {
+    const real_t eta =
+        now_s_ + backlog_estimate_s() + estimate_service_s(s, req.kind);
+    if (eta > req.deadline_s) {
+      ++stats_.rejected_deadline;
+      if (obs::enabled()) {
+        obs::Recorder::global().instant(obs::Domain::kHost,
+                                        obs::kServiceTrack,
+                                        "serve reject deadline", "serve",
+                                        now_s_, "session", sid);
+      }
+      std::ostringstream os;
+      os << "estimated completion t=" << eta << " s is past the deadline t="
+         << req.deadline_s << " s";
+      throw RejectedError(RejectReason::kDeadlineInfeasible, os.str());
+    }
+  }
+
+  const RequestId id = next_request_++;
+  Pending p;
+  p.id = id;
+  p.session = sid;
+  p.req = req;
+  p.arrival_s = now_s_;
+  p.token = std::make_unique<CancelToken>();
+  pending_.emplace(id, std::move(p));
+  tenant_queues_[s.tenant].push_back(id);
+  ++stats_.submitted;
+  stats_.queue_depth = static_cast<offset_t>(pending_.size());
+  stats_.queue_high_water =
+      std::max(stats_.queue_high_water, stats_.queue_depth);
+  return id;
+}
+
+void SolverService::cancel(RequestId id) {
+  const auto it = pending_.find(id);
+  if (it != pending_.end()) it->second.token->cancel();
+}
+
+void SolverService::set_mem_budget(offset_t bytes) {
+  TH_CHECK_MSG(bytes >= 0, "serve mem budget must be >= 0, got " << bytes);
+  opt_.mem_budget_bytes = bytes;
+}
+
+RequestId SolverService::pick_from_tenant(const std::string& tenant) const {
+  const auto qit = tenant_queues_.find(tenant);
+  if (qit == tenant_queues_.end()) return -1;
+  RequestId best = -1;
+  const Pending* best_p = nullptr;
+  for (const RequestId id : qit->second) {
+    const auto pit = pending_.find(id);
+    if (pit == pending_.end()) continue;  // stale (shed/cancelled earlier)
+    const Pending& p = pit->second;
+    if (best_p == nullptr || p.req.priority > best_p->req.priority ||
+        (p.req.priority == best_p->req.priority &&
+         (p.req.deadline_s < best_p->req.deadline_s ||
+          (p.req.deadline_s == best_p->req.deadline_s && id < best)))) {
+      best = id;
+      best_p = &p;
+    }
+  }
+  return best;
+}
+
+RequestId SolverService::pick_next() {
+  if (pending_.empty()) return -1;
+  // Round-robin over tenant names: start strictly after the cursor, wrap
+  // once. std::map iteration keeps the order deterministic.
+  auto start = tenant_queues_.upper_bound(rr_cursor_);
+  for (std::size_t step = 0; step <= tenant_queues_.size(); ++step) {
+    if (start == tenant_queues_.end()) start = tenant_queues_.begin();
+    if (start == tenant_queues_.end()) break;  // no tenants at all
+    const RequestId id = pick_from_tenant(start->first);
+    if (id >= 0) {
+      rr_cursor_ = start->first;
+      return id;
+    }
+    ++start;
+  }
+  return -1;
+}
+
+void SolverService::finish(Pending p, Completion::Status status,
+                           real_t start_s, real_t finish_s, real_t residual,
+                           std::string detail) {
+  Completion c;
+  c.id = p.id;
+  c.session = p.session;
+  c.tenant = sessions_.at(p.session).tenant;
+  c.kind = p.req.kind;
+  c.priority = p.req.priority;
+  c.status = status;
+  c.arrival_s = p.arrival_s;
+  c.start_s = start_s;
+  c.finish_s = finish_s;
+  c.residual = residual;
+  c.detail = std::move(detail);
+  switch (status) {
+    case Completion::Status::kDone:
+      ++stats_.completed;
+      break;
+    case Completion::Status::kShed:
+      ++stats_.shed;
+      break;
+    case Completion::Status::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case Completion::Status::kDeadlineMiss:
+      ++stats_.deadline_misses;
+      break;
+    case Completion::Status::kFailed:
+      ++stats_.failed;
+      break;
+  }
+  stats_.busy_s += finish_s - start_s;
+  stats_.queue_depth = static_cast<offset_t>(pending_.size());
+  if (obs::enabled() && status == Completion::Status::kShed) {
+    obs::Recorder::global().instant(obs::Domain::kHost, obs::kServiceTrack,
+                                    "serve shed", "serve", finish_s,
+                                    "request", c.id);
+  }
+  completions_.push_back(std::move(c));
+}
+
+void SolverService::run_factor(Session& s, Pending& p, real_t start_s) {
+  // The degradation ladder's second rung: past the configured queue depth
+  // every factorization runs under the tightest feasible budget, so the
+  // scheduler's shrink/spill ladder narrows batches (trading makespan for
+  // footprint) while the service is saturated.
+  const double depth = static_cast<double>(queue_depth());
+  const bool degraded =
+      depth >= opt_.degrade_queue_fraction *
+                   static_cast<double>(opt_.max_queued_global);
+
+  ScheduleOptions so = opt_.sched;
+  so.exec.pool = &pool_;
+  if (degraded) {
+    const offset_t tight = std::max<offset_t>(
+        s.projection.peak_rank_with_workspace(), 1);
+    so.mem.budget_bytes = opt_.mem_budget_bytes > 0
+                              ? std::min(opt_.mem_budget_bytes, tight)
+                              : tight;
+    so.mem.policy = mem::MemPolicy::kSpill;
+    ++stats_.degraded_runs;
+  } else if (opt_.mem_budget_bytes > 0) {
+    so.mem.budget_bytes = opt_.mem_budget_bytes;
+  }
+
+  // Arm the per-request token: deadline and abandon time translate to the
+  // run's own clock (each simulate() starts at t=0).
+  p.token->reset();
+  const real_t rel_deadline = p.req.deadline_s - start_s;
+  const real_t rel_abandon = p.req.abandon_at_s - start_s;
+  const real_t armed = std::min(rel_deadline, rel_abandon);
+  if (armed < CancelToken::kNoDeadline) p.token->set_deadline(armed);
+  so.cancel = p.token.get();
+
+  const bool refactor = p.req.kind == RequestKind::kRefactor;
+  try {
+    if (refactor || s.needs_rebuild || s.inst->numeric_done()) {
+      // New values (refactor) or a poisoned instance (a cancelled run left
+      // partially-written tiles): rebuild through the donor path — the
+      // session's own instance donates its pattern and DAG, so no symbolic
+      // work runs.
+      Csr a = refactor ? finalize_system(s.a0, p.req.value_seed)
+                       : s.inst->matrix();
+      s.inst = std::make_shared<SolverInstance>(
+          a, instance_options(opt_.sched), *s.inst);
+      s.needs_rebuild = false;
+      s.factored = false;
+    }
+    const ScheduleResult r = s.inst->run_numeric(so);
+    const real_t end_s = start_s + r.makespan_s;
+    now_s_ = end_s;
+    s.factored = true;
+    s.est_factor_s = r.makespan_s;  // refresh the admission estimate
+    if (refactor) {
+      ++stats_.refactors;
+    } else {
+      ++stats_.factors;
+    }
+    if (obs::enabled()) {
+      obs::Recorder::global().span(
+          obs::Domain::kHost, obs::kServiceTrack,
+          refactor ? "serve refactor" : "serve factor", "serve", start_s,
+          end_s, "request", p.id, "session", p.session);
+    }
+    finish(std::move(p), Completion::Status::kDone, start_s, end_s, -1, "");
+  } catch (const CancelledError& e) {
+    // The scheduler unwound at a batch boundary: lanes parked, ledgers
+    // freed by stack unwinding. The partially-factored instance is
+    // poisoned; the next factorization rebuilds it through the donor path.
+    const real_t end_s = start_s + e.at_s();
+    now_s_ = end_s;
+    s.needs_rebuild = true;
+    s.factored = false;
+    const bool abandoned = e.cause() == CancelCause::kExplicit ||
+                           rel_abandon <= rel_deadline;
+    finish(std::move(p),
+           abandoned ? Completion::Status::kCancelled
+                     : Completion::Status::kDeadlineMiss,
+           start_s, end_s, -1, e.what());
+  } catch (const Error& e) {
+    // OomError (the mem ladder ran dry) or another typed scheduler abort:
+    // the request fails loudly; the session rebuilds before its next
+    // factorization. No virtual time is charged — the model has no
+    // abort-time estimate, and charging zero keeps the clock deterministic.
+    s.needs_rebuild = true;
+    s.factored = false;
+    finish(std::move(p), Completion::Status::kFailed, start_s, start_s, -1,
+           e.what());
+  }
+}
+
+void SolverService::run_solve(Session& s, Pending& p, real_t start_s) {
+  if (!s.factored) {
+    finish(std::move(p), Completion::Status::kFailed, start_s, start_s, -1,
+           "session has no valid factors (factor/refactor did not complete)");
+    return;
+  }
+  const real_t est = s.est_solve_s;
+  if (start_s + est > p.req.deadline_s) {
+    // Cannot finish in time: shed the work instead of burning the server
+    // on a result the tenant will discard.
+    finish(std::move(p), Completion::Status::kDeadlineMiss, start_s, start_s,
+           -1, "solve cannot finish before its deadline");
+    return;
+  }
+
+  // Real numerics: synthesize the right-hand side from the request's seed,
+  // solve on the host, and report the scaled residual so the caller can
+  // verify correctness survived the overload machinery.
+  const Csr& a = s.inst->matrix();
+  Rng rng(p.req.value_seed);
+  std::vector<real_t> x_true(static_cast<std::size_t>(a.n_rows));
+  for (real_t& v : x_true) v = rng.uniform(-1.0, 1.0);
+  const std::vector<real_t> b = spmv(a, x_true);
+  const std::vector<real_t> x = s.inst->solve(b);
+  const real_t residual = scaled_residual(a, x, b);
+
+  const real_t end_s = start_s + est;
+  now_s_ = end_s;
+  ++stats_.solves;
+  if (obs::enabled()) {
+    obs::Recorder::global().span(obs::Domain::kHost, obs::kServiceTrack,
+                                 "serve solve", "serve", start_s, end_s,
+                                 "request", p.id, "session", p.session);
+  }
+  finish(std::move(p), Completion::Status::kDone, start_s, end_s, residual,
+         "");
+}
+
+void SolverService::unqueue(SessionId sid, RequestId id) {
+  const auto sit = sessions_.find(sid);
+  if (sit == sessions_.end()) return;
+  const auto qit = tenant_queues_.find(sit->second.tenant);
+  if (qit == tenant_queues_.end()) return;
+  auto& q = qit->second;
+  q.erase(std::remove(q.begin(), q.end(), id), q.end());
+}
+
+void SolverService::dispatch_one() {
+  const RequestId id = pick_next();
+  if (id < 0) return;
+  auto it = pending_.find(id);
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  unqueue(p.session, id);
+  stats_.queue_depth = static_cast<offset_t>(pending_.size());
+
+  const real_t start_s = now_s_;
+  if (p.token->cancel_requested() || p.req.abandon_at_s <= start_s) {
+    // Abandoned in the queue: the lane and ledger bytes it would have
+    // taken are never claimed — freeing is trivially deterministic.
+    finish(std::move(p), Completion::Status::kCancelled, start_s, start_s,
+           -1, "handle abandoned before dispatch");
+    return;
+  }
+  if (p.req.deadline_s <= start_s) {
+    finish(std::move(p), Completion::Status::kDeadlineMiss, start_s, start_s,
+           -1, "deadline expired while queued");
+    return;
+  }
+
+  Session& s = sessions_.at(p.session);
+  if (p.req.kind == RequestKind::kSolve) {
+    run_solve(s, p, start_s);
+  } else {
+    run_factor(s, p, start_s);
+  }
+}
+
+void SolverService::advance(real_t until_s) {
+  TH_CHECK_MSG(until_s >= now_s_, "serve clock cannot run backwards: now="
+                                      << now_s_ << ", until=" << until_s);
+  while (!pending_.empty() && now_s_ < until_s) dispatch_one();
+  if (pending_.empty() && now_s_ < until_s) now_s_ = until_s;
+}
+
+std::vector<Completion> SolverService::drain() {
+  while (!pending_.empty()) dispatch_one();
+  return take_completions();
+}
+
+std::vector<Completion> SolverService::take_completions() {
+  std::vector<Completion> out;
+  out.swap(completions_);
+  return out;
+}
+
+const SolverInstance* SolverService::session_instance(SessionId sid) const {
+  const auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : it->second.inst.get();
+}
+
+}  // namespace th::serve

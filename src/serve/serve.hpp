@@ -1,0 +1,352 @@
+// Overload-robust multi-tenant solver serving (`th::serve`).
+//
+// Production sparse-direct deployments are factor-once/solve-many services:
+// many tenants stream right-hand sides and refactorization requests against
+// a registry of long-lived matrix patterns, and the expensive part of a
+// request is decided by whether its pattern's symbolic analysis can be
+// reused. This module wraps the repository's solver stack in exactly that
+// shape, with overload robustness as a first-class contract rather than an
+// afterthought:
+//
+//   * SolverService  — the session registry. Tenants open a session per
+//     matrix (submit pattern -> handle), then stream solve/refactor
+//     requests against it. A symbolic-analysis cache keyed by the sparsity
+//     pattern's hash makes a session open on a known pattern skip
+//     reordering and symbolic analysis entirely (SolverInstance's
+//     donor constructor).
+//   * Admission control — bounded per-tenant and global queues reject work
+//     at submit time with a typed RejectedError (kQueueFull), deadlines
+//     that cannot be met given the queued backlog are refused up front
+//     (kDeadlineInfeasible), and sessions whose projected footprint
+//     (mem::project_footprint) cannot fit the configured budget are
+//     refused before any work is queued (kMemInfeasible).
+//   * Deadlines & cancellation — each request may carry an absolute
+//     virtual-time deadline; dispatched factorizations run with a
+//     CancelToken armed so the scheduler unwinds at the first batch
+//     boundary past the deadline (ScheduleOptions::cancel), freeing lanes
+//     and ledger bytes deterministically. Abandoned handles (explicit
+//     cancel() or a trace's abandon time) shed queued work without
+//     running it.
+//   * Graceful degradation — when the global queue saturates, the service
+//     sheds the lowest-priority queued request to admit higher-priority
+//     work (Completion::Status::kShed, never silently), and past a
+//     configurable depth it dispatches factorizations under a tightened
+//     memory budget so the scheduler's shrink/spill ladder narrows
+//     batches instead of letting the backlog grow unbounded.
+//   * Fair-share dispatch — queued tenants are served round-robin (one
+//     pick per tenant per pass, highest priority first within a tenant)
+//     over ONE shared exec::WorkerPool, so a flooding tenant cannot
+//     starve the others of lanes.
+//
+// The service clock is *virtual*: it advances by the simulated makespans
+// of the dispatched runs (plus a deterministic solve-cost model), never by
+// host wall time, so every latency, shed decision and deadline miss is
+// bit-reproducible from the submission sequence alone. Host work (symbolic
+// analysis, numeric kernels) still executes for real — correctness is
+// checked on real factors.
+//
+// Saturation is observable: ServeStats mirrors every counter into the obs
+// registry as th.serve.* (publish_metrics), and the event recorder gets a
+// "service" track with per-request spans plus a "serve symbolic" span
+// emitted ONLY on cache misses — a cache hit is verifiable by the span's
+// absence. DESIGN.md §14 documents the contract.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "exec/worker_pool.hpp"
+#include "solvers/driver.hpp"
+#include "support/cancel.hpp"
+
+namespace th::serve {
+
+/// Request priority; higher values displace lower ones when the global
+/// queue is full (the first rung of the degradation ladder).
+enum class Priority : char { kBatch = 0, kNormal = 1, kInteractive = 2 };
+
+const char* priority_name(Priority p);
+
+/// Why admission control refused a submission.
+enum class RejectReason : char {
+  kQueueFull,           // tenant or global queue bound reached
+  kDeadlineInfeasible,  // backlog estimate already exceeds the deadline
+  kMemInfeasible,       // projected footprint cannot fit the budget
+};
+
+const char* reject_reason_name(RejectReason r);
+
+/// Typed early rejection: thrown by open_session()/submit() when admission
+/// control refuses work. Carries the machine-readable reason so callers
+/// (benches, the chaos harness, tenants implementing backoff) never parse
+/// the message.
+class RejectedError : public Error {
+ public:
+  RejectedError(RejectReason reason, const std::string& detail)
+      : Error(std::string("request rejected (") + reject_reason_name(reason) +
+              "): " + detail),
+        reason_(reason) {}
+
+  RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+using SessionId = int;
+using RequestId = std::int64_t;
+
+enum class RequestKind : char {
+  kFactor,    // numeric factorization of the session's current values
+  kRefactor,  // new values, same pattern: donor rebuild + factorization
+  kSolve,     // triangular solve for one right-hand side
+};
+
+const char* request_kind_name(RequestKind k);
+
+/// One submission against an open session.
+struct Request {
+  RequestKind kind = RequestKind::kSolve;
+  Priority priority = Priority::kNormal;
+  /// Absolute virtual-time deadline; CancelToken::kNoDeadline = none.
+  /// Factorizations past their deadline are cancelled at the first batch
+  /// boundary beyond it; solves that cannot finish in time are not run.
+  real_t deadline_s = CancelToken::kNoDeadline;
+  /// Virtual time at which the tenant abandons the handle (replay/chaos
+  /// traces); kNoDeadline = never. A request whose abandon time precedes
+  /// its dispatch is shed from the queue without running.
+  real_t abandon_at_s = CancelToken::kNoDeadline;
+  /// kRefactor: seed for the session's new values; kSolve: seed for the
+  /// synthetic solution the right-hand side is built from.
+  std::uint64_t value_seed = 1;
+};
+
+/// Terminal record of one admitted request. Every admitted request gets
+/// exactly one Completion with a typed status — shed and abandoned work is
+/// reported, never dropped silently.
+struct Completion {
+  enum class Status : char {
+    kDone,          // ran to completion (solves carry their residual)
+    kShed,          // displaced from the queue by the degradation ladder
+    kCancelled,     // abandoned handle (explicit cancel / abandon time)
+    kDeadlineMiss,  // deadline fired (queued too long or mid-run)
+    kFailed,        // ran and failed (e.g. OomError); detail has the error
+  };
+
+  RequestId id = -1;
+  SessionId session = -1;
+  std::string tenant;
+  RequestKind kind = RequestKind::kSolve;
+  Priority priority = Priority::kNormal;
+  Status status = Status::kDone;
+  real_t arrival_s = 0;  // virtual submit time
+  real_t start_s = 0;    // virtual dispatch time (= arrival for shed work)
+  real_t finish_s = 0;   // virtual completion time
+  /// Scaled residual of a completed solve; -1 otherwise.
+  real_t residual = -1;
+  /// Human-readable context (shedding culprit, cancellation cause, error).
+  std::string detail;
+
+  real_t latency_s() const { return finish_s - arrival_s; }
+  bool ok() const { return status == Status::kDone; }
+};
+
+const char* completion_status_name(Completion::Status s);
+
+/// Service configuration. `sched` is the template every dispatched
+/// factorization runs under (policy, ranks, cluster model); the service
+/// overrides only its `cancel` token, its shared worker pool, and — on the
+/// degradation ladder's second rung — its memory budget.
+struct ServeOptions {
+  ScheduleOptions sched;
+  /// Width of the single WorkerPool shared by every session's batches.
+  int exec_workers = 2;
+  /// Global queue bound; submissions beyond it are shed-or-rejected.
+  int max_queued_global = 32;
+  /// Per-tenant queue bound; a flooding tenant hits this first.
+  int max_queued_per_tenant = 8;
+  /// Per-rank device-memory budget for admission (mem::project_footprint)
+  /// and for dispatched runs; 0 disables both.
+  offset_t mem_budget_bytes = 0;
+  /// Queue-depth fraction of max_queued_global at which dispatched
+  /// factorizations run under a tightened budget (batch-shrink rung).
+  double degrade_queue_fraction = 0.75;
+  /// Allow a full global queue to shed its lowest-priority entry for a
+  /// strictly higher-priority submission (off = plain rejection).
+  bool shed_on_full = true;
+
+  /// Throws th::Error on nonsensical configurations.
+  void validate() const;
+};
+
+/// Service accounting; mirrors into the obs registry as th.serve.* via
+/// publish_metrics() so registry snapshots reconcile with this struct by
+/// construction. submitted counts *admitted* requests only — rejected ones
+/// threw RejectedError and never entered a queue; every admitted request
+/// ends in exactly one of completed/shed/cancelled/deadline_misses/failed.
+struct ServeStats {
+  offset_t sessions_opened = 0;
+  offset_t cache_hits = 0;    // session opens that reused cached symbolics
+  offset_t cache_misses = 0;  // session opens that ran the symbolic phase
+  offset_t submitted = 0;
+  offset_t completed = 0;  // Status::kDone
+  offset_t shed = 0;
+  offset_t cancelled = 0;
+  offset_t deadline_misses = 0;
+  offset_t failed = 0;
+  offset_t rejected_queue_full = 0;
+  offset_t rejected_deadline = 0;
+  offset_t rejected_mem = 0;
+  offset_t factors = 0;    // completed factorizations (initial)
+  offset_t refactors = 0;  // completed refactorizations
+  offset_t solves = 0;     // completed solves
+  offset_t degraded_runs = 0;  // dispatches under a tightened budget
+  offset_t queue_depth = 0;    // current depth (kept live by the service)
+  offset_t queue_high_water = 0;
+  real_t busy_s = 0;  // virtual seconds spent serving
+
+  double cache_hit_rate() const {
+    const offset_t n = cache_hits + cache_misses;
+    return n > 0 ? static_cast<double>(cache_hits) / static_cast<double>(n)
+                 : 0.0;
+  }
+
+  /// Mirror these counters into the obs metrics registry under th.serve.*.
+  void publish_metrics() const;
+};
+
+/// The session registry and request queue. Single-threaded by design: the
+/// serving loop (submit/advance/drain) must run on one thread, which makes
+/// every overload decision deterministic and bit-reproducible from the
+/// submission sequence. CancelToken writes are atomic, so cancel() on a
+/// *queued* request may race the loop only if the caller synchronises —
+/// in-process tenants normally cancel via Request::abandon_at_s instead.
+class SolverService {
+ public:
+  explicit SolverService(const ServeOptions& opt);
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Current virtual service time (seconds).
+  real_t now_s() const { return now_s_; }
+
+  /// Register a tenant's matrix and run (or reuse) its symbolic analysis.
+  /// Throws RejectedError{kMemInfeasible} when the pattern's projected
+  /// footprint cannot fit the budget. Synchronous and off the virtual
+  /// clock: symbolic analysis is control-plane work.
+  SessionId open_session(const std::string& tenant, const Csr& a);
+
+  /// Enqueue a request; admission control may throw RejectedError. The
+  /// request's arrival time is the current virtual clock.
+  RequestId submit(SessionId sid, const Request& req);
+
+  /// Abandon a queued request (sticky, idempotent; unknown ids are
+  /// ignored). The request completes as Status::kCancelled at dispatch.
+  void cancel(RequestId id);
+
+  /// Runtime budget override — the chaos harness's mem-ramp hook; affects
+  /// subsequent admissions and dispatches.
+  void set_mem_budget(offset_t bytes);
+
+  /// Dispatch queued requests until the virtual clock reaches `until_s` or
+  /// the queues drain (each dispatched request runs to completion, so the
+  /// clock may overshoot; the next arrival simply queues behind it).
+  void advance(real_t until_s);
+
+  /// Run the queues dry and return every completion not yet taken.
+  std::vector<Completion> drain();
+
+  /// Completions accumulated since the last take (dispatch order).
+  std::vector<Completion> take_completions();
+
+  int queue_depth() const { return static_cast<int>(pending_.size()); }
+  const ServeStats& stats() const { return stats_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+  /// The session's current solver instance (null for unknown ids) — lets
+  /// benches compare served factors bitwise against standalone runs.
+  const SolverInstance* session_instance(SessionId sid) const;
+
+  /// The one worker pool every dispatched batch executes on.
+  exec::WorkerPool& pool() { return pool_; }
+
+ private:
+  struct Session {
+    std::string tenant;
+    Csr a0;  // original matrix (pattern + values; refactors reseed values)
+    std::shared_ptr<SolverInstance> inst;
+    std::uint64_t pattern_hash = 0;
+    mem::FootprintProjection projection;
+    bool factored = false;
+    /// A cancelled/failed factorization leaves partially-written tiles;
+    /// the next factor/refactor must rebuild the instance (donor path).
+    bool needs_rebuild = false;
+    real_t est_factor_s = 0;  // timing-sim estimate (admission backlog)
+    real_t est_solve_s = 0;   // deterministic solve-cost model
+  };
+
+  struct CacheEntry {
+    std::shared_ptr<SolverInstance> donor;
+    real_t est_factor_s = 0;
+  };
+
+  struct Pending {
+    RequestId id = -1;
+    SessionId session = -1;
+    Request req;
+    real_t arrival_s = 0;
+    std::unique_ptr<CancelToken> token;
+  };
+
+  real_t backlog_estimate_s() const;
+  real_t estimate_service_s(const Session& s, RequestKind kind) const;
+  /// Highest priority, then earliest deadline, then FIFO within a tenant.
+  RequestId pick_from_tenant(const std::string& tenant) const;
+  /// Fair-share pick across tenants (round-robin cursor); -1 when idle.
+  RequestId pick_next();
+  void finish(Pending p, Completion::Status status, real_t start_s,
+              real_t finish_s, real_t residual, std::string detail);
+  void unqueue(SessionId sid, RequestId id);
+  void dispatch_one();
+  void run_factor(Session& s, Pending& p, real_t start_s);
+  void run_solve(Session& s, Pending& p, real_t start_s);
+
+  ServeOptions opt_;
+  exec::WorkerPool pool_;
+  real_t now_s_ = 0;
+  SessionId next_session_ = 0;
+  RequestId next_request_ = 0;
+  std::map<SessionId, Session> sessions_;
+  std::map<std::uint64_t, CacheEntry> cache_;
+  std::map<RequestId, Pending> pending_;
+  /// Per-tenant FIFO of pending ids (fair-share unit). Entries are lazily
+  /// pruned when their request is no longer pending.
+  std::map<std::string, std::deque<RequestId>> tenant_queues_;
+  /// Round-robin cursor: the tenant served last (next pass starts after).
+  std::string rr_cursor_;
+  std::vector<Completion> completions_;
+  ServeStats stats_;
+};
+
+/// Deterministic virtual cost of one triangular solve: the factors are
+/// streamed once (values + indices, L and U), bandwidth-bound on the
+/// modelled device, plus a per-level launch allowance. Never measured on
+/// the host — the service clock must not depend on wall time. Exposed so
+/// capacity calibration (trace.cpp, benches) prices solves exactly as the
+/// service will charge them.
+real_t solve_cost_s(offset_t nnz_lu, const DeviceSpec& gpu);
+
+/// FNV-1a hash of a matrix's sparsity structure (n, row_ptr, col_idx) —
+/// the symbolic-cache key. Values do not participate: two matrices with
+/// equal hashes share ordering, tile pattern and task DAG (and the donor
+/// constructor verifies the structure byte-for-byte, so a collision fails
+/// loudly instead of corrupting numerics).
+std::uint64_t pattern_hash(const Csr& a);
+
+}  // namespace th::serve

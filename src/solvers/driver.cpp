@@ -49,6 +49,37 @@ SolverInstance::SolverInstance(const Csr& a, const InstanceOptions& opts)
   symbolic_s_ = sw.seconds();
 }
 
+SolverInstance::SolverInstance(const Csr& a, const InstanceOptions& opts,
+                               const SolverInstance& donor)
+    : opts_(opts), a_(a) {
+  TH_CHECK_MSG(a.n_rows == a.n_cols, "solver requires a square matrix");
+  TH_CHECK_MSG(donor.plu_ != nullptr,
+               "symbolic reuse requires a PLU-core donor");
+  TH_CHECK_MSG(a.n_rows == donor.a_.n_rows,
+               "symbolic donor dimension mismatch: n=" << a.n_rows << " vs "
+                                                       << donor.a_.n_rows);
+  // The permutation is a pure function of the sparsity structure; reuse
+  // the donor's instead of recomputing the ordering.
+  perm_ = donor.perm_;
+  reorder_s_ = 0;
+
+  Stopwatch sw;
+  perm_a_ = apply_symmetric_permutation(a_, perm_);
+  // Same-structure check (O(nnz) pointer compares, no symbolic work): the
+  // donor's DAG and tile pattern are only valid for this exact structure.
+  // A hash collision in a caller's pattern cache must fail loudly here,
+  // not as silent numeric corruption.
+  TH_CHECK_MSG(perm_a_.row_ptr == donor.perm_a_.row_ptr &&
+                   perm_a_.col_idx == donor.perm_a_.col_idx,
+               "symbolic donor structure mismatch: the matrix does not have "
+               "the donor's sparsity pattern");
+  PluOptions po;
+  if (opts.block > 0) po.tile_size = opts.block;
+  po.grid = opts.grid;
+  plu_ = std::make_unique<PluFactorization>(perm_a_, po, *donor.plu_);
+  symbolic_s_ = sw.seconds();  // numeric assembly only — no symbolic pass
+}
+
 const TaskGraph& SolverInstance::graph() const {
   return plu_ ? plu_->graph() : slu_->graph();
 }

@@ -42,6 +42,18 @@ class SolverInstance {
  public:
   SolverInstance(const Csr& a, const InstanceOptions& opts);
 
+  /// Symbolic-reuse construction (the serve layer's pattern-cache hit
+  /// path, PLU core only): borrow the donor's fill-reducing permutation,
+  /// tile pattern and task DAG — all pure functions of `a`'s sparsity
+  /// structure — and run only the numeric assembly for `a`'s values.
+  /// Neither compute_ordering() nor tile_symbolic()/build_graph() runs.
+  /// `a` must have exactly the donor's sparsity structure (verified
+  /// against the permuted CSR structure; throws th::Error on mismatch);
+  /// `opts.ordering`/`opts.preordered` are ignored in favour of the
+  /// donor's permutation.
+  SolverInstance(const Csr& a, const InstanceOptions& opts,
+                 const SolverInstance& donor);
+
   const TaskGraph& graph() const;
   const Csr& matrix() const { return a_; }
   const Csr& permuted_matrix() const { return perm_a_; }
@@ -67,6 +79,7 @@ class SolverInstance {
   /// Access the PLU factorisation (null when the SLU core was selected);
   /// used by the SpTRSV extension (solvers/trisolve.hpp).
   PluFactorization* plu_factorization() { return plu_.get(); }
+  const PluFactorization* plu_factorization() const { return plu_.get(); }
 
  private:
   InstanceOptions opts_;

@@ -270,6 +270,26 @@ PluFactorization::PluFactorization(const Csr& a, const PluOptions& opts)
   build_graph();
 }
 
+PluFactorization::PluFactorization(const Csr& a, const PluOptions& opts,
+                                   const PluFactorization& donor)
+    : opts_(opts),
+      pattern_(donor.pattern_),
+      tiles_(std::make_unique<TileMatrix>(a, pattern_)),
+      backend_(std::make_unique<Backend>(*tiles_)),
+      graph_(donor.graph_) {
+  // Structure is borrowed wholesale: neither tile_symbolic() nor
+  // build_graph() runs. Only the numeric assembly above (scattering A's
+  // values into fresh tiles) is new work, so `a` must tile to the donor's
+  // pattern — the serve layer guarantees this via its pattern-hash cache
+  // key and SolverInstance re-checks the CSR structure before getting here.
+  TH_CHECK_MSG(a.n_rows == pattern_.n,
+               "symbolic donor dimension mismatch: matrix n=" << a.n_rows
+                                                              << ", pattern n="
+                                                              << pattern_.n);
+  TH_CHECK_MSG(opts.tile_size == donor.opts_.tile_size,
+               "symbolic donor tile size mismatch");
+}
+
 void PluFactorization::build_graph() {
   const index_t nt = pattern_.nt;
 

@@ -28,6 +28,14 @@ struct PluOptions {
 class PluFactorization {
  public:
   PluFactorization(const Csr& a, const PluOptions& opts);
+  /// Donor-copy construction — the serve layer's symbolic-cache fast path.
+  /// Borrows the donor's tile pattern and task DAG (both pure functions of
+  /// the sparsity structure) and rebuilds only the numeric state: fresh
+  /// tiles assembled from `a`'s values plus a backend bound to them.
+  /// Requires `a` to have the donor's (permuted) sparsity structure and
+  /// the same tile size; skips tile_symbolic() and build_graph() entirely.
+  PluFactorization(const Csr& a, const PluOptions& opts,
+                   const PluFactorization& donor);
   ~PluFactorization();
 
   const TaskGraph& graph() const { return graph_; }

@@ -1,0 +1,98 @@
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken is shared between a controller (the serve layer, a test, a
+// driver) and one simulate() call. The scheduler polls it at batch
+// boundaries — the only points where no batch is in flight — so a
+// cancelled run unwinds with every per-rank ledger and executor lane in a
+// quiescent state: lanes have drained the previous batch's barrier and the
+// simulate()-local ledgers/containers are destroyed by stack unwinding.
+// Cancellation is therefore deterministic: for a given token state the run
+// stops at the first batch boundary whose simulated time satisfies it,
+// independent of host timing.
+//
+// Two triggers, checked in this order:
+//   * an explicit cancel() (an abandoned request handle), and
+//   * a simulated-time deadline (the serving layer's per-request budget).
+//
+// The token lives in src/support (not src/serve) because the scheduler —
+// which sits far below the serving layer — must be able to poll it without
+// a layering inversion.
+#pragma once
+
+#include <atomic>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace th {
+
+/// Why a cancelled simulation stopped.
+enum class CancelCause : char {
+  kExplicit,  // CancelToken::cancel() was called
+  kDeadline,  // the simulated clock crossed the token's deadline
+};
+
+inline const char* cancel_cause_name(CancelCause c) {
+  return c == CancelCause::kExplicit ? "explicit cancel"
+                                     : "deadline exceeded";
+}
+
+/// Thrown by simulate() when its ScheduleOptions::cancel token fires.
+/// Deliberately NOT a "legitimate abort" string the chaos harness
+/// whitelists — callers that arm a token are expected to catch this type.
+class CancelledError : public Error {
+ public:
+  CancelledError(CancelCause cause, real_t at_s)
+      : Error(std::string("run cancelled at batch boundary t=") +
+              std::to_string(at_s) + " s (" + cancel_cause_name(cause) + ")"),
+        cause_(cause),
+        at_s_(at_s) {}
+
+  CancelCause cause() const { return cause_; }
+  /// Simulated time of the batch boundary that observed the cancellation.
+  real_t at_s() const { return at_s_; }
+
+ private:
+  CancelCause cause_;
+  real_t at_s_;
+};
+
+/// Shared cancellation state. cancel() may race the scheduler's polls from
+/// another thread (an impatient client); the deadline must be set before
+/// the run starts and is read without synchronisation.
+class CancelToken {
+ public:
+  static constexpr real_t kNoDeadline = 1e30;
+
+  /// Request cancellation (sticky; safe from any thread).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute simulated-time deadline; the run is cancelled at the first
+  /// batch boundary at or past it. Set before the run starts.
+  void set_deadline(real_t deadline_s) { deadline_s_ = deadline_s; }
+  real_t deadline_s() const { return deadline_s_; }
+  bool has_deadline() const { return deadline_s_ < kNoDeadline; }
+
+  /// Re-arm a token for reuse by a later request.
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_s_ = kNoDeadline;
+  }
+
+  /// Poll at a batch boundary; throws CancelledError when fired.
+  void check(real_t now_s) const {
+    if (cancel_requested()) throw CancelledError(CancelCause::kExplicit, now_s);
+    if (now_s >= deadline_s_) {
+      throw CancelledError(CancelCause::kDeadline, now_s);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  real_t deadline_s_ = kNoDeadline;
+};
+
+}  // namespace th

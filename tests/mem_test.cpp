@@ -4,10 +4,12 @@
 // budget, capacity-ramp faults, and the zero-overhead off switch.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -192,6 +194,87 @@ TEST(TileStore, TruncatedStreamThrowsIoErrorWithByteOffset) {
   bad[0] = 'X';
   std::istringstream badin(bad);
   EXPECT_THROW((void)mem::TileStore::load_tile(badin), bin::IoError);
+}
+
+TEST(TileStore, TruncationOffsetsNameTheExactField) {
+  // THTS layout: magic@0 (4B) + version@4 (4B) + tile id@8 (4B) +
+  // payload length prefix@12 (8B) + payload@20. A cut inside any field
+  // must report that field's *start* offset, so a hex dump at the
+  // reported position lands on the bytes the reader was consuming.
+  std::ostringstream os;
+  mem::TileStore::save_tile(os, 9, std::vector<real_t>(16, 2.0));
+  const std::string whole = os.str();
+  ASSERT_EQ(whole.size(), 20u + 16u * sizeof(real_t));
+
+  const auto offset_when_cut_at = [&](std::size_t keep) -> std::int64_t {
+    std::istringstream cut(whole.substr(0, keep));
+    try {
+      (void)mem::TileStore::load_tile(cut);
+    } catch (const bin::IoError& e) {
+      return e.byte_offset();
+    }
+    return -2;  // parsed successfully — the caller asserts against this
+  };
+
+  EXPECT_EQ(offset_when_cut_at(2), 0);    // inside the magic
+  EXPECT_EQ(offset_when_cut_at(6), 4);    // inside the version
+  EXPECT_EQ(offset_when_cut_at(10), 8);   // inside the tile id
+  EXPECT_EQ(offset_when_cut_at(15), 12);  // inside the length prefix
+  EXPECT_EQ(offset_when_cut_at(21), 20);  // one byte into the payload
+  EXPECT_EQ(offset_when_cut_at(whole.size() - 1), 20);  // last byte missing
+}
+
+TEST(TileStore, ReloadRacesConcurrentSpillOfDifferentTile) {
+  // The scheduler's spill path is single-threaded today, but the store's
+  // contract is per-tile files: a reload of tile A must be undisturbed by
+  // any number of concurrent spills of tile B (distinct paths, no shared
+  // mutable state beyond the counters). Run the race long enough that a
+  // shared-buffer or shared-stream bug would corrupt a payload.
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "thts_race").string();
+  std::filesystem::remove_all(dir);
+  mem::TileStore store(dir);
+
+  std::vector<real_t> payload_a(311);
+  for (std::size_t i = 0; i < payload_a.size(); ++i) {
+    payload_a[i] = static_cast<real_t>(i) * 0.5 - 7.0;
+  }
+  store.spill(1, payload_a);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<real_t> back = store.reload(1);
+      if (back.size() != payload_a.size() ||
+          std::memcmp(back.data(), payload_a.data(),
+                      payload_a.size() * sizeof(real_t)) != 0) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Writer: respill tile 2 with changing payloads (and overwrite the same
+  // path every time — the overwrite branch is the racy one if any).
+  std::vector<real_t> payload_b(257);
+  for (int round = 0; round < 200; ++round) {
+    for (std::size_t i = 0; i < payload_b.size(); ++i) {
+      payload_b[i] = static_cast<real_t>(round) + static_cast<real_t>(i);
+    }
+    store.spill(2, payload_b);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The last spill of tile 2 wins and reloads exactly.
+  const std::vector<real_t> back_b = store.reload(2);
+  ASSERT_EQ(back_b.size(), payload_b.size());
+  EXPECT_EQ(std::memcmp(back_b.data(), payload_b.data(),
+                        payload_b.size() * sizeof(real_t)),
+            0);
+  EXPECT_EQ(store.files_written(), 201);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(BinIo, TruncatedCheckpointAndFaultReportThrowTypedErrors) {
