@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
+#include "rhs/solve_dag.hpp"
 #include "serve/serve.hpp"
 #include "serve/trace.hpp"
 
@@ -125,9 +126,15 @@ int main() {
       io.core = SolverCore::kPlu;
       io.grid = make_process_grid(sopt.sched.n_ranks);
       const SolverInstance inst(a, io);
+      // Price dispatches the way the service charges them: factors by
+      // their schedule replay, solves by the batching engine's estimator.
+      // The worst single dispatch is a block solve at the full width cap
+      // (the dispatcher may fuse that many queued solves into one), so the
+      // structural latency bound prices that, not a width-1 solve.
+      rhs::BlockSolver pricer(*inst.plu_factorization(), sopt.sched, io.grid);
       max_service_s = std::max(
           {max_service_s, inst.run_timing(sopt.sched).makespan_s,
-           serve::solve_cost_s(inst.nnz_lu(), sopt.sched.cluster.gpu)});
+           pricer.estimate_s(sopt.rhs.max_width, sopt.rhs.schedule)});
     }
   }
   std::printf("capacity: mean service %.3f ms, slowest pattern %.3f ms, "

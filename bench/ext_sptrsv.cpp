@@ -42,10 +42,12 @@ int main() {
       ScheduleOptions base_opts = numeric_opts;
       base_opts.policy = Policy::kPriorityPerTask;
 
+      std::vector<real_t> x_th(b.size());
+      std::vector<real_t> x_base(b.size());
       PluTriangularSolver s1(*fact, nrhs);
-      const TriSolveResult rt = s1.solve(b, th_opts);
+      const TriSolveResult rt = s1.solve(b.data(), x_th.data(), th_opts);
       PluTriangularSolver s2(*fact, nrhs);
-      const TriSolveResult rb = s2.solve(b, base_opts);
+      const TriSolveResult rb = s2.solve(b.data(), x_base.data(), base_opts);
 
       const offset_t tasks =
           s1.forward_graph().size() + s1.backward_graph().size();

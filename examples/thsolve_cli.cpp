@@ -20,6 +20,15 @@
 //                                batch members: lock-free atomic adds
 //                                (paper-faithful, default) or deterministic
 //                                scratch + ordered reduction
+//     --nrhs <int>               after factoring, run a batched multi-RHS
+//                                SpTRSV phase: N right-hand sides solved as
+//                                block solves through src/rhs, printing
+//                                RHS/s throughput and the worst residual
+//                                (PLU core only)
+//     --rhs-batch <spec>         batching engine configuration, a spec
+//                                string "width=N,wait=SEC,sched=priority|
+//                                levelset,det=0|1"; applies to --nrhs and
+//                                to --serve's solve coalescing
 //     --block <int>              tile size / max supernode (default core's)
 //     --ordering <mindeg|rcm|nd|natural>              (default mindeg)
 //     --refine <iters>           iterative-refinement steps (default 0)
@@ -114,12 +123,14 @@
 //
 //   thsolve_cli --gen grid2d --n 10000 --ranks 16 \
 //       --faults transient=0.001,kill=3@0.002,guards=1
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "gen/generators.hpp"
 #include "mem/mem.hpp"
@@ -127,7 +138,9 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
+#include "order/perm.hpp"
 #include "resilience/checkpoint.hpp"
+#include "rhs/batcher.hpp"
 #include "serve/chaos.hpp"
 #include "serve/serve.hpp"
 #include "serve/trace.hpp"
@@ -152,6 +165,8 @@ using namespace th;
                "[--core plu|slu] [--policy th|pangu|superlu|stream|dmdas] "
                "[--device a100|h100|5090|5060ti|mi50] [--ranks R] "
                "[--threads N] [--accum atomic|det] "
+               "[--nrhs N] [--rhs-batch width=N,wait=SEC,"
+               "sched=priority|levelset,det=0|1] "
                "[--block B] [--ordering mindeg|rcm|nd|natural] "
                "[--refine I] [--abft] [--abft-retries N] [--trace out.json] "
                "[--trace-out unified.json] [--metrics-out m.json|m.csv] "
@@ -228,6 +243,22 @@ FaultPlan parse_faults(const std::string& s) {
   }
 }
 
+// --rhs-batch travels as a spec::RhsSpec on the wire; the CLI converts it
+// into the rhs engine's native options. An empty flag means the defaults.
+rhs::RhsOptions parse_rhs_batch(const std::string& s) {
+  try {
+    const spec::RhsSpec r = s.empty() ? spec::RhsSpec{} : spec::parse_rhs_spec(s);
+    rhs::RhsOptions o;
+    o.max_width = static_cast<index_t>(r.width);
+    o.max_wait_s = static_cast<real_t>(r.wait_s);
+    o.schedule = rhs::solve_schedule_by_name(r.schedule);
+    o.det = r.det;
+    return o;
+  } catch (const spec::SpecError& e) {
+    usage((std::string("--rhs-batch: ") + e.what()).c_str());
+  }
+}
+
 Ordering parse_ordering(const std::string& o) {
   if (o == "mindeg") return Ordering::kMinDegree;
   if (o == "rcm") return Ordering::kRcm;
@@ -256,6 +287,8 @@ int main(int argc, char** argv) {
   int serve_chaos_scenarios = 0;
   double serve_load = 1.0;
   std::uint64_t serve_seed = 1;
+  std::string rhs_batch_spec;
+  int nrhs = 0;
   index_t n = 1600, block = 0;
   int ranks = 1, refine_iters = 0;
   bool abft = false;
@@ -293,6 +326,10 @@ int main(int argc, char** argv) {
       if (accum != "atomic" && accum != "det") {
         usage("--accum wants atomic or det");
       }
+    } else if (!std::strcmp(argv[i], "--nrhs")) {
+      nrhs = parse_int_strict("--nrhs", need("--nrhs"), 1);
+    } else if (!std::strcmp(argv[i], "--rhs-batch")) {
+      rhs_batch_spec = need("--rhs-batch");
     } else if (!std::strcmp(argv[i], "--block")) {
       block = static_cast<index_t>(std::atoi(need("--block")));
     } else if (!std::strcmp(argv[i], "--ordering")) {
@@ -364,6 +401,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Parse eagerly so a malformed --rhs-batch errors even on runs that
+  // never reach a batched solve (no --serve, no --nrhs).
+  const rhs::RhsOptions rhs_opt = parse_rhs_batch(rhs_batch_spec);
+
   if (serve_mode) {
     // Multi-tenant serving replay: synthesize a Zipf-popularity workload
     // calibrated against this configuration's measured capacity, feed it
@@ -382,6 +423,7 @@ int main(int argc, char** argv) {
       sopt.sched.mem.policy = mem::mem_policy_by_name(mem_policy);
       sopt.exec_workers = threads;
       sopt.mem_budget_bytes = mem::MemOptions::gib(mem_gib);
+      sopt.rhs = rhs_opt;
       sopt.validate();
 
       serve::TraceOptions topt;
@@ -675,6 +717,78 @@ int main(int argc, char** argv) {
                   rep.final_residual(), rep.iterations());
     }
     std::printf("\n");
+
+    if (nrhs > 0 && inst.plu_factorization() == nullptr) {
+      std::fprintf(stderr,
+                   "thsolve: --nrhs needs the plu core (batched SpTRSV runs "
+                   "on PLU factors); skipping the multi-RHS phase\n");
+    } else if (nrhs > 0) {
+      // Batched multi-RHS phase: solve `nrhs` fresh right-hand sides
+      // against the factors just computed, fused into block solves of the
+      // configured width through the solve-DAG cache (src/rhs).
+      const rhs::RhsOptions& ropt = rhs_opt;
+      const auto nn = static_cast<std::size_t>(a.n_rows);
+      Rng brng(515151);
+      std::vector<std::vector<real_t>> want(static_cast<std::size_t>(nrhs));
+      std::vector<std::vector<real_t>> rhs_cols(static_cast<std::size_t>(nrhs));
+      for (int j = 0; j < nrhs; ++j) {
+        std::vector<real_t> xt(nn);
+        for (real_t& v : xt) v = brng.uniform(-1, 1);
+        want[static_cast<std::size_t>(j)] = std::move(xt);
+        rhs_cols[static_cast<std::size_t>(j)] =
+            spmv(a, want[static_cast<std::size_t>(j)]);
+      }
+
+      rhs::BlockSolver bsolver(*inst.plu_factorization(), so, io.grid);
+      real_t virt_s = 0;
+      long long kernels = 0;
+      int batches = 0;
+      real_t worst = 0;
+      std::vector<real_t> blockbuf;
+      for (int at = 0; at < nrhs; at += static_cast<int>(ropt.max_width)) {
+        const int w = std::min<int>(static_cast<int>(ropt.max_width),
+                                    nrhs - at);
+        blockbuf.resize(nn * static_cast<std::size_t>(w));
+        for (int j = 0; j < w; ++j) {
+          const std::vector<real_t> pb = apply_permutation(
+              rhs_cols[static_cast<std::size_t>(at + j)],
+              inst.permutation());
+          std::copy(pb.begin(), pb.end(),
+                    blockbuf.begin() + static_cast<std::size_t>(j) * nn);
+        }
+        const rhs::BlockSolveResult br = bsolver.solve(
+            blockbuf.data(), static_cast<index_t>(w), ropt.schedule,
+            ropt.det);
+        virt_s += br.makespan_s();
+        kernels += br.kernel_count();
+        ++batches;
+        for (int j = 0; j < w; ++j) {
+          const std::vector<real_t> px(
+              blockbuf.begin() + static_cast<std::size_t>(j) * nn,
+              blockbuf.begin() + static_cast<std::size_t>(j + 1) * nn);
+          const std::vector<real_t> x =
+              apply_inverse_permutation(px, inst.permutation());
+          worst = std::max(
+              worst, scaled_residual(
+                         a, x, rhs_cols[static_cast<std::size_t>(at + j)]));
+        }
+      }
+      std::printf("rhs: %d rhs in %d batch(es) (width cap %d, %s schedule"
+                  "%s): virtual %.3f ms, %.1f RHS/s, %lld kernels, dag %lld "
+                  "build(s) / %lld reuse(s), max scaled residual %.2e\n",
+                  nrhs, batches, static_cast<int>(ropt.max_width),
+                  rhs::solve_schedule_name(ropt.schedule),
+                  ropt.det ? ", det" : "", virt_s * 1e3,
+                  virt_s > 0 ? nrhs / virt_s : 0.0, kernels,
+                  static_cast<long long>(bsolver.dag().builds()),
+                  static_cast<long long>(bsolver.dag().reuses()), worst);
+      if (worst >= 1e-9) {
+        std::fprintf(stderr,
+                     "thsolve: batched rhs scaled residual %.2e above 1e-9\n",
+                     worst);
+        return 1;
+      }
+    }
 
     try {
       if (!trace_path.empty()) {

@@ -15,8 +15,10 @@ constexpr int kHostPid = 2;  // host runtime (lanes)
 /// and the serve layer's session track (kServiceTrack) pinned high so it
 /// renders below the lanes instead of renumbering them.
 constexpr int kServiceTid = 1000;
+constexpr int kRhsTid = 1001;
 int host_tid(int track) {
   if (track == kServiceTrack) return kServiceTid;
+  if (track == kRhsTrack) return kRhsTid;
   return track < 0 ? 0 : track + 1;
 }
 
@@ -79,11 +81,14 @@ void write_unified_trace(std::ostream& out, const Trace* sim,
     }
   }
   bool service = false;
+  bool rhs = false;
   for (const Event& e : events) {
     if (e.domain == Domain::kSim) {
       max_rank = std::max(max_rank, e.track);
     } else if (e.track == kServiceTrack) {
       service = true;
+    } else if (e.track == kRhsTrack) {
+      rhs = true;
     } else if (e.track < 0) {
       host_runtime = true;
     } else {
@@ -104,6 +109,7 @@ void write_unified_trace(std::ostream& out, const Trace* sim,
   }
   if (host_runtime) emit_thread_name(out, kHostPid, 0, "runtime");
   if (service) emit_thread_name(out, kHostPid, kServiceTid, "service");
+  if (rhs) emit_thread_name(out, kHostPid, kRhsTid, "rhs engine");
   for (int lane = 0; lane <= max_lane; ++lane) {
     emit_thread_name(out, kHostPid, host_tid(lane),
                      "lane " + std::to_string(lane));

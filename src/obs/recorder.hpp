@@ -37,6 +37,13 @@ enum class EventKind : char { kInstant, kSpan };
 /// as a "service" thread next to "runtime" and the lanes.
 constexpr int kServiceTrack = -2;
 
+/// Host-domain track for the batched multi-RHS solve engine (src/rhs): one
+/// span per executed block solve (virtual serve clock, like the service
+/// track), so batching width and close cadence read directly off the
+/// trace. The exporter renders it as an "rhs engine" thread next to
+/// "service".
+constexpr int kRhsTrack = -3;
+
 struct Event {
   const char* name = "";
   const char* cat = "";

@@ -1,0 +1,71 @@
+#include "rhs/batcher.hpp"
+
+#include "support/error.hpp"
+
+namespace th::rhs {
+
+void RhsOptions::validate() const {
+  TH_CHECK_MSG(max_width >= 1,
+               "rhs batch width must be >= 1, got " << max_width);
+  TH_CHECK_MSG(max_wait_s >= 0,
+               "rhs batch wait must be >= 0, got " << max_wait_s);
+}
+
+const char* close_reason_name(CloseReason r) {
+  switch (r) {
+    case CloseReason::kWidth:
+      return "width";
+    case CloseReason::kTimeout:
+      return "timeout";
+    case CloseReason::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+RhsBatcher::RhsBatcher(const RhsOptions& opt) : opt_(opt) {
+  opt_.validate();
+}
+
+std::int64_t RhsBatcher::submit(RhsEntry e, real_t now_s) {
+  e.id = next_id_++;
+  if (e.arrival_s <= 0) e.arrival_s = now_s;
+  q_.push_back(std::move(e));
+  return q_.back().id;
+}
+
+real_t RhsBatcher::oldest_arrival_s() const {
+  return q_.empty() ? CancelToken::kNoDeadline : q_.front().arrival_s;
+}
+
+RhsBatch RhsBatcher::close(std::size_t width, CloseReason reason,
+                           real_t now_s) {
+  RhsBatch batch;
+  batch.reason = reason;
+  batch.closed_s = now_s;
+  batch.members.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    batch.members.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return batch;
+}
+
+std::optional<RhsBatch> RhsBatcher::poll(real_t now_s) {
+  const std::size_t cap = static_cast<std::size_t>(opt_.max_width);
+  if (q_.size() >= cap) return close(cap, CloseReason::kWidth, now_s);
+  if (!q_.empty() && opt_.max_wait_s > 0 &&
+      now_s - q_.front().arrival_s >= opt_.max_wait_s) {
+    return close(q_.size(), CloseReason::kTimeout, now_s);
+  }
+  return std::nullopt;
+}
+
+std::optional<RhsBatch> RhsBatcher::flush(real_t now_s) {
+  if (q_.empty()) return std::nullopt;
+  const std::size_t cap = static_cast<std::size_t>(opt_.max_width);
+  if (q_.size() >= cap) return close(cap, CloseReason::kWidth, now_s);
+  return close(q_.size(), CloseReason::kFlush, now_s);
+}
+
+}  // namespace th::rhs

@@ -22,6 +22,10 @@ const char* misbehavior_kind_name(MisbehaviorKind k) {
       return "poison";
     case MisbehaviorKind::kMemRamp:
       return "memramp";
+    case MisbehaviorKind::kSolveFlood:
+      return "solveflood";
+    case MisbehaviorKind::kMidBatchCancel:
+      return "midcancel";
   }
   return "?";
 }
@@ -34,7 +38,7 @@ std::vector<Misbehavior> random_misbehaviors(std::uint64_t seed,
   const int n = 1 + below(s, 5);
   for (int i = 0; i < n; ++i) {
     Misbehavior m;
-    switch (below(s, 4)) {
+    switch (below(s, 6)) {
       case 0:
         m.kind = MisbehaviorKind::kFlood;
         m.tenant = below(s, topt.n_tenants);
@@ -46,6 +50,14 @@ std::vector<Misbehavior> random_misbehaviors(std::uint64_t seed,
       case 2:
         m.kind = MisbehaviorKind::kPoison;
         m.tenant = below(s, topt.n_tenants);
+        break;
+      case 3:
+        m.kind = MisbehaviorKind::kSolveFlood;
+        m.tenant = below(s, topt.n_tenants);
+        m.count = 4 + below(s, 24);
+        break;
+      case 4:
+        m.kind = MisbehaviorKind::kMidBatchCancel;
         break;
       default:
         m.kind = MisbehaviorKind::kMemRamp;
@@ -80,6 +92,12 @@ std::string misbehavior_spec(std::uint64_t scenario_seed,
         break;
       case MisbehaviorKind::kMemRamp:
         os << x.at_s << "@" << x.factor;
+        break;
+      case MisbehaviorKind::kSolveFlood:
+        os << x.tenant << "@" << x.at_s << "@" << x.count;
+        break;
+      case MisbehaviorKind::kMidBatchCancel:
+        os << x.at_s;
         break;
     }
   }
@@ -130,6 +148,7 @@ std::string run_serve_scenario(const ServeOptions& sopt,
     SolverService svc(sopt);
     std::map<std::pair<int, int>, SessionId> sessions;
     std::vector<RequestId> ids;  // every admitted id, abandon's pick pool
+    std::vector<RequestId> solve_ids;  // admitted solves, midcancel's pool
     offset_t mem_budget = sopt.mem_budget_bytes;
     std::uint64_t s = trace.opt.seed ^ 0xa0761d6478bd642fULL;
 
@@ -157,10 +176,47 @@ std::string run_serve_scenario(const ServeOptions& sopt,
               r.kind = RequestKind::kSolve;
               r.priority = Priority::kBatch;
               r.value_seed = mix64(s);
-              ids.push_back(svc.submit(sid, r));
+              const RequestId id = svc.submit(sid, r);
+              ids.push_back(id);
+              solve_ids.push_back(id);
             } catch (const RejectedError&) {
               // expected under flood
             }
+          }
+          break;
+        }
+        case MisbehaviorKind::kSolveFlood: {
+          // A factor followed by a solve burst against one session: the
+          // batching engine must coalesce whatever is admitted into block
+          // solves with every member accounted for (invariants 1-2) and
+          // every completed member numerically correct (invariant 4).
+          try {
+            const SessionId sid = open_or_find(m.tenant, 0);
+            Request f;
+            f.kind = RequestKind::kFactor;
+            f.priority = Priority::kNormal;
+            f.value_seed = mix64(s);
+            ids.push_back(svc.submit(sid, f));
+            for (int i = 0; i < m.count; ++i) {
+              Request r;
+              r.kind = RequestKind::kSolve;
+              r.priority = Priority::kNormal;
+              r.value_seed = mix64(s);
+              const RequestId id = svc.submit(sid, r);
+              ids.push_back(id);
+              solve_ids.push_back(id);
+            }
+          } catch (const RejectedError&) {
+            // expected once the queues fill
+          }
+          break;
+        }
+        case MisbehaviorKind::kMidBatchCancel: {
+          if (!solve_ids.empty()) {
+            // Cancel a queued solve handle: the rhs engine must shed the
+            // member at the batch boundary (cancel() ignores finished ids).
+            svc.cancel(solve_ids[static_cast<std::size_t>(mix64(s)) %
+                                 solve_ids.size()]);
           }
           break;
         }
@@ -211,7 +267,9 @@ std::string run_serve_scenario(const ServeOptions& sopt,
           r.deadline_s = e.deadline_s;
           r.abandon_at_s = e.abandon_at_s;
           r.value_seed = e.value_seed;
-          ids.push_back(svc.submit(sid, r));
+          const RequestId id = svc.submit(sid, r);
+          ids.push_back(id);
+          if (e.kind == RequestKind::kSolve) solve_ids.push_back(id);
         } catch (const RejectedError&) {
           // typed admission refusal: always legitimate
         }

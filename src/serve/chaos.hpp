@@ -22,10 +22,14 @@
 namespace th::serve {
 
 enum class MisbehaviorKind : char {
-  kFlood,    // one tenant submits a burst far past its queue bound
-  kAbandon,  // a handle is cancelled while its request is queued
-  kPoison,   // a session open with a structurally invalid matrix
-  kMemRamp,  // the memory budget is ramped down mid-session
+  kFlood,       // one tenant submits a burst far past its queue bound
+  kAbandon,     // a handle is cancelled while its request is queued
+  kPoison,      // a session open with a structurally invalid matrix
+  kMemRamp,     // the memory budget is ramped down mid-session
+  kSolveFlood,  // a factored session floods kSolve requests — the batching
+                // engine must coalesce them without dropping accounting
+  kMidBatchCancel,  // a queued solve handle is cancelled so the rhs engine
+                    // sheds it at the batch boundary
 };
 
 const char* misbehavior_kind_name(MisbehaviorKind k);
@@ -33,8 +37,8 @@ const char* misbehavior_kind_name(MisbehaviorKind k);
 struct Misbehavior {
   MisbehaviorKind kind = MisbehaviorKind::kFlood;
   real_t at_s = 0;     // virtual injection time
-  int tenant = 0;      // kFlood / kPoison
-  int count = 0;       // kFlood: burst size
+  int tenant = 0;      // kFlood / kPoison / kSolveFlood
+  int count = 0;       // kFlood / kSolveFlood: burst size
   double factor = 1;   // kMemRamp: budget multiplier (< 1 shrinks)
 };
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
+#include "order/perm.hpp"
 #include "solvers/block_cyclic.hpp"
 #include "sparse/ops.hpp"
 #include "support/rng.hpp"
@@ -99,6 +100,7 @@ void ServeOptions::validate() const {
   TH_CHECK_MSG(sched.cancel == nullptr,
                "ServeOptions::sched must not carry a cancel token — the "
                "service arms its own per-request tokens");
+  rhs.validate();
 }
 
 void ServeStats::publish_metrics() const {
@@ -168,6 +170,7 @@ SessionId SolverService::open_session(const std::string& tenant,
     s.inst = std::make_shared<SolverInstance>(a, instance_options(opt_.sched),
                                               *hit->second.donor);
     s.est_factor_s = hit->second.est_factor_s;
+    s.est_solve_s = hit->second.est_solve_s;
     ++stats_.cache_hits;
     if (obs::enabled()) {
       obs::Recorder::global().instant(
@@ -197,12 +200,17 @@ SessionId SolverService::open_session(const std::string& tenant,
     {
       const obs::ScopedDisable no_obs;  // pricing detail, not a run
       s.est_factor_s = s.inst->run_timing(est).makespan_s;
+      // Solve pricing replays the width-1 solve DAGs with a null backend —
+      // the exact model the batching engine runs under, so admission and
+      // execution charge the same clock.
+      rhs::BlockSolver pricer(*s.inst->plu_factorization(), opt_.sched,
+                              make_process_grid(opt_.sched.n_ranks));
+      s.est_solve_s = pricer.estimate_s(1, opt_.rhs.schedule);
     }
-    cache_.emplace(hash, CacheEntry{s.inst, s.est_factor_s});
+    cache_.emplace(hash, CacheEntry{s.inst, s.est_factor_s, s.est_solve_s});
   }
   s.projection =
       mem::project_footprint(s.inst->graph(), opt_.sched.n_ranks);
-  s.est_solve_s = solve_cost_s(s.inst->nnz_lu(), opt_.sched.cluster.gpu);
 
   if (!s.projection.fits(opt_.mem_budget_bytes)) {
     ++stats_.rejected_mem;
@@ -486,6 +494,9 @@ void SolverService::run_factor(Session& s, Pending& p, real_t start_s) {
       // work runs.
       Csr a = refactor ? finalize_system(s.a0, p.req.value_seed)
                        : s.inst->matrix();
+      // The batching engine references the instance's factorization; fold
+      // its accounting into the service total before the storage goes away.
+      retire_engine(s);
       s.inst = std::make_shared<SolverInstance>(
           a, instance_options(opt_.sched), *s.inst);
       s.needs_rebuild = false;
@@ -534,42 +545,118 @@ void SolverService::run_factor(Session& s, Pending& p, real_t start_s) {
   }
 }
 
-void SolverService::run_solve(Session& s, Pending& p, real_t start_s) {
+rhs::RhsEngine& SolverService::ensure_engine(Session& s) {
+  if (!s.engine) {
+    ScheduleOptions so = opt_.sched;
+    so.exec.pool = &pool_;
+    s.engine = std::make_unique<rhs::RhsEngine>(
+        *s.inst->plu_factorization(), opt_.rhs, so,
+        make_process_grid(opt_.sched.n_ranks));
+  }
+  return *s.engine;
+}
+
+void SolverService::retire_engine(Session& s) {
+  if (!s.engine) return;
+  rhs_base_ += s.engine->stats();
+  s.engine.reset();
+}
+
+rhs::RhsStats SolverService::rhs_stats() const {
+  rhs::RhsStats out = rhs_base_;
+  for (const auto& [sid, s] : sessions_) {
+    if (s.engine) out += s.engine->stats();
+  }
+  return out;
+}
+
+void SolverService::run_solve_batch(Session& s, std::vector<Pending> batch,
+                                    real_t start_s) {
   if (!s.factored) {
-    finish(std::move(p), Completion::Status::kFailed, start_s, start_s, -1,
-           "session has no valid factors (factor/refactor did not complete)");
+    for (Pending& p : batch) {
+      finish(std::move(p), Completion::Status::kFailed, start_s, start_s, -1,
+             "session has no valid factors (factor/refactor did not "
+             "complete)");
+    }
     return;
   }
+
+  rhs::RhsEngine& eng = ensure_engine(s);
   const real_t est = s.est_solve_s;
-  if (start_s + est > p.req.deadline_s) {
-    // Cannot finish in time: shed the work instead of burning the server
-    // on a result the tenant will discard.
-    finish(std::move(p), Completion::Status::kDeadlineMiss, start_s, start_s,
-           -1, "solve cannot finish before its deadline");
-    return;
-  }
-
-  // Real numerics: synthesize the right-hand side from the request's seed,
-  // solve on the host, and report the scaled residual so the caller can
-  // verify correctness survived the overload machinery.
   const Csr& a = s.inst->matrix();
-  Rng rng(p.req.value_seed);
-  std::vector<real_t> x_true(static_cast<std::size_t>(a.n_rows));
-  for (real_t& v : x_true) v = rng.uniform(-1.0, 1.0);
-  const std::vector<real_t> b = spmv(a, x_true);
-  const std::vector<real_t> x = s.inst->solve(b);
-  const real_t residual = scaled_residual(a, x, b);
 
-  const real_t end_s = start_s + est;
-  now_s_ = end_s;
-  ++stats_.solves;
-  if (obs::enabled()) {
-    obs::Recorder::global().span(obs::Domain::kHost, obs::kServiceTrack,
-                                 "serve solve", "serve", start_s, end_s,
-                                 "request", p.id, "session", p.session);
+  // Per-member admission at the batch boundary: abandoned handles and
+  // solves that cannot finish in time are shed before any numerics run.
+  // Survivors synthesize their right-hand side from the request's seed and
+  // enter the batching engine (permuted ordering: we factored P A P^T).
+  std::map<std::uint64_t, Pending> live;       // keyed by the engine tag
+  std::map<std::uint64_t, std::vector<real_t>> raw_b;
+  for (Pending& p : batch) {
+    if (p.token->cancel_requested() || p.req.abandon_at_s <= start_s) {
+      finish(std::move(p), Completion::Status::kCancelled, start_s, start_s,
+             -1, "handle abandoned at the batch boundary");
+      continue;
+    }
+    if (start_s + est > p.req.deadline_s) {
+      // Cannot finish in time: shed the work instead of burning the server
+      // on a result the tenant will discard.
+      finish(std::move(p), Completion::Status::kDeadlineMiss, start_s,
+             start_s, -1, "solve cannot finish before its deadline");
+      continue;
+    }
+    Rng rng(p.req.value_seed);
+    std::vector<real_t> x_true(static_cast<std::size_t>(a.n_rows));
+    for (real_t& v : x_true) v = rng.uniform(-1.0, 1.0);
+    std::vector<real_t> b = spmv(a, x_true);
+
+    rhs::RhsEntry e;
+    e.tag = static_cast<std::uint64_t>(p.id);
+    e.arrival_s = p.arrival_s;
+    e.deadline_s = p.req.deadline_s;
+    e.token = p.token.get();
+    e.b = apply_permutation(b, s.inst->permutation());
+    eng.submit(std::move(e), start_s);
+
+    const std::uint64_t tag = static_cast<std::uint64_t>(p.id);
+    raw_b.emplace(tag, std::move(b));
+    live.emplace(tag, std::move(p));
   }
-  finish(std::move(p), Completion::Status::kDone, start_s, end_s, residual,
-         "");
+  if (live.empty()) return;
+
+  // Real numerics: the coalesced members execute as block solves over the
+  // session's cached solve DAGs; each member's scaled residual is checked
+  // on the unpermuted system so correctness survived both the overload
+  // machinery and the batching.
+  real_t latest_s = start_s;
+  for (rhs::RhsCompletion& c : eng.flush(start_s)) {
+    Pending p = std::move(live.at(c.tag));
+    live.erase(c.tag);
+    if (c.status != rhs::RhsCompletion::Status::kDone) {
+      finish(std::move(p),
+             c.status == rhs::RhsCompletion::Status::kCancelled
+                 ? Completion::Status::kCancelled
+                 : Completion::Status::kDeadlineMiss,
+             start_s, c.finish_s, -1, "shed by the rhs engine at the batch "
+             "boundary");
+      continue;
+    }
+    const std::vector<real_t> x =
+        apply_inverse_permutation(c.x, s.inst->permutation());
+    const real_t residual = scaled_residual(a, x, raw_b.at(c.tag));
+    latest_s = std::max(latest_s, c.finish_s);
+    ++stats_.solves;
+    if (obs::enabled()) {
+      obs::Recorder::global().span(obs::Domain::kHost, obs::kServiceTrack,
+                                   "serve solve", "serve", start_s,
+                                   c.finish_s, "request", p.id, "session",
+                                   p.session);
+    }
+    finish(std::move(p), Completion::Status::kDone, start_s, c.finish_s,
+           residual, "");
+  }
+  now_s_ = std::max(now_s_, latest_s);
+  TH_CHECK_MSG(live.empty(),
+               "rhs engine lost " << live.size() << " batch members");
 }
 
 void SolverService::unqueue(SessionId sid, RequestId id) {
@@ -591,6 +678,51 @@ void SolverService::dispatch_one() {
   stats_.queue_depth = static_cast<offset_t>(pending_.size());
 
   const real_t start_s = now_s_;
+  Session& s = sessions_.at(p.session);
+
+  if (p.req.kind == RequestKind::kSolve) {
+    // Coalesce every queued kSolve against the same session (ascending
+    // request id, up to the configured width) into one dispatch — the
+    // members fuse into a single block solve through the session's rhs
+    // engine. Per-member cancellation/deadline triage happens at the
+    // batch boundary inside run_solve_batch.
+    //
+    // Fair share bounds the fusing: while ANOTHER tenant has queued
+    // work, this dispatch takes only its own fair-share pick (width 1),
+    // so a flooding tenant cannot ride the batcher past the round-robin
+    // order. Once the backlog is all one tenant's, coalescing opens up
+    // to the full width.
+    bool other_tenant_waiting = false;
+    for (const auto& [eid, ep] : pending_) {
+      if (sessions_.at(ep.session).tenant != s.tenant) {
+        other_tenant_waiting = true;
+        break;
+      }
+    }
+    std::vector<Pending> batch;
+    batch.push_back(std::move(p));
+    while (!other_tenant_waiting &&
+           static_cast<index_t>(batch.size()) < opt_.rhs.max_width) {
+      RequestId extra = -1;
+      for (const auto& [eid, ep] : pending_) {
+        if (ep.session == batch.front().session &&
+            ep.req.kind == RequestKind::kSolve) {
+          extra = eid;
+          break;
+        }
+      }
+      if (extra < 0) break;
+      auto eit = pending_.find(extra);
+      Pending e = std::move(eit->second);
+      pending_.erase(eit);
+      unqueue(e.session, extra);
+      batch.push_back(std::move(e));
+    }
+    stats_.queue_depth = static_cast<offset_t>(pending_.size());
+    run_solve_batch(s, std::move(batch), start_s);
+    return;
+  }
+
   if (p.token->cancel_requested() || p.req.abandon_at_s <= start_s) {
     // Abandoned in the queue: the lane and ledger bytes it would have
     // taken are never claimed — freeing is trivially deterministic.
@@ -604,12 +736,7 @@ void SolverService::dispatch_one() {
     return;
   }
 
-  Session& s = sessions_.at(p.session);
-  if (p.req.kind == RequestKind::kSolve) {
-    run_solve(s, p, start_s);
-  } else {
-    run_factor(s, p, start_s);
-  }
+  run_factor(s, p, start_s);
 }
 
 void SolverService::advance(real_t until_s) {

@@ -37,6 +37,11 @@
 //     pick per tenant per pass, highest priority first within a tenant)
 //     over ONE shared exec::WorkerPool, so a flooding tenant cannot
 //     starve the others of lanes.
+//   * Batched solves — kSolve requests against one session coalesce
+//     through its rhs::RhsEngine (src/rhs) into a single block solve of
+//     configurable width over the session's cached solve DAGs, executing
+//     real SpTRSV numerics on the shared pool; cancellation, abandonment
+//     and deadlines are honoured at the batch boundary.
 //
 // The service clock is *virtual*: it advances by the simulated makespans
 // of the dispatched runs (plus a deterministic solve-cost model), never by
@@ -60,6 +65,7 @@
 
 #include "core/scheduler.hpp"
 #include "exec/worker_pool.hpp"
+#include "rhs/engine.hpp"
 #include "solvers/driver.hpp"
 #include "support/cancel.hpp"
 
@@ -178,6 +184,10 @@ struct ServeOptions {
   /// Allow a full global queue to shed its lowest-priority entry for a
   /// strictly higher-priority submission (off = plain rejection).
   bool shed_on_full = true;
+  /// Batched multi-RHS solve engine configuration: every session's kSolve
+  /// requests coalesce through an rhs::RhsEngine sharing the session's
+  /// factorization (width cap, close policy, schedule mode, det mode).
+  rhs::RhsOptions rhs;
 
   /// Throws th::Error on nonsensical configurations.
   void validate() const;
@@ -267,6 +277,9 @@ class SolverService {
 
   int queue_depth() const { return static_cast<int>(pending_.size()); }
   const ServeStats& stats() const { return stats_; }
+  /// Aggregated batching engine accounting: live per-session engines plus
+  /// every engine retired by a refactor/rebuild (th.rhs.* when published).
+  rhs::RhsStats rhs_stats() const;
   std::size_t cache_size() const { return cache_.size(); }
 
   /// The session's current solver instance (null for unknown ids) — lets
@@ -288,12 +301,16 @@ class SolverService {
     /// the next factor/refactor must rebuild the instance (donor path).
     bool needs_rebuild = false;
     real_t est_factor_s = 0;  // timing-sim estimate (admission backlog)
-    real_t est_solve_s = 0;   // deterministic solve-cost model
+    real_t est_solve_s = 0;   // solve-DAG timing estimate (width 1)
+    /// Lazily-built batching engine over the session's current factors;
+    /// retired (stats folded into rhs_base_) whenever `inst` is rebuilt.
+    std::unique_ptr<rhs::RhsEngine> engine;
   };
 
   struct CacheEntry {
     std::shared_ptr<SolverInstance> donor;
     real_t est_factor_s = 0;
+    real_t est_solve_s = 0;
   };
 
   struct Pending {
@@ -315,7 +332,14 @@ class SolverService {
   void unqueue(SessionId sid, RequestId id);
   void dispatch_one();
   void run_factor(Session& s, Pending& p, real_t start_s);
-  void run_solve(Session& s, Pending& p, real_t start_s);
+  /// Execute a coalesced batch of kSolve requests (admission order) against
+  /// one session as a single block solve through the session's RhsEngine.
+  void run_solve_batch(Session& s, std::vector<Pending> batch,
+                       real_t start_s);
+  rhs::RhsEngine& ensure_engine(Session& s);
+  /// Fold a session engine's stats into rhs_base_ and drop it (called
+  /// before the session's instance is rebuilt/replaced).
+  void retire_engine(Session& s);
 
   ServeOptions opt_;
   exec::WorkerPool pool_;
@@ -332,14 +356,18 @@ class SolverService {
   std::string rr_cursor_;
   std::vector<Completion> completions_;
   ServeStats stats_;
+  /// Stats of engines retired by refactors/rebuilds; rhs_stats() adds the
+  /// live engines on top.
+  rhs::RhsStats rhs_base_;
 };
 
-/// Deterministic virtual cost of one triangular solve: the factors are
-/// streamed once (values + indices, L and U), bandwidth-bound on the
-/// modelled device, plus a per-level launch allowance. Never measured on
-/// the host — the service clock must not depend on wall time. Exposed so
-/// capacity calibration (trace.cpp, benches) prices solves exactly as the
-/// service will charge them.
+/// Legacy closed-form solve cost: the factors streamed once (values +
+/// indices, L and U), bandwidth-bound on the modelled device, plus a
+/// per-level launch allowance. The service itself now prices and charges
+/// solves by replaying the width-1 solve DAGs (rhs::BlockSolver::
+/// estimate_s) — the same model the batching engine executes under — but
+/// the closed form is kept for coarse capacity arithmetic that has no
+/// factorization in hand.
 real_t solve_cost_s(offset_t nnz_lu, const DeviceSpec& gpu);
 
 /// FNV-1a hash of a matrix's sparsity structure (n, row_ptr, col_idx) —

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "gen/generators.hpp"
+#include "rhs/solve_dag.hpp"
 #include "solvers/block_cyclic.hpp"
 #include "support/rng.hpp"
 
@@ -124,7 +125,8 @@ real_t estimate_mean_service_s(const ServeOptions& sopt,
     // else is a triangular solve. (First-contact factors are a vanishing
     // share of a long trace and are folded into the refactor weight.)
     const real_t factor_s = inst.run_timing(sopt.sched).makespan_s;
-    const real_t solve_s = solve_cost_s(inst.nnz_lu(), sopt.sched.cluster.gpu);
+    rhs::BlockSolver pricer(*inst.plu_factorization(), sopt.sched, io.grid);
+    const real_t solve_s = pricer.estimate_s(1, sopt.rhs.schedule);
     mean += weights[static_cast<std::size_t>(k)] *
             (topt.p_refactor * factor_s + (1.0 - topt.p_refactor) * solve_s);
   }

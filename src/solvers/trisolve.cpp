@@ -1,5 +1,7 @@
 #include "solvers/trisolve.hpp"
 
+#include <algorithm>
+
 #include "kernels/dense.hpp"
 #include "kernels/flops.hpp"
 #include "support/error.hpp"
@@ -11,91 +13,15 @@ namespace {
 // Task encoding within the solve DAGs:
 //   kGetrf  -> diagonal substitution on block row t.k (row == col == k)
 //   kSsssm  -> update x[t.row] -= T(t.row, t.col) * x[t.col]
-// (reusing the factorisation task types keeps the scheduler unchanged; a
-// solve batch is as heterogeneous as a factorisation batch).
 constexpr TaskType kDiagSolve = TaskType::kGetrf;
 constexpr TaskType kUpdate = TaskType::kSsssm;
 
 }  // namespace
 
-class PluTriangularSolver::Backend : public NumericBackend {
- public:
-  Backend(PluFactorization& fact, std::vector<real_t>& x, index_t nrhs,
-          bool forward)
-      : fact_(fact), x_(x), nrhs_(nrhs), forward_(forward) {}
-
-  void run_task(const Task& t, bool /*atomic*/) override {
-    // Solve updates conflict on the target block *row* (x[i]), not on the
-    // (row, col) key the factorisation scheduler uses for SSSSM conflict
-    // detection — so accumulation is unconditionally atomic here. With the
-    // default single-worker executor this costs one uncontended CAS per
-    // element.
-    const index_t bs = fact_.pattern().tile_size;
-    const index_t n = fact_.pattern().n;
-    if (t.type == kDiagSolve) {
-      const Tile& d = *fact_.tiles().tile(t.k, t.k);
-      const index_t w = d.rows();
-      real_t* xk = x_.data() + static_cast<offset_t>(t.k) * bs;
-      for (index_t r = 0; r < nrhs_; ++r) {
-        real_t* col = xk + static_cast<offset_t>(r) * n;
-        if (forward_) {
-          // Unit-lower substitution within the diagonal tile.
-          for (index_t c = 0; c < w; ++c) {
-            const real_t xc = col[c];
-            if (xc == 0.0) continue;
-            for (index_t i = c + 1; i < w; ++i) {
-              col[i] -= d.dense_data()[i + static_cast<offset_t>(c) * w] * xc;
-            }
-          }
-        } else {
-          // Non-unit upper substitution.
-          for (index_t c = w - 1; c >= 0; --c) {
-            real_t acc = col[c];
-            for (index_t i = c + 1; i < w; ++i) {
-              acc -= d.dense_data()[c + static_cast<offset_t>(i) * w] * col[i];
-            }
-            col[c] = acc / d.dense_data()[c + static_cast<offset_t>(c) * w];
-          }
-        }
-      }
-    } else {
-      // x[row] -= T(row, col) * x[col].
-      const Tile& tile = *fact_.tiles().tile(t.row, t.col);
-      real_t* xr = x_.data() + static_cast<offset_t>(t.row) * bs;
-      const real_t* xc = x_.data() + static_cast<offset_t>(t.col) * bs;
-      for (index_t r = 0; r < nrhs_; ++r) {
-        real_t* out = xr + static_cast<offset_t>(r) * n;
-        const real_t* in = xc + static_cast<offset_t>(r) * n;
-        for (index_t c = 0; c < tile.cols(); ++c) {
-          const real_t v = in[c];
-          if (v == 0.0) continue;
-          const real_t* tc =
-              tile.dense_data() + static_cast<offset_t>(c) * tile.ld();
-          for (index_t i = 0; i < tile.rows(); ++i) {
-            atomic_add(out[i], -tc[i] * v);
-          }
-        }
-      }
-    }
-  }
-
- private:
-  PluFactorization& fact_;
-  std::vector<real_t>& x_;
-  index_t nrhs_;
-  bool forward_;
-};
-
-PluTriangularSolver::PluTriangularSolver(PluFactorization& fact, index_t nrhs,
-                                         const ProcessGrid& grid)
-    : fact_(fact), nrhs_(nrhs), grid_(grid) {
+TaskGraph build_solve_graph(const PluFactorization& fact, bool forward,
+                            index_t nrhs, const ProcessGrid& grid) {
   TH_CHECK(nrhs >= 1);
-  forward_ = build_graph(/*forward=*/true);
-  backward_ = build_graph(/*forward=*/false);
-}
-
-TaskGraph PluTriangularSolver::build_graph(bool forward) const {
-  const TilePattern& p = fact_.pattern();
+  const TilePattern& p = fact.pattern();
   const index_t nt = p.nt;
   TaskGraph g;
 
@@ -107,23 +33,21 @@ TaskGraph PluTriangularSolver::build_graph(bool forward) const {
     t.type = kDiagSolve;
     t.k = k;
     t.row = t.col = k;
-    t.cost.flops = static_cast<offset_t>(bk) * bk * nrhs_;
+    t.cost.flops = static_cast<offset_t>(bk) * bk * nrhs;
     t.cost.bytes = words_to_bytes(static_cast<offset_t>(bk) * bk +
-                                  2 * static_cast<offset_t>(bk) * nrhs_);
-    t.cost.cuda_blocks = std::max<index_t>(1, nrhs_);
+                                  2 * static_cast<offset_t>(bk) * nrhs);
+    t.cost.cuda_blocks = std::max<index_t>(1, nrhs);
     t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
-    t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * nrhs_);
-    t.owner_rank = grid_.owner(k, k);
+    t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * nrhs);
+    t.owner_rank = grid.owner(k, k);
     diag_id[k] = g.add_task(t);
   }
 
   // One update task per off-diagonal tile of the triangle being solved,
   // feeding the destination block row's diagonal task.
   for (index_t k = 0; k < nt; ++k) {
-    const std::vector<index_t> targets =
-        forward ? p.col_tiles_below(k) : std::vector<index_t>{};
     if (forward) {
-      for (const index_t i : targets) {
+      for (const index_t i : p.col_tiles_below(k)) {
         const index_t bi = p.rows_in_tile(i);
         const index_t bk = p.rows_in_tile(k);
         Task t;
@@ -131,14 +55,14 @@ TaskGraph PluTriangularSolver::build_graph(bool forward) const {
         t.k = k;
         t.row = i;
         t.col = k;
-        t.cost.flops = 2 * static_cast<offset_t>(bi) * bk * nrhs_;
+        t.cost.flops = 2 * static_cast<offset_t>(bi) * bk * nrhs;
         t.cost.bytes = words_to_bytes(static_cast<offset_t>(bi) * bk +
-                                      2 * static_cast<offset_t>(bi) * nrhs_);
+                                      2 * static_cast<offset_t>(bi) * nrhs);
         t.cost.cuda_blocks = std::max<index_t>(1, bi / 16);
         t.cost.shmem_per_block = static_cast<offset_t>(bk) * 8;
-        t.out_bytes = words_to_bytes(static_cast<offset_t>(bi) * nrhs_);
+        t.out_bytes = words_to_bytes(static_cast<offset_t>(bi) * nrhs);
         t.atomic_ok = true;  // updates into block i commute
-        t.owner_rank = grid_.owner(i, k);
+        t.owner_rank = grid.owner(i, k);
         const index_t id = g.add_task(t);
         g.add_dependency(diag_id[k], id);
         g.add_dependency(id, diag_id[i]);
@@ -154,14 +78,14 @@ TaskGraph PluTriangularSolver::build_graph(bool forward) const {
         t.k = j;
         t.row = k;
         t.col = j;
-        t.cost.flops = 2 * static_cast<offset_t>(bk) * bj * nrhs_;
+        t.cost.flops = 2 * static_cast<offset_t>(bk) * bj * nrhs;
         t.cost.bytes = words_to_bytes(static_cast<offset_t>(bk) * bj +
-                                      2 * static_cast<offset_t>(bk) * nrhs_);
+                                      2 * static_cast<offset_t>(bk) * nrhs);
         t.cost.cuda_blocks = std::max<index_t>(1, bk / 16);
         t.cost.shmem_per_block = static_cast<offset_t>(bj) * 8;
-        t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * nrhs_);
+        t.out_bytes = words_to_bytes(static_cast<offset_t>(bk) * nrhs);
         t.atomic_ok = true;
-        t.owner_rank = grid_.owner(k, j);
+        t.owner_rank = grid.owner(k, j);
         const index_t id = g.add_task(t);
         g.add_dependency(diag_id[j], id);
         g.add_dependency(id, diag_id[k]);
@@ -172,21 +96,174 @@ TaskGraph PluTriangularSolver::build_graph(bool forward) const {
   return g;
 }
 
-TriSolveResult PluTriangularSolver::solve(const std::vector<real_t>& b,
-                                          const ScheduleOptions& opt) {
+SolveFoldPlan build_solve_fold_plan(const TilePattern& p, bool forward) {
+  SolveFoldPlan plan;
+  plan.forward = forward;
+  plan.fold_cols.assign(static_cast<std::size_t>(p.nt), {});
+  for (index_t k = 0; k < p.nt; ++k) {
+    if (forward) {
+      for (const index_t i : p.col_tiles_below(k)) {
+        plan.tile_offset.emplace(std::make_pair(i, k), plan.scratch_rows);
+        plan.scratch_rows += p.rows_in_tile(i);
+        // Outer loop ascends k, so each row's fold list is ascending — the
+        // order the sequential reference subtracts the panels in.
+        plan.fold_cols[static_cast<std::size_t>(i)].push_back(k);
+      }
+    } else {
+      for (const index_t j : p.row_tiles_right(k)) {
+        plan.tile_offset.emplace(std::make_pair(k, j), plan.scratch_rows);
+        plan.scratch_rows += p.rows_in_tile(k);
+        plan.fold_cols[static_cast<std::size_t>(k)].push_back(j);
+      }
+    }
+  }
+  return plan;
+}
+
+TriSolveBackend::TriSolveBackend(const PluFactorization& fact, real_t* x,
+                                 index_t nrhs, bool forward,
+                                 const SolveFoldPlan* fold)
+    : fact_(fact), x_(x), nrhs_(nrhs), forward_(forward), fold_(fold) {
+  if (fold_ != nullptr) {
+    TH_CHECK_MSG(fold_->forward == forward,
+                 "solve fold plan direction does not match the backend");
+    scratch_.assign(
+        static_cast<std::size_t>(fold_->scratch_rows) * nrhs_, 0.0);
+  }
+}
+
+void TriSolveBackend::run_task(const Task& t, bool /*atomic*/) {
+  const index_t bs = fact_.pattern().tile_size;
   const index_t n = fact_.pattern().n;
-  TH_CHECK_MSG(static_cast<index_t>(b.size()) ==
-                   n * static_cast<offset_t>(nrhs_),
-               "b must be n x nrhs");
+  if (t.type == kDiagSolve) {
+    const Tile& d = *fact_.tiles().tile(t.k, t.k);
+    const index_t w = d.rows();
+    real_t* xk = x_ + static_cast<offset_t>(t.k) * bs;
+    if (fold_ != nullptr) {
+      // Deterministic mode: fold the incoming update contributions in
+      // ascending source-block order before substituting. Every producer
+      // task finished before this one (DAG dependency), and the executor's
+      // batch barriers order their scratch writes before this read.
+      for (const index_t src :
+           fold_->fold_cols[static_cast<std::size_t>(t.k)]) {
+        const offset_t off = fold_->tile_offset.at(std::make_pair(t.k, src));
+        const real_t* scr = scratch_.data() + off * nrhs_;
+        for (index_t r = 0; r < nrhs_; ++r) {
+          real_t* col = xk + static_cast<offset_t>(r) * n;
+          const real_t* s = scr + static_cast<offset_t>(r) * w;
+          for (index_t i = 0; i < w; ++i) col[i] -= s[i];
+        }
+      }
+    }
+    for (index_t r = 0; r < nrhs_; ++r) {
+      real_t* col = xk + static_cast<offset_t>(r) * n;
+      if (forward_) {
+        // Unit-lower substitution within the diagonal tile.
+        for (index_t c = 0; c < w; ++c) {
+          const real_t xc = col[c];
+          if (xc == 0.0) continue;
+          for (index_t i = c + 1; i < w; ++i) {
+            col[i] -= d.dense_data()[i + static_cast<offset_t>(c) * w] * xc;
+          }
+        }
+      } else {
+        // Non-unit upper substitution.
+        for (index_t c = w - 1; c >= 0; --c) {
+          real_t acc = col[c];
+          for (index_t i = c + 1; i < w; ++i) {
+            acc -= d.dense_data()[c + static_cast<offset_t>(i) * w] * col[i];
+          }
+          col[c] = acc / d.dense_data()[c + static_cast<offset_t>(c) * w];
+        }
+      }
+    }
+  } else {
+    // x[row] -= T(row, col) * x[col].
+    const Tile& tile = *fact_.tiles().tile(t.row, t.col);
+    const real_t* xc = x_ + static_cast<offset_t>(t.col) * bs;
+    if (fold_ != nullptr) {
+      // Accumulate the positive contribution T(row, col) * x[col] into the
+      // tile's private scratch region (bi x nrhs, column-major); the
+      // diagonal task subtracts it later in plan order. Regions are
+      // disjoint across tasks, so no atomics are needed.
+      const offset_t off =
+          fold_->tile_offset.at(std::make_pair(t.row, t.col));
+      real_t* scr = scratch_.data() + off * nrhs_;
+      const index_t bi = tile.rows();
+      for (index_t r = 0; r < nrhs_; ++r) {
+        real_t* out = scr + static_cast<offset_t>(r) * bi;
+        const real_t* in = xc + static_cast<offset_t>(r) * n;
+        for (index_t c = 0; c < tile.cols(); ++c) {
+          const real_t v = in[c];
+          if (v == 0.0) continue;
+          const real_t* tc =
+              tile.dense_data() + static_cast<offset_t>(c) * tile.ld();
+          for (index_t i = 0; i < bi; ++i) out[i] += tc[i] * v;
+        }
+      }
+      return;
+    }
+    // Atomic path: solve updates conflict on the target block *row*
+    // (x[row]), not on the (row, col) key the factorisation scheduler uses
+    // for SSSSM conflict detection — so accumulation is unconditionally
+    // atomic here. With a single-worker executor this costs one
+    // uncontended CAS per element.
+    real_t* xr = x_ + static_cast<offset_t>(t.row) * bs;
+    for (index_t r = 0; r < nrhs_; ++r) {
+      real_t* out = xr + static_cast<offset_t>(r) * n;
+      const real_t* in = xc + static_cast<offset_t>(r) * n;
+      for (index_t c = 0; c < tile.cols(); ++c) {
+        const real_t v = in[c];
+        if (v == 0.0) continue;
+        const real_t* tc =
+            tile.dense_data() + static_cast<offset_t>(c) * tile.ld();
+        for (index_t i = 0; i < tile.rows(); ++i) {
+          atomic_add(out[i], -tc[i] * v);
+        }
+      }
+    }
+  }
+}
+
+PluTriangularSolver::PluTriangularSolver(const PluFactorization& fact,
+                                         index_t nrhs,
+                                         const ProcessGrid& grid)
+    : fact_(fact), nrhs_(nrhs) {
+  TH_CHECK(nrhs >= 1);
+  forward_ = build_solve_graph(fact, /*forward=*/true, nrhs, grid);
+  backward_ = build_solve_graph(fact, /*forward=*/false, nrhs, grid);
+}
+
+TriSolveResult PluTriangularSolver::solve(const real_t* b, real_t* x,
+                                          const ScheduleOptions& opt) {
+  TH_CHECK_MSG(b != nullptr && x != nullptr, "solve needs b and x storage");
+  const index_t n = fact_.pattern().n;
+  if (x != b) {
+    std::copy(b, b + static_cast<offset_t>(n) * nrhs_, x);
+  }
+
+  const bool det = opt.exec.accum == exec::AccumMode::kDeterministic;
+  ScheduleOptions run = opt;
+  // The backend owns determinism (fold plan); the executor's own det-mode
+  // scratch keys on the factorisation's conflict structure and would only
+  // serialise updates in the ordered epilogue.
+  run.exec.accum = exec::AccumMode::kAtomic;
+  if (det && !forward_fold_) {
+    forward_fold_ = build_solve_fold_plan(fact_.pattern(), /*forward=*/true);
+    backward_fold_ =
+        build_solve_fold_plan(fact_.pattern(), /*forward=*/false);
+  }
+
   TriSolveResult out;
-  out.x = b;
   {
-    Backend backend(fact_, out.x, nrhs_, /*forward=*/true);
-    out.forward = simulate(forward_, opt, &backend);
+    TriSolveBackend backend(fact_, x, nrhs_, /*forward=*/true,
+                            det ? &*forward_fold_ : nullptr);
+    out.forward = simulate(forward_, run, &backend);
   }
   {
-    Backend backend(fact_, out.x, nrhs_, /*forward=*/false);
-    out.backward = simulate(backward_, opt, &backend);
+    TriSolveBackend backend(fact_, x, nrhs_, /*forward=*/false,
+                            det ? &*backward_fold_ : nullptr);
+    out.backward = simulate(backward_, run, &backend);
   }
   return out;
 }

@@ -195,4 +195,36 @@ std::string render_fault_spec(const FaultPlan& plan) {
   return os.str();
 }
 
+RhsSpec parse_rhs_spec(const std::string& spec) {
+  RhsSpec s;
+  for (const SpecItem& it : parse_spec_items(spec)) {
+    const std::string& key = it.key;
+    const std::string& val = it.value;
+    if (key == "width") {
+      s.width = static_cast<int>(spec_int(key, val));
+      if (s.width < 1) bad(key, "wants a width >= 1, got '" + val + "'");
+    } else if (key == "wait") {
+      s.wait_s = spec_real(key, val);
+      if (s.wait_s < 0) bad(key, "wants a wait >= 0, got '" + val + "'");
+    } else if (key == "sched") {
+      if (val != "priority" && val != "levelset") {
+        bad(key, "wants priority|levelset, got '" + val + "'");
+      }
+      s.schedule = val;
+    } else if (key == "det") {
+      s.det = spec_int(key, val) != 0;
+    } else {
+      throw SpecError("unknown spec key: '" + key + "'", key);
+    }
+  }
+  return s;
+}
+
+std::string render_rhs_spec(const RhsSpec& s) {
+  std::ostringstream os;
+  os << "width=" << s.width << ",wait=" << s.wait_s << ",sched=" << s.schedule
+     << ",det=" << (s.det ? 1 : 0);
+  return os.str();
+}
+
 }  // namespace th::spec

@@ -62,4 +62,20 @@ FaultPlan parse_fault_spec(const std::string& spec);
 /// largest probability (the CLI sets one probability for every class).
 std::string render_fault_spec(const FaultPlan& plan);
 
+/// Batched multi-RHS engine configuration as it travels on the wire (the
+/// `thsolve_cli --rhs-batch` flag). A plain struct rather than
+/// rhs::RhsOptions because support sits below src/rhs — the CLI converts.
+struct RhsSpec {
+  int width = 16;               // block-solve width cap (>= 1)
+  double wait_s = 0;            // oldest-entry wait bound (>= 0; 0 = off)
+  std::string schedule = "priority";  // "priority" | "levelset"
+  bool det = false;             // deterministic accumulation
+};
+
+/// Parse "width=N,wait=SEC,sched=priority|levelset,det=0|1". Unknown keys,
+/// malformed values, width < 1, wait < 0 and unknown schedules throw
+/// SpecError. parse_rhs_spec(render_rhs_spec(s)) == s exactly.
+RhsSpec parse_rhs_spec(const std::string& spec);
+std::string render_rhs_spec(const RhsSpec& s);
+
 }  // namespace th::spec

@@ -50,10 +50,10 @@ TEST(TriSolve, MatchesSequentialSolveSingleRhs) {
   const std::vector<real_t> x_seq = fact->solve(pb);
 
   PluTriangularSolver solver(*fact, /*nrhs=*/1);
-  const TriSolveResult r = solver.solve(pb, th_opts());
-  ASSERT_EQ(r.x.size(), x_seq.size());
+  std::vector<real_t> x(pb.size());
+  solver.solve(pb.data(), x.data(), th_opts());
   for (std::size_t i = 0; i < x_seq.size(); ++i) {
-    EXPECT_NEAR(r.x[i], x_seq[i], 1e-10) << "component " << i;
+    EXPECT_NEAR(x[i], x_seq[i], 1e-10) << "component " << i;
   }
 }
 
@@ -69,7 +69,9 @@ TEST(TriSolve, MultipleRhsAllCorrect) {
     b[i] = std::sin(static_cast<real_t>(i) * 0.37) + 1.5;
   }
   PluTriangularSolver solver(*fact, nrhs);
-  const TriSolveResult r = solver.solve(b, th_opts());
+  // In-place solve: x aliases b (the API contract allows it).
+  std::vector<real_t> x = b;
+  solver.solve(x.data(), x.data(), th_opts());
 
   // Each column must match the sequential single-RHS solve.
   for (index_t c = 0; c < nrhs; ++c) {
@@ -77,7 +79,7 @@ TEST(TriSolve, MultipleRhsAllCorrect) {
                                   b.begin() + static_cast<offset_t>(c + 1) * n);
     const std::vector<real_t> expect = fact->solve(col);
     for (index_t i = 0; i < n; ++i) {
-      ASSERT_NEAR(r.x[static_cast<offset_t>(c) * n + i], expect[i], 1e-10)
+      ASSERT_NEAR(x[static_cast<offset_t>(c) * n + i], expect[i], 1e-10)
           << "rhs " << c << " row " << i;
     }
   }
@@ -90,19 +92,19 @@ TEST(TriSolve, BatchingReducesSolveKernels) {
   PluTriangularSolver solver(*fact, 1);
   std::vector<real_t> b(static_cast<std::size_t>(a.n_rows), 1.0);
 
-  const TriSolveResult th = solver.solve(b, th_opts());
-  // The DAGs are fresh simulations, so re-running as per-task is fine
-  // numerically (solve is idempotent only over fresh b — use a new solver).
+  std::vector<real_t> x_th(b.size());
+  std::vector<real_t> x_base(b.size());
+  const TriSolveResult th = solver.solve(b.data(), x_th.data(), th_opts());
   PluTriangularSolver solver2(*fact, 1);
   const TriSolveResult base =
-      solver2.solve(b, th_opts(Policy::kPriorityPerTask));
+      solver2.solve(b.data(), x_base.data(), th_opts(Policy::kPriorityPerTask));
 
   EXPECT_EQ(base.forward.kernel_count, solver.forward_graph().size());
   EXPECT_LT(th.forward.kernel_count, base.forward.kernel_count);
   EXPECT_LT(th.backward.kernel_count, base.backward.kernel_count);
   // Same numeric answer either way.
-  for (std::size_t i = 0; i < th.x.size(); ++i) {
-    EXPECT_NEAR(th.x[i], base.x[i], 1e-10);
+  for (std::size_t i = 0; i < x_th.size(); ++i) {
+    EXPECT_NEAR(x_th[i], x_base[i], 1e-10);
   }
 }
 

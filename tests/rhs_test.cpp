@@ -1,0 +1,497 @@
+// Batched multi-RHS SpTRSV serving engine (src/rhs, DESIGN.md §15): the
+// batcher's close policy, the solve-DAG cache, block-solve correctness
+// against the sequential driver, deterministic accumulation across worker
+// counts and batch widths, shedding at batch boundaries, obs
+// reconciliation, and the serve-layer integration (solve coalescing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+#include "order/perm.hpp"
+#include "rhs/engine.hpp"
+#include "serve/chaos.hpp"
+#include "serve/serve.hpp"
+#include "serve/trace.hpp"
+#include "solvers/driver.hpp"
+#include "sparse/ops.hpp"
+#include "support/cancel.hpp"
+#include "support/rng.hpp"
+
+namespace th {
+namespace {
+
+using rhs::BlockSolver;
+using rhs::CloseReason;
+using rhs::RhsBatch;
+using rhs::RhsBatcher;
+using rhs::RhsCompletion;
+using rhs::RhsEngine;
+using rhs::RhsEntry;
+using rhs::RhsOptions;
+using rhs::SolveSchedule;
+
+Csr grid(index_t side, std::uint64_t value_seed) {
+  return finalize_system(grid2d_laplacian(side, side), value_seed);
+}
+
+/// One factored PLU instance shared across the engine tests (numerics run
+/// once; every engine constructed on top reuses the factors).
+class RhsEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    a_ = new Csr(grid(20, 7));
+    InstanceOptions io;
+    io.core = SolverCore::kPlu;
+    inst_ = new SolverInstance(*a_, io);
+    sched_ = new ScheduleOptions();
+    sched_->exec.workers = 2;
+    inst_->run_numeric(*sched_);
+  }
+  static void TearDownTestSuite() {
+    delete inst_;
+    delete a_;
+    delete sched_;
+    inst_ = nullptr;
+    a_ = nullptr;
+    sched_ = nullptr;
+  }
+
+  /// b = A x_true for a fresh random x_true.
+  static std::vector<real_t> rhs_for(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<real_t> xt(static_cast<std::size_t>(a_->n_rows));
+    for (real_t& v : xt) v = rng.uniform(-1, 1);
+    return spmv(*a_, xt);
+  }
+
+  static RhsEntry entry(const std::vector<real_t>& b, std::uint64_t tag) {
+    RhsEntry e;
+    e.tag = tag;
+    e.b = apply_permutation(b, inst_->permutation());
+    return e;
+  }
+
+  static real_t residual_of(const RhsCompletion& c,
+                            const std::vector<real_t>& b) {
+    const std::vector<real_t> x =
+        apply_inverse_permutation(c.x, inst_->permutation());
+    return scaled_residual(*a_, x, b);
+  }
+
+  static Csr* a_;
+  static SolverInstance* inst_;
+  static ScheduleOptions* sched_;
+};
+
+Csr* RhsEngineTest::a_ = nullptr;
+SolverInstance* RhsEngineTest::inst_ = nullptr;
+ScheduleOptions* RhsEngineTest::sched_ = nullptr;
+
+// ---- batcher close policy -------------------------------------------------
+
+TEST(RhsBatcher, ClosesAtWidthInAdmissionOrder) {
+  RhsOptions opt;
+  opt.max_width = 3;
+  RhsBatcher q(opt);
+  for (int i = 0; i < 7; ++i) {
+    RhsEntry e;
+    e.tag = static_cast<std::uint64_t>(i);
+    e.b = {1.0};
+    EXPECT_EQ(q.submit(std::move(e), 0.0), i);  // tickets count up
+  }
+  auto b1 = q.poll(0.0);
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->reason, CloseReason::kWidth);
+  ASSERT_EQ(b1->members.size(), 3u);
+  EXPECT_EQ(b1->members[0].tag, 0u);
+  EXPECT_EQ(b1->members[2].tag, 2u);
+
+  auto b2 = q.poll(0.0);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->members[0].tag, 3u);
+  EXPECT_FALSE(q.poll(0.0).has_value());  // one below the width cap
+  EXPECT_EQ(q.depth(), 1);
+
+  auto b3 = q.flush(0.0);
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_EQ(b3->reason, CloseReason::kFlush);
+  EXPECT_EQ(b3->members.size(), 1u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.flush(0.0).has_value());
+}
+
+TEST(RhsBatcher, TimeoutClosesAPartialBatch) {
+  RhsOptions opt;
+  opt.max_width = 100;
+  opt.max_wait_s = 1.0;
+  RhsBatcher q(opt);
+  RhsEntry e;
+  e.b = {1.0};
+  q.submit(std::move(e), 0.25);
+  EXPECT_EQ(q.oldest_arrival_s(), 0.25);
+  EXPECT_FALSE(q.poll(1.0).has_value());  // oldest has waited 0.75 s
+  auto b = q.poll(1.25);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->reason, CloseReason::kTimeout);
+  EXPECT_EQ(b->closed_s, 1.25);
+}
+
+TEST(RhsOptionsValidate, RejectsNonsense) {
+  RhsOptions opt;
+  opt.max_width = 0;
+  EXPECT_THROW(opt.validate(), Error);
+  opt = RhsOptions{};
+  opt.max_wait_s = -1;
+  EXPECT_THROW(opt.validate(), Error);
+}
+
+// ---- solve-DAG cache ------------------------------------------------------
+
+TEST_F(RhsEngineTest, SolveDagBuildsOncePerWidthThenReuses) {
+  BlockSolver solver(*inst_->plu_factorization(), *sched_);
+  std::vector<real_t> b = apply_permutation(rhs_for(1), inst_->permutation());
+  solver.solve(b.data(), 1, SolveSchedule::kPriorityDag, false);
+  EXPECT_EQ(solver.dag().builds(), 1);
+  EXPECT_EQ(solver.dag().reuses(), 0);
+
+  std::vector<real_t> b2 = apply_permutation(rhs_for(2), inst_->permutation());
+  solver.solve(b2.data(), 1, SolveSchedule::kPriorityDag, false);
+  EXPECT_EQ(solver.dag().builds(), 1);  // same width: cache hit
+  EXPECT_EQ(solver.dag().reuses(), 1);
+
+  std::vector<real_t> wide(b.size() * 4);
+  for (int j = 0; j < 4; ++j) {
+    std::copy(b.begin(), b.end(), wide.begin() + j * b.size());
+  }
+  solver.solve(wide.data(), 4, SolveSchedule::kPriorityDag, false);
+  EXPECT_EQ(solver.dag().builds(), 2);  // new width: one more build
+  EXPECT_EQ(solver.dag().reuses(), 1);
+}
+
+TEST_F(RhsEngineTest, EstimateIsPositiveAndGrowsSublinearlyWithWidth) {
+  BlockSolver solver(*inst_->plu_factorization(), *sched_);
+  const real_t e1 = solver.estimate_s(1, SolveSchedule::kPriorityDag);
+  const real_t e16 = solver.estimate_s(16, SolveSchedule::kPriorityDag);
+  EXPECT_GT(e1, 0);
+  EXPECT_GT(e16, e1);        // wider blocks do more work...
+  EXPECT_LT(e16, 16 * e1);   // ...but amortise launches across the block
+}
+
+// ---- block-solve correctness ----------------------------------------------
+
+TEST_F(RhsEngineTest, BlockSolveMatchesSequentialDriver) {
+  const std::vector<real_t> b = rhs_for(42);
+  const std::vector<real_t> x_ref = inst_->solve(b);
+
+  BlockSolver solver(*inst_->plu_factorization(), *sched_);
+  std::vector<real_t> x = apply_permutation(b, inst_->permutation());
+  solver.solve(x.data(), 1, SolveSchedule::kPriorityDag, false);
+  const std::vector<real_t> got =
+      apply_inverse_permutation(x, inst_->permutation());
+  ASSERT_EQ(got.size(), x_ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], x_ref[i], 1e-10);
+  }
+  EXPECT_LT(scaled_residual(*a_, got, b), 1e-10);
+}
+
+TEST_F(RhsEngineTest, LevelSetScheduleIsCorrectButLaunchBound) {
+  const std::vector<real_t> b = rhs_for(43);
+  BlockSolver solver(*inst_->plu_factorization(), *sched_);
+
+  std::vector<real_t> x_pri = apply_permutation(b, inst_->permutation());
+  std::vector<real_t> x_lvl = x_pri;
+  const rhs::BlockSolveResult pri =
+      solver.solve(x_pri.data(), 1, SolveSchedule::kPriorityDag, false);
+  const rhs::BlockSolveResult lvl =
+      solver.solve(x_lvl.data(), 1, SolveSchedule::kLevelSet, false);
+
+  const std::vector<real_t> got =
+      apply_inverse_permutation(x_lvl, inst_->permutation());
+  EXPECT_LT(scaled_residual(*a_, got, b), 1e-10);
+  // The ablation's reason to exist: one kernel per task vs batched.
+  EXPECT_GT(lvl.kernel_count(), pri.kernel_count());
+  EXPECT_GT(lvl.makespan_s(), pri.makespan_s());
+}
+
+// ---- engine: batching, shedding, accounting -------------------------------
+
+TEST_F(RhsEngineTest, EngineSolvesABatchAndAccounts) {
+  RhsOptions opt;
+  opt.max_width = 4;
+  RhsEngine eng(*inst_->plu_factorization(), opt, *sched_);
+  std::vector<std::vector<real_t>> bs;
+  for (int i = 0; i < 4; ++i) bs.push_back(rhs_for(100 + i));
+  for (int i = 0; i < 4; ++i) {
+    eng.submit(entry(bs[i], static_cast<std::uint64_t>(i)), 0.5);
+  }
+  const std::vector<RhsCompletion> done = eng.advance(0.5);
+  ASSERT_EQ(done.size(), 4u);
+  for (const RhsCompletion& c : done) {
+    EXPECT_EQ(c.status, RhsCompletion::Status::kDone);
+    EXPECT_EQ(c.batch_width, 4);
+    EXPECT_EQ(c.close, CloseReason::kWidth);
+    EXPECT_EQ(c.start_s, 0.5);
+    EXPECT_GT(c.finish_s, c.start_s);
+    EXPECT_LT(residual_of(c, bs[static_cast<std::size_t>(c.tag)]), 1e-10);
+  }
+  const rhs::RhsStats& st = eng.stats();
+  EXPECT_EQ(st.submitted, 4);
+  EXPECT_EQ(st.solved, 4);
+  EXPECT_EQ(st.batches, 1);
+  EXPECT_EQ(st.close_width, 1);
+  EXPECT_EQ(st.widest_batch, 4);
+  EXPECT_GT(st.busy_s, 0);
+  EXPECT_EQ(eng.depth(), 0);
+}
+
+TEST_F(RhsEngineTest, CancelledAndExpiredMembersAreShedAtTheBoundary) {
+  RhsOptions opt;
+  opt.max_width = 8;
+  RhsEngine eng(*inst_->plu_factorization(), opt, *sched_);
+  CancelToken cancelled;
+  cancelled.cancel();
+
+  const std::vector<real_t> b0 = rhs_for(200);
+  const std::vector<real_t> b1 = rhs_for(201);
+  const std::vector<real_t> b2 = rhs_for(202);
+  eng.submit(entry(b0, 0), 0.0);
+  RhsEntry e1 = entry(b1, 1);
+  e1.token = &cancelled;
+  eng.submit(std::move(e1), 0.0);
+  RhsEntry e2 = entry(b2, 2);
+  e2.deadline_s = 0.5;  // flush happens at t=1: already unmeetable
+  eng.submit(std::move(e2), 0.0);
+
+  const std::vector<RhsCompletion> done = eng.flush(1.0);
+  ASSERT_EQ(done.size(), 3u);
+  int solved = 0, shed_cancel = 0, shed_deadline = 0;
+  for (const RhsCompletion& c : done) {
+    switch (c.status) {
+      case RhsCompletion::Status::kDone:
+        ++solved;
+        EXPECT_EQ(c.tag, 0u);
+        EXPECT_EQ(c.batch_width, 1);  // only the live member ran
+        EXPECT_LT(residual_of(c, b0), 1e-10);
+        break;
+      case RhsCompletion::Status::kCancelled:
+        ++shed_cancel;
+        EXPECT_EQ(c.tag, 1u);
+        EXPECT_TRUE(c.x.empty());
+        break;
+      case RhsCompletion::Status::kDeadlineMiss:
+        ++shed_deadline;
+        EXPECT_EQ(c.tag, 2u);
+        EXPECT_EQ(c.finish_s, c.start_s);  // never ran
+        break;
+    }
+  }
+  EXPECT_EQ(solved, 1);
+  EXPECT_EQ(shed_cancel, 1);
+  EXPECT_EQ(shed_deadline, 1);
+  const rhs::RhsStats& st = eng.stats();
+  EXPECT_EQ(st.submitted, st.solved + st.cancelled + st.deadline_misses);
+  EXPECT_EQ(st.close_width + st.close_timeout + st.close_flush, st.batches);
+}
+
+TEST_F(RhsEngineTest, FullySheddedBatchExecutesNoBlockSolve) {
+  RhsOptions opt;
+  RhsEngine eng(*inst_->plu_factorization(), opt, *sched_);
+  CancelToken cancelled;
+  cancelled.cancel();
+  RhsEntry e = entry(rhs_for(300), 9);
+  e.token = &cancelled;
+  eng.submit(std::move(e), 0.0);
+  const std::vector<RhsCompletion> done = eng.flush(0.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].status, RhsCompletion::Status::kCancelled);
+  EXPECT_EQ(eng.stats().batches, 0);  // nothing ran
+  EXPECT_EQ(eng.stats().busy_s, 0);
+  EXPECT_EQ(eng.stats().close_width + eng.stats().close_timeout +
+                eng.stats().close_flush,
+            eng.stats().batches);
+}
+
+TEST_F(RhsEngineTest, DetModeIsBitwiseAcrossWorkersAndWidths) {
+  std::vector<std::vector<real_t>> bs;
+  for (int i = 0; i < 8; ++i) bs.push_back(rhs_for(400 + i));
+
+  std::vector<std::vector<real_t>> ref;
+  for (const int workers : {1, 2, 4}) {
+    for (const index_t width : {1, 4, 8}) {
+      ScheduleOptions so = *sched_;
+      so.exec.workers = workers;
+      RhsOptions opt;
+      opt.max_width = width;
+      opt.det = true;
+      RhsEngine eng(*inst_->plu_factorization(), opt, so);
+      for (std::size_t i = 0; i < bs.size(); ++i) {
+        eng.submit(entry(bs[i], i), 0.0);
+      }
+      std::vector<std::vector<real_t>> xs(bs.size());
+      for (RhsCompletion& c : eng.flush(0.0)) {
+        ASSERT_EQ(c.status, RhsCompletion::Status::kDone);
+        xs[static_cast<std::size_t>(c.tag)] = std::move(c.x);
+      }
+      if (ref.empty()) {
+        ref = std::move(xs);
+        for (std::size_t i = 0; i < bs.size(); ++i) {
+          const std::vector<real_t> x =
+              apply_inverse_permutation(ref[i], inst_->permutation());
+          EXPECT_LT(scaled_residual(*a_, x, bs[i]), 1e-10);
+        }
+      } else {
+        for (std::size_t i = 0; i < bs.size(); ++i) {
+          ASSERT_EQ(ref[i].size(), xs[i].size());
+          EXPECT_EQ(std::memcmp(ref[i].data(), xs[i].data(),
+                                ref[i].size() * sizeof(real_t)),
+                    0)
+              << "workers=" << workers << " width=" << width << " rhs=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(RhsEngineTest, StatsReconcileWithObsRegistry) {
+  const obs::Session obs_session(true);
+  RhsOptions opt;
+  opt.max_width = 2;
+  RhsEngine eng(*inst_->plu_factorization(), opt, *sched_);
+  std::vector<std::vector<real_t>> bs;
+  for (int i = 0; i < 5; ++i) bs.push_back(rhs_for(500 + i));
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    eng.submit(entry(bs[i], i), 0.0);
+  }
+  eng.advance(0.0);
+  eng.flush(0.0);
+
+  const rhs::RhsStats& st = eng.stats();
+  st.publish_metrics();
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("th.rhs.submitted").value(),
+            static_cast<std::int64_t>(st.submitted));
+  EXPECT_EQ(reg.counter("th.rhs.solved").value(),
+            static_cast<std::int64_t>(st.solved));
+  EXPECT_EQ(reg.counter("th.rhs.batches").value(),
+            static_cast<std::int64_t>(st.batches));
+  EXPECT_EQ(reg.counter("th.rhs.close.width").value(),
+            static_cast<std::int64_t>(st.close_width));
+  EXPECT_EQ(reg.counter("th.rhs.close.flush").value(),
+            static_cast<std::int64_t>(st.close_flush));
+  EXPECT_EQ(reg.counter("th.rhs.dag.builds").value(),
+            static_cast<std::int64_t>(st.dag_builds));
+  EXPECT_EQ(reg.counter("th.rhs.dag.reuses").value(),
+            static_cast<std::int64_t>(st.dag_reuses));
+  EXPECT_EQ(reg.counter("th.rhs.widest_batch").value(),
+            static_cast<std::int64_t>(st.widest_batch));
+  // publish is set-semantics: publishing twice must not double-count.
+  st.publish_metrics();
+  EXPECT_EQ(reg.counter("th.rhs.submitted").value(),
+            static_cast<std::int64_t>(st.submitted));
+
+  // Each executed block solve left one span on the rhs engine track.
+  offset_t spans = 0;
+  for (const obs::Event& e : obs::Recorder::global().events()) {
+    if (std::string(e.name) == "rhs block solve") ++spans;
+  }
+  EXPECT_EQ(spans, static_cast<offset_t>(st.batches));
+}
+
+// ---- serve integration ----------------------------------------------------
+
+TEST(ServeRhs, QueuedSolvesCoalesceIntoOneBlockSolve) {
+  serve::ServeOptions o;
+  o.sched.n_ranks = 1;
+  o.exec_workers = 2;
+  serve::SolverService svc(o);
+  const serve::SessionId sid = svc.open_session("alice", grid(14, 3));
+  serve::Request f;
+  f.kind = serve::RequestKind::kFactor;
+  svc.submit(sid, f);
+  svc.drain();
+
+  for (int i = 0; i < 5; ++i) {
+    serve::Request sol;
+    sol.kind = serve::RequestKind::kSolve;
+    sol.value_seed = 900 + static_cast<std::uint64_t>(i);
+    svc.submit(sid, sol);
+  }
+  const std::vector<serve::Completion> done = svc.drain();
+  ASSERT_EQ(done.size(), 5u);
+  for (const serve::Completion& c : done) {
+    EXPECT_EQ(c.status, serve::Completion::Status::kDone) << c.detail;
+    EXPECT_GE(c.residual, 0);
+    EXPECT_LT(c.residual, 1e-9);
+  }
+  const rhs::RhsStats rst = svc.rhs_stats();
+  EXPECT_EQ(rst.submitted, 5);
+  EXPECT_EQ(rst.solved, 5);
+  EXPECT_EQ(rst.batches, 1);       // the dispatcher fused all five
+  EXPECT_EQ(rst.widest_batch, 5);  // into one block solve
+  EXPECT_EQ(svc.stats().solves, 5);
+}
+
+TEST(ServeRhs, RhsStatsSurviveRefactorRetirement) {
+  serve::ServeOptions o;
+  o.sched.n_ranks = 1;
+  o.exec_workers = 1;
+  serve::SolverService svc(o);
+  const serve::SessionId sid = svc.open_session("alice", grid(12, 5));
+  serve::Request f;
+  f.kind = serve::RequestKind::kFactor;
+  svc.submit(sid, f);
+  serve::Request sol;
+  sol.kind = serve::RequestKind::kSolve;
+  svc.submit(sid, sol);
+  svc.drain();
+  EXPECT_EQ(svc.rhs_stats().solved, 1);
+
+  // A refactor rebuilds the instance and retires the session's engine; its
+  // accounting must fold into the service totals, not vanish.
+  serve::Request rf;
+  rf.kind = serve::RequestKind::kRefactor;
+  rf.value_seed = 99;
+  svc.submit(sid, rf);
+  svc.submit(sid, sol);
+  const std::vector<serve::Completion> done = svc.drain();
+  for (const serve::Completion& c : done) {
+    EXPECT_EQ(c.status, serve::Completion::Status::kDone) << c.detail;
+  }
+  EXPECT_EQ(svc.rhs_stats().solved, 2);
+  EXPECT_EQ(svc.rhs_stats().submitted, 2);
+}
+
+TEST(ServeRhs, SolveFloodAndMidBatchCancelScenariosHold) {
+  serve::ServeOptions sopt;
+  sopt.sched.n_ranks = 1;
+  sopt.exec_workers = 1;
+  serve::TraceOptions topt;
+  topt.seed = 11;
+  topt.n_patterns = 2;
+  topt.base_n = 10;
+  topt.n_tenants = 2;
+  topt.n_requests = 20;
+  topt.mean_service_s = serve::estimate_mean_service_s(sopt, topt);
+  const serve::ServeTrace trace = serve::synth_trace(topt);
+
+  std::vector<serve::Misbehavior> m(2);
+  m[0].kind = serve::MisbehaviorKind::kSolveFlood;
+  m[0].at_s = 0;
+  m[0].tenant = 0;
+  m[0].count = 12;
+  m[1].kind = serve::MisbehaviorKind::kMidBatchCancel;
+  m[1].at_s = 1e-4;
+  const std::string finding = serve::run_serve_scenario(sopt, trace, m);
+  EXPECT_EQ(finding, "") << finding;
+}
+
+}  // namespace
+}  // namespace th
