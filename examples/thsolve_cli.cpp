@@ -88,8 +88,33 @@
 //                                instead of a plain replay; exit 4 if any
 //                                scenario finds an invariant violation
 //
-// Exit codes: 0 solved (scaled residual < 1e-9), 1 solved but residual
-// above threshold, 2 usage error, 3 I/O error, 4 solver/scheduler error.
+// Durable serving (write-ahead journal + crash/restart recovery):
+//     --journal-dir <dir>        enable the session journal: every open,
+//                                factor commit and retirement is WAL-logged
+//                                and committed factor tiles are persisted
+//                                as CRC-protected artifacts (implies
+//                                --serve; DESIGN.md section 16)
+//     --recover                  replay the journal on startup and
+//                                rehydrate sessions + committed factors
+//                                bit-identically before serving (requires
+//                                --journal-dir; mutually exclusive with
+//                                --resume — checkpoints resume a timing
+//                                replay, the journal recovers a service)
+//     --serve-crash-soak <n>     run n crash/restart soak scenarios: the
+//                                service is killed at every journal-append
+//                                boundary plus one bit-rot drill, then
+//                                recovered and replayed; exit 4 if any
+//                                gate fails (requires --journal-dir)
+//     --crash-kill               soak crashes by fork + SIGKILL (real
+//                                process death) instead of in-process
+//                                unwinding; POSIX only
+//
+// Exit codes:
+//   0  solved (scaled residual < 1e-9) / serve or soak run clean
+//   1  solved but residual above threshold
+//   2  usage error (bad flag, malformed spec, conflicting flags)
+//   3  I/O error (unreadable matrix, corrupt checkpoint, unwritable output)
+//   4  solver/scheduler/service error (including failed chaos/soak gates)
 //
 // Fault-injection walkthrough. --faults takes a comma-separated spec:
 //
@@ -115,6 +140,9 @@
 //   memfail=P        every batch allocation spuriously fails with
 //                    probability P (deterministic per seed; under the spill
 //                    policy a failure evicts the coldest tile and retries)
+//   crash=EVENT@N    durable serving only: kill the service immediately
+//                    before its N-th journal append of EVENT (open, commit,
+//                    retire, or append = any); requires --journal-dir
 //   seed=S retries=N backoff=SEC
 //                    plan seed / retry budget / base backoff
 //
@@ -142,6 +170,7 @@
 #include "resilience/checkpoint.hpp"
 #include "rhs/batcher.hpp"
 #include "serve/chaos.hpp"
+#include "serve/crash_soak.hpp"
 #include "serve/serve.hpp"
 #include "serve/trace.hpp"
 #include "sim/cluster.hpp"
@@ -173,14 +202,15 @@ using namespace th;
                "[--faults transient=P,kill=R@T,cpu=R@T,restart=R@T,"
                "degrade=A-B@F,nan=ID,inf=ID,tinypivot=ID,bitflip=ID,"
                "scale=ID,snan=ID,guards=1,memramp=R@T@F,memfail=P,"
-               "seed=S,retries=N,backoff=SEC] "
+               "seed=S,retries=N,backoff=SEC,crash=EVENT@N] "
                "[--mem-gib G] [--spill-dir DIR] "
                "[--mem-policy failfast|shrink|spill] "
                "[--ckpt-interval SEC|auto] [--ckpt-write SEC] "
                "[--ckpt-out f.thck] [--resume f.thck] [--validate] "
                "[--serve] [--serve-requests N] [--serve-tenants N] "
                "[--serve-patterns N] [--serve-load X] [--serve-seed S] "
-               "[--serve-chaos N]\n");
+               "[--serve-chaos N] [--journal-dir DIR] [--recover] "
+               "[--serve-crash-soak N] [--crash-kill]\n");
   std::exit(2);
 }
 
@@ -287,6 +317,10 @@ int main(int argc, char** argv) {
   int serve_chaos_scenarios = 0;
   double serve_load = 1.0;
   std::uint64_t serve_seed = 1;
+  std::string journal_dir;
+  bool recover = false;
+  int crash_soak_scenarios = 0;
+  bool crash_kill = false;
   std::string rhs_batch_spec;
   int nrhs = 0;
   index_t n = 1600, block = 0;
@@ -396,14 +430,44 @@ int main(int argc, char** argv) {
       serve_chaos_scenarios =
           parse_int_strict("--serve-chaos", need("--serve-chaos"), 1);
       serve_mode = true;
+    } else if (!std::strcmp(argv[i], "--journal-dir")) {
+      journal_dir = need("--journal-dir");
+      serve_mode = true;
+    } else if (!std::strcmp(argv[i], "--recover")) {
+      recover = true;
+      serve_mode = true;
+    } else if (!std::strcmp(argv[i], "--serve-crash-soak")) {
+      crash_soak_scenarios = parse_int_strict("--serve-crash-soak",
+                                              need("--serve-crash-soak"), 1);
+      serve_mode = true;
+    } else if (!std::strcmp(argv[i], "--crash-kill")) {
+      crash_kill = true;
     } else {
       usage((std::string("unknown flag: ") + argv[i]).c_str());
     }
   }
 
-  // Parse eagerly so a malformed --rhs-batch errors even on runs that
-  // never reach a batched solve (no --serve, no --nrhs).
+  // Parse eagerly so a malformed --rhs-batch or --faults errors even on
+  // runs that never reach a batched solve or a fault-injected schedule.
   const rhs::RhsOptions rhs_opt = parse_rhs_batch(rhs_batch_spec);
+  const FaultPlan fault_plan =
+      faults_spec.empty() ? FaultPlan{} : parse_faults(faults_spec);
+
+  // Flag-compatibility checks up front: conflicting or dangling durability
+  // flags are usage errors (exit 2), not runtime surprises.
+  if (recover && !resume_path.empty()) {
+    usage("--recover and --resume are mutually exclusive (the journal "
+          "recovers a service; a checkpoint resumes a timing replay)");
+  }
+  if ((recover || crash_soak_scenarios > 0) && journal_dir.empty()) {
+    usage("--recover / --serve-crash-soak need --journal-dir");
+  }
+  if (!fault_plan.crashes.empty() && journal_dir.empty()) {
+    usage("--faults crash=EVENT@N needs --journal-dir");
+  }
+  if (crash_kill && crash_soak_scenarios == 0) {
+    usage("--crash-kill only applies to --serve-crash-soak");
+  }
 
   if (serve_mode) {
     // Multi-tenant serving replay: synthesize a Zipf-popularity workload
@@ -424,6 +488,9 @@ int main(int argc, char** argv) {
       sopt.exec_workers = threads;
       sopt.mem_budget_bytes = mem::MemOptions::gib(mem_gib);
       sopt.rhs = rhs_opt;
+      sopt.durable.journal_dir = journal_dir;
+      sopt.durable.recover = recover;
+      sopt.durable.crashes = fault_plan.crashes;
       sopt.validate();
 
       serve::TraceOptions topt;
@@ -435,6 +502,22 @@ int main(int argc, char** argv) {
 
       const bool obs_on = !trace_out_path.empty() || !metrics_out_path.empty();
       const obs::Session obs_session(obs_on);
+
+      if (crash_soak_scenarios > 0) {
+        serve::CrashSoakOptions copt;
+        copt.seed = serve_seed;
+        copt.scenarios = crash_soak_scenarios;
+        copt.dir = journal_dir;
+        copt.serve = sopt;
+        copt.kill = crash_kill;
+        const serve::CrashSoakReport report = serve::run_crash_soak(copt);
+        std::printf("crash soak: %s\n", report.summary().c_str());
+        for (const serve::CrashSoakFailure& f : report.failures) {
+          std::printf("crash soak FAIL %s: %s\n", f.repro.c_str(),
+                      f.what.c_str());
+        }
+        return report.ok() ? 0 : 4;
+      }
 
       if (serve_chaos_scenarios > 0) {
         serve::ServeChaosOptions copt;
@@ -453,6 +536,22 @@ int main(int argc, char** argv) {
       const serve::ReplayReport rep = serve::replay(svc, trace);
       const serve::ServeStats& st = rep.stats;
       st.publish_metrics();
+      if (svc.journal() != nullptr) {
+        const serve::DurableStats& ds = svc.durable_stats();
+        ds.publish_metrics();
+        std::printf("serve: durable journal %s — %lld append(s), %lld "
+                    "commit(s); recovery replayed %lld record(s), "
+                    "rehydrated %lld session(s) / %lld factor(s) in %.3f s, "
+                    "quarantined %lld, deduped %lld\n",
+                    journal_dir.c_str(),
+                    static_cast<long long>(ds.journal_appends),
+                    static_cast<long long>(ds.commits),
+                    static_cast<long long>(ds.records_replayed),
+                    static_cast<long long>(ds.sessions_recovered),
+                    static_cast<long long>(ds.factors_rehydrated),
+                    ds.recovery_s, static_cast<long long>(ds.quarantined),
+                    static_cast<long long>(ds.idem_duplicates));
+      }
 
       std::printf("serve: %d request(s), %d tenant(s), %d pattern(s), "
                   "load %.2fx (mean service %.3f ms)\n",
@@ -553,7 +652,7 @@ int main(int argc, char** argv) {
                  : ranks > 1                    ? cluster_h100()
                                                 : single_gpu(device_by_name(device));
     if (ranks > 1) so.cluster.gpu = device_by_name(device);
-    if (!faults_spec.empty()) so.faults = parse_faults(faults_spec);
+    if (!faults_spec.empty()) so.faults = fault_plan;
     so.mem.budget_bytes = mem::MemOptions::gib(mem_gib);
     so.mem.spill_dir = spill_dir;
     so.mem.policy = mem::mem_policy_by_name(mem_policy);

@@ -34,6 +34,11 @@ const char* rank_recovery_name(RankRecovery r) {
   return "?";
 }
 
+bool valid_crash_event(const std::string& event) {
+  return event == "open" || event == "commit" || event == "retire" ||
+         event == "append";
+}
+
 real_t FaultPlan::estimated_mtbf_s() const {
   if (rank_failures.empty()) return 0;
   real_t latest = 0;
@@ -106,6 +111,13 @@ void FaultPlan::validate(int n_ranks) const {
   TH_CHECK_MSG(mem_alloc_fail_prob >= 0 && mem_alloc_fail_prob <= 1,
                "mem alloc failure probability " << mem_alloc_fail_prob
                                                 << " outside [0, 1]");
+  for (const DurabilityCrash& c : crashes) {
+    TH_CHECK_MSG(valid_crash_event(c.event),
+                 "unknown crash event '"
+                     << c.event << "' (want open|commit|retire|append)");
+    TH_CHECK_MSG(c.after >= 1,
+                 "crash count must be >= 1, got " << c.after);
+  }
   TH_CHECK_MSG(max_retries >= 0, "max_retries must be >= 0");
   TH_CHECK_MSG(backoff_base_s >= 0, "backoff_base_s must be >= 0");
   TH_CHECK_MSG(backoff_multiplier >= 1.0, "backoff_multiplier must be >= 1");

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/task.hpp"
@@ -143,6 +144,22 @@ inline bool mem_pressure_order_less(const MemPressure& a,
   return a.capacity_factor < b.capacity_factor;
 }
 
+/// Deterministic process-death injection for the durability layer
+/// (`crash=EVENT@N` in the fault-spec vocabulary): the serving process is
+/// killed immediately before the N-th journal append of the named event.
+/// Events are the write-ahead journal's own vocabulary — "open", "commit",
+/// "retire" — plus "append", which counts every journal append regardless
+/// of kind. The scheduler ignores crashes entirely (they are serve-level,
+/// not schedule-level, so FaultPlan::empty() deliberately excludes them
+/// and the fault-free fast path is untouched).
+struct DurabilityCrash {
+  std::string event = "commit";
+  offset_t after = 1;  // crash before the after-th matching append (1-based)
+};
+
+/// True for the crash-point event names the journal recognises.
+bool valid_crash_event(const std::string& event);
+
 /// A deterministic, seeded description of everything that goes wrong
 /// during one simulated factorisation. Default-constructed plans are
 /// empty: the scheduler takes the exact fault-free code path and produces
@@ -157,6 +174,11 @@ struct FaultPlan {
   std::vector<RankFailure> rank_failures;
   std::vector<LinkDegrade> link_degrades;
   std::vector<NumericFault> numeric_faults;
+
+  /// Durability crash points (serve-level; see DurabilityCrash). Ignored
+  /// by the scheduler and excluded from empty(): a plan that only crashes
+  /// the serving process must not perturb the simulated schedule.
+  std::vector<DurabilityCrash> crashes;
 
   /// Memory-pressure ramps (shrinking modelled capacity; src/mem) and the
   /// per-allocation transient failure probability — the mem_pressure fault

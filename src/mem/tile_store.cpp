@@ -6,20 +6,25 @@
 
 #include "support/binio.hpp"
 #include "support/error.hpp"
+#include "support/fsio.hpp"
 
 namespace th::mem {
 
 namespace {
 
 constexpr char kMagic[4] = {'T', 'H', 'T', 'S'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr char kManifestMagic[4] = {'T', 'H', 'T', 'M'};
+constexpr std::uint32_t kManifestVersion = 1;
 // Plausibility bound on a tile payload: 2^31 doubles (16 GiB) dwarfs any
 // modelled tile; a longer length prefix means the file is corrupt.
 constexpr std::uint64_t kMaxPayload = 1ULL << 31;
+constexpr std::uint64_t kMaxManifestEntries = 1ULL << 24;
 
 }  // namespace
 
-TileStore::TileStore(std::string dir) : dir_(std::move(dir)) {
+TileStore::TileStore(std::string dir, bool durable)
+    : dir_(std::move(dir)), durable_(durable) {
   TH_CHECK_MSG(!dir_.empty(), "tile store directory must not be empty");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -33,28 +38,98 @@ std::string TileStore::path_of(index_t tile_id) const {
   return os.str();
 }
 
+std::string TileStore::manifest_path() const {
+  return dir_ + "/manifest.thtm";
+}
+
 void TileStore::save_tile(std::ostream& out, index_t tile_id,
                           const std::vector<real_t>& payload) {
-  bin::put_header(out, kMagic, kVersion);
-  bin::put<std::int32_t>(out, tile_id);
-  bin::put_vector(out, payload);
+  bin::RecordWriter rec(kMagic, kVersion);
+  rec.put<std::int32_t>(tile_id);
+  rec.put_vector(payload);
+  rec.finish(out);
 }
 
 std::pair<index_t, std::vector<real_t>> TileStore::load_tile(
     std::istream& in) {
-  bin::check_header(in, kMagic, kVersion, "tile store");
-  const auto id = bin::get<std::int32_t>(in, "tile id");
-  auto payload = bin::get_vector<real_t>(in, kMaxPayload, "tile payload");
+  bin::RecordReader rec(in, kMagic, kVersion, "tile store",
+                        bin::kRecordHeaderBytes + kMaxPayload * sizeof(real_t));
+  const auto id = rec.get<std::int32_t>("tile id");
+  auto payload = rec.get_vector<real_t>(kMaxPayload, "tile payload");
+  rec.finish();
   return {id, std::move(payload)};
+}
+
+void TileStore::save_manifest(std::ostream& out,
+                              const std::vector<TileManifestEntry>& entries) {
+  bin::RecordWriter rec(kManifestMagic, kManifestVersion);
+  rec.put<std::uint64_t>(entries.size());
+  for (const TileManifestEntry& e : entries) {
+    rec.put<std::int32_t>(e.tile_id);
+    rec.put<std::uint64_t>(e.payload_len);
+    rec.put<std::uint32_t>(e.payload_crc);
+  }
+  rec.finish(out);
+}
+
+std::vector<TileManifestEntry> TileStore::load_manifest(std::istream& in) {
+  bin::RecordReader rec(in, kManifestMagic, kManifestVersion,
+                        "tile manifest",
+                        bin::kRecordHeaderBytes + kMaxManifestEntries * 20);
+  const auto count = rec.get<std::uint64_t>("entry count");
+  TH_CHECK_MSG(count <= kMaxManifestEntries,
+               "implausible tile manifest entry count " << count);
+  std::vector<TileManifestEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t k = 0; k < count; ++k) {
+    TileManifestEntry e;
+    e.tile_id = rec.get<std::int32_t>("manifest tile id");
+    e.payload_len = rec.get<std::uint64_t>("manifest payload length");
+    e.payload_crc = rec.get<std::uint32_t>("manifest payload crc");
+    entries.push_back(e);
+  }
+  rec.finish();
+  return entries;
+}
+
+std::vector<TileManifestEntry> TileStore::load_manifest_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TH_CHECK_MSG(in.good(), "cannot open tile manifest '" << path << "'");
+  return load_manifest(in);
+}
+
+std::string TileStore::write_manifest() const {
+  TH_CHECK_MSG(io(), "manifest write on a model-only tile store");
+  std::vector<TileManifestEntry> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) rows.push_back(e);
+  const std::string path = manifest_path();
+  fsio::atomic_write_file(
+      path, [&rows](std::ostream& out) { save_manifest(out, rows); },
+      durable_);
+  return path;
 }
 
 void TileStore::spill(index_t tile_id, const std::vector<real_t>& payload) {
   TH_CHECK_MSG(io(), "payload spill on a model-only tile store");
   const std::string path = path_of(tile_id);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  TH_CHECK_MSG(out.good(), "cannot open spill file '" << path << "'");
-  save_tile(out, tile_id, payload);
-  TH_CHECK_MSG(out.good(), "short write to spill file '" << path << "'");
+  if (durable_) {
+    fsio::atomic_write_file(path, [&](std::ostream& out) {
+      save_tile(out, tile_id, payload);
+    });
+  } else {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    TH_CHECK_MSG(out.good(), "cannot open spill file '" << path << "'");
+    save_tile(out, tile_id, payload);
+    TH_CHECK_MSG(out.good(), "short write to spill file '" << path << "'");
+  }
+  TileManifestEntry e;
+  e.tile_id = tile_id;
+  e.payload_len = payload.size();
+  e.payload_crc =
+      bin::crc32c(payload.data(), payload.size() * sizeof(real_t));
+  entries_[tile_id] = e;
   ++files_written_;
   bytes_written_ += static_cast<offset_t>(payload.size() * sizeof(real_t));
 }

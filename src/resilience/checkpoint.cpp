@@ -5,18 +5,21 @@
 
 #include "support/binio.hpp"
 #include "support/error.hpp"
+#include "support/fsio.hpp"
 
 namespace th {
 
 namespace {
 
 constexpr char kCkptMagic[4] = {'T', 'H', 'C', 'K'};
-constexpr std::uint32_t kCkptVersion = 1;
+constexpr std::uint32_t kCkptVersion = 2;
 constexpr char kReportMagic[4] = {'T', 'H', 'F', 'R'};
-constexpr std::uint32_t kReportVersion = 1;
-
-using bin::get;
-using bin::put;
+constexpr std::uint32_t kReportVersion = 2;
+// Plausibility bound on a whole checkpoint payload: far beyond any
+// simulated schedule, small enough to refuse a multi-GiB allocation from a
+// corrupt length prefix.
+constexpr std::uint64_t kMaxCkptPayload = 1ULL << 32;
+constexpr std::uint64_t kMaxReportPayload = 1ULL << 16;
 
 }  // namespace
 
@@ -36,102 +39,111 @@ void CheckpointPolicy::validate() const {
 }
 
 void save_fault_report(std::ostream& out, const FaultReport& r) {
-  bin::put_header(out, kReportMagic, kReportVersion);
-  put(out, r.transient_faults);
-  put(out, r.retries);
-  put(out, r.backoff_delay_s);
-  put(out, r.ranks_failed);
-  put(out, r.tasks_migrated);
-  put(out, r.cpu_fallback_tasks);
-  put(out, r.numeric_faults_injected);
-  put(out, r.guards.nonfinite_scrubbed);
-  put(out, r.guards.pivots_perturbed);
-  put(out, r.guards.tasks_fired);
-  put<char>(out, r.escalate_refinement ? 1 : 0);
-  put(out, r.fault_free_makespan_s);
-  put(out, r.checkpoints_taken);
-  put(out, r.checkpoint_write_s);
-  put(out, r.restore_s);
-  put(out, r.ranks_restarted);
-  put(out, r.tasks_restarted);
-  put(out, r.fatal_faults);
-  TH_CHECK_MSG(out.good(), "fault report write failed");
+  bin::RecordWriter rec(kReportMagic, kReportVersion);
+  rec.put(r.transient_faults);
+  rec.put(r.retries);
+  rec.put(r.backoff_delay_s);
+  rec.put(r.ranks_failed);
+  rec.put(r.tasks_migrated);
+  rec.put(r.cpu_fallback_tasks);
+  rec.put(r.numeric_faults_injected);
+  rec.put(r.guards.nonfinite_scrubbed);
+  rec.put(r.guards.pivots_perturbed);
+  rec.put(r.guards.tasks_fired);
+  rec.put<char>(r.escalate_refinement ? 1 : 0);
+  rec.put(r.fault_free_makespan_s);
+  rec.put(r.checkpoints_taken);
+  rec.put(r.checkpoint_write_s);
+  rec.put(r.restore_s);
+  rec.put(r.ranks_restarted);
+  rec.put(r.tasks_restarted);
+  rec.put(r.fatal_faults);
+  rec.finish(out);
 }
 
 FaultReport load_fault_report(std::istream& in) {
-  bin::check_header(in, kReportMagic, kReportVersion, "fault report");
+  bin::RecordReader rec(in, kReportMagic, kReportVersion, "fault report",
+                        kMaxReportPayload);
   FaultReport r;
-  r.transient_faults = get<offset_t>(in);
-  r.retries = get<offset_t>(in);
-  r.backoff_delay_s = get<real_t>(in);
-  r.ranks_failed = get<int>(in);
-  r.tasks_migrated = get<offset_t>(in);
-  r.cpu_fallback_tasks = get<offset_t>(in);
-  r.numeric_faults_injected = get<offset_t>(in);
-  r.guards.nonfinite_scrubbed = get<offset_t>(in);
-  r.guards.pivots_perturbed = get<offset_t>(in);
-  r.guards.tasks_fired = get<offset_t>(in);
-  r.escalate_refinement = get<char>(in) != 0;
-  r.fault_free_makespan_s = get<real_t>(in);
-  r.checkpoints_taken = get<int>(in);
-  r.checkpoint_write_s = get<real_t>(in);
-  r.restore_s = get<real_t>(in);
-  r.ranks_restarted = get<int>(in);
-  r.tasks_restarted = get<offset_t>(in);
-  r.fatal_faults = get<offset_t>(in);
+  r.transient_faults = rec.get<offset_t>("transient faults");
+  r.retries = rec.get<offset_t>("retries");
+  r.backoff_delay_s = rec.get<real_t>("backoff delay");
+  r.ranks_failed = rec.get<int>("ranks failed");
+  r.tasks_migrated = rec.get<offset_t>("tasks migrated");
+  r.cpu_fallback_tasks = rec.get<offset_t>("cpu fallback tasks");
+  r.numeric_faults_injected = rec.get<offset_t>("numeric faults");
+  r.guards.nonfinite_scrubbed = rec.get<offset_t>("nonfinite scrubbed");
+  r.guards.pivots_perturbed = rec.get<offset_t>("pivots perturbed");
+  r.guards.tasks_fired = rec.get<offset_t>("guard tasks fired");
+  r.escalate_refinement = rec.get<char>("escalate refinement") != 0;
+  r.fault_free_makespan_s = rec.get<real_t>("fault-free makespan");
+  r.checkpoints_taken = rec.get<int>("checkpoints taken");
+  r.checkpoint_write_s = rec.get<real_t>("checkpoint write time");
+  r.restore_s = rec.get<real_t>("restore time");
+  r.ranks_restarted = rec.get<int>("ranks restarted");
+  r.tasks_restarted = rec.get<offset_t>("tasks restarted");
+  r.fatal_faults = rec.get<offset_t>("fatal faults");
+  rec.finish();
   return r;
 }
 
 void save_checkpoint(std::ostream& out, const CheckpointState& s) {
   TH_CHECK_MSG(!s.empty(), "refusing to save an empty checkpoint");
-  bin::put_header(out, kCkptMagic, kCkptVersion);
-  put(out, s.time_s);
-  put(out, s.n_tasks);
-  put(out, s.n_ranks);
-  put(out, s.n_streams);
-  bin::put_vector(out, s.done);
-  bin::put_vector(out, s.finish_time);
-  bin::put_vector(out, s.attempts);
-  bin::put_vector(out, s.owner);
-  bin::put_vector(out, s.pending);
-  bin::put_vector(out, s.rank_free);
-  bin::put_vector(out, s.stream_free);
-  bin::put_vector(out, s.rank_dead);
-  bin::put_vector(out, s.rank_cpu);
-  put(out, s.failures_applied);
-  bin::put_vector(out, s.numeric_pending);
+  bin::RecordWriter rec(kCkptMagic, kCkptVersion);
+  rec.put(s.time_s);
+  rec.put(s.n_tasks);
+  rec.put(s.n_ranks);
+  rec.put(s.n_streams);
+  rec.put_vector(s.done);
+  rec.put_vector(s.finish_time);
+  rec.put_vector(s.attempts);
+  rec.put_vector(s.owner);
+  rec.put_vector(s.pending);
+  rec.put_vector(s.rank_free);
+  rec.put_vector(s.stream_free);
+  rec.put_vector(s.rank_dead);
+  rec.put_vector(s.rank_cpu);
+  rec.put(s.failures_applied);
+  rec.put_vector(s.numeric_pending);
+  rec.finish(out);
   save_fault_report(out, s.report);
   TH_CHECK_MSG(out.good(), "checkpoint write failed");
 }
 
 CheckpointState load_checkpoint(std::istream& in) {
-  bin::check_header(in, kCkptMagic, kCkptVersion, "checkpoint");
   CheckpointState s;
-  s.time_s = get<real_t>(in);
-  s.n_tasks = get<index_t>(in);
-  s.n_ranks = get<int>(in);
-  s.n_streams = get<int>(in);
-  TH_CHECK_MSG(s.n_tasks > 0 && s.n_ranks > 0 && s.n_streams > 0 &&
-                   s.time_s >= 0,
-               "inconsistent checkpoint header (n_tasks=" << s.n_tasks
-                   << ", n_ranks=" << s.n_ranks << ")");
-  const auto nt = static_cast<std::uint64_t>(s.n_tasks);
-  const auto nr = static_cast<std::uint64_t>(s.n_ranks);
-  s.done = bin::get_vector<char>(in, nt);
-  s.finish_time = bin::get_vector<real_t>(in, nt);
-  s.attempts = bin::get_vector<int>(in, nt);
-  s.owner = bin::get_vector<int>(in, nt);
-  s.pending = bin::get_vector<CheckpointState::Pending>(in, nt);
-  s.rank_free = bin::get_vector<real_t>(in, nr);
-  s.stream_free =
-      bin::get_vector<real_t>(in, nr * static_cast<std::uint64_t>(s.n_streams));
-  s.rank_dead = bin::get_vector<char>(in, nr);
-  s.rank_cpu = bin::get_vector<char>(in, nr);
-  s.failures_applied = get<index_t>(in);
-  s.numeric_pending =
-      bin::get_vector<char>(in, std::numeric_limits<std::uint32_t>::max());
+  {
+    bin::RecordReader rec(in, kCkptMagic, kCkptVersion, "checkpoint",
+                          kMaxCkptPayload);
+    s.time_s = rec.get<real_t>("time");
+    s.n_tasks = rec.get<index_t>("task count");
+    s.n_ranks = rec.get<int>("rank count");
+    s.n_streams = rec.get<int>("stream count");
+    TH_CHECK_MSG(s.n_tasks > 0 && s.n_ranks > 0 && s.n_streams > 0 &&
+                     s.time_s >= 0,
+                 "inconsistent checkpoint header (n_tasks=" << s.n_tasks
+                     << ", n_ranks=" << s.n_ranks << ")");
+    const auto nt = static_cast<std::uint64_t>(s.n_tasks);
+    const auto nr = static_cast<std::uint64_t>(s.n_ranks);
+    s.done = rec.get_vector<char>(nt, "done frontier");
+    s.finish_time = rec.get_vector<real_t>(nt, "finish times");
+    s.attempts = rec.get_vector<int>(nt, "attempts");
+    s.owner = rec.get_vector<int>(nt, "owner map");
+    s.pending = rec.get_vector<CheckpointState::Pending>(nt, "pending tasks");
+    s.rank_free = rec.get_vector<real_t>(nr, "rank clocks");
+    s.stream_free = rec.get_vector<real_t>(
+        nr * static_cast<std::uint64_t>(s.n_streams), "stream clocks");
+    s.rank_dead = rec.get_vector<char>(nr, "dead ranks");
+    s.rank_cpu = rec.get_vector<char>(nr, "cpu ranks");
+    s.failures_applied = rec.get<index_t>("failures applied");
+    s.numeric_pending = rec.get_vector<char>(
+        std::numeric_limits<std::uint32_t>::max(), "numeric pending");
+    rec.finish();
+  }
   s.report = load_fault_report(in);
 
+  const auto nt = static_cast<std::uint64_t>(s.n_tasks);
+  const auto nr = static_cast<std::uint64_t>(s.n_ranks);
   TH_CHECK_MSG(s.done.size() == nt && s.finish_time.size() == nt &&
                    s.attempts.size() == nt && s.owner.size() == nt,
                "checkpoint task arrays do not match n_tasks=" << s.n_tasks);
@@ -152,9 +164,8 @@ CheckpointState load_checkpoint(std::istream& in) {
 }
 
 void save_checkpoint_file(const std::string& path, const CheckpointState& s) {
-  std::ofstream out(path, std::ios::binary);
-  TH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  save_checkpoint(out, s);
+  fsio::atomic_write_file(
+      path, [&s](std::ostream& out) { save_checkpoint(out, s); });
 }
 
 CheckpointState load_checkpoint_file(const std::string& path) {

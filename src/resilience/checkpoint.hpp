@@ -115,15 +115,23 @@ struct CheckpointState {
 
 // ---- On-disk formats ------------------------------------------------------
 
-/// Checkpoint format "THCK" version 1 (native-endian; see support/binio).
+/// Checkpoint format "THCK" version 2: one CRC32C-framed record
+/// (bin::RecordWriter layout) holding the schedule state, immediately
+/// followed by a framed "THFR" record with the fault report. Bit rot
+/// anywhere in either record fails the load as bin::IoError with the
+/// record's byte offset and the failing field's name.
 void save_checkpoint(std::ostream& out, const CheckpointState& s);
+/// Crash-safe file write: temp file + fsync + atomic rename + directory
+/// fsync (fsio::atomic_write_file), so an interrupted write can never
+/// leave a half-written checkpoint a later --resume trusts.
 void save_checkpoint_file(const std::string& path, const CheckpointState& s);
-/// Throws th::Error on truncation, bad magic or a version mismatch.
+/// Throws bin::IoError on truncation, bad magic, a version mismatch or a
+/// CRC32C failure; th::Error on semantically inconsistent state.
 CheckpointState load_checkpoint(std::istream& in);
 CheckpointState load_checkpoint_file(const std::string& path);
 
-/// FaultReport format "THFR" version 1 (embedded in checkpoints; also
-/// usable standalone for archiving bench/chaos results).
+/// FaultReport format "THFR" version 2 (CRC32C-framed; appended to
+/// checkpoints and usable standalone for archiving bench/chaos results).
 void save_fault_report(std::ostream& out, const FaultReport& r);
 FaultReport load_fault_report(std::istream& in);
 

@@ -1,0 +1,257 @@
+#include "serve/journal.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "support/binio.hpp"
+#include "support/fsio.hpp"
+
+namespace th::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kWalMagic[4] = {'T', 'H', 'W', 'J'};
+constexpr std::uint32_t kWalVersion = 1;
+constexpr char kPatternMagic[4] = {'T', 'H', 'P', 'M'};
+constexpr std::uint32_t kPatternVersion = 1;
+// A journal record is a handful of scalars plus a tenant name.
+constexpr std::uint64_t kMaxWalPayload = 1ULL << 16;
+// Pattern artifacts hold a full Csr; 2^33 bytes dwarfs any modelled matrix.
+constexpr std::uint64_t kMaxPatternPayload = 1ULL << 33;
+constexpr std::uint64_t kMaxTenantBytes = 1ULL << 12;
+
+std::string wal_name(std::uint64_t seq) {
+  // Zero-padded so lexicographic directory order equals replay order (a
+  // convenience; replay still sorts by the record's own seq).
+  std::ostringstream os;
+  os << std::setw(16) << std::setfill('0') << seq << ".thwj";
+  return os.str();
+}
+
+}  // namespace
+
+const char* journal_event_name(JournalEvent e) {
+  switch (e) {
+    case JournalEvent::kOpen:
+      return "open";
+    case JournalEvent::kCommit:
+      return "commit";
+    case JournalEvent::kRetire:
+      return "retire";
+  }
+  return "?";
+}
+
+void DurableOptions::validate() const {
+  if (!enabled()) {
+    TH_CHECK_MSG(!recover,
+                 "durable recover=true needs a journal_dir to replay");
+    TH_CHECK_MSG(crashes.empty(),
+                 "durable crash points need a journal_dir (they fire on "
+                 "journal appends)");
+    return;
+  }
+  for (const DurabilityCrash& c : crashes) {
+    TH_CHECK_MSG(valid_crash_event(c.event),
+                 "unknown crash event '"
+                     << c.event << "' (want open|commit|retire|append)");
+    TH_CHECK_MSG(c.after >= 1, "crash count must be >= 1, got " << c.after);
+  }
+}
+
+SessionJournal::SessionJournal(std::string dir, bool fsync)
+    : dir_(std::move(dir)), fsync_(fsync) {
+  TH_CHECK_MSG(!dir_.empty(), "journal directory must not be empty");
+  std::error_code ec;
+  for (const std::string& d :
+       {wal_dir(), artifacts_dir(), quarantine_dir()}) {
+    fs::create_directories(d, ec);
+    TH_CHECK_MSG(!ec, "cannot create journal directory '"
+                          << d << "': " << ec.message());
+  }
+  // Seat the sequence counter after the highest existing record so a
+  // recovered service appends strictly after everything it replayed.
+  for (const fs::directory_entry& e : fs::directory_iterator(wal_dir())) {
+    const std::string name = e.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".thwj") continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long seq =
+        std::strtoull(name.c_str(), &end, 10);
+    if (end == name.c_str() || errno == ERANGE) continue;
+    next_seq_ = std::max<std::uint64_t>(next_seq_, seq + 1);
+  }
+}
+
+std::string SessionJournal::wal_dir() const { return dir_ + "/wal"; }
+std::string SessionJournal::artifacts_dir() const {
+  return dir_ + "/artifacts";
+}
+std::string SessionJournal::quarantine_dir() const {
+  return dir_ + "/quarantine";
+}
+
+void SessionJournal::save_record(std::ostream& out,
+                                 const JournalRecord& rec) {
+  bin::RecordWriter w(kWalMagic, kWalVersion);
+  w.put<std::int8_t>(static_cast<std::int8_t>(rec.event));
+  w.put<std::uint64_t>(rec.seq);
+  w.put<std::int32_t>(rec.session);
+  w.put_string(rec.tenant);
+  w.put<std::uint64_t>(rec.pattern_hash);
+  w.put<std::uint32_t>(rec.generation);
+  w.put<std::uint64_t>(rec.value_seed);
+  w.put<std::uint64_t>(rec.idem_key);
+  w.finish(out);
+}
+
+JournalRecord SessionJournal::load_record(std::istream& in) {
+  bin::RecordReader r(in, kWalMagic, kWalVersion, "journal",
+                      kMaxWalPayload);
+  JournalRecord rec;
+  const auto ev = r.get<std::int8_t>("event");
+  TH_CHECK_MSG(ev >= 0 && ev <= 2, "journal record has unknown event code "
+                                       << static_cast<int>(ev));
+  rec.event = static_cast<JournalEvent>(ev);
+  rec.seq = r.get<std::uint64_t>("sequence");
+  rec.session = r.get<std::int32_t>("session id");
+  rec.tenant = r.get_string(kMaxTenantBytes, "tenant");
+  rec.pattern_hash = r.get<std::uint64_t>("pattern hash");
+  rec.generation = r.get<std::uint32_t>("generation");
+  rec.value_seed = r.get<std::uint64_t>("value seed");
+  rec.idem_key = r.get<std::uint64_t>("idempotency key");
+  r.finish();
+  return rec;
+}
+
+std::uint64_t SessionJournal::append(JournalRecord rec) {
+  rec.seq = next_seq_++;
+  const std::string path = wal_dir() + "/" + wal_name(rec.seq);
+  fsio::atomic_write_file(
+      path, [&rec](std::ostream& out) { save_record(out, rec); }, fsync_);
+  return rec.seq;
+}
+
+std::string SessionJournal::pattern_path(std::uint64_t hash) const {
+  std::ostringstream os;
+  os << artifacts_dir() << "/pattern_" << std::hex << std::setw(16)
+     << std::setfill('0') << hash << ".thpm";
+  return os.str();
+}
+
+bool SessionJournal::has_pattern(std::uint64_t hash) const {
+  std::error_code ec;
+  return fs::exists(pattern_path(hash), ec) && !ec;
+}
+
+void SessionJournal::save_pattern(std::uint64_t hash, const Csr& a) {
+  if (has_pattern(hash)) return;  // content-addressed: already published
+  fsio::atomic_write_file(
+      pattern_path(hash),
+      [&a](std::ostream& out) {
+        bin::RecordWriter w(kPatternMagic, kPatternVersion);
+        w.put<index_t>(a.n_rows);
+        w.put_vector(a.row_ptr);
+        w.put_vector(a.col_idx);
+        w.put_vector(a.values);
+        w.finish(out);
+      },
+      fsync_);
+}
+
+Csr SessionJournal::load_pattern(std::uint64_t hash) const {
+  const std::string path = pattern_path(hash);
+  std::ifstream in(path, std::ios::binary);
+  TH_CHECK_MSG(in.good(), "cannot open pattern artifact '" << path << "'");
+  bin::RecordReader r(in, kPatternMagic, kPatternVersion, "pattern",
+                      kMaxPatternPayload);
+  Csr a;
+  a.n_rows = r.get<index_t>("row count");
+  TH_CHECK_MSG(a.n_rows > 0, "pattern artifact has non-positive row count "
+                                 << a.n_rows);
+  a.n_cols = a.n_rows;  // served systems are square; only one dim is stored
+  a.row_ptr = r.get_vector<offset_t>(
+      static_cast<std::uint64_t>(a.n_rows) + 1, "row pointers");
+  TH_CHECK_MSG(a.row_ptr.size() == static_cast<std::size_t>(a.n_rows) + 1,
+               "pattern artifact row pointers have size "
+                   << a.row_ptr.size() << ", want " << a.n_rows + 1);
+  a.col_idx =
+      r.get_vector<index_t>(kMaxPatternPayload / sizeof(index_t),
+                            "column indices");
+  a.values = r.get_vector<real_t>(kMaxPatternPayload / sizeof(real_t),
+                                  "values");
+  r.finish();
+  TH_CHECK_MSG(a.col_idx.size() == a.values.size() &&
+                   a.row_ptr.back() ==
+                       static_cast<offset_t>(a.col_idx.size()),
+               "pattern artifact structure arrays disagree");
+  return a;
+}
+
+std::string SessionJournal::factor_dir(std::int32_t session,
+                                       std::uint32_t gen) const {
+  std::ostringstream os;
+  os << artifacts_dir() << "/s" << session << "_g" << gen;
+  return os.str();
+}
+
+std::string SessionJournal::quarantine(const std::string& path) {
+  return fsio::quarantine_file(path, quarantine_dir());
+}
+
+SessionJournal::Replay SessionJournal::replay() {
+  Replay out;
+  const std::string tmp = fsio::kTmpSuffix;
+  std::vector<std::string> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(wal_dir())) {
+    const std::string path = e.path().string();
+    if (path.size() >= tmp.size() &&
+        path.compare(path.size() - tmp.size(), tmp.size(), tmp) == 0) {
+      ++out.tmp_ignored;  // torn-write residue: never a visible record
+      continue;
+    }
+    files.push_back(path);
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    TH_CHECK_MSG(in.good(), "cannot open journal record '" << path << "'");
+    try {
+      out.records.push_back(load_record(in));
+    } catch (const bin::IoError&) {
+      // Bit rot: the record is unusable but never silently deleted.
+      out.quarantined.push_back(quarantine(path));
+    }
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const JournalRecord& a, const JournalRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void DurableStats::publish_metrics() const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.counter("th.durable.journal.appends").add(journal_appends);
+  reg.counter("th.durable.patterns_saved").add(patterns_saved);
+  reg.counter("th.durable.commits").add(commits);
+  reg.counter("th.durable.retires").add(retires);
+  reg.counter("th.durable.idem_duplicates").add(idem_duplicates);
+  reg.counter("th.durable.replayed").add(records_replayed);
+  reg.counter("th.durable.sessions_recovered").add(sessions_recovered);
+  reg.counter("th.durable.factors_rehydrated").add(factors_rehydrated);
+  reg.counter("th.durable.tiles_rehydrated").add(tiles_rehydrated);
+  reg.counter("th.durable.quarantined").add(quarantined);
+  reg.counter("th.durable.recompute_fallbacks").add(recompute_fallbacks);
+  reg.gauge("th.durable.recovery_s").set(recovery_s);
+}
+
+}  // namespace th::serve

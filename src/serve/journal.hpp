@@ -1,0 +1,200 @@
+// Durable serving: the write-ahead session journal (`th::serve`).
+//
+// The serving layer (serve.hpp) is factor-once/solve-many: the expensive
+// state a crash can destroy is the session registry — which tenants hold
+// which patterns, and which numeric factorizations have *committed*. This
+// module makes that state durable with three on-disk artifact families
+// under one journal directory:
+//
+//   <dir>/wal/<seq>.thwj            one framed THWJ record per journal
+//                                   event (open / factor-commit / retire),
+//                                   strictly ordered by sequence number
+//   <dir>/artifacts/pattern_<hash>.thpm
+//                                   the session's matrix (structure +
+//                                   original values), content-addressed by
+//                                   the serve pattern hash
+//   <dir>/artifacts/s<sid>_g<gen>/  one committed factorization: a durable
+//                                   mem::TileStore of factor tiles plus a
+//                                   THTM manifest certifying the set
+//   <dir>/quarantine/               CRC-failing files moved here on
+//                                   recovery, never silently deleted
+//
+// Every file is published with the fsync-then-atomic-rename protocol
+// (support/fsio.hpp), so the only crash residue is a `*.tmp` file that
+// scans ignore — a torn write is never observable as a journal record.
+// Every record carries a CRC32C trailer (support/binio.hpp RecordWriter);
+// bit rot surfaces as a typed bin::IoError with a byte offset, and
+// recovery quarantines the file and degrades loudly to recompute.
+//
+// Commit ordering contract (the WAL invariant the crash gate checks):
+// artifacts are fully published *before* their journal record, so a
+// record's presence proves its artifacts exist; an orphaned artifact
+// without a record is ignorable garbage from a crash mid-commit.
+//
+// Crash injection: DurableOptions carries the fault plan's
+// `crash=EVENT@N` points (fault/fault.hpp DurabilityCrash). The service
+// counts journal appends per event and, immediately before the N-th
+// matching append, writes a deliberately torn `*.tmp` record and either
+// throws CrashError (in-process soak) or SIGKILLs itself (process-level
+// soak) — proving recovery tolerates a crash at every append boundary.
+//
+// DESIGN.md §16 documents the recovery state machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace th::serve {
+
+/// Durability configuration, embedded in ServeOptions. An empty
+/// journal_dir disables the whole subsystem (zero cost on the serve fast
+/// path: every hook is guarded by one pointer test).
+struct DurableOptions {
+  /// Journal directory root; empty = durability off. Created (with
+  /// parents) on service construction.
+  std::string journal_dir;
+  /// Replay the journal on construction and rehydrate sessions/factors.
+  bool recover = false;
+  /// fsync files and directories on publication. Tests that measure
+  /// logic, not storage, may disable it; the rename is still atomic.
+  bool fsync = true;
+  /// Deterministic crash points (parsed from the fault spec's
+  /// crash=EVENT@N items); consumed only when the journal is enabled.
+  std::vector<DurabilityCrash> crashes;
+  /// Crash by SIGKILL (process-level soak) instead of throwing
+  /// CrashError (in-process soak).
+  bool crash_kill = false;
+
+  bool enabled() const { return !journal_dir.empty(); }
+  /// Throws th::Error on nonsensical configurations.
+  void validate() const;
+};
+
+/// Thrown at an injected crash point (in-process mode). The harness treats
+/// it as the process dying: the service object must be destroyed and a new
+/// one constructed with recover=true.
+class CrashError : public Error {
+ public:
+  CrashError(const std::string& event, offset_t count)
+      : Error("injected crash before " + event + " append #" +
+              std::to_string(count)),
+        event_(event),
+        count_(count) {}
+
+  const std::string& event() const { return event_; }
+  offset_t count() const { return count_; }
+
+ private:
+  std::string event_;
+  offset_t count_;
+};
+
+enum class JournalEvent : char {
+  kOpen = 0,    // session opened (pattern artifact published)
+  kCommit = 1,  // numeric factorization committed (factor dir published)
+  kRetire = 2,  // session retired; later records never reference it
+};
+
+const char* journal_event_name(JournalEvent e);
+
+/// One THWJ record. `seq` is assigned by append() and doubles as the WAL
+/// file name, so replay order is total and gap-tolerant (a crash between
+/// artifact publication and record publication consumes no sequence
+/// number).
+struct JournalRecord {
+  JournalEvent event = JournalEvent::kOpen;
+  std::uint64_t seq = 0;
+  std::int32_t session = -1;
+  std::string tenant;             // kOpen only (empty otherwise)
+  std::uint64_t pattern_hash = 0; // kOpen only
+  std::uint32_t generation = 0;   // kCommit: factor generation (0 = first)
+  std::uint64_t value_seed = 0;   // kCommit, generation > 0: refactor seed
+  std::uint64_t idem_key = 0;     // kCommit: request idempotency key; 0 = none
+};
+
+/// The write-ahead journal: owns the directory layout, record codec,
+/// artifact paths and the replay/quarantine scan. Sessionless by design —
+/// the SolverService supplies ids and decides *when* to append; this class
+/// only guarantees that whatever was appended survives.
+class SessionJournal {
+ public:
+  /// Opens (creating if needed) the journal directory tree and seats
+  /// next_seq() after the highest existing WAL record.
+  SessionJournal(std::string dir, bool fsync);
+
+  const std::string& dir() const { return dir_; }
+  std::string wal_dir() const;
+  std::string artifacts_dir() const;
+  std::string quarantine_dir() const;
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Durably append one record (atomic rename + fsync); assigns and
+  /// returns its sequence number.
+  std::uint64_t append(JournalRecord rec);
+
+  /// Record codec (framed THWJ; exposed for tests and corruption drills).
+  static void save_record(std::ostream& out, const JournalRecord& rec);
+  static JournalRecord load_record(std::istream& in);
+
+  // ---- Artifacts -------------------------------------------------------
+  std::string pattern_path(std::uint64_t hash) const;
+  bool has_pattern(std::uint64_t hash) const;
+  /// Publish the full matrix (structure + values) content-addressed by
+  /// its pattern hash; idempotent (an existing artifact is kept).
+  void save_pattern(std::uint64_t hash, const Csr& a);
+  /// Load a pattern artifact; throws bin::IoError on corruption.
+  Csr load_pattern(std::uint64_t hash) const;
+
+  /// Directory of one committed factorization's tile artifacts.
+  std::string factor_dir(std::int32_t session, std::uint32_t gen) const;
+
+  /// Move a CRC-failing file into quarantine/; returns the destination.
+  std::string quarantine(const std::string& path);
+
+  // ---- Recovery scan ---------------------------------------------------
+  struct Replay {
+    /// Valid records in sequence order.
+    std::vector<JournalRecord> records;
+    /// Quarantine destinations of CRC-failing WAL files.
+    std::vector<std::string> quarantined;
+    /// Torn-write residue (`*.tmp`) ignored by the scan.
+    offset_t tmp_ignored = 0;
+  };
+
+  /// Scan wal/, quarantining corrupt records and ignoring `*.tmp` residue.
+  Replay replay();
+
+ private:
+  std::string dir_;
+  bool fsync_ = true;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Durability accounting; mirrors into the obs registry as th.durable.*
+/// via publish_metrics() — the same struct feeds both, so registry
+/// snapshots reconcile with recovery reports by construction.
+struct DurableStats {
+  offset_t journal_appends = 0;     // records durably published
+  offset_t patterns_saved = 0;      // pattern artifacts published
+  offset_t commits = 0;             // factor artifact sets committed
+  offset_t retires = 0;             // sessions retired (journaled)
+  offset_t idem_duplicates = 0;     // replayed requests deduped by key
+  offset_t records_replayed = 0;    // valid WAL records seen on recovery
+  offset_t sessions_recovered = 0;  // sessions rehydrated on recovery
+  offset_t factors_rehydrated = 0;  // committed factorizations restored
+  offset_t tiles_rehydrated = 0;    // factor tiles adopted bit-identically
+  offset_t quarantined = 0;         // CRC-failing files moved aside
+  offset_t recompute_fallbacks = 0; // corrupt artifacts degraded loudly
+  double recovery_s = 0;            // host wall time of the recovery pass
+
+  /// Mirror these counters into the obs registry under th.durable.*.
+  void publish_metrics() const;
+};
+
+}  // namespace th::serve

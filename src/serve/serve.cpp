@@ -1,16 +1,25 @@
 #include "serve/serve.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <csignal>
+#include <unistd.h>
+#endif
+
 #include "gen/generators.hpp"
+#include "mem/tile_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
 #include "order/perm.hpp"
 #include "solvers/block_cyclic.hpp"
 #include "sparse/ops.hpp"
+#include "support/binio.hpp"
 #include "support/rng.hpp"
 
 namespace th::serve {
@@ -101,6 +110,7 @@ void ServeOptions::validate() const {
                "ServeOptions::sched must not carry a cancel token — the "
                "service arms its own per-request tokens");
   rhs.validate();
+  durable.validate();
 }
 
 void ServeStats::publish_metrics() const {
@@ -147,68 +157,97 @@ std::uint64_t pattern_hash(const Csr& a) {
 SolverService::SolverService(const ServeOptions& opt)
     : opt_(opt), pool_(opt.exec_workers) {
   opt_.validate();
+  if (opt_.durable.enabled()) {
+    journal_ = std::make_unique<SessionJournal>(opt_.durable.journal_dir,
+                                                opt_.durable.fsync);
+    if (opt_.durable.recover) recover();
+  }
 }
 
 SolverService::~SolverService() = default;
 
-SessionId SolverService::open_session(const std::string& tenant,
-                                      const Csr& a) {
-  TH_CHECK_MSG(!tenant.empty(), "serve tenant name must be non-empty");
-  const std::uint64_t hash = pattern_hash(a);
-
-  Session s;
-  s.tenant = tenant;
-  s.a0 = a;
-  s.pattern_hash = hash;
-
+std::shared_ptr<SolverInstance> SolverService::obtain_instance(
+    const Csr& a, std::uint64_t hash, SessionId sid, real_t& est_factor_s,
+    real_t& est_solve_s) {
   const auto hit = cache_.find(hash);
   if (hit != cache_.end()) {
     // Cache hit: donor construction copies the cached ordering, tile
     // pattern and task DAG — no reordering, no symbolic analysis. The
     // donor ctor verifies the structure byte-for-byte, so a hash collision
     // throws th::Error here instead of corrupting numerics.
-    s.inst = std::make_shared<SolverInstance>(a, instance_options(opt_.sched),
-                                              *hit->second.donor);
-    s.est_factor_s = hit->second.est_factor_s;
-    s.est_solve_s = hit->second.est_solve_s;
+    auto inst = std::make_shared<SolverInstance>(
+        a, instance_options(opt_.sched), *hit->second.donor);
+    est_factor_s = hit->second.est_factor_s;
+    est_solve_s = hit->second.est_solve_s;
     ++stats_.cache_hits;
     if (obs::enabled()) {
       obs::Recorder::global().instant(
           obs::Domain::kHost, obs::kServiceTrack, "serve cache hit", "serve",
-          now_s_, "session", next_session_);
+          now_s_, "session", sid);
     }
-  } else {
-    // Cache miss: the full control-plane pipeline (ordering + symbolic),
-    // wrapped in a host-clock span. The acceptance check for symbolic
-    // reuse greps the trace for this exact span name: it must appear once
-    // per miss and never on a hit.
-    const bool obs_on = obs::enabled();
-    const real_t h0 = obs_on ? obs::Recorder::global().host_now() : 0;
-    s.inst = std::make_shared<SolverInstance>(a, instance_options(opt_.sched));
-    if (obs_on) {
-      obs::Recorder::global().span(obs::Domain::kHost, -1, "serve symbolic",
-                                   "serve", h0,
-                                   obs::Recorder::global().host_now(),
-                                   "session", next_session_);
-    }
-    ++stats_.cache_misses;
-    // First-contact service-time estimate: one timing-only replay. Its
-    // makespan feeds deadline-feasibility admission for every later
-    // session on this pattern (structure determines timing, so the
-    // estimate transfers exactly).
-    ScheduleOptions est = opt_.sched;
-    {
-      const obs::ScopedDisable no_obs;  // pricing detail, not a run
-      s.est_factor_s = s.inst->run_timing(est).makespan_s;
-      // Solve pricing replays the width-1 solve DAGs with a null backend —
-      // the exact model the batching engine runs under, so admission and
-      // execution charge the same clock.
-      rhs::BlockSolver pricer(*s.inst->plu_factorization(), opt_.sched,
-                              make_process_grid(opt_.sched.n_ranks));
-      s.est_solve_s = pricer.estimate_s(1, opt_.rhs.schedule);
-    }
-    cache_.emplace(hash, CacheEntry{s.inst, s.est_factor_s, s.est_solve_s});
+    return inst;
   }
+  // Cache miss: the full control-plane pipeline (ordering + symbolic),
+  // wrapped in a host-clock span. The acceptance check for symbolic
+  // reuse greps the trace for this exact span name: it must appear once
+  // per miss and never on a hit.
+  const bool obs_on = obs::enabled();
+  const real_t h0 = obs_on ? obs::Recorder::global().host_now() : 0;
+  auto inst =
+      std::make_shared<SolverInstance>(a, instance_options(opt_.sched));
+  if (obs_on) {
+    obs::Recorder::global().span(obs::Domain::kHost, -1, "serve symbolic",
+                                 "serve", h0,
+                                 obs::Recorder::global().host_now(),
+                                 "session", sid);
+  }
+  ++stats_.cache_misses;
+  // First-contact service-time estimate: one timing-only replay. Its
+  // makespan feeds deadline-feasibility admission for every later
+  // session on this pattern (structure determines timing, so the
+  // estimate transfers exactly).
+  ScheduleOptions est = opt_.sched;
+  {
+    const obs::ScopedDisable no_obs;  // pricing detail, not a run
+    est_factor_s = inst->run_timing(est).makespan_s;
+    // Solve pricing replays the width-1 solve DAGs with a null backend —
+    // the exact model the batching engine runs under, so admission and
+    // execution charge the same clock.
+    rhs::BlockSolver pricer(*inst->plu_factorization(), opt_.sched,
+                            make_process_grid(opt_.sched.n_ranks));
+    est_solve_s = pricer.estimate_s(1, opt_.rhs.schedule);
+  }
+  cache_.emplace(hash, CacheEntry{inst, est_factor_s, est_solve_s});
+  return inst;
+}
+
+SessionId SolverService::open_session(const std::string& tenant,
+                                      const Csr& a) {
+  TH_CHECK_MSG(!tenant.empty(), "serve tenant name must be non-empty");
+  const std::uint64_t hash = pattern_hash(a);
+
+  // Recovery claim: a tenant re-opening a pattern it held before a crash
+  // gets its rehydrated session back — same id, committed factors and
+  // idempotency keys intact — so client replay is transparent.
+  for (auto& [sid, sess] : sessions_) {
+    if (sess.recovered_unclaimed && sess.tenant == tenant &&
+        sess.pattern_hash == hash) {
+      sess.recovered_unclaimed = false;
+      if (obs::enabled()) {
+        obs::Recorder::global().instant(
+            obs::Domain::kHost, obs::kServiceTrack, "serve session claim",
+            "serve", now_s_, "session", sid);
+      }
+      return sid;
+    }
+  }
+
+  Session s;
+  s.tenant = tenant;
+  s.a0 = a;
+  s.pattern_hash = hash;
+  s.inst = obtain_instance(a, hash, next_session_, s.est_factor_s,
+                           s.est_solve_s);
   s.projection =
       mem::project_footprint(s.inst->graph(), opt_.sched.n_ranks);
 
@@ -223,7 +262,7 @@ SessionId SolverService::open_session(const std::string& tenant,
 
   const SessionId sid = next_session_++;
   ++stats_.sessions_opened;
-  sessions_.emplace(sid, std::move(s));
+  journal_open(sid, sessions_.emplace(sid, std::move(s)).first->second);
   return sid;
 }
 
@@ -248,6 +287,31 @@ RequestId SolverService::submit(SessionId sid, const Request& req) {
   TH_CHECK_MSG(sit != sessions_.end(), "serve submit on unknown session "
                                            << sid);
   Session& s = sit->second;
+
+  // Idempotent-replay dedup: a factor/refactor whose key this session
+  // already *committed* completes immediately as kDone — the work and its
+  // artifacts survived the crash, so redoing it would double-spend. Runs
+  // before admission: a duplicate costs nothing, so it must never be
+  // rejected for queue pressure the original already paid for. The
+  // `factored` guard is the recompute degradation: when recovery
+  // quarantined the committed artifacts, the key stays known but the
+  // session holds no factors, so the replayed request must run again.
+  if (journal_ != nullptr && req.idem_key != 0 &&
+      req.kind != RequestKind::kSolve && s.factored &&
+      s.committed_idem.count(req.idem_key) != 0) {
+    ++durable_stats_.idem_duplicates;
+    const RequestId id = next_request_++;
+    Pending p;
+    p.id = id;
+    p.session = sid;
+    p.req = req;
+    p.arrival_s = now_s_;
+    p.token = std::make_unique<CancelToken>();
+    ++stats_.submitted;
+    finish(std::move(p), Completion::Status::kDone, now_s_, now_s_, -1,
+           "deduplicated by idempotency key (already committed)");
+    return id;
+  }
 
   // Admission rung 0 — memory: a factorization that cannot fit the
   // *current* budget (chaos may have ramped it down mid-session) is
@@ -506,12 +570,16 @@ void SolverService::run_factor(Session& s, Pending& p, real_t start_s) {
     const real_t end_s = start_s + r.makespan_s;
     now_s_ = end_s;
     s.factored = true;
+    if (refactor) s.current_seed = p.req.value_seed;
     s.est_factor_s = r.makespan_s;  // refresh the admission estimate
     if (refactor) {
       ++stats_.refactors;
     } else {
       ++stats_.factors;
     }
+    // Durable commit: factor tiles + manifest publish first, the journal
+    // record last — a record's presence proves its artifacts are complete.
+    commit_factor(p.session, s, p.req.idem_key);
     if (obs::enabled()) {
       obs::Recorder::global().span(
           obs::Domain::kHost, obs::kServiceTrack,
@@ -533,6 +601,10 @@ void SolverService::run_factor(Session& s, Pending& p, real_t start_s) {
            abandoned ? Completion::Status::kCancelled
                      : Completion::Status::kDeadlineMiss,
            start_s, end_s, -1, e.what());
+  } catch (const CrashError&) {
+    // Injected process death (in-process soak mode): propagate to the
+    // harness untouched — a crash is never reported as a request failure.
+    throw;
   } catch (const Error& e) {
     // OomError (the mem ladder ran dry) or another typed scheduler abort:
     // the request fails loudly; the session rebuilds before its next
@@ -760,6 +832,330 @@ std::vector<Completion> SolverService::take_completions() {
 const SolverInstance* SolverService::session_instance(SessionId sid) const {
   const auto it = sessions_.find(sid);
   return it == sessions_.end() ? nullptr : it->second.inst.get();
+}
+
+// ---- Durability ----------------------------------------------------------
+
+void SolverService::maybe_crash(const char* event) {
+  if (journal_ == nullptr) return;
+  ++crash_appends_;
+  const offset_t n_event = ++crash_counts_[event];
+  for (std::size_t k = 0; k < opt_.durable.crashes.size(); ++k) {
+    if (crash_fired_.count(k) != 0) continue;
+    const DurabilityCrash& c = opt_.durable.crashes[k];
+    const offset_t n = c.event == "append"
+                           ? crash_appends_
+                           : (c.event == event ? n_event : -1);
+    if (n != c.after) continue;
+    crash_fired_.insert(k);
+    // Leave exactly the residue a real mid-publication death leaves: half
+    // a frame under the `.tmp` name. Recovery must ignore it — the gate
+    // that a torn write is never observable as a journal record.
+    {
+      std::ofstream torn(journal_->wal_dir() + "/" +
+                             std::to_string(journal_->next_seq()) +
+                             ".thwj.tmp",
+                         std::ios::binary | std::ios::trunc);
+      torn.write("THWJ\x01\x00", 6);
+    }
+#ifndef _WIN32
+    if (opt_.durable.crash_kill) {
+      ::kill(::getpid(), SIGKILL);  // process-level soak: die for real
+    }
+#endif
+    // Name the *configured* point, not the concrete event, so the error
+    // echoes the fault-spec vocabulary ("append@N" matches any event).
+    throw CrashError(c.event, c.after);
+  }
+}
+
+void SolverService::journal_open(SessionId sid, const Session& s) {
+  if (journal_ == nullptr) return;
+  // Artifact before record: the pattern file must exist by the time any
+  // replay can see the open event.
+  if (!journal_->has_pattern(s.pattern_hash)) {
+    journal_->save_pattern(s.pattern_hash, s.a0);
+    ++durable_stats_.patterns_saved;
+  }
+  maybe_crash("open");
+  JournalRecord rec;
+  rec.event = JournalEvent::kOpen;
+  rec.session = sid;
+  rec.tenant = s.tenant;
+  rec.pattern_hash = s.pattern_hash;
+  journal_->append(rec);
+  ++durable_stats_.journal_appends;
+}
+
+void SolverService::commit_factor(SessionId sid, Session& s,
+                                  std::uint64_t idem_key) {
+  if (journal_ == nullptr) return;
+  const std::uint32_t gen = s.generation;
+  // Publish the full tile set, then the manifest certifying it, then the
+  // journal record — strictly in that order, so the record's presence
+  // proves the artifact set is complete and an orphaned artifact from a
+  // crash mid-commit is ignorable garbage.
+  mem::TileStore store(journal_->factor_dir(sid, gen), opt_.durable.fsync);
+  const TileMatrix& tiles = s.inst->plu_factorization()->tiles();
+  const index_t nt = tiles.nt();
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j < nt; ++j) {
+      const Tile* t = tiles.tile(i, j);
+      if (t == nullptr) continue;
+      TH_CHECK_MSG(t->storage() == Tile::Storage::kDense,
+                   "factor commit before the numeric phase densified tile ("
+                       << i << ", " << j << ")");
+      const real_t* d = t->dense_data();
+      const std::size_t count =
+          static_cast<std::size_t>(t->rows()) * t->cols();
+      store.spill(i * nt + j, std::vector<real_t>(d, d + count));
+    }
+  }
+  store.write_manifest();
+  maybe_crash("commit");
+  JournalRecord rec;
+  rec.event = JournalEvent::kCommit;
+  rec.session = sid;
+  rec.pattern_hash = s.pattern_hash;
+  rec.generation = gen;
+  rec.value_seed = s.current_seed;
+  rec.idem_key = idem_key;
+  journal_->append(rec);
+  ++durable_stats_.journal_appends;
+  ++durable_stats_.commits;
+  ++s.generation;
+  if (idem_key != 0) s.committed_idem.insert(idem_key);
+}
+
+bool SolverService::retire_session(SessionId sid) {
+  const auto sit = sessions_.find(sid);
+  if (sit == sessions_.end()) return false;  // idempotent: replay is a no-op
+  Session& s = sit->second;
+  // Resolve queued work first: it completes as kCancelled and never
+  // dispatches, so no commit can be journaled after the retirement record
+  // — the WAL-ordering contract for retire-vs-commit interleavings.
+  std::vector<RequestId> queued;
+  for (const auto& [id, p] : pending_) {
+    if (p.session == sid) queued.push_back(id);
+  }
+  for (const RequestId id : queued) {
+    const auto it = pending_.find(id);
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    unqueue(sid, id);
+    finish(std::move(p), Completion::Status::kCancelled, now_s_, now_s_, -1,
+           "session retired");
+  }
+  retire_engine(s);
+  if (journal_ != nullptr) {
+    maybe_crash("retire");
+    JournalRecord rec;
+    rec.event = JournalEvent::kRetire;
+    rec.session = sid;
+    rec.pattern_hash = s.pattern_hash;
+    journal_->append(rec);
+    ++durable_stats_.journal_appends;
+    ++durable_stats_.retires;
+  }
+  if (obs::enabled()) {
+    obs::Recorder::global().instant(obs::Domain::kHost, obs::kServiceTrack,
+                                    "serve session retire", "serve", now_s_,
+                                    "session", sid);
+  }
+  sessions_.erase(sit);
+  return true;
+}
+
+std::vector<SessionId> SolverService::recovered_sessions() const {
+  std::vector<SessionId> out;
+  for (const auto& [sid, s] : sessions_) {
+    if (s.recovered_unclaimed) out.push_back(sid);
+  }
+  return out;
+}
+
+bool SolverService::rehydrate_factors(SessionId sid, Session& s,
+                                      std::uint32_t gen) {
+  const std::string dir = journal_->factor_dir(sid, gen);
+  std::vector<mem::TileManifestEntry> entries;
+  try {
+    entries = mem::TileStore::load_manifest_file(dir + "/manifest.thtm");
+  } catch (const bin::IoError&) {
+    // Bit rot in the manifest: quarantine it; the whole generation is
+    // untrusted and the factorization recomputes.
+    journal_->quarantine(dir + "/manifest.thtm");
+    ++durable_stats_.quarantined;
+    return false;
+  } catch (const Error&) {
+    return false;  // manifest missing (artifact dir lost wholesale)
+  }
+
+  TileMatrix& tiles = s.inst->plu_factorization()->tiles();
+  const index_t nt = tiles.nt();
+  offset_t structural = 0;
+  for (index_t i = 0; i < nt; ++i) {
+    for (index_t j = 0; j < nt; ++j) {
+      if (tiles.tile(i, j) != nullptr) ++structural;
+    }
+  }
+  if (static_cast<offset_t>(entries.size()) != structural) {
+    return false;  // manifest disagrees with the pattern: recompute
+  }
+
+  mem::TileStore store(dir, /*durable=*/false);
+  for (const mem::TileManifestEntry& e : entries) {
+    if (e.tile_id < 0 || e.tile_id >= static_cast<index_t>(nt) * nt) {
+      return false;
+    }
+    Tile* t = tiles.tile(e.tile_id / nt, e.tile_id % nt);
+    if (t == nullptr ||
+        e.payload_len !=
+            static_cast<std::uint64_t>(t->rows()) * t->cols()) {
+      return false;
+    }
+    std::vector<real_t> payload;
+    try {
+      payload = store.reload(e.tile_id);  // frame CRC checked here
+    } catch (const bin::IoError&) {
+      journal_->quarantine(store.path_of(e.tile_id));
+      ++durable_stats_.quarantined;
+      return false;
+    } catch (const Error&) {
+      return false;  // tile file missing
+    }
+    // Manifest cross-check: catches a valid-but-wrong tile file swapped in
+    // (the frame CRC alone cannot see substitution).
+    if (payload.size() != e.payload_len ||
+        bin::crc32c(payload.data(), payload.size() * sizeof(real_t)) !=
+            e.payload_crc) {
+      journal_->quarantine(store.path_of(e.tile_id));
+      ++durable_stats_.quarantined;
+      return false;
+    }
+    t->adopt_dense(std::move(payload));
+    ++durable_stats_.tiles_rehydrated;
+  }
+  s.inst->restore_numeric_done();
+  return true;
+}
+
+void SolverService::recover() {
+  const auto wall0 = std::chrono::steady_clock::now();
+  const bool obs_on = obs::enabled();
+  const real_t h0 = obs_on ? obs::Recorder::global().host_now() : 0;
+
+  SessionJournal::Replay rep = journal_->replay();
+  durable_stats_.records_replayed +=
+      static_cast<offset_t>(rep.records.size());
+  durable_stats_.quarantined += static_cast<offset_t>(rep.quarantined.size());
+
+  // Fold the WAL into per-session end state (records are seq-ordered).
+  struct Folded {
+    std::string tenant;
+    std::uint64_t pattern_hash = 0;
+    bool retired = false;
+    bool has_commit = false;
+    std::uint32_t last_gen = 0;
+    std::uint64_t last_seed = 0;
+    std::vector<std::uint64_t> idem;
+  };
+  std::map<SessionId, Folded> folded;
+  for (const JournalRecord& r : rep.records) {
+    Folded& f = folded[r.session];
+    switch (r.event) {
+      case JournalEvent::kOpen:
+        f.tenant = r.tenant;
+        f.pattern_hash = r.pattern_hash;
+        break;
+      case JournalEvent::kCommit:
+        f.has_commit = true;
+        f.last_gen = r.generation;
+        f.last_seed = r.value_seed;
+        if (r.idem_key != 0) f.idem.push_back(r.idem_key);
+        break;
+      case JournalEvent::kRetire:
+        f.retired = true;
+        break;
+    }
+    next_session_ = std::max(next_session_, r.session + 1);
+  }
+
+  // Rehydrate live sessions. Patterns are loaded once each (and symbolic
+  // analysis runs once per pattern, through the ordinary serving cache).
+  std::map<std::uint64_t, Csr> patterns;
+  std::set<std::uint64_t> bad_patterns;
+  for (auto& [sid, f] : folded) {
+    if (f.retired || f.tenant.empty()) continue;
+    if (bad_patterns.count(f.pattern_hash) != 0) {
+      ++durable_stats_.recompute_fallbacks;
+      continue;
+    }
+    auto pit = patterns.find(f.pattern_hash);
+    if (pit == patterns.end()) {
+      try {
+        pit = patterns.emplace(f.pattern_hash,
+                               journal_->load_pattern(f.pattern_hash))
+                  .first;
+      } catch (const bin::IoError&) {
+        // Corrupt pattern artifact: quarantine it and degrade loudly — no
+        // matrix means no rehydration; the tenant re-opens from scratch.
+        journal_->quarantine(journal_->pattern_path(f.pattern_hash));
+        ++durable_stats_.quarantined;
+        bad_patterns.insert(f.pattern_hash);
+        ++durable_stats_.recompute_fallbacks;
+        continue;
+      } catch (const Error&) {
+        bad_patterns.insert(f.pattern_hash);  // artifact missing
+        ++durable_stats_.recompute_fallbacks;
+        continue;
+      }
+    }
+
+    Session s;
+    s.tenant = f.tenant;
+    s.a0 = pit->second;
+    s.pattern_hash = f.pattern_hash;
+    s.generation = f.has_commit ? f.last_gen + 1 : 0;
+    s.current_seed = f.last_seed;
+    s.committed_idem.insert(f.idem.begin(), f.idem.end());
+    s.recovered_unclaimed = true;
+    // The committed values: the original a0 for generation 0, the last
+    // journaled refactor seed otherwise — so the rebuilt system is the
+    // exact one whose factors were committed.
+    const Csr values = f.last_seed == 0
+                           ? s.a0
+                           : finalize_system(s.a0, f.last_seed);
+    s.inst = obtain_instance(values, f.pattern_hash, sid, s.est_factor_s,
+                             s.est_solve_s);
+    s.projection =
+        mem::project_footprint(s.inst->graph(), opt_.sched.n_ranks);
+    if (f.has_commit) {
+      if (rehydrate_factors(sid, s, f.last_gen)) {
+        s.factored = true;
+        ++durable_stats_.factors_rehydrated;
+      } else {
+        // Corrupt/incomplete artifacts: never load them — recompute. The
+        // instance may hold partially-adopted tiles, so the next
+        // factorization rebuilds through the donor path.
+        s.needs_rebuild = true;
+        ++durable_stats_.recompute_fallbacks;
+      }
+    }
+    ++durable_stats_.sessions_recovered;
+    sessions_.emplace(sid, std::move(s));
+  }
+
+  durable_stats_.recovery_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (obs_on) {
+    obs::Recorder::global().span(
+        obs::Domain::kHost, obs::kServiceTrack, "recovery", "serve", h0,
+        obs::Recorder::global().host_now(), "sessions",
+        static_cast<std::int64_t>(durable_stats_.sessions_recovered),
+        "replayed",
+        static_cast<std::int64_t>(durable_stats_.records_replayed));
+  }
 }
 
 }  // namespace th::serve

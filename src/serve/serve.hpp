@@ -60,12 +60,14 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/scheduler.hpp"
 #include "exec/worker_pool.hpp"
 #include "rhs/engine.hpp"
+#include "serve/journal.hpp"
 #include "solvers/driver.hpp"
 #include "support/cancel.hpp"
 
@@ -129,6 +131,11 @@ struct Request {
   /// kRefactor: seed for the session's new values; kSolve: seed for the
   /// synthetic solution the right-hand side is built from.
   std::uint64_t value_seed = 1;
+  /// Client idempotency key for factor/refactor requests; 0 = none. With
+  /// the journal enabled, a key this session already *committed* completes
+  /// immediately as kDone instead of redoing the work — the dedup that
+  /// makes replaying requests after a crash/restart safe.
+  std::uint64_t idem_key = 0;
 };
 
 /// Terminal record of one admitted request. Every admitted request gets
@@ -188,6 +195,10 @@ struct ServeOptions {
   /// requests coalesce through an rhs::RhsEngine sharing the session's
   /// factorization (width cap, close policy, schedule mode, det mode).
   rhs::RhsOptions rhs;
+  /// Durability: write-ahead session journal, CRC-protected artifacts and
+  /// crash/restart recovery (serve/journal.hpp). Off unless a journal
+  /// directory is configured; the serve fast path is untouched then.
+  DurableOptions durable;
 
   /// Throws th::Error on nonsensical configurations.
   void validate() const;
@@ -249,8 +260,18 @@ class SolverService {
   /// Register a tenant's matrix and run (or reuse) its symbolic analysis.
   /// Throws RejectedError{kMemInfeasible} when the pattern's projected
   /// footprint cannot fit the budget. Synchronous and off the virtual
-  /// clock: symbolic analysis is control-plane work.
+  /// clock: symbolic analysis is control-plane work. After a recovery, a
+  /// tenant re-opening a pattern it held before the crash *claims* its
+  /// rehydrated session back (same id, committed factors and idempotency
+  /// keys intact) instead of opening a fresh one.
   SessionId open_session(const std::string& tenant, const Csr& a);
+
+  /// Retire a session: its queued work completes as kCancelled (it never
+  /// dispatches, so no commit can be journaled after the retirement
+  /// record), the retirement is journaled strictly after the session's
+  /// last commit, and the registry entry is dropped. Returns false for
+  /// unknown ids — idempotent, so replaying a retirement is a no-op.
+  bool retire_session(SessionId sid);
 
   /// Enqueue a request; admission control may throw RejectedError. The
   /// request's arrival time is the current virtual clock.
@@ -277,6 +298,14 @@ class SolverService {
 
   int queue_depth() const { return static_cast<int>(pending_.size()); }
   const ServeStats& stats() const { return stats_; }
+  /// Durability accounting (journal appends, commits, recovery results);
+  /// all zeros while the journal is disabled.
+  const DurableStats& durable_stats() const { return durable_stats_; }
+  /// The journal, or null while durability is off (benches inspect the
+  /// directory layout through it).
+  const SessionJournal* journal() const { return journal_.get(); }
+  /// Sessions rehydrated by recovery that no tenant has claimed yet.
+  std::vector<SessionId> recovered_sessions() const;
   /// Aggregated batching engine accounting: live per-session engines plus
   /// every engine retired by a refactor/rebuild (th.rhs.* when published).
   rhs::RhsStats rhs_stats() const;
@@ -305,6 +334,15 @@ class SolverService {
     /// Lazily-built batching engine over the session's current factors;
     /// retired (stats folded into rhs_base_) whenever `inst` is rebuilt.
     std::unique_ptr<rhs::RhsEngine> engine;
+    /// Committed factor generations (the next commit's artifact suffix).
+    std::uint32_t generation = 0;
+    /// Seed that produced the current values (0 = the original a0 values);
+    /// journaled on commit so recovery can rebuild the exact system.
+    std::uint64_t current_seed = 0;
+    /// Idempotency keys whose factor/refactor already committed.
+    std::set<std::uint64_t> committed_idem;
+    /// Rehydrated by recovery and awaiting the tenant's re-open claim.
+    bool recovered_unclaimed = false;
   };
 
   struct CacheEntry {
@@ -340,6 +378,25 @@ class SolverService {
   /// Fold a session engine's stats into rhs_base_ and drop it (called
   /// before the session's instance is rebuilt/replaced).
   void retire_engine(Session& s);
+  /// Cache-hit/miss instance construction + pricing shared by
+  /// open_session() and recovery (sid labels the obs events).
+  std::shared_ptr<SolverInstance> obtain_instance(const Csr& a,
+                                                  std::uint64_t hash,
+                                                  SessionId sid,
+                                                  real_t& est_factor_s,
+                                                  real_t& est_solve_s);
+  /// Journal hooks; all no-ops while the journal is disabled.
+  void journal_open(SessionId sid, const Session& s);
+  void commit_factor(SessionId sid, Session& s, std::uint64_t idem_key);
+  /// Deterministic crash injection: fires right before the N-th journal
+  /// append of a configured event (DurableOptions::crashes) — leaves a
+  /// torn `*.tmp` record behind, then throws CrashError or SIGKILLs.
+  void maybe_crash(const char* event);
+  /// Replay the journal and rehydrate sessions + committed factors.
+  void recover();
+  /// Restore one committed factorization bit-identically from its artifact
+  /// dir; false (with quarantine/fallback accounting) on corruption.
+  bool rehydrate_factors(SessionId sid, Session& s, std::uint32_t gen);
 
   ServeOptions opt_;
   exec::WorkerPool pool_;
@@ -359,6 +416,14 @@ class SolverService {
   /// Stats of engines retired by refactors/rebuilds; rhs_stats() adds the
   /// live engines on top.
   rhs::RhsStats rhs_base_;
+  /// Durability state (null/zero while the journal is disabled).
+  std::unique_ptr<SessionJournal> journal_;
+  DurableStats durable_stats_;
+  /// Crash-injection bookkeeping: appends per event, total appends, and
+  /// which configured crash points already fired (each fires once).
+  std::map<std::string, offset_t> crash_counts_;
+  offset_t crash_appends_ = 0;
+  std::set<std::size_t> crash_fired_;
 };
 
 /// Legacy closed-form solve cost: the factors streamed once (values +

@@ -115,6 +115,15 @@ ScheduleResult SolverInstance::run_timing(const ScheduleOptions& opt) const {
   return simulate(graph(), opt, nullptr);
 }
 
+void SolverInstance::restore_numeric_done() {
+  TH_CHECK_MSG(!numeric_done_,
+               "restore_numeric_done() after numerics already ran");
+  TH_CHECK_MSG(plu_ != nullptr,
+               "restore_numeric_done() needs the PLU core (factor "
+               "artifacts are tile-granular)");
+  numeric_done_ = true;
+}
+
 std::vector<real_t> SolverInstance::solve(const std::vector<real_t>& b) const {
   TH_CHECK_MSG(numeric_done_, "solve() before numeric factorisation");
   // We factored P A P^T; solve P A P^T z = P b, then x = P^T z.

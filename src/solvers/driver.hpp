@@ -72,6 +72,14 @@ class SolverInstance {
   ScheduleResult run_timing(const ScheduleOptions& opt) const;
   bool numeric_done() const { return numeric_done_; }
 
+  /// Mark the numeric phase complete without running it — the durability
+  /// layer's rehydration hook (src/serve/recovery): committed factor tiles
+  /// are adopted bitwise from on-disk artifacts into plu_factorization()'s
+  /// TileMatrix, then this seals the instance so solve() works and a later
+  /// run_numeric() is refused exactly as if the factorization had run
+  /// here. PLU core only; throws th::Error if numerics already ran.
+  void restore_numeric_done();
+
   /// Solve A x = b using the computed factors (handles the permutation).
   /// Requires run_numeric() to have completed.
   std::vector<real_t> solve(const std::vector<real_t>& b) const;

@@ -1,0 +1,100 @@
+#include "support/fsio.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace th::fsio {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// fsync by path; `dir` opens with O_DIRECTORY. On non-POSIX targets this
+/// degrades to a no-op — the rename is still atomic, only the durability
+/// window widens.
+void fsync_impl(const std::string& path, bool dir) {
+#ifndef _WIN32
+  const int flags = dir ? O_RDONLY | O_DIRECTORY : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  TH_CHECK_MSG(fd >= 0, "cannot open '" << path << "' for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  TH_CHECK_MSG(rc == 0, "fsync failed on '" << path << "'");
+#else
+  (void)path;
+  (void)dir;
+#endif
+}
+
+std::string parent_of(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+}  // namespace
+
+void fsync_path(const std::string& path) { fsync_impl(path, false); }
+
+void fsync_dir(const std::string& dir) { fsync_impl(dir, true); }
+
+std::uint64_t atomic_write_file(
+    const std::string& path, const std::function<void(std::ostream&)>& body,
+    bool durable) {
+  const std::string tmp = path + kTmpSuffix;
+  std::uint64_t bytes = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TH_CHECK_MSG(out.good(), "cannot open '" << tmp << "' for writing");
+    try {
+      body(out);
+    } catch (...) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw;
+    }
+    out.flush();
+    TH_CHECK_MSG(out.good(), "short write to '" << tmp << "'");
+    bytes = static_cast<std::uint64_t>(out.tellp());
+  }
+  if (durable) fsync_path(tmp);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  TH_CHECK_MSG(!ec, "cannot rename '" << tmp << "' onto '" << path
+                                      << "': " << ec.message());
+  if (durable) fsync_dir(parent_of(path));
+  return bytes;
+}
+
+std::string quarantine_file(const std::string& path,
+                            const std::string& quarantine_dir) {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir, ec);
+  TH_CHECK_MSG(!ec, "cannot create quarantine directory '"
+                        << quarantine_dir << "': " << ec.message());
+  const std::string dest =
+      (fs::path(quarantine_dir) / fs::path(path).filename()).string();
+  fs::rename(path, dest, ec);
+  if (ec) {
+    // Cross-device (or exotic-filesystem) fallback: copy then unlink.
+    ec.clear();
+    fs::copy_file(path, dest, fs::copy_options::overwrite_existing, ec);
+    TH_CHECK_MSG(!ec, "cannot quarantine '" << path << "' to '" << dest
+                                            << "': " << ec.message());
+    fs::remove(path, ec);
+    TH_CHECK_MSG(!ec, "cannot remove quarantined source '" << path
+                                                           << "': "
+                                                           << ec.message());
+  }
+  return dest;
+}
+
+}  // namespace th::fsio

@@ -1,0 +1,42 @@
+// Crash-safe filesystem helpers (`th::fsio`) for the durability layer.
+//
+// The write-ahead journal, checkpoint files and factor-tile artifacts all
+// publish through one protocol: write the body to a temp file, fsync it,
+// atomically rename onto the final name, then fsync the parent directory.
+// A reader (or a recovery pass after SIGKILL) can therefore observe either
+// the previous file or the complete new one — never a torn write. Stray
+// `*.tmp` files are the only crash residue and are ignored by every
+// replay/scan path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace th::fsio {
+
+/// Suffix temp files carry between write and rename; scans skip it.
+inline constexpr const char* kTmpSuffix = ".tmp";
+
+/// fsync an existing file by path. Throws th::Error on failure.
+void fsync_path(const std::string& path);
+
+/// fsync a directory, making a completed rename within it durable.
+void fsync_dir(const std::string& dir);
+
+/// Crash-safe file publication: stream the body into `<path>.tmp`, flush
+/// and (when `durable`) fsync it, atomically rename onto `path`, then
+/// fsync the parent directory. Returns the bytes written. Throws th::Error
+/// on any I/O failure (the temp file is removed on a failed body).
+std::uint64_t atomic_write_file(
+    const std::string& path, const std::function<void(std::ostream&)>& body,
+    bool durable = true);
+
+/// Move `path` into `quarantine_dir` (created if missing), keeping the
+/// basename; an existing quarantined file of the same name is overwritten.
+/// Returns the destination path. Throws th::Error when the move fails.
+std::string quarantine_file(const std::string& path,
+                            const std::string& quarantine_dir);
+
+}  // namespace th::fsio

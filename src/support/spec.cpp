@@ -146,6 +146,18 @@ FaultPlan parse_fault_spec(const std::string& spec) {
       plan.mem_pressure.push_back(p);
     } else if (key == "memfail") {
       plan.mem_alloc_fail_prob = static_cast<real_t>(spec_real(key, val));
+    } else if (key == "crash") {
+      // Durability crash point: kill the serving process right before the
+      // N-th journal append of EVENT (open|commit|retire|append).
+      const auto f = split_value(key, val, '@', 2, "EVENT@N");
+      DurabilityCrash c;
+      c.event = f[0];
+      if (!valid_crash_event(c.event)) {
+        bad(key, "wants open|commit|retire|append, got '" + f[0] + "'");
+      }
+      c.after = static_cast<offset_t>(spec_int(key, f[1]));
+      if (c.after < 1) bad(key, "wants a count >= 1, got '" + f[1] + "'");
+      plan.crashes.push_back(c);
     } else if (key == "guards") {
       plan.numeric_guards = spec_int(key, val) != 0;
     } else if (key == "seed") {
@@ -190,6 +202,9 @@ std::string render_fault_spec(const FaultPlan& plan) {
   }
   if (plan.mem_alloc_fail_prob > 0) {
     os << ",memfail=" << plan.mem_alloc_fail_prob;
+  }
+  for (const DurabilityCrash& c : plan.crashes) {
+    os << ",crash=" << c.event << "@" << c.after;
   }
   if (plan.numeric_guards) os << ",guards=1";
   return os.str();

@@ -7,6 +7,8 @@
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -197,14 +199,18 @@ TEST(TileStore, TruncatedStreamThrowsIoErrorWithByteOffset) {
 }
 
 TEST(TileStore, TruncationOffsetsNameTheExactField) {
-  // THTS layout: magic@0 (4B) + version@4 (4B) + tile id@8 (4B) +
-  // payload length prefix@12 (8B) + payload@20. A cut inside any field
-  // must report that field's *start* offset, so a hex dump at the
-  // reported position lands on the bytes the reader was consuming.
+  // THTS v2 frame: magic@0 (4B) + version@4 (4B) + payload length@8 (8B) +
+  // payload@16 (tile id, then the length-prefixed value vector) + a 4-byte
+  // CRC32C trailer. A cut inside the header must report the header field's
+  // start offset; a cut inside the payload or the trailer reports the
+  // payload/trailer start — so a hex dump at the reported position lands
+  // on the bytes the reader was consuming.
   std::ostringstream os;
   mem::TileStore::save_tile(os, 9, std::vector<real_t>(16, 2.0));
   const std::string whole = os.str();
-  ASSERT_EQ(whole.size(), 20u + 16u * sizeof(real_t));
+  const std::size_t payload = 4 + 8 + 16 * sizeof(real_t);  // id + len + data
+  ASSERT_EQ(whole.size(),
+            bin::kRecordHeaderBytes + payload + bin::kRecordTrailerBytes);
 
   const auto offset_when_cut_at = [&](std::size_t keep) -> std::int64_t {
     std::istringstream cut(whole.substr(0, keep));
@@ -218,10 +224,94 @@ TEST(TileStore, TruncationOffsetsNameTheExactField) {
 
   EXPECT_EQ(offset_when_cut_at(2), 0);    // inside the magic
   EXPECT_EQ(offset_when_cut_at(6), 4);    // inside the version
-  EXPECT_EQ(offset_when_cut_at(10), 8);   // inside the tile id
-  EXPECT_EQ(offset_when_cut_at(15), 12);  // inside the length prefix
-  EXPECT_EQ(offset_when_cut_at(21), 20);  // one byte into the payload
-  EXPECT_EQ(offset_when_cut_at(whole.size() - 1), 20);  // last byte missing
+  EXPECT_EQ(offset_when_cut_at(10), 8);   // inside the length prefix
+  EXPECT_EQ(offset_when_cut_at(15), 8);   // still the length prefix
+  EXPECT_EQ(offset_when_cut_at(17), 16);  // one byte into the payload
+  EXPECT_EQ(offset_when_cut_at(whole.size() - 1),
+            static_cast<std::int64_t>(bin::kRecordHeaderBytes + payload));
+}
+
+TEST(TileStore, MidRecordFieldErrorsNameFieldAndRecordStart) {
+  // A frame whose length prefix is honest but whose payload lacks the
+  // fields the reader wants: the error must name the failing field AND the
+  // record's start offset (the whole frame is buffered up front, so the
+  // reader never blames wherever the raw stream cursor happens to sit).
+  bin::RecordWriter w("THTS", 2);
+  w.put<std::int32_t>(5);  // tile id only; the value vector is missing
+  std::ostringstream os;
+  os << "padding";  // shift the record so its start offset is nonzero
+  w.finish(os);
+  std::istringstream in(os.str());
+  in.seekg(7);
+  try {
+    (void)mem::TileStore::load_tile(in);
+    FAIL() << "expected bin::IoError";
+  } catch (const bin::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tile payload"), std::string::npos) << what;
+    EXPECT_NE(what.find("starting at byte offset 7"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(TileStore, BitFlipAnywhereFailsTheCrc) {
+  // Bit rot — not just truncation — must surface as a typed IoError: the
+  // CRC32C trailer covers the header and the payload, so a single flipped
+  // bit in the id, the data or the CRC word itself fails the read with the
+  // record's start offset for the hex dump.
+  std::ostringstream os;
+  mem::TileStore::save_tile(os, 3, std::vector<real_t>(32, 0.25));
+  const std::string whole = os.str();
+  for (const std::size_t at :
+       {bin::kRecordHeaderBytes + 1,    // inside the tile id
+        bin::kRecordHeaderBytes + 20,   // inside the value payload
+        whole.size() - 1}) {            // inside the CRC trailer itself
+    std::string bad = whole;
+    bad[at] = static_cast<char>(bad[at] ^ 0x10);
+    std::istringstream in(bad);
+    try {
+      (void)mem::TileStore::load_tile(in);
+      FAIL() << "expected bin::IoError for a bit flip at byte " << at;
+    } catch (const bin::IoError& e) {
+      EXPECT_EQ(e.byte_offset(), 0);
+      EXPECT_NE(std::string(e.what()).find("crc32c mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(TileStore, ManifestRoundTripsAndDetectsBitFlips) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "thtm_rt").string();
+  std::filesystem::remove_all(dir);
+  mem::TileStore store(dir, /*durable=*/true);
+  store.spill(0, std::vector<real_t>(8, 1.0));
+  store.spill(5, std::vector<real_t>(12, -2.5));
+  const std::string mpath = store.write_manifest();
+
+  const auto entries = mem::TileStore::load_manifest_file(mpath);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].tile_id, 0);
+  EXPECT_EQ(entries[0].payload_len, 8u);
+  EXPECT_EQ(entries[1].tile_id, 5);
+  EXPECT_EQ(entries[1].payload_len, 12u);
+  // The manifest CRCs certify the tile files: a reloaded payload must hash
+  // to exactly the recorded value.
+  const std::vector<real_t> back = store.reload(5);
+  EXPECT_EQ(bin::crc32c(back.data(), back.size() * sizeof(real_t)),
+            entries[1].payload_crc);
+
+  // Flip one bit in the manifest itself: the framed read must fail typed.
+  std::string raw;
+  {
+    std::ifstream in(mpath, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  }
+  raw[raw.size() / 2] = static_cast<char>(raw[raw.size() / 2] ^ 0x04);
+  std::istringstream in(raw);
+  EXPECT_THROW((void)mem::TileStore::load_manifest(in), bin::IoError);
 }
 
 TEST(TileStore, ReloadRacesConcurrentSpillOfDifferentTile) {
