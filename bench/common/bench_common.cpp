@@ -247,6 +247,37 @@ void print_peak_rss() {
 
 }  // namespace
 
+PairedRatio paired_ratio(const std::function<real_t()>& sample_a,
+                         const std::function<real_t()>& sample_b, int reps,
+                         int warmup_pairs) {
+  // Warmup pairs soak up cold caches / allocator state untimed.
+  for (int i = 0; i < warmup_pairs; ++i) {
+    (void)sample_a();
+    (void)sample_b();
+  }
+  PairedRatio out;
+  std::vector<real_t> ratios;
+  ratios.reserve(static_cast<std::size_t>(reps > 0 ? reps : 0));
+  for (int i = 0; i < reps; ++i) {
+    const bool b_first = (i % 2) != 0;
+    real_t a = 0, b = 0;
+    if (b_first) {
+      b = sample_b();
+      a = sample_a();
+    } else {
+      a = sample_a();
+      b = sample_b();
+    }
+    if (a > 0) ratios.push_back(b / a);
+    out.best_a = i == 0 ? a : std::min(out.best_a, a);
+    out.best_b = i == 0 ? b : std::min(out.best_b, b);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  out.pairs = static_cast<int>(ratios.size());
+  if (!ratios.empty()) out.median_ratio = ratios[ratios.size() / 2];
+  return out;
+}
+
 void banner(const std::string& what, const std::string& detail) {
   maybe_enable_obs(what);
   // Every bench reports its own host memory high-water mark next to its

@@ -88,6 +88,24 @@ struct TimingSample {
 TimingSample time_repeated(const std::function<real_t()>& sample,
                            int warmup = 1);
 
+/// Order-alternated paired-ratio estimate — the methodology the obs
+/// overhead gate introduced (ext_exec_scaling gate 2) and the pipeline
+/// overlap gate reuses. Runs `reps` pairs of the two samplers; each pair
+/// alternates which side runs first (a fixed order would bias every pair
+/// the same way under monotone ambient-load drift), and the reported ratio
+/// is the median over per-pair b/a (the median discards the odd
+/// descheduled sample). Pairs whose `a` sample is non-positive are
+/// dropped.
+struct PairedRatio {
+  real_t median_ratio = 1;  // median over pairs of sample_b / sample_a
+  real_t best_a = 0;        // min over pairs of sample_a's value
+  real_t best_b = 0;        // min over pairs of sample_b's value
+  int pairs = 0;            // pairs that produced a usable ratio
+};
+PairedRatio paired_ratio(const std::function<real_t()>& sample_a,
+                         const std::function<real_t()>& sample_b,
+                         int reps = 15, int warmup_pairs = 1);
+
 /// Print the table and also write `<stem>.csv` into results/ (created on
 /// demand, relative to the current working directory).
 void emit(const Table& table, const std::string& stem);

@@ -136,34 +136,18 @@ int main() {
       so.exec.workers = 4;
       return inst.run_numeric(so).stats().exec.busy_s;
     };
-    // One untimed pair soaks up cold caches/allocator warmup (the 1-thread
-    // sweep above helps, but the obs-on path touches fresh registry and
-    // ring state); then the overhead estimate is the median of per-pair
-    // on/off ratios — each pair alternates which side runs first (a fixed
-    // order would bias every pair the same way under monotone ambient-load
-    // drift) and the median discards the odd descheduled sample.
-    (void)sample(false);
-    (void)sample(true);
+    // The overhead estimate is the shared order-alternated median-of-pairs
+    // methodology (bench::paired_ratio, with one untimed warmup pair): the
+    // alternation cancels monotone ambient-load drift and the median
+    // discards the odd descheduled sample.
     const auto estimate = [&]() {
       const int reps = 15;
-      std::vector<real_t> ratios;
-      real_t busy_off = 0, busy_on = 0;
-      for (int i = 0; i < reps; ++i) {
-        const bool on_first = (i % 2) != 0;
-        const real_t first = sample(on_first);
-        const real_t second = sample(!on_first);
-        const real_t off = on_first ? second : first;
-        const real_t on = on_first ? first : second;
-        if (off > 0) ratios.push_back(on / off);
-        busy_off = i == 0 ? off : std::min(busy_off, off);
-        busy_on = i == 0 ? on : std::min(busy_on, on);
-      }
-      std::sort(ratios.begin(), ratios.end());
-      const real_t overhead =
-          ratios.empty() ? 0 : ratios[ratios.size() / 2] - 1;
+      const PairedRatio pr = paired_ratio([&] { return sample(false); },
+                                          [&] { return sample(true); }, reps);
+      const real_t overhead = pr.pairs > 0 ? pr.median_ratio - 1 : 0;
       std::printf("obs overhead: lane CPU %.1f ms off, %.1f ms on (best of "
                   "%d), median pair ratio %+.2f%%\n",
-                  busy_off * 1e3, busy_on * 1e3, reps, overhead * 100);
+                  pr.best_a * 1e3, pr.best_b * 1e3, reps, overhead * 100);
       return overhead;
     };
     real_t overhead = estimate();

@@ -1,0 +1,113 @@
+// CoalesceQueue — the shared close-policy engine behind every
+// aggregate-and-batch admission queue in the tree.
+//
+// The paper's Collector and the multi-RHS batcher (`src/rhs/batcher.hpp`)
+// both coalesce pending work until a width cap, an oldest-entry timeout,
+// or an explicit flush closes the batch. That close policy used to be
+// duplicated; it now lives here once, as an entry-type-agnostic template,
+// and rhs::RhsBatcher delegates to it. The queue is time-base agnostic —
+// callers pass whatever clock they batch against (virtual serve seconds,
+// host seconds) — and keeps admission order inside every closed batch.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace th {
+
+/// Why a coalesced batch closed.
+enum class CloseReason : char { kWidth, kTimeout, kFlush };
+
+inline const char* close_reason_name(CloseReason r) {
+  switch (r) {
+    case CloseReason::kWidth:
+      return "width";
+    case CloseReason::kTimeout:
+      return "timeout";
+    case CloseReason::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+/// Width/timeout/flush coalescing over an arbitrary entry type.
+template <class Entry>
+class CoalesceQueue {
+ public:
+  struct Closed {
+    std::vector<Entry> members;  // admission order
+    CloseReason reason = CloseReason::kFlush;
+    real_t closed_s = 0;
+  };
+
+  /// `max_width` >= 1 entries close a batch; an oldest entry older than
+  /// `max_wait_s` (> 0) closes a partial batch on the next poll.
+  CoalesceQueue(std::size_t max_width, real_t max_wait_s)
+      : max_width_(max_width), max_wait_s_(max_wait_s) {
+    TH_CHECK_MSG(max_width_ >= 1,
+                 "coalesce width must be >= 1, got " << max_width_);
+    TH_CHECK_MSG(max_wait_s_ >= 0,
+                 "coalesce wait must be >= 0, got " << max_wait_s_);
+  }
+
+  /// Enqueue an entry stamped with its arrival time.
+  void submit(Entry e, real_t arrival_s) {
+    q_.push_back({arrival_s, std::move(e)});
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t depth() const { return q_.size(); }
+  /// Arrival time of the oldest pending entry; `when_empty` otherwise.
+  real_t oldest_arrival_s(real_t when_empty) const {
+    return q_.empty() ? when_empty : q_.front().first;
+  }
+
+  /// Close policy: the next batch when `max_width` entries are pending
+  /// (kWidth) or the oldest has waited `max_wait_s` (kTimeout);
+  /// std::nullopt while the queue should keep coalescing.
+  std::optional<Closed> poll(real_t now_s) {
+    if (q_.size() >= max_width_) {
+      return close(max_width_, CloseReason::kWidth, now_s);
+    }
+    if (!q_.empty() && max_wait_s_ > 0 &&
+        now_s - q_.front().first >= max_wait_s_) {
+      return close(q_.size(), CloseReason::kTimeout, now_s);
+    }
+    return std::nullopt;
+  }
+
+  /// Close whatever is pending as a final (possibly narrow) batch. A full
+  /// queue still closes as kWidth so reasons stay meaningful in stats.
+  std::optional<Closed> flush(real_t now_s) {
+    if (q_.empty()) return std::nullopt;
+    if (q_.size() >= max_width_) {
+      return close(max_width_, CloseReason::kWidth, now_s);
+    }
+    return close(q_.size(), CloseReason::kFlush, now_s);
+  }
+
+ private:
+  Closed close(std::size_t width, CloseReason reason, real_t now_s) {
+    Closed batch;
+    batch.reason = reason;
+    batch.closed_s = now_s;
+    batch.members.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      batch.members.push_back(std::move(q_.front().second));
+      q_.pop_front();
+    }
+    return batch;
+  }
+
+  std::size_t max_width_;
+  real_t max_wait_s_;
+  std::deque<std::pair<real_t, Entry>> q_;  // (arrival_s, entry)
+};
+
+}  // namespace th

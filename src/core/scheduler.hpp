@@ -80,6 +80,13 @@ struct ScheduleOptions {
   abft::AbftOptions abft;
   /// Host-side numeric batch-execution knobs (workers/accum/watchdog).
   ExecOptions exec;
+  /// Aggregate↔batch software pipelining (exec::ExecPipeline, DESIGN.md
+  /// §17): form batch k+1 on aggregate lanes while batch k executes.
+  /// Applies to numeric kTrojanHorse runs without faults/ABFT/memory
+  /// budgets/cancellation — any other shape falls back to the synchronous
+  /// path (which is bit-identical anyway). thsolve_cli --pipeline /
+  /// --agg-lanes.
+  PipelineOptions pipeline;
   /// Memory-pressure robustness (src/mem): byte-accurate per-rank budget
   /// enforcement with the shrink-batch -> spill-cold-tiles -> OomError
   /// degradation ladder. budget_bytes == 0 (the default) keeps the exact
@@ -138,6 +145,14 @@ struct BatchLog {
     std::vector<char> status;
     /// Whether the batch contained an atomic (write-conflicting) member.
     bool had_conflict = false;
+    /// Host-side stage costs (filled on numeric kTrojanHorse runs when
+    /// batches are collected; zeros otherwise). host_agg_s is the
+    /// aggregate-stage CPU spent on this batch (formation, plus prep when
+    /// pipelined); host_exec_s is the executor's span (critical path).
+    /// bench/ext_pipeline_overlap reconstructs pipelined vs alternating
+    /// makespans from these.
+    real_t host_agg_s = 0;
+    real_t host_exec_s = 0;
   };
 
   std::vector<Batch> batches;

@@ -14,15 +14,9 @@
 namespace th::exec {
 namespace {
 
-/// CPU time consumed by the calling thread. Unlike wall time this is
-/// immune to preemption, so per-lane busy time (and the batch span derived
-/// from it) stays meaningful on machines with fewer cores than lanes.
-real_t thread_cpu_seconds() {
-  timespec ts{};
-  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-  return static_cast<real_t>(ts.tv_sec) +
-         1e-9 * static_cast<real_t>(ts.tv_nsec);
-}
+// Per-lane busy time (and the batch span derived from it) uses
+// th::thread_cpu_seconds (support/stopwatch.hpp): immune to preemption, so
+// it stays meaningful on machines with fewer cores than lanes.
 
 /// How one batch member executes.
 enum class Mode : char {
@@ -56,7 +50,7 @@ void BatchExecutor::execute(NumericBackend& backend,
                             const std::vector<const Task*>& tasks,
                             const std::vector<char>& atomic_flags,
                             const std::vector<char>* skip,
-                            BatchVerify* verify) {
+                            BatchVerify* verify, const BlockMap* premap) {
   TH_CHECK(!tasks.empty());
   TH_CHECK(atomic_flags.size() == tasks.size());
   TH_CHECK(skip == nullptr || skip->size() == tasks.size());
@@ -66,7 +60,9 @@ void BatchExecutor::execute(NumericBackend& backend,
   const Stopwatch wall;
   const real_t caller_t0 = thread_cpu_seconds();
 
-  const BlockMap map = BlockMap::from_tasks(tasks);
+  BlockMap local_map;
+  if (premap == nullptr) local_map = BlockMap::from_tasks(tasks);
+  const BlockMap& map = premap != nullptr ? *premap : local_map;
 
   // Classify members and lay out deterministic-mode scratch.
   const std::size_t nb = tasks.size();

@@ -1,0 +1,198 @@
+#include "exec/pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace th::exec {
+
+std::uint64_t ExecPipeline::target_key(const Task& t) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.row))
+          << 32) |
+         static_cast<std::uint32_t>(t.col);
+}
+
+ExecPipeline::ExecPipeline(NumericBackend& backend, BatchExecutor& exec,
+                           const Options& opt)
+    : backend_(backend), exec_(exec), opt_(opt) {
+  TH_CHECK_MSG(opt_.aggregate_lanes >= 1,
+               "pipeline wants >= 1 aggregate lane, got "
+                   << opt_.aggregate_lanes);
+  TH_CHECK_MSG(opt_.depth >= 2,
+               "pipeline depth must be >= 2 (double buffering), got "
+                   << opt_.depth);
+  prep_threads_.reserve(static_cast<std::size_t>(opt_.aggregate_lanes));
+  for (int i = 0; i < opt_.aggregate_lanes; ++i) {
+    prep_threads_.emplace_back([this] { prep_loop(); });
+  }
+  driver_ = std::thread([this] { drive_loop(); });
+}
+
+ExecPipeline::~ExecPipeline() {
+  try {
+    drain();
+  } catch (...) {
+    // Unwinding path: the error was either already observed via submit()/
+    // drain(), or the owner is being destroyed by an unrelated exception —
+    // swallow so teardown can finish.
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closing_ = true;
+  }
+  cv_prep_.notify_all();
+  cv_exec_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : prep_threads_) t.join();
+  driver_.join();
+}
+
+void ExecPipeline::fail(std::exception_ptr e) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error_) error_ = std::move(e);
+  }
+  cv_prep_.notify_all();
+  cv_exec_.notify_all();
+  cv_space_.notify_all();
+}
+
+void ExecPipeline::submit(std::vector<const Task*> tasks,
+                          std::vector<char> atomic_flags, real_t form_s) {
+  TH_CHECK(!tasks.empty());
+  TH_CHECK(atomic_flags.size() == tasks.size());
+  auto slot = std::make_unique<Slot>();
+  slot->tasks = std::move(tasks);
+  slot->atomic_flags = std::move(atomic_flags);
+  slot->timing.form_s = form_s;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [&] {
+      return error_ != nullptr ||
+             next_seq_ - completed_ <
+                 static_cast<std::size_t>(opt_.depth);
+    });
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    slot->seq = next_seq_++;
+    for (const Task* t : slot->tasks) ++inflight_[target_key(*t)];
+    prep_q_.push_back(std::move(slot));
+  }
+  cv_prep_.notify_one();
+}
+
+void ExecPipeline::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_space_.wait(lk,
+                 [&] { return error_ != nullptr || completed_ == next_seq_; });
+  if (error_ != nullptr) std::rethrow_exception(error_);
+}
+
+void ExecPipeline::prep_loop() {
+  const bool obs_on = obs::enabled();
+  obs::Recorder& rec = obs::Recorder::global();
+  for (;;) {
+    std::unique_ptr<Slot> slot;
+    std::vector<const Task*> safe;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_prep_.wait(lk, [&] {
+        return closing_ || error_ != nullptr || !prep_q_.empty();
+      });
+      if (error_ != nullptr) return;
+      if (prep_q_.empty()) return;  // closing
+      slot = std::move(prep_q_.front());
+      prep_q_.pop_front();
+      // A member's target may be pre-densified only when this batch holds
+      // every in-flight reference to it: no earlier (still executing)
+      // batch writes the tile, and no later batch can — its submit
+      // happens after ours bumped the count.
+      std::unordered_map<std::uint64_t, int> own;
+      for (const Task* t : slot->tasks) ++own[target_key(*t)];
+      safe.reserve(slot->tasks.size());
+      for (const Task* t : slot->tasks) {
+        const std::uint64_t key = target_key(*t);
+        if (inflight_[key] == own[key]) safe.push_back(t);
+      }
+    }
+    const real_t host_t0 = obs_on ? rec.host_now() : 0;
+    const real_t cpu_t0 = thread_cpu_seconds();
+    long prepped = 0;
+    try {
+      slot->map = BlockMap::from_tasks(slot->tasks);
+      for (const Task* t : safe) {
+        backend_.prepare_task(*t);
+        ++prepped;
+      }
+    } catch (...) {
+      fail(std::current_exception());
+      return;
+    }
+    slot->timing.prep_s = thread_cpu_seconds() - cpu_t0;
+    if (obs_on) {
+      rec.span(obs::Domain::kHost, obs::kAggregateTrack, "aggregate batch",
+               "aggregate", host_t0, rec.host_now(), "tasks",
+               static_cast<std::int64_t>(slot->tasks.size()), "prepped",
+               prepped);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.agg_cpu_s += slot->timing.prep_s;
+      stats_.prepped_tasks += prepped;
+      stats_.skipped_tasks +=
+          static_cast<long>(slot->tasks.size()) - prepped;
+      ready_[slot->seq] = std::move(slot);
+    }
+    cv_exec_.notify_one();
+  }
+}
+
+void ExecPipeline::drive_loop() {
+  for (;;) {
+    std::unique_ptr<Slot> slot;
+    {
+      const Stopwatch wait;
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_exec_.wait(lk, [&] {
+        return error_ != nullptr ||
+               ready_.find(next_exec_) != ready_.end() ||
+               (closing_ && completed_ == next_seq_);
+      });
+      if (error_ != nullptr) return;
+      const auto it = ready_.find(next_exec_);
+      if (it == ready_.end()) return;  // closing, nothing outstanding
+      slot = std::move(it->second);
+      ready_.erase(it);
+      slot->timing.wait_s = wait.seconds();
+    }
+    const real_t span0 = exec_.stats().span_s;
+    try {
+      exec_.execute(backend_, slot->tasks, slot->atomic_flags, nullptr,
+                    nullptr, &slot->map);
+    } catch (...) {
+      fail(std::current_exception());
+      return;
+    }
+    slot->timing.exec_span_s = exec_.stats().span_s - span0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const Task* t : slot->tasks) {
+        const std::uint64_t key = target_key(*t);
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end() && --it->second <= 0) inflight_.erase(it);
+      }
+      stats_.driver_wait_s += slot->timing.wait_s;
+      ++stats_.batches;
+      timings_.push_back(slot->timing);
+      ++next_exec_;
+      ++completed_;
+    }
+    cv_space_.notify_all();
+    cv_prep_.notify_all();  // conflicts may have cleared for queued slots
+  }
+}
+
+}  // namespace th::exec

@@ -1,0 +1,139 @@
+// ExecPipeline — the two-stage aggregate↔batch software pipeline
+// (DESIGN.md §17, ROADMAP item 4).
+//
+// The scheduler's event loop keeps forming batch k+1 while the numerics of
+// batch k run, instead of strictly alternating the two stages:
+//
+//   scheduler thread   submit(batch k+1)          submit(batch k+2) ...
+//        │                  │                          │
+//   aggregate lanes    BlockMap build + target     (double-buffered slots:
+//   (1..N threads)     pre-densify for k+1          submit blocks once
+//        │                  │                        `depth` are in flight)
+//   exec driver        execute(batch k) ───────► execute(batch k+1) ...
+//   (1 thread)         on the shared BatchExecutor, strictly in
+//                      submission order
+//
+// Determinism: batch composition and fold plans are fixed by the scheduler
+// at formation time (the simulated timeline is priced from the cost model,
+// which never looks at the numerics), and the driver executes batches
+// FIFO — the same order, accumulation modes and scratch fold order as the
+// synchronous path. Formation order is a linear extension of the task DAG,
+// so FIFO execution never reads a block before the batch that writes it
+// has run.
+//
+// Prep safety: an aggregate lane pre-densifies a batch's target tiles only
+// when no earlier in-flight batch touches the same tile (a refcount keyed
+// by target, maintained under the pipeline mutex). Conflicting targets are
+// left to the executor's serial prologue, whose prepare_task() is
+// idempotent — the prep stage is an optimisation, never a correctness
+// requirement.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "exec/batch_executor.hpp"
+#include "exec/block_map.hpp"
+
+namespace th::exec {
+
+/// Per-batch stage costs, in submission order (valid after drain()).
+struct PipelineBatchTiming {
+  real_t form_s = 0;       // scheduler-side formation CPU (caller-supplied)
+  real_t prep_s = 0;       // aggregate-lane CPU: BlockMap + pre-densify
+  real_t exec_span_s = 0;  // executor span (critical path) of this batch
+  real_t wait_s = 0;       // wall the exec driver idled before this batch
+};
+
+/// Aggregate counters over one pipeline's lifetime.
+struct PipelineStats {
+  real_t agg_cpu_s = 0;     // total aggregate-lane CPU over all batches
+  real_t driver_wait_s = 0; // total wall the exec driver spent waiting
+  long prepped_tasks = 0;   // members whose targets were densified ahead
+  long skipped_tasks = 0;   // members left to the exec prologue (conflicts)
+  int batches = 0;          // batches executed through the pipeline
+};
+
+class ExecPipeline {
+ public:
+  struct Options {
+    int aggregate_lanes = 1;  // prep threads (>= 1)
+    int depth = 2;            // outstanding-batch window (>= 2)
+  };
+
+  /// `backend` and `exec` are borrowed and must outlive the pipeline.
+  ExecPipeline(NumericBackend& backend, BatchExecutor& exec,
+               const Options& opt);
+  /// Drains best-effort (outstanding numerics complete; errors are
+  /// swallowed — call drain() first to observe them).
+  ~ExecPipeline();
+
+  ExecPipeline(const ExecPipeline&) = delete;
+  ExecPipeline& operator=(const ExecPipeline&) = delete;
+
+  /// Hand a formed batch to the pipeline. Blocks while `depth` batches are
+  /// already in flight (the double-buffering back-pressure). `form_s` is
+  /// the scheduler CPU spent forming this batch (recorded in timings()).
+  /// Rethrows the first error a pipeline thread hit.
+  void submit(std::vector<const Task*> tasks, std::vector<char> atomic_flags,
+              real_t form_s);
+
+  /// Wait until every submitted batch has executed; rethrows the first
+  /// error a pipeline thread hit. The pipeline stays usable afterwards.
+  void drain();
+
+  /// Per-batch stage timings in submission order. Call after drain().
+  const std::vector<PipelineBatchTiming>& timings() const { return timings_; }
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::size_t seq = 0;
+    std::vector<const Task*> tasks;
+    std::vector<char> atomic_flags;
+    BlockMap map;
+    PipelineBatchTiming timing;
+  };
+
+  static std::uint64_t target_key(const Task& t);
+
+  void prep_loop();
+  void drive_loop();
+  void fail(std::exception_ptr e);  // under no lock
+
+  NumericBackend& backend_;
+  BatchExecutor& exec_;
+  Options opt_;
+
+  std::mutex mu_;
+  std::condition_variable cv_prep_;   // prep lanes: work arrived / closing
+  std::condition_variable cv_exec_;   // driver: next slot prepped / closing
+  std::condition_variable cv_space_;  // submit/drain: slot freed / error
+  std::deque<std::unique_ptr<Slot>> prep_q_;
+  std::map<std::size_t, std::unique_ptr<Slot>> ready_;  // prepped, by seq
+  std::size_t next_seq_ = 0;   // next submission sequence number
+  std::size_t next_exec_ = 0;  // next sequence the driver will run
+  std::size_t completed_ = 0;
+  /// In-flight batches touching each target tile (key -> count); prep
+  /// densifies a member's target only when it holds every reference.
+  std::unordered_map<std::uint64_t, int> inflight_;
+  bool closing_ = false;
+  std::exception_ptr error_;
+
+  std::vector<PipelineBatchTiming> timings_;
+  PipelineStats stats_;
+
+  std::vector<std::thread> prep_threads_;
+  std::thread driver_;
+};
+
+}  // namespace th::exec

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/simd.hpp"
 #include "support/error.hpp"
 
 namespace th {
@@ -17,17 +18,14 @@ void getrf_nopiv(index_t n, real_t* a, index_t lda) {
                  "zero pivot at column " << k << " (matrix not factorisable "
                                             "without pivoting)");
     const real_t inv = 1.0 / pivot;
-    for (index_t i = k + 1; i < n; ++i) {
-      a[i + k * static_cast<offset_t>(lda)] *= inv;
-    }
+    simd::scale(n - (k + 1), a + (k + 1) + k * static_cast<offset_t>(lda),
+                inv);
     for (index_t j = k + 1; j < n; ++j) {
       const real_t ukj = a[k + j * static_cast<offset_t>(lda)];
       if (ukj == 0.0) continue;
       real_t* colj = a + j * static_cast<offset_t>(lda);
       const real_t* colk = a + k * static_cast<offset_t>(lda);
-      for (index_t i = k + 1; i < n; ++i) {
-        colj[i] -= colk[i] * ukj;
-      }
+      simd::axpy_minus(n - (k + 1), colk + (k + 1), ukj, colj + (k + 1));
     }
   }
 }
@@ -40,9 +38,7 @@ void trsm_lower_left_unit(index_t m, index_t n, const real_t* l, index_t ldl,
       const real_t bk = colb[k];
       if (bk == 0.0) continue;
       const real_t* coll = l + k * static_cast<offset_t>(ldl);
-      for (index_t i = k + 1; i < m; ++i) {
-        colb[i] -= coll[i] * bk;
-      }
+      simd::axpy_minus(m - (k + 1), coll + (k + 1), bk, colb + (k + 1));
     }
   }
 }
@@ -55,14 +51,12 @@ void trsm_upper_right(index_t m, index_t n, const real_t* u, index_t ldu,
                  "singular U diagonal in trsm_upper_right at " << k);
     const real_t inv = 1.0 / ukk;
     real_t* colk = b + k * static_cast<offset_t>(ldb);
-    for (index_t i = 0; i < m; ++i) colk[i] *= inv;
+    simd::scale(m, colk, inv);
     for (index_t j = k + 1; j < n; ++j) {
       const real_t ukj = u[k + j * static_cast<offset_t>(ldu)];
       if (ukj == 0.0) continue;
       real_t* colj = b + j * static_cast<offset_t>(ldb);
-      for (index_t i = 0; i < m; ++i) {
-        colj[i] -= colk[i] * ukj;
-      }
+      simd::axpy_minus(m, colk, ukj, colj);
     }
   }
 }
@@ -75,13 +69,13 @@ void gemm_minus(index_t m, index_t n, index_t k, const real_t* a, index_t lda,
       const real_t bpj = b[p + j * static_cast<offset_t>(ldb)];
       if (bpj == 0.0) continue;
       const real_t* cola = a + p * static_cast<offset_t>(lda);
-      for (index_t i = 0; i < m; ++i) {
-        colc[i] -= cola[i] * bpj;
-      }
+      simd::axpy_minus(m, cola, bpj, colc);
     }
   }
 }
 
+// gemm_minus_atomic stays scalar: each element goes through a CAS loop
+// (atomic_add), which no lane-parallel form can reproduce bit-for-bit.
 void gemm_minus_atomic(index_t m, index_t n, index_t k, const real_t* a,
                        index_t lda, const real_t* b, index_t ldb, real_t* c,
                        index_t ldc) {

@@ -4,6 +4,23 @@
 
 namespace th::rhs {
 
+namespace {
+
+const RhsOptions& validated(const RhsOptions& o) {
+  o.validate();
+  return o;
+}
+
+RhsBatch to_rhs_batch(CoalesceQueue<RhsEntry>::Closed c) {
+  RhsBatch batch;
+  batch.members = std::move(c.members);
+  batch.reason = c.reason;
+  batch.closed_s = c.closed_s;
+  return batch;
+}
+
+}  // namespace
+
 void RhsOptions::validate() const {
   TH_CHECK_MSG(max_width >= 1,
                "rhs batch width must be >= 1, got " << max_width);
@@ -12,60 +29,32 @@ void RhsOptions::validate() const {
 }
 
 const char* close_reason_name(CloseReason r) {
-  switch (r) {
-    case CloseReason::kWidth:
-      return "width";
-    case CloseReason::kTimeout:
-      return "timeout";
-    case CloseReason::kFlush:
-      return "flush";
-  }
-  return "?";
+  return th::close_reason_name(r);
 }
 
-RhsBatcher::RhsBatcher(const RhsOptions& opt) : opt_(opt) {
-  opt_.validate();
-}
+RhsBatcher::RhsBatcher(const RhsOptions& opt)
+    : opt_(validated(opt)),
+      cq_(static_cast<std::size_t>(opt_.max_width), opt_.max_wait_s) {}
 
 std::int64_t RhsBatcher::submit(RhsEntry e, real_t now_s) {
   e.id = next_id_++;
   if (e.arrival_s <= 0) e.arrival_s = now_s;
-  q_.push_back(std::move(e));
-  return q_.back().id;
-}
-
-real_t RhsBatcher::oldest_arrival_s() const {
-  return q_.empty() ? CancelToken::kNoDeadline : q_.front().arrival_s;
-}
-
-RhsBatch RhsBatcher::close(std::size_t width, CloseReason reason,
-                           real_t now_s) {
-  RhsBatch batch;
-  batch.reason = reason;
-  batch.closed_s = now_s;
-  batch.members.reserve(width);
-  for (std::size_t i = 0; i < width; ++i) {
-    batch.members.push_back(std::move(q_.front()));
-    q_.pop_front();
-  }
-  return batch;
+  const std::int64_t id = e.id;
+  const real_t arrival = e.arrival_s;
+  cq_.submit(std::move(e), arrival);
+  return id;
 }
 
 std::optional<RhsBatch> RhsBatcher::poll(real_t now_s) {
-  const std::size_t cap = static_cast<std::size_t>(opt_.max_width);
-  if (q_.size() >= cap) return close(cap, CloseReason::kWidth, now_s);
-  if (!q_.empty() && opt_.max_wait_s > 0 &&
-      now_s - q_.front().arrival_s >= opt_.max_wait_s) {
-    return close(q_.size(), CloseReason::kTimeout, now_s);
-  }
-  return std::nullopt;
+  auto c = cq_.poll(now_s);
+  if (!c) return std::nullopt;
+  return to_rhs_batch(std::move(*c));
 }
 
 std::optional<RhsBatch> RhsBatcher::flush(real_t now_s) {
-  if (q_.empty()) return std::nullopt;
-  const std::size_t cap = static_cast<std::size_t>(opt_.max_width);
-  if (q_.size() >= cap) return close(cap, CloseReason::kWidth, now_s);
-  return close(q_.size(), CloseReason::kFlush, now_s);
+  auto c = cq_.flush(now_s);
+  if (!c) return std::nullopt;
+  return to_rhs_batch(std::move(*c));
 }
 
 }  // namespace th::rhs

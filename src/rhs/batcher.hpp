@@ -10,14 +10,18 @@
 // Entries keep admission order inside a batch, and every entry carries its
 // own deadline and a borrowed CancelToken so the executing engine can shed
 // members at the batch boundary without running them.
+//
+// The width/timeout/flush close policy itself is the shared
+// core::CoalesceQueue (`core/coalesce.hpp`); this class only adds the
+// RHS-specific ticketing and arrival stamping on top.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/coalesce.hpp"
 #include "rhs/solve_dag.hpp"
 #include "support/cancel.hpp"
 
@@ -42,7 +46,9 @@ struct RhsOptions {
   void validate() const;
 };
 
-enum class CloseReason : char { kWidth, kTimeout, kFlush };
+/// The close vocabulary is the shared one; rhs::CloseReason stays a valid
+/// spelling for existing call sites.
+using CloseReason = th::CloseReason;
 
 const char* close_reason_name(CloseReason r);
 
@@ -72,10 +78,12 @@ class RhsBatcher {
   /// when the entry carries none.
   std::int64_t submit(RhsEntry e, real_t now_s);
 
-  bool empty() const { return q_.empty(); }
-  int depth() const { return static_cast<int>(q_.size()); }
+  bool empty() const { return cq_.empty(); }
+  int depth() const { return static_cast<int>(cq_.depth()); }
   /// Arrival time of the oldest pending entry; kNoDeadline when empty.
-  real_t oldest_arrival_s() const;
+  real_t oldest_arrival_s() const {
+    return cq_.oldest_arrival_s(CancelToken::kNoDeadline);
+  }
 
   /// Close policy: returns the next batch when `max_width` entries are
   /// pending (kWidth) or the oldest has waited `max_wait_s` (kTimeout);
@@ -86,11 +94,9 @@ class RhsBatcher {
   std::optional<RhsBatch> flush(real_t now_s);
 
  private:
-  RhsBatch close(std::size_t width, CloseReason reason, real_t now_s);
-
   RhsOptions opt_;
   std::int64_t next_id_ = 0;
-  std::deque<RhsEntry> q_;
+  CoalesceQueue<RhsEntry> cq_;
 };
 
 }  // namespace th::rhs

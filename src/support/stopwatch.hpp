@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace th {
 
@@ -23,5 +24,15 @@ class Stopwatch {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID).
+/// Immune to time-slicing against other threads, so per-stage costs add up
+/// honestly even when the machine has fewer cores than workers — the basis
+/// of every span/overlap measurement in exec and bench.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
 
 }  // namespace th

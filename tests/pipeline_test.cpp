@@ -1,0 +1,388 @@
+// Tests of the aggregate↔batch pipeline stack (DESIGN.md §17): the sharded
+// lock-free-popping Container, the shared CoalesceQueue close policy, the
+// PipelineOptions/PipelineSpec API surface, the SIMD kernel inner loops,
+// and det-mode bit-identity of pipelined numeric factorisation. The
+// concurrent push/claim test is the one the tsan CI job hammers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/container.hpp"
+#include "core/coalesce.hpp"
+#include "gen/generators.hpp"
+#include "kernels/simd.hpp"
+#include "sim/cluster.hpp"
+#include "solvers/driver.hpp"
+#include "support/cancel.hpp"
+#include "support/spec.hpp"
+
+namespace th {
+namespace {
+
+// ---- ShardedContainer --------------------------------------------------
+
+// Unique keys with the task id in the low bits, mirroring
+// Prioritizer::priority_key's layout.
+std::uint64_t key_of(std::uint64_t urgency, index_t id) {
+  return (urgency << 22) | static_cast<std::uint64_t>(id);
+}
+
+TEST(ShardedContainer, SingleConsumerPopOrderMatchesHeap) {
+  HeapContainer heap;
+  ShardedContainer sharded;
+  // Adversarial-ish key pattern: descending urgency with interleaved ids,
+  // so shards fill unevenly and the scan has real work to do.
+  for (index_t i = 0; i < 600; ++i) {
+    const std::uint64_t k = key_of(static_cast<std::uint64_t>(997 - i % 97),
+                                   i);
+    heap.push(k, i);
+    sharded.push(k, i);
+  }
+  ASSERT_EQ(heap.size(), sharded.size());
+  while (!heap.empty()) {
+    ASSERT_FALSE(sharded.empty());
+    EXPECT_EQ(sharded.pop(), heap.pop());
+  }
+  EXPECT_TRUE(sharded.empty());
+  EXPECT_EQ(sharded.peak_size(), 600u);
+}
+
+TEST(ShardedContainer, ConcurrentPushClaimLosesNothingDuplicatesNothing) {
+  ShardedContainer c;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr index_t kPerProducer = 2000;
+  constexpr index_t kTotal = kProducers * kPerProducer;
+
+  std::atomic<index_t> claimed{0};
+  std::vector<std::vector<index_t>> got(kConsumers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&c, p] {
+      for (index_t i = 0; i < kPerProducer; ++i) {
+        const index_t id = p * kPerProducer + i;
+        c.push(key_of(static_cast<std::uint64_t>(i % 211), id), id);
+      }
+    });
+  }
+  for (int w = 0; w < kConsumers; ++w) {
+    threads.emplace_back([&c, &claimed, &got, w] {
+      // try_pop() may see a transiently empty scan while producers are
+      // still pushing — the external remaining-work count decides when
+      // the consumer is actually done, exactly as the scheduler does.
+      while (claimed.load(std::memory_order_acquire) < kTotal) {
+        const std::optional<index_t> id = c.try_pop();
+        if (!id.has_value()) {
+          std::this_thread::yield();
+          continue;
+        }
+        got[static_cast<std::size_t>(w)].push_back(*id);
+        claimed.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::set<index_t> ids;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    ids.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kTotal));  // nothing duplicated
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kTotal));  // nothing lost
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(ShardedContainer, RejectsSentinelKey) {
+  ShardedContainer c;
+  EXPECT_THROW(c.push(ShardedContainer::kNoKey, 0), Error);
+}
+
+TEST(Container, FacadeSelectsDiscipline) {
+  Container heap(Container::Discipline::kHeap);
+  Container fifo(Container::Discipline::kFifo);
+  Container sharded(Container::Discipline::kSharded);
+  for (Container* c : {&heap, &fifo, &sharded}) {
+    c->push(key_of(3, 30), 30);
+    c->push(key_of(1, 10), 10);
+    c->push(key_of(2, 20), 20);
+  }
+  // Priority disciplines pop by key; fifo pops in arrival order.
+  EXPECT_EQ(heap.pop(), 10);
+  EXPECT_EQ(sharded.pop(), 10);
+  EXPECT_EQ(fifo.pop(), 30);
+  EXPECT_EQ(heap.discipline(), Container::Discipline::kHeap);
+  EXPECT_EQ(fifo.discipline(), Container::Discipline::kFifo);
+  EXPECT_EQ(sharded.discipline(), Container::Discipline::kSharded);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.peak_size(), 3u);
+  while (!heap.empty()) heap.pop();
+  EXPECT_THROW(heap.pop(), Error);
+}
+
+// ---- CoalesceQueue -----------------------------------------------------
+
+TEST(CoalesceQueue, WidthClosesExactlyAtCap) {
+  CoalesceQueue<int> q(3, 0);
+  q.submit(1, 0.0);
+  q.submit(2, 0.1);
+  EXPECT_FALSE(q.poll(0.2).has_value());
+  q.submit(3, 0.2);
+  const auto closed = q.poll(0.3);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->reason, CloseReason::kWidth);
+  EXPECT_EQ(closed->members, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CoalesceQueue, TimeoutClosesPartialBatch) {
+  CoalesceQueue<int> q(8, 0.5);
+  q.submit(7, 1.0);
+  EXPECT_FALSE(q.poll(1.4).has_value());
+  const auto closed = q.poll(1.5);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->reason, CloseReason::kTimeout);
+  EXPECT_EQ(closed->members, (std::vector<int>{7}));
+  EXPECT_EQ(closed->closed_s, 1.5);
+}
+
+TEST(CoalesceQueue, FlushDrainsAndKeepsWidthReason) {
+  CoalesceQueue<int> q(2, 0);
+  EXPECT_FALSE(q.flush(0.0).has_value());  // nothing pending
+  q.submit(1, 0.0);
+  const auto partial = q.flush(1.0);
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(partial->reason, CloseReason::kFlush);
+  // A full queue closes as kWidth even on the flush path.
+  q.submit(2, 2.0);
+  q.submit(3, 2.0);
+  const auto full = q.flush(3.0);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->reason, CloseReason::kWidth);
+  EXPECT_EQ(std::string(close_reason_name(CloseReason::kTimeout)), "timeout");
+}
+
+// ---- PipelineOptions / PipelineSpec ------------------------------------
+
+ScheduleOptions pipeline_options(int workers, int lanes, int depth) {
+  ScheduleOptions so;
+  so.policy = Policy::kTrojanHorse;
+  so.cluster = single_gpu(device_a100());
+  so.exec.workers = workers;
+  so.pipeline.enabled = true;
+  so.pipeline.aggregate_lanes = lanes;
+  so.pipeline.depth = depth;
+  return so;
+}
+
+TEST(PipelineOptions, ValidateCrossChecks) {
+  EXPECT_NO_THROW(pipeline_options(2, 1, 2).validate());
+  EXPECT_NO_THROW(pipeline_options(8, 16, 8).validate());
+  // Pipelining with a single exec worker cannot overlap anything.
+  EXPECT_THROW(pipeline_options(1, 1, 2).validate(), Error);
+  EXPECT_THROW(pipeline_options(2, 0, 2).validate(), Error);
+  EXPECT_THROW(pipeline_options(2, 17, 2).validate(), Error);
+  EXPECT_THROW(pipeline_options(2, 1, 1).validate(), Error);
+  EXPECT_THROW(pipeline_options(2, 1, 9).validate(), Error);
+  ScheduleOptions cpu = pipeline_options(2, 1, 2);
+  cpu.cpu_mode = true;
+  EXPECT_THROW(cpu.validate(), Error);
+  // Disabled pipelining never constrains the rest of the config.
+  ScheduleOptions off;
+  off.exec.workers = 1;
+  EXPECT_NO_THROW(off.validate());
+}
+
+TEST(PipelineSpec, ParseRenderRoundTrip) {
+  const spec::PipelineSpec d = spec::parse_pipeline_spec("on");
+  EXPECT_TRUE(d.enabled);
+  EXPECT_EQ(d.lanes, 1);
+  EXPECT_EQ(d.depth, 2);
+  EXPECT_EQ(d.container, "sharded");
+
+  const spec::PipelineSpec s =
+      spec::parse_pipeline_spec("off,lanes=4,depth=3,container=heap");
+  EXPECT_FALSE(s.enabled);
+  EXPECT_EQ(s.lanes, 4);
+  EXPECT_EQ(s.depth, 3);
+  EXPECT_EQ(s.container, "heap");
+  EXPECT_EQ(spec::parse_pipeline_spec(spec::render_pipeline_spec(s)).lanes,
+            s.lanes);
+  EXPECT_EQ(spec::render_pipeline_spec(s), "off,lanes=4,depth=3,container=heap");
+
+  // A bare key=value spec implies "on".
+  EXPECT_TRUE(spec::parse_pipeline_spec("lanes=2").enabled);
+
+  EXPECT_THROW(spec::parse_pipeline_spec("on,lanes=0"), spec::SpecError);
+  EXPECT_THROW(spec::parse_pipeline_spec("on,depth=9"), spec::SpecError);
+  EXPECT_THROW(spec::parse_pipeline_spec("on,container=stack"),
+               spec::SpecError);
+  EXPECT_THROW(spec::parse_pipeline_spec("maybe"), spec::SpecError);
+  EXPECT_THROW(spec::parse_pipeline_spec("on,bogus=1"), spec::SpecError);
+}
+
+// ---- SIMD inner loops --------------------------------------------------
+
+TEST(Simd, AxpyMinusMatchesScalarBitwise) {
+  std::vector<real_t> x(67), y(67), ref(67);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 / (1.0 + static_cast<real_t>(i));
+    y[i] = ref[i] = 3.0 - 0.125 * static_cast<real_t>(i);
+  }
+  const real_t alpha = 1.0 / 3.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) ref[i] -= x[i] * alpha;
+  simd::axpy_minus(static_cast<index_t>(x.size()), x.data(), alpha, y.data());
+  EXPECT_EQ(std::memcmp(y.data(), ref.data(), y.size() * sizeof(real_t)), 0);
+}
+
+TEST(Simd, ScaleMatchesScalarBitwise) {
+  std::vector<real_t> x(61), ref(61);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = ref[i] = 0.7 + static_cast<real_t>(i) * 0.031;
+  }
+  const real_t alpha = 1.0 / 7.0;
+  for (real_t& v : ref) v *= alpha;
+  simd::scale(static_cast<index_t>(x.size()), x.data(), alpha);
+  EXPECT_EQ(std::memcmp(x.data(), ref.data(), x.size() * sizeof(real_t)), 0);
+}
+
+TEST(Simd, DispatchNameIsCoherent) {
+  const char* name = simd::dispatch_name();
+  ASSERT_NE(name, nullptr);
+  if (simd::avx2_active()) {
+    EXPECT_STREQ(name, "avx2");
+  } else {
+    EXPECT_TRUE(std::strncmp(name, "portable", 8) == 0) << name;
+  }
+}
+
+// ---- Det-mode bit identity through the pipeline ------------------------
+
+Csr pipeline_matrix() {
+  return finalize_system(grid2d_laplacian(16, 16), 20260131);
+}
+
+ScheduleOptions det_options(int workers, bool pipelined, int lanes) {
+  ScheduleOptions so;
+  so.policy = Policy::kTrojanHorse;
+  so.cluster = single_gpu(device_a100());
+  so.exec.workers = workers;
+  so.exec.accum = exec::AccumMode::kDeterministic;
+  so.collect_batches = true;
+  so.pipeline.enabled = pipelined;
+  so.pipeline.aggregate_lanes = lanes;
+  return so;
+}
+
+void expect_tiles_equal(const TileMatrix& ref, const TileMatrix& got,
+                        const std::string& what) {
+  ASSERT_EQ(ref.nt(), got.nt()) << what;
+  for (index_t i = 0; i < ref.nt(); ++i) {
+    for (index_t j = 0; j < ref.nt(); ++j) {
+      ASSERT_EQ(ref.has(i, j), got.has(i, j)) << what;
+      if (!ref.has(i, j)) continue;
+      const Tile& a = *ref.tile(i, j);
+      const Tile& b = *got.tile(i, j);
+      ASSERT_EQ(a.rows(), b.rows()) << what;
+      ASSERT_EQ(a.cols(), b.cols()) << what;
+      for (index_t c = 0; c < a.cols(); ++c) {
+        for (index_t r = 0; r < a.rows(); ++r) {
+          ASSERT_EQ(a.at(r, c), b.at(r, c))
+              << what << ": tile (" << i << "," << j << ") entry (" << r
+              << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Pipeline, DetFactorsBitIdenticalAcrossPipelineWorkersAndLanes) {
+  const Csr a = pipeline_matrix();
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+
+  SolverInstance ref(a, io);
+  const ScheduleResult rr = ref.run_numeric(det_options(1, false, 1));
+
+  struct Config {
+    int workers;
+    bool pipelined;
+    int lanes;
+  };
+  std::vector<Config> configs = {{2, false, 1}, {4, false, 1}, {8, false, 1}};
+  for (int w : {2, 4, 8}) {
+    for (int l : {1, 2}) configs.push_back({w, true, l});
+  }
+  for (const Config& c : configs) {
+    SolverInstance inst(a, io);
+    const ScheduleResult r =
+        inst.run_numeric(det_options(c.workers, c.pipelined, c.lanes));
+    const std::string what = "workers=" + std::to_string(c.workers) +
+                             " pipeline=" + (c.pipelined ? "on" : "off") +
+                             " lanes=" + std::to_string(c.lanes);
+    expect_tiles_equal(ref.plu_factorization()->tiles(),
+                       inst.plu_factorization()->tiles(), what);
+    // The modelled timeline and batch anatomy must not notice the
+    // pipeline either: same batches, same simulated makespan.
+    ASSERT_EQ(rr.stats().batches.size(), r.stats().batches.size()) << what;
+    for (std::size_t k = 0; k < rr.stats().batches.size(); ++k) {
+      ASSERT_EQ(rr.stats().batches[k].members, r.stats().batches[k].members)
+          << what << " batch " << k;
+    }
+    EXPECT_EQ(rr.makespan_s, r.makespan_s) << what;
+  }
+}
+
+TEST(Pipeline, UnsupportedShapeFallsBackSynchronouslyAndIdentically) {
+  // A cancel token (even one that never fires) is one of the shapes the
+  // pipeline declines — the run must fall back to the synchronous path and
+  // produce the exact same factors as a pipeline-disabled run.
+  const Csr a = pipeline_matrix();
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+
+  SolverInstance plain(a, io);
+  plain.run_numeric(det_options(2, false, 1));
+
+  CancelToken never;
+  ScheduleOptions so = det_options(2, true, 1);
+  so.cancel = &never;
+  SolverInstance fallback(a, io);
+  fallback.run_numeric(so);
+
+  expect_tiles_equal(plain.plu_factorization()->tiles(),
+                     fallback.plu_factorization()->tiles(),
+                     "cancel-token fallback");
+}
+
+TEST(Pipeline, HeapContainerDisciplineStaysSelectable) {
+  // The ablation knob: pipelined runs may keep the original heap (or the
+  // fifo baseline) via PipelineOptions::container.
+  const Csr a = pipeline_matrix();
+  InstanceOptions io;
+  io.core = SolverCore::kPlu;
+  io.block = 16;
+
+  SolverInstance ref(a, io);
+  ref.run_numeric(det_options(2, false, 1));
+
+  ScheduleOptions so = det_options(4, true, 2);
+  so.pipeline.container = Container::Discipline::kHeap;
+  SolverInstance heap(a, io);
+  heap.run_numeric(so);
+
+  expect_tiles_equal(ref.plu_factorization()->tiles(),
+                     heap.plu_factorization()->tiles(),
+                     "pipelined heap container");
+}
+
+}  // namespace
+}  // namespace th
